@@ -1,0 +1,80 @@
+"""Ablation: Monte-Carlo yield of the eoADC vs ring-trim accuracy.
+
+The paper leans on thermal tuning to stabilize MRRs; this bench
+quantifies the requirement: for each trim residual sigma we sample
+converters, measure max |DNL| and missing codes, and report the yield
+of parts meeting a |DNL| < 0.5 LSB / no-missing-codes spec.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_table
+from repro.core.eoadc import EoAdc
+from repro.electronics.adc_metrics import (
+    code_transitions,
+    differential_nonlinearity,
+    missing_codes,
+    transfer_function,
+)
+from repro.sim.montecarlo import MonteCarlo, SummaryStatistics
+
+
+def build_and_measure(tech, sigma, rng):
+    trims = rng.normal(0.0, sigma, 8)
+    adc = EoAdc(tech, trim_errors=trims, strict_decoder=False)
+    voltages, codes = transfer_function(adc.convert, 0.0, 4.0 - 1e-6, 801)
+    transitions = code_transitions(voltages, codes)
+    dnl = differential_nonlinearity(transitions, adc.lsb, adc.levels)
+    if missing_codes(codes, adc.levels):
+        return 2.0  # sentinel: a missing code is an automatic fail
+    return float(np.max(np.abs(dnl)))
+
+
+def test_trim_yield(benchmark, report, tech):
+    trials = 24
+    rows = []
+    for sigma in (1e-12, 3e-12, 6e-12, 10e-12):
+        mc = MonteCarlo(seed=99)
+        samples = mc.run(lambda rng: build_and_measure(tech, sigma, rng), trials)
+        stats = SummaryStatistics.from_samples(samples)
+        yield_fraction = mc.yield_fraction(samples, lambda dnl: dnl < 0.5)
+        low, high = mc.confidence_interval_95(yield_fraction, trials)
+        rows.append(
+            (
+                f"{sigma * 1e12:.0f}",
+                f"{sigma * 1e12 / 32:.3f}",
+                f"{stats.mean:.3f}",
+                f"{stats.maximum:.3f}",
+                f"{yield_fraction * 100:.0f} % [{low * 100:.0f}, {high * 100:.0f}]",
+            )
+        )
+
+    benchmark.pedantic(
+        build_and_measure,
+        args=(tech, 3e-12, np.random.default_rng(1)),
+        rounds=3,
+        iterations=1,
+    )
+
+    lines = [
+        ascii_table(
+            (
+                "trim sigma (pm)",
+                "~voltage error (V)",
+                "mean max|DNL|",
+                "worst max|DNL|",
+                "yield |DNL|<0.5 (95% CI)",
+            ),
+            rows,
+        ),
+        f"({trials} Monte-Carlo samples per corner; 2.0 marks a missing code)",
+        "",
+        "shape: sub-linewidth trim (the paper's thermal tuning) keeps "
+        "yield high; letting rings drift by >= 6 pm collapses it — the "
+        "quantitative case for the integrated heaters the paper cites.",
+    ]
+    report("\n".join(lines), title="Ablation — Monte-Carlo DNL yield vs trim")
+
+    yields = [float(row[4].split(" ")[0]) for row in rows]
+    assert yields[0] >= 95.0  # tight trim: essentially full yield
+    assert yields[-1] <= yields[0]  # loose trim can only hurt

@@ -1,0 +1,90 @@
+"""Ablation: the noise floor under the paper's optical power budget.
+
+The paper's 200 uW/channel eoADC input and -20 dBm pSRAM bias are
+design choices, not physical limits.  This bench sweeps the optical
+powers against the shot/thermal-noise floor: how far the budget could
+shrink at fixed error targets, and where the analog compute path's
+effective resolution sits relative to the 3-bit eoADC.
+"""
+
+import numpy as np
+
+from repro.analysis.noise import (
+    ComputePathNoiseAnalysis,
+    EoAdcNoiseAnalysis,
+    PsramNoiseAnalysis,
+)
+from repro.analysis.reporting import ascii_table
+
+
+def full_analysis(tech):
+    adc = EoAdcNoiseAnalysis(tech)
+    compute = ComputePathNoiseAnalysis(tech)
+    psram = PsramNoiseAnalysis(tech)
+    return (
+        adc.minimum_channel_power(1e-12),
+        compute.effective_bits(16),
+        psram.minimum_bias_power(1e-15),
+    )
+
+
+def test_noise_floor(benchmark, report, tech):
+    min_channel, effective_bits, min_bias = benchmark.pedantic(
+        full_analysis, args=(tech,), rounds=3, iterations=1
+    )
+
+    adc = EoAdcNoiseAnalysis(tech)
+    rows = []
+    for power in (200e-6, 100e-6, 50e-6, 25e-6, 10e-6):
+        error = adc.code_error_probability(power)
+        rows.append(
+            (
+                f"{power * 1e6:.0f}",
+                f"{adc.worst_case_margin(power) * 1e6:.2f}",
+                f"{error:.1e}" if error > 1e-300 else "< 1e-300",
+            )
+        )
+
+    psram = PsramNoiseAnalysis(tech)
+    bias_rows = []
+    for bias in (10e-6, 5e-6, 2e-6, 1e-6):
+        prob = psram.disturb_probability(bias)
+        bias_rows.append(
+            (
+                f"{bias * 1e6:.0f}",
+                f"{psram.hold_margin(bias) * 1e6:.2f}",
+                f"{prob:.1e}" if prob > 1e-300 else "< 1e-300",
+            )
+        )
+
+    compute = ComputePathNoiseAnalysis(tech)
+    lines = [
+        "eoADC decision margin vs channel power:",
+        ascii_table(
+            ("channel power (uW)", "worst margin (uA)", "code-error probability"),
+            rows,
+        ),
+        f"minimum channel power for 1e-12 error: {min_channel * 1e6:.1f} uW "
+        f"(paper uses 200 uW -> {200e-6 / min_channel:.1f}x headroom)",
+        "",
+        "pSRAM hold margin vs bias power:",
+        ascii_table(
+            ("bias power (uW)", "hold margin (uA)", "disturb probability"), bias_rows
+        ),
+        f"minimum bias for 1e-15 disturb: {min_bias * 1e6:.2f} uW "
+        f"(paper uses 10 uW = -20 dBm)",
+        "",
+        f"analog compute path: SNR {compute.snr_db(16):.1f} dB at half scale, "
+        f"effective resolution {effective_bits:.1f} bits",
+        "shape: the 3-bit eoADC — not the analog optics — bounds the output "
+        "precision, consistent with the paper's precision-extension "
+        "discussion; the optical budget carries ~9x (ADC) and ~4x (pSRAM) "
+        "noise headroom that a lower-power design point could spend.",
+    ]
+    report("\n".join(lines), title="Ablation — optical power vs noise floor")
+
+    assert min_channel < tech.eoadc.channel_power
+    assert min_bias < tech.psram.bias_power
+    assert effective_bits > tech.eoadc.bits + 2
+    margins = [float(row[1]) for row in rows]
+    assert all(b < a for a, b in zip(margins, margins[1:]))

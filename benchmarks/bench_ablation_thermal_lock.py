@@ -1,0 +1,90 @@
+"""Ablation: thermal drift and heater-based wavelength locking.
+
+The paper: MRRs 'are susceptible to thermal and environmental
+fluctuations, which can be effectively mitigated through thermal tuning
+using integrated heaters'.  We heat the compute rings, watch the
+multiplication linearity collapse, then close the lock loop and watch
+it recover.
+"""
+
+import numpy as np
+
+from repro.analysis.linearity import linearity_report
+from repro.analysis.reporting import ascii_table
+from repro.core.compute_core import VectorComputeCore
+from repro.photonics.thermal import Heater, WavelengthLocker
+
+
+def measure_linearity(core):
+    rng = np.random.default_rng(17)
+    expected, measured = [], []
+    for _ in range(10):
+        x = rng.uniform(0.0, 1.0, 4)
+        expected.append(core.ideal_dot_product(x))
+        measured.append(core.normalized_output(x))
+    return linearity_report(expected, measured)
+
+
+def apply_drift(core, delta_kelvin):
+    for planes in core.multipliers:
+        for multiplier in planes:
+            multiplier.ring.delta_temperature = delta_kelvin
+    core.load_weights(core.weights)  # rebuild the transmission cache
+
+
+def apply_lock(core, delta_kelvin):
+    for planes in core.multipliers:
+        for multiplier in planes:
+            ring = multiplier.ring
+            heater = Heater(ring.thermal.spec)
+            locker = WavelengthLocker(heater, gain=0.6)
+            drift = ring.thermal.wavelength_shift(delta_kelvin)
+            residual = locker.lock(drift, iterations=25)
+            ring.heater_shift = residual - drift
+    core.load_weights(core.weights)
+
+
+def test_thermal_drift_and_lock(benchmark, report, tech):
+    core = VectorComputeCore(4, 3, tech)
+    core.load_weights([7, 3, 5, 1])
+
+    rows = []
+    baseline = measure_linearity(core)
+    rows.append(("0.0 K (nominal)", "off", f"{baseline.r_squared:.6f}",
+                 f"{baseline.max_abs_error:.4f}"))
+    for drift in (0.5, 1.0, 2.0):
+        apply_drift(core, drift)
+        hot = measure_linearity(core)
+        rows.append((f"{drift} K drift", "off", f"{hot.r_squared:.6f}",
+                     f"{hot.max_abs_error:.4f}"))
+        apply_lock(core, drift)
+        locked = measure_linearity(core)
+        rows.append((f"{drift} K drift", "locked", f"{locked.r_squared:.6f}",
+                     f"{locked.max_abs_error:.4f}"))
+        # Reset for the next corner.
+        for planes in core.multipliers:
+            for multiplier in planes:
+                multiplier.ring.heater_shift = 0.0
+                multiplier.ring.delta_temperature = 0.0
+    core.load_weights(core.weights)
+
+    benchmark.pedantic(measure_linearity, args=(core,), rounds=3, iterations=1)
+
+    lines = [
+        ascii_table(
+            ("condition", "wavelength lock", "multiply R^2", "max |residual|"), rows
+        ),
+        "",
+        "shape: ~1 K of drift (75 pm, half a compute-ring linewidth) "
+        "visibly bends the multiplication; the integral heater lock "
+        "restores the nominal linearity — the paper's thermal-tuning "
+        "mitigation, quantified.",
+    ]
+    report("\n".join(lines), title="Ablation — thermal drift and heater locking")
+
+    nominal_r2 = baseline.r_squared
+    drifted = float(rows[3][2])  # 1 K, lock off
+    relocked = float(rows[4][2])  # 1 K, locked
+    assert drifted < nominal_r2 - 1e-4
+    assert relocked > drifted
+    assert abs(relocked - nominal_r2) < 1e-3

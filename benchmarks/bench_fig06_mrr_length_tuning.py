@@ -1,0 +1,66 @@
+"""Fig. 6: MRR spectra vs ring-length adjustment.
+
+The paper tunes the 7.5 um ring's resonance across four WDM channels by
+adjusting the ring length in 68 nm steps: resonances at lambda_1..4
+spaced 2.33 nm inside the 9.36 nm FSR.  We regenerate the four spectra
+and re-measure FSR and channel spacing.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_table
+from repro.photonics.mrr import AddDropMRR
+from repro.sim.sweep import wavelength_grid
+
+
+def build_channel_rings(tech):
+    return [
+        AddDropMRR(
+            tech.compute_ring_spec(),
+            design_wavelength=tech.wavelength,
+            waveguide=tech.waveguide,
+            coupler=tech.coupler,
+            length_adjust=k * 68e-9,
+        )
+        for k in range(4)
+    ]
+
+
+def sweep_all(rings, wavelengths):
+    return [np.asarray(ring.thru_transmission(wavelengths)) for ring in rings]
+
+
+def test_fig6_length_adjust_spectra(benchmark, report, tech):
+    rings = build_channel_rings(tech)
+    # One FSR window holding all four channel resonances but excluding
+    # the dL=0 ring's next-order replica at lambda_IN + FSR.
+    wavelengths = wavelength_grid(tech.wavelength + 3.5e-9, 4.5e-9, points=4001)
+    spectra = benchmark(sweep_all, rings, wavelengths)
+
+    resonances = [float(wavelengths[np.argmin(s)]) for s in spectra]
+    rows = []
+    for k, (ring, resonance) in enumerate(zip(rings, resonances)):
+        rows.append(
+            (
+                f"{k * 68} nm",
+                f"{resonance * 1e9:.3f}",
+                f"{(resonance - resonances[0]) * 1e9:.3f}",
+                f"{ring.fwhm * 1e12:.1f}",
+            )
+        )
+    lines = [
+        ascii_table(
+            ("dL", "resonance (nm)", "shift from dL=0 (nm)", "FWHM (pm)"), rows
+        ),
+        "",
+        f"FSR: {rings[0].fsr * 1e9:.3f} nm (paper: 9.36 nm)",
+        f"channel spacing: {(resonances[1] - resonances[0]) * 1e9:.3f} nm (paper: 2.33 nm)",
+        f"channels per FSR: {int(rings[0].fsr // (resonances[1] - resonances[0]))} (paper: 4)",
+    ]
+    report("\n".join(lines), title="Fig. 6 — MRR spectra vs ring length adjustment")
+
+    np.testing.assert_allclose(rings[0].fsr, 9.36e-9, rtol=1e-3)
+    for k in range(1, 4):
+        np.testing.assert_allclose(
+            resonances[k] - resonances[0], k * 2.33e-9, atol=20e-12
+        )

@@ -1,0 +1,69 @@
+"""Fig. 8: eoADC ring transmissions vs analog input voltage.
+
+Each of the 8 rings dips as V_IN crosses its reference; for any input
+inside the full-scale range exactly one (or, within ~7 mV of a bin
+edge, two adjacent) thru powers fall below the 18 uW reference — the
+1-hot encoding property.
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import ascii_table
+
+
+def sweep_powers(adc, voltages):
+    return np.stack([adc.thru_powers(float(v)) for v in voltages])
+
+
+def test_fig8_one_hot_dips(benchmark, report, ideal_adc):
+    voltages = np.linspace(0.0, 3.999, 801)
+    powers = benchmark(sweep_powers, ideal_adc, voltages)
+
+    reference = ideal_adc.thresholders[0].reference_power
+    active = powers < reference
+
+    rows = []
+    for ring in range(ideal_adc.levels):
+        dip_index = int(np.argmin(powers[:, ring]))
+        window = voltages[active[:, ring]]
+        rows.append(
+            (
+                f"M{ring + 1}",
+                f"{ideal_adc.reference_voltages[ring]:.2f}",
+                f"{voltages[dip_index]:.3f}",
+                f"{powers[dip_index, ring] * 1e6:.3f}",
+                f"[{window.min():.3f}, {window.max():.3f}]" if window.size else "-",
+            )
+        )
+    count_active = active.sum(axis=1)
+    lines = [
+        ascii_table(
+            (
+                "ring",
+                "V_REF (V)",
+                "dip at V_IN (V)",
+                "min thru power (uW)",
+                "active window (V)",
+            ),
+            rows,
+        ),
+        "",
+        f"reference power: {reference * 1e6:.1f} uW per channel (paper: 18 uW)",
+        f"input power: {ideal_adc.spec.channel_power * 1e6:.0f} uW per channel "
+        "(paper: 200 uW)",
+        f"samples with exactly 1 active block: {(count_active == 1).mean() * 100:.1f} %",
+        f"samples with 2 adjacent active blocks (bin edges): "
+        f"{(count_active == 2).mean() * 100:.1f} %",
+    ]
+    report("\n".join(lines), title="Fig. 8 — 1-hot encoding windows")
+
+    # 1-hot property: every sample activates one or two adjacent blocks.
+    assert np.all(count_active >= 1)
+    assert np.all(count_active <= 2)
+    # Dips walk monotonically with the reference ladder.
+    dips = [voltages[np.argmin(powers[:, r])] for r in range(8)]
+    assert all(b > a for a, b in zip(dips, dips[1:]))
+    for ring in range(8):
+        np.testing.assert_allclose(
+            dips[ring], ideal_adc.reference_voltages[ring], atol=0.01
+        )

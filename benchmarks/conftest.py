@@ -1,0 +1,56 @@
+"""Benchmark harness plumbing.
+
+Each bench regenerates one of the paper's tables or figures as text.
+The ``report`` fixture collects that text and a terminal-summary hook
+prints every collected report after the benchmark table, so
+
+    pytest benchmarks/ --benchmark-only | tee bench_output.txt
+
+contains both timings and the reproduced rows/series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import default_technology
+from repro.core.eoadc import EoAdc
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+@pytest.fixture()
+def report(request):
+    """Collect a named text report for the terminal summary."""
+
+    def add(text: str, title: str | None = None) -> None:
+        _REPORTS.append((title or request.node.name, text))
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced paper artifacts")
+    for title, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"=== {title} ===")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return default_technology()
+
+
+@pytest.fixture(scope="session")
+def ideal_adc(tech):
+    return EoAdc(tech, trim_errors=np.zeros(tech.eoadc.levels))
+
+
+@pytest.fixture(scope="session")
+def trimmed_adc(tech):
+    return EoAdc(tech)

@@ -1,0 +1,74 @@
+"""Characterizing the 1-hot electro-optic ADC.
+
+Walks the eoADC through the paper's Section IV-C evaluation: the 1-hot
+activation windows (Fig. 8), the transient conversion of 0.72/2.0/3.3 V
+steps at 8 GS/s (Fig. 9), the transfer function and DNL (Fig. 10), the
+power/energy budget, and the extension paths (no-TIA low-power mode,
+time interleaving, shift-and-add precision doubling).
+
+Run:  python examples/adc_characterization.py
+"""
+
+import numpy as np
+
+from repro import EoAdc, ShiftAddEoAdc, TimeInterleavedEoAdc
+from repro.electronics.adc_metrics import (
+    code_transitions,
+    differential_nonlinearity,
+    missing_codes,
+    transfer_function,
+)
+from repro.sim.waveform import StepSequence
+
+
+def main() -> None:
+    adc = EoAdc()
+
+    print("=== 1-hot encoding (Fig. 8) ===")
+    for v_in in (0.3, 1.1, 2.6, 3.8):
+        powers = adc.thru_powers(v_in) * 1e6
+        active = [
+            f"M{k + 1}" for k, p in enumerate(powers)
+            if p < adc.thresholders[0].reference_power * 1e6
+        ]
+        print(f"V_IN = {v_in:.1f} V: thru powers "
+              f"{np.array2string(powers, precision=1)} uW -> active {active} "
+              f"-> code {adc.convert(v_in):03b}")
+
+    print("\n=== transient conversion at 8 GS/s (Fig. 9) ===")
+    ideal = EoAdc(trim_errors=np.zeros(8))
+    sequence = StepSequence([0.72, 2.0, 3.3], period=1 / 8e9)
+    record = ideal.transient_convert(sequence, duration=sequence.duration)
+    for level, code, t in zip((0.72, 2.0, 3.3), record.codes, record.sample_times):
+        print(f"V_IN = {level:.2f} V sampled at {t * 1e12:.0f} ps -> {code:03b}")
+    print("(2.0 V sits on a bin edge: B4 and B5 both fire; the ceiling "
+          "ROM decoder resolves to 100)")
+
+    print("\n=== transfer function and DNL (Fig. 10) ===")
+    voltages, codes = transfer_function(adc.convert, 0.0, 4.0 - 1e-6, 2001)
+    transitions = code_transitions(voltages, codes)
+    dnl = differential_nonlinearity(transitions, adc.lsb, adc.levels)
+    print(f"code transitions (V): "
+          f"{[round(transitions[c], 3) for c in range(1, 8)]}")
+    print(f"DNL (LSB): {np.round(dnl, 3)}")
+    print(f"missing codes: {missing_codes(codes, adc.levels) or 'none'}")
+
+    print("\n=== power and energy (paper: 7.58 mW + 11 mW, 2.32 pJ) ===")
+    print(adc.power_ledger().report(scale=1e3, unit="mW"))
+    print(f"energy per conversion: {adc.energy_per_conversion * 1e12:.2f} pJ "
+          f"at {adc.sample_rate / 1e9:.0f} GS/s")
+
+    print("\n=== extension paths ===")
+    no_tia = EoAdc(use_read_chain=False)
+    print(f"no-TIA mode     : {no_tia.sample_rate / 1e6:.1f} MS/s, electrical "
+          f"{no_tia.power_ledger().total_for('electrical') * 1e3:.2f} mW (-58 %)")
+    ti = TimeInterleavedEoAdc(lanes=4)
+    print(f"4-way interleave: {ti.sample_rate / 1e9:.0f} GS/s, "
+          f"{ti.total_power * 1e3:.1f} mW")
+    cascade = ShiftAddEoAdc()
+    print(f"shift-and-add   : {cascade.bits} bits, e.g. 1.23 V -> "
+          f"{cascade.convert(1.23):06b} (fine LSB {cascade.lsb * 1e3:.1f} mV)")
+
+
+if __name__ == "__main__":
+    main()

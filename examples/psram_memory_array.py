@@ -1,0 +1,66 @@
+"""Photonic SRAM: bitcell write transients and 20 GHz array streaming.
+
+Reproduces the Fig. 5 experiment interactively: writes a 1 then a 0
+into a bitcell with 50 ps optical pulses, prints the Q/QB waveforms,
+checks hold stability, and then streams weight words through a 16x3
+array at the 20 GHz update rate with full energy accounting.
+
+Run:  python examples/psram_memory_array.py
+"""
+
+import numpy as np
+
+from repro import PsramArray, PsramBitcell
+
+
+def print_waveform(name, waveform, points=12):
+    indices = np.linspace(0, len(waveform.times) - 1, points).astype(int)
+    times = waveform.times[indices] * 1e12
+    values = waveform.values[indices]
+    row = "  ".join(f"{t:6.0f}" for t in times)
+    val = "  ".join(f"{v:6.2f}" for v in values)
+    print(f"  t (ps) {row}")
+    print(f"  {name:>5}  {val}")
+
+
+def main() -> None:
+    print("=== differential pSRAM bitcell (Fig. 1 topology) ===")
+    cell = PsramBitcell()
+    cell.set_state(0)
+    current_q, current_qb = cell.hold_node_currents()
+    print(f"holding 0: I_Q = {current_q * 1e6:+.2f} uA, "
+          f"I_QB = {current_qb * 1e6:+.2f} uA (stable: {cell.is_hold_stable()})")
+
+    print("\n=== write 1 via a 50 ps, 0 dBm pulse on WBL (Fig. 5) ===")
+    result = cell.write(1)
+    print(f"success: {result.success}, state now {cell.state}")
+    print_waveform("Q", result.recorder.waveform("Q"))
+    print_waveform("QB", result.recorder.waveform("QB"))
+    flip = result.recorder.waveform("Q").crossings(0.9, rising=True)[0]
+    print(f"Q crossed VDD/2 at {flip * 1e12:.1f} ps")
+    print("energy ledger:")
+    for name, value in result.energy.breakdown().items():
+        print(f"  {name:<28} {value * 1e15:8.2f} fJ")
+    print(f"  {'TOTAL (paper: 500 fJ)':<28} {result.switch_energy * 1e15:8.2f} fJ")
+
+    print("\n=== write 0 via WBLB ===")
+    result = cell.write(0)
+    print(f"success: {result.success}, state now {cell.state}")
+
+    print("\n=== 16-word x 3-bit array streaming at 20 GHz ===")
+    array = PsramArray(words=16, bits_per_word=3)
+    rng = np.random.default_rng(1)
+    for generation in range(3):
+        values = [int(v) for v in rng.integers(0, 8, 16)]
+        flips = array.write_all(values)
+        print(f"generation {generation}: wrote {values[:8]}... "
+              f"({flips} bitcells flipped)")
+    print(f"full-array update time : {array.update_time() * 1e9:.2f} ns")
+    print(f"total write energy     : {array.write_energy() * 1e12:.2f} pJ "
+          f"({array.switch_events} switches x 0.5 pJ)")
+    print(f"array hold power       : {array.hold_power() * 1e3:.3f} mW "
+          f"({array.cell_count} cells)")
+
+
+if __name__ == "__main__":
+    main()

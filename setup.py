@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 517 builds cannot produce editable wheels; this shim lets
+``pip install -e .`` fall back to ``setup.py develop``.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

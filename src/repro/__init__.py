@@ -1,0 +1,58 @@
+"""repro — reproduction of the DAC'25 mixed-signal photonic SRAM tensor
+core with 1-hot electro-optic ADC (Kaiser et al., arXiv:2506.22705).
+
+The package rebuilds the paper's full stack in Python:
+
+* :mod:`repro.photonics` — silicon-photonics device substrate (rings,
+  couplers, junctions, photodiodes, lasers, WDM, circuit evaluation).
+* :mod:`repro.electronics` — drivers, TIAs, amplifiers, the ceiling
+  ROM decoder, ADC metrics and power/energy ledgers.
+* :mod:`repro.sim` — waveforms, mixed-signal transient engine, sweeps
+  and Monte-Carlo variation analysis.
+* :mod:`repro.core` — the contributions: pSRAM bitcell/array, WDM
+  vector compute core, 1-hot eoADC, tensor core, performance model.
+* :mod:`repro.baselines` — flash/TI ADC and electrical-IMC baselines,
+  plus the published macros of Table I.
+* :mod:`repro.ml` — neural-network inference through the tensor core.
+* :mod:`repro.analysis` — linearity fits and bench reporting.
+
+Quickstart::
+
+    import numpy as np
+    from repro import PhotonicTensorCore
+
+    core = PhotonicTensorCore(rows=4, columns=8)
+    core.load_weight_matrix(np.random.default_rng(0).integers(0, 8, (4, 8)))
+    result = core.matvec(np.random.default_rng(1).uniform(0, 1, 8))
+    print(result.codes, result.estimates)
+"""
+
+from .config import Technology, default_technology
+from .core import (
+    EoAdc,
+    PerformanceModel,
+    PhotonicTensorCore,
+    PsramArray,
+    PsramBitcell,
+    ShiftAddEoAdc,
+    TimeInterleavedEoAdc,
+    VectorComputeCore,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "default_technology",
+    "EoAdc",
+    "PerformanceModel",
+    "PhotonicTensorCore",
+    "PsramArray",
+    "PsramBitcell",
+    "ReproError",
+    "ShiftAddEoAdc",
+    "Technology",
+    "TimeInterleavedEoAdc",
+    "VectorComputeCore",
+    "__version__",
+]

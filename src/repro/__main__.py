@@ -1,0 +1,65 @@
+"""Command-line entry point: ``python -m repro [command]``.
+
+Commands:
+
+* ``summary`` (default) — the paper's 16x16 system performance summary
+  and Table I comparison.
+* ``demo`` — a quick 4x8 matrix-vector multiplication through the
+  photonic path.
+* ``adc`` — static eoADC conversions across the full-scale range.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+
+def _summary() -> None:
+    from .baselines.photonic_macros import format_table_one
+    from .core.performance import PerformanceModel
+
+    performance = PerformanceModel()
+    print(performance.summary())
+    print()
+    print(format_table_one(performance))
+
+
+def _demo() -> None:
+    from .core.tensor_core import PhotonicTensorCore
+
+    rng = np.random.default_rng(0)
+    core = PhotonicTensorCore(rows=4, columns=8)
+    core.load_weight_matrix(rng.integers(0, 8, (4, 8)))
+    x = rng.uniform(0.0, 1.0, 8)
+    result = core.matvec(x)
+    print(f"input      : {np.round(x, 2)}")
+    print(f"ADC codes  : {result.codes}")
+    print(f"estimates  : {np.round(result.estimates, 2)}")
+    print(f"exact W @ x: {np.round(core.ideal_matvec(x), 2)}")
+
+
+def _adc() -> None:
+    from .core.eoadc import EoAdc
+
+    adc = EoAdc()
+    print(f"{'V_IN (V)':>8}  {'code':>4}  bits")
+    for v_in in np.linspace(0.1, 3.9, 12):
+        code = adc.convert(float(v_in))
+        print(f"{v_in:>8.2f}  {code:>4}  {code:03b}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    command = argv[0] if argv else "summary"
+    commands = {"summary": _summary, "demo": _demo, "adc": _adc}
+    if command not in commands:
+        print(f"unknown command {command!r}; choose from {sorted(commands)}")
+        return 2
+    commands[command]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Analysis helpers: linearity fits, noise floors, bench reporting."""
+
+from .linearity import LinearityReport, linear_fit, linearity_report
+from .noise import (
+    ComputePathNoiseAnalysis,
+    EoAdcNoiseAnalysis,
+    PsramNoiseAnalysis,
+    shot_noise_sigma,
+    thermal_noise_sigma,
+    threshold_error_probability,
+)
+from .reporting import ascii_table, format_series
+
+__all__ = [
+    "ascii_table",
+    "ComputePathNoiseAnalysis",
+    "EoAdcNoiseAnalysis",
+    "format_series",
+    "linear_fit",
+    "LinearityReport",
+    "linearity_report",
+    "PsramNoiseAnalysis",
+    "shot_noise_sigma",
+    "thermal_noise_sigma",
+    "threshold_error_probability",
+]

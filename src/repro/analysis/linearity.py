@@ -1,0 +1,62 @@
+"""Linearity analysis for the compute core (paper Fig. 7).
+
+The paper validates vector multiplication by checking that the
+normalized photodiode current aligns linearly with the expected
+products; these helpers quantify that alignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def linear_fit(x, y) -> tuple[float, float]:
+    """Least-squares slope and intercept of y against x."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1 or x.size < 2:
+        raise ConfigurationError("need two equal-length 1-D arrays with >= 2 points")
+    slope, intercept = np.polyfit(x, y, 1)
+    return float(slope), float(intercept)
+
+
+@dataclass(frozen=True)
+class LinearityReport:
+    """Summary of a measured-vs-expected linearity comparison."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    max_abs_error: float
+    rms_error: float
+
+    def is_linear(self, min_r_squared: float = 0.999) -> bool:
+        return self.r_squared >= min_r_squared
+
+
+def linearity_report(expected, measured) -> LinearityReport:
+    """Fit measured against expected and report fit quality.
+
+    ``max_abs_error`` and ``rms_error`` are residuals from the fitted
+    line in the units of ``measured``.
+    """
+    expected = np.asarray(expected, dtype=float)
+    measured = np.asarray(measured, dtype=float)
+    slope, intercept = linear_fit(expected, measured)
+    predicted = slope * expected + intercept
+    residuals = measured - predicted
+    total = measured - measured.mean()
+    ss_res = float(np.sum(residuals**2))
+    ss_tot = float(np.sum(total**2))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0.0 else 1.0
+    return LinearityReport(
+        slope=slope,
+        intercept=intercept,
+        r_squared=r_squared,
+        max_abs_error=float(np.max(np.abs(residuals))),
+        rms_error=float(np.sqrt(np.mean(residuals**2))),
+    )

@@ -1,0 +1,234 @@
+"""Noise analysis: how far the optical power budget can shrink.
+
+The paper's energy numbers are set by its optical power choices
+(200 uW/channel ADC input, 18 uW references, -20 dBm pSRAM bias).
+These analyses expose the *floor* under those choices: shot and thermal
+noise at each photodiode decide how close to a threshold a signal can
+sit before decisions start flipping.
+
+* :func:`threshold_error_probability` — probability a balanced-PD
+  thresholding decision is wrong given its current margin and noise.
+* :class:`EoAdcNoiseAnalysis` — worst-case decision margin across the
+  code range and the resulting code-error probability vs channel power.
+* :class:`ComputePathNoiseAnalysis` — SNR and effective resolution of
+  the analog dot product at the row photodiode/TIA.
+* :class:`PsramNoiseAnalysis` — hold-current margin of the latch vs
+  bias power (when does the feedback stop winning against noise?).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import erfc
+
+from ..config import Technology, default_technology
+from ..constants import BOLTZMANN_CONSTANT, ELEMENTARY_CHARGE, ROOM_TEMPERATURE
+from ..errors import ConfigurationError
+
+
+def shot_noise_sigma(current: float, bandwidth: float) -> float:
+    """Shot-noise current std-dev [A] of a photocurrent at a bandwidth."""
+    if current < 0.0 or bandwidth <= 0.0:
+        raise ConfigurationError("current must be >= 0 and bandwidth > 0")
+    return math.sqrt(2.0 * ELEMENTARY_CHARGE * current * bandwidth)
+
+
+def thermal_noise_sigma(bandwidth: float, load_resistance: float = 10e3) -> float:
+    """Thermal (Johnson) noise current std-dev [A] of a load resistance."""
+    if bandwidth <= 0.0 or load_resistance <= 0.0:
+        raise ConfigurationError("bandwidth and resistance must be positive")
+    return math.sqrt(
+        4.0 * BOLTZMANN_CONSTANT * ROOM_TEMPERATURE * bandwidth / load_resistance
+    )
+
+
+def threshold_error_probability(margin_current: float, noise_sigma: float) -> float:
+    """P(wrong decision) for a Gaussian-noise comparison.
+
+    ``margin_current`` is the distance of the mean differential current
+    from zero; the decision flips when noise exceeds it.
+    """
+    if noise_sigma < 0.0:
+        raise ConfigurationError("noise sigma must be non-negative")
+    if noise_sigma == 0.0:
+        return 0.0 if margin_current > 0.0 else 0.5
+    return 0.5 * erfc(margin_current / (noise_sigma * math.sqrt(2.0)))
+
+
+class EoAdcNoiseAnalysis:
+    """Shot/thermal-noise floor of the 1-hot thresholding decisions."""
+
+    def __init__(self, technology: Technology | None = None) -> None:
+        self.technology = technology if technology is not None else default_technology()
+
+    def _decision_sigma(self, thru_power: float, reference_power: float,
+                        bandwidth: float) -> float:
+        responsivity = self.technology.photodiode.responsivity
+        shot_upper = shot_noise_sigma(responsivity * thru_power, bandwidth)
+        shot_lower = shot_noise_sigma(responsivity * reference_power, bandwidth)
+        thermal = thermal_noise_sigma(bandwidth)
+        return math.hypot(math.hypot(shot_upper, shot_lower), thermal)
+
+    def worst_case_margin(self, channel_power: float | None = None) -> float:
+        """Smallest differential current [A] any in-range input leaves.
+
+        The worst case is a quarter-LSB inside a bin edge: the active
+        ring's thru power is closest to the reference there.
+        """
+        tech = self.technology
+        spec = tech.eoadc
+        channel_power = spec.channel_power if channel_power is None else channel_power
+        scale = channel_power / spec.channel_power
+        # Transmission at a quarter-LSB detuning from the window edge.
+        from ..photonics.mrr import AllPassMRR
+        from ..photonics.pn_junction import DepletionTuner
+
+        ring = AllPassMRR(
+            tech.adc_ring_spec(),
+            design_wavelength=tech.wavelength,
+            design_voltage=0.0,
+            waveguide=tech.waveguide,
+            coupler=tech.coupler,
+            tuner=DepletionTuner(tech.depletion),
+        )
+        detuning = 0.75 * spec.lsb_voltage / 2.0
+        thru = float(ring.thru_transmission(tech.wavelength, voltage=detuning))
+        responsivity = tech.photodiode.responsivity
+        margin = responsivity * (spec.reference_power * scale - thru * channel_power)
+        return margin
+
+    def code_error_probability(
+        self,
+        channel_power: float | None = None,
+        bandwidth: float | None = None,
+    ) -> float:
+        """Worst-case probability of a flipped activation per decision."""
+        tech = self.technology
+        spec = tech.eoadc
+        channel_power = spec.channel_power if channel_power is None else channel_power
+        bandwidth = spec.sample_rate / 2.0 if bandwidth is None else bandwidth
+        scale = channel_power / spec.channel_power
+        margin = self.worst_case_margin(channel_power)
+        # At the worst-case point the active ring's thru transmission
+        # sits just under the 0.09 threshold ratio (~0.085).
+        sigma = self._decision_sigma(
+            channel_power * 0.085, spec.reference_power * scale, bandwidth
+        )
+        return threshold_error_probability(margin, sigma)
+
+    def minimum_channel_power(
+        self, target_error: float = 1e-12, bandwidth: float | None = None
+    ) -> float:
+        """Smallest channel power meeting a code-error target [W].
+
+        Bisects over power with the references scaled proportionally
+        (the window geometry is power-ratio-invariant).
+        """
+        if not 0.0 < target_error < 0.5:
+            raise ConfigurationError("target error must be in (0, 0.5)")
+        low, high = 1e-9, self.technology.eoadc.channel_power * 10.0
+        for _ in range(80):
+            mid = math.sqrt(low * high)
+            if self.code_error_probability(mid, bandwidth) > target_error:
+                low = mid
+            else:
+                high = mid
+        return high
+
+
+class ComputePathNoiseAnalysis:
+    """SNR of the analog dot product at the row photodiode + TIA."""
+
+    def __init__(self, technology: Technology | None = None) -> None:
+        self.technology = technology if technology is not None else default_technology()
+
+    def full_scale_current(self, vector_length: int = 16) -> float:
+        """Approximate full-scale row photocurrent [A]."""
+        tech = self.technology
+        per_channel = tech.compute.channel_power * tech.photodiode.responsivity
+        # Binary-scaled planes sum to (2^n - 1)/2^n of the input power;
+        # the w=1 insertion loss is ~0.86.
+        plane_sum = 1.0 - 2.0 ** (-tech.compute.weight_bits)
+        return vector_length * per_channel * plane_sum * 0.86
+
+    def noise_sigma(
+        self, signal_current: float, bandwidth: float | None = None
+    ) -> float:
+        """Total noise current std-dev [A] at the row TIA input."""
+        bandwidth = (
+            self.technology.tensor.sample_rate / 2.0 if bandwidth is None else bandwidth
+        )
+        shot = shot_noise_sigma(signal_current, bandwidth)
+        thermal = thermal_noise_sigma(bandwidth, load_resistance=3e3)
+        return math.hypot(shot, thermal)
+
+    def snr_db(self, vector_length: int = 16, utilization: float = 0.5) -> float:
+        """SNR [dB] of a dot product using ``utilization`` of full scale."""
+        if not 0.0 < utilization <= 1.0:
+            raise ConfigurationError("utilization must be in (0, 1]")
+        signal = self.full_scale_current(vector_length) * utilization
+        sigma = self.noise_sigma(signal)
+        return 20.0 * math.log10(signal / sigma)
+
+    def effective_bits(self, vector_length: int = 16) -> float:
+        """Analog-path resolution bound in bits (before the eoADC).
+
+        Uses the full-scale-to-noise ratio; the eoADC's p bits are only
+        justified while this bound exceeds p.
+        """
+        full_scale = self.full_scale_current(vector_length)
+        sigma = self.noise_sigma(full_scale)
+        return (20.0 * math.log10(full_scale / sigma) - 1.76) / 6.02
+
+
+class PsramNoiseAnalysis:
+    """Hold margin of the pSRAM latch vs optical bias power."""
+
+    def __init__(self, technology: Technology | None = None) -> None:
+        self.technology = technology if technology is not None else default_technology()
+
+    def hold_margin(self, bias_power: float | None = None) -> float:
+        """Restoring-minus-disturbing current [A] at the held-low node."""
+        import dataclasses
+
+        from ..core.psram import PsramBitcell
+
+        tech = self.technology
+        if bias_power is not None:
+            tech = tech.replace(
+                psram=dataclasses.replace(tech.psram, bias_power=bias_power)
+            )
+        cell = PsramBitcell(tech)
+        cell.set_state(1)
+        current_q, current_qb = cell.hold_node_currents()
+        return min(current_q, -current_qb)
+
+    def disturb_probability(
+        self, bias_power: float | None = None, bandwidth: float = 20e9
+    ) -> float:
+        """P(noise momentarily overcomes the restoring current)."""
+        bias = (
+            self.technology.psram.bias_power if bias_power is None else bias_power
+        )
+        margin = self.hold_margin(bias)
+        responsivity = self.technology.photodiode.responsivity
+        sigma = math.hypot(
+            shot_noise_sigma(responsivity * bias / 2.0, bandwidth),
+            thermal_noise_sigma(bandwidth, load_resistance=100e3),
+        )
+        return threshold_error_probability(margin, sigma)
+
+    def minimum_bias_power(self, target_probability: float = 1e-15) -> float:
+        """Smallest hold bias [W] keeping disturb probability below target."""
+        if not 0.0 < target_probability < 0.5:
+            raise ConfigurationError("target probability must be in (0, 0.5)")
+        low, high = 1e-9, self.technology.psram.bias_power * 10.0
+        for _ in range(60):
+            mid = math.sqrt(low * high)
+            if self.disturb_probability(mid) > target_probability:
+                low = mid
+            else:
+                high = mid
+        return high

@@ -1,0 +1,69 @@
+"""Plain-text reporting for the benchmark harness.
+
+The benches regenerate the paper's tables and figure data as text:
+:func:`ascii_table` renders aligned tables, :func:`format_series`
+renders (x, y) figure data as rows a reader can diff against the
+paper's plots.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..errors import ConfigurationError
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows under headers with column alignment."""
+    if not headers:
+        raise ConfigurationError("table needs at least one column")
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in text_rows))
+        if text_rows
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(str(header).ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    x_values: Sequence[float],
+    y_values: Sequence[float],
+    x_format: str = "{:.4g}",
+    y_format: str = "{:.6g}",
+    max_rows: int | None = None,
+) -> str:
+    """Render an (x, y) series as a two-column table.
+
+    ``max_rows`` decimates long series evenly (first/last retained).
+    """
+    if len(x_values) != len(y_values):
+        raise ConfigurationError("x and y series must have equal length")
+    count = len(x_values)
+    if count == 0:
+        raise ConfigurationError("series must not be empty")
+    if max_rows is not None and count > max_rows:
+        step = max((count - 1) // (max_rows - 1), 1)
+        indices = list(range(0, count, step))
+        if indices[-1] != count - 1:
+            indices.append(count - 1)
+    else:
+        indices = list(range(count))
+    rows = [
+        (x_format.format(x_values[i]), y_format.format(y_values[i])) for i in indices
+    ]
+    return ascii_table((x_label, y_label), rows)

@@ -1,0 +1,27 @@
+"""Baseline systems the paper argues against.
+
+Executable comparators for the paper's design arguments:
+
+* :class:`FlashAdc` — the thermometer-coded flash ADC whose per-cycle
+  all-comparator activation motivates the 1-hot eoADC.
+* :class:`TimeInterleavedElectricalAdc` — the TI-ADC whose lane
+  mismatch/synchronization costs the paper cites.
+* :class:`ElectricalImcMacro` — an electrical SRAM in-memory-compute
+  macro with interconnect-RC-limited updates (the Section I motivation).
+* :mod:`photonic_macros` — the published photonic IMC macros of
+  Table I as reference records.
+"""
+
+from .electrical_imc import ElectricalImcMacro
+from .flash_adc import FlashAdc
+from .photonic_macros import MacroRecord, format_table_one, table_one
+from .ti_adc import TimeInterleavedElectricalAdc
+
+__all__ = [
+    "ElectricalImcMacro",
+    "FlashAdc",
+    "format_table_one",
+    "MacroRecord",
+    "table_one",
+    "TimeInterleavedElectricalAdc",
+]

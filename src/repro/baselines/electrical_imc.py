@@ -1,0 +1,101 @@
+"""Electrical SRAM in-memory-compute macro baseline.
+
+Section I of the paper motivates photonics by the scaling pain of
+electrical IMC: bitline/wordline capacitance and wire resistance bound
+both the compute cycle and the write (update) rate.  This behavioural
+macro exposes those RC limits with representative 45 nm-class numbers
+(after the SRAM-IMC references [8], [22], [23]) so benches can compare
+throughput, efficiency and — the paper's headline — weight-update rate.
+"""
+
+from __future__ import annotations
+
+from ..electronics.power import PowerLedger
+from ..errors import ConfigurationError
+
+
+class ElectricalImcMacro:
+    """A rows x columns analog SRAM IMC macro with RC-limited timing."""
+
+    def __init__(
+        self,
+        rows: int = 16,
+        columns: int = 16,
+        weight_bits: int = 3,
+        supply_voltage: float = 0.9,
+        cell_bitline_capacitance: float = 2e-15,
+        wire_resistance_per_cell: float = 18.0,
+        mac_energy: float = 30e-15,
+        adc_energy_per_conversion: float = 300e-15,
+        write_cycle: float = 1e-9,
+    ) -> None:
+        if rows < 1 or columns < 1 or weight_bits < 1:
+            raise ConfigurationError("rows, columns and weight bits must be >= 1")
+        self.rows = rows
+        self.columns = columns
+        self.weight_bits = weight_bits
+        self.supply_voltage = supply_voltage
+        self.cell_bitline_capacitance = cell_bitline_capacitance
+        self.wire_resistance_per_cell = wire_resistance_per_cell
+        self.mac_energy = mac_energy
+        self.adc_energy_per_conversion = adc_energy_per_conversion
+        self.write_cycle = write_cycle
+
+    # -- RC-limited timing -------------------------------------------------
+    @property
+    def bitline_capacitance(self) -> float:
+        """Total bitline capacitance seen by one column [F]."""
+        return self.rows * self.cell_bitline_capacitance
+
+    @property
+    def bitline_resistance(self) -> float:
+        """Total bitline wire resistance of one column [ohm]."""
+        return self.rows * self.wire_resistance_per_cell
+
+    @property
+    def access_time(self) -> float:
+        """Distributed-RC settling (Elmore, ~0.38 R C per segment chain)
+        plus sense margin; bounds the analog accumulate cycle [s]."""
+        elmore = 0.38 * self.bitline_resistance * self.bitline_capacitance
+        sense_margin = 150e-12
+        return elmore + sense_margin
+
+    @property
+    def compute_rate(self) -> float:
+        """Analog MAC cycles per second."""
+        return 1.0 / self.access_time
+
+    @property
+    def weight_update_rate(self) -> float:
+        """Per-cell write rate [Hz] (paper motivation: ~1 GHz vs the
+        pSRAM's 20 GHz)."""
+        return 1.0 / self.write_cycle
+
+    # -- throughput / power ---------------------------------------------------
+    @property
+    def ops_per_cycle(self) -> int:
+        return 2 * self.rows * self.columns
+
+    @property
+    def throughput_tops(self) -> float:
+        return self.ops_per_cycle * self.compute_rate / 1e12
+
+    def power_ledger(self) -> PowerLedger:
+        macs_per_second = self.rows * self.columns * self.compute_rate
+        conversions_per_second = self.rows * self.compute_rate
+        ledger = PowerLedger()
+        ledger.add_electrical("MAC array", macs_per_second * self.mac_energy)
+        ledger.add_electrical(
+            "column ADCs", conversions_per_second * self.adc_energy_per_conversion
+        )
+        leakage = 0.5e-6 * self.rows * self.columns * self.weight_bits
+        ledger.add_electrical("SRAM leakage", leakage)
+        return ledger
+
+    @property
+    def total_power(self) -> float:
+        return self.power_ledger().total
+
+    @property
+    def tops_per_watt(self) -> float:
+        return self.throughput_tops / self.total_power

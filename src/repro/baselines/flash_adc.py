@@ -1,0 +1,95 @@
+"""Thermometer-coded flash ADC baseline.
+
+A p-bit flash ADC runs 2^p - 1 continuously biased comparators against
+a resistor-ladder reference and priority-encodes the thermometer code.
+Every conversion exercises *every* comparator — the power structure the
+paper's 1-hot eoADC avoids by activating a single thresholding block.
+Comparator offsets (seeded) give the classic flash DNL behaviour for
+comparison benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..electronics.power import PowerLedger
+from ..errors import ConfigurationError, ConversionError
+
+
+class FlashAdc:
+    """Behavioural electrical flash ADC."""
+
+    def __init__(
+        self,
+        bits: int = 3,
+        full_scale_voltage: float = 4.0,
+        sample_rate: float = 8e9,
+        comparator_power: float = 0.7975e-3,
+        ladder_power: float = 0.5e-3,
+        encoder_power: float = 0.8e-3,
+        offset_sigma: float = 0.0,
+        seed: int = 11,
+    ) -> None:
+        if bits < 1:
+            raise ConfigurationError(f"flash ADC needs >= 1 bit, got {bits}")
+        if full_scale_voltage <= 0.0 or sample_rate <= 0.0:
+            raise ConfigurationError("full scale and sample rate must be positive")
+        self.bits = bits
+        self.full_scale_voltage = full_scale_voltage
+        self.sample_rate = sample_rate
+        self.comparator_power = comparator_power
+        self.ladder_power = ladder_power
+        self.encoder_power = encoder_power
+        rng = np.random.default_rng(seed)
+        self.offsets = rng.normal(0.0, offset_sigma, self.comparator_count)
+
+    @property
+    def levels(self) -> int:
+        return 2**self.bits
+
+    @property
+    def comparator_count(self) -> int:
+        """2^p - 1 comparators, all active every conversion."""
+        return self.levels - 1
+
+    @property
+    def lsb(self) -> float:
+        return self.full_scale_voltage / self.levels
+
+    def thresholds(self) -> np.ndarray:
+        """Ladder tap voltages including comparator offsets."""
+        ideal = self.lsb * np.arange(1, self.levels)
+        return ideal + self.offsets
+
+    def convert(self, v_in: float) -> int:
+        """Thermometer comparison + priority encoding."""
+        if not 0.0 <= v_in < self.full_scale_voltage:
+            raise ConversionError(
+                f"input {v_in} V outside [0, {self.full_scale_voltage}) V"
+            )
+        thermometer = v_in >= self.thresholds()
+        return int(np.count_nonzero(thermometer))
+
+    def power_ledger(self) -> PowerLedger:
+        ledger = PowerLedger()
+        ledger.add_electrical(
+            f"comparators ({self.comparator_count} always on)",
+            self.comparator_count * self.comparator_power,
+        )
+        ledger.add_electrical("reference ladder", self.ladder_power)
+        ledger.add_electrical("thermometer encoder", self.encoder_power)
+        return ledger
+
+    @property
+    def total_power(self) -> float:
+        return self.power_ledger().total
+
+    @property
+    def energy_per_conversion(self) -> float:
+        return self.total_power / self.sample_rate
+
+    @property
+    def active_blocks_per_conversion(self) -> int:
+        """All comparators toggle/evaluate each cycle (vs. 1 for the
+        1-hot eoADC) — the headline structural difference."""
+        return self.comparator_count

@@ -1,0 +1,115 @@
+"""Published photonic IMC macros compared in the paper's Table I.
+
+These are literature records, not simulations: throughput, power
+efficiency and weight-update speed as reported by each work (and as
+quoted by the paper).  'This Work' is computed live from the
+:class:`~repro.core.performance.PerformanceModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.performance import PerformanceModel
+
+
+@dataclass(frozen=True)
+class MacroRecord:
+    """One row of Table I."""
+
+    name: str
+    reference: str
+    throughput_tops: float | None
+    tops_per_watt: float | None
+    weight_update_hz: float | None
+    update_note: str = ""
+
+    def formatted(self) -> tuple[str, str, str, str]:
+        def fmt(value: float | None, pattern: str) -> str:
+            return "-" if value is None else pattern.format(value)
+
+        update = "-"
+        if self.weight_update_hz is not None:
+            hz = self.weight_update_hz
+            if hz >= 1e9:
+                update = f"{hz / 1e9:g} GHz"
+            elif hz >= 1e6:
+                update = f"{hz / 1e6:g} MHz"
+            else:
+                update = f"{hz:g} Hz"
+        return (
+            self.name,
+            fmt(self.throughput_tops, "{:.2f}"),
+            fmt(self.tops_per_watt, "{:.2f}"),
+            update + (f" {self.update_note}" if self.update_note else ""),
+        )
+
+
+def table_one(performance: PerformanceModel | None = None) -> list[MacroRecord]:
+    """All rows of the paper's Table I, 'This Work' computed live."""
+    performance = performance if performance is not None else PerformanceModel()
+    records = [
+        MacroRecord(
+            name="TFLN tensor core [33]",
+            reference="Lin et al., Nat. Commun. 2024",
+            throughput_tops=0.12,
+            tops_per_watt=None,
+            weight_update_hz=60e9,
+        ),
+        MacroRecord(
+            name="Parallel PPU [48]",
+            reference="Du et al., Photonics Res. 2024",
+            throughput_tops=0.93,
+            tops_per_watt=0.83,
+            weight_update_hz=0.5e9,
+            update_note="(< , FPGA-controlled DC supply)",
+        ),
+        MacroRecord(
+            name="Conv accelerator [49]",
+            reference="Xu et al., Nature 2021",
+            throughput_tops=11.0,
+            tops_per_watt=None,
+            weight_update_hz=2.0,
+            update_note="(WaveShaper, 500 ms settling)",
+        ),
+        MacroRecord(
+            name="PCM dot-product [50]",
+            reference="Zhou et al., Nat. Commun. 2023",
+            throughput_tops=None,
+            tops_per_watt=10.0,
+            weight_update_hz=1e9,
+            update_note="(~, PCM write speed)",
+        ),
+        MacroRecord(
+            name="Reconfig. tensor core [51]",
+            reference="Ouyang et al., Opt. Express 2024",
+            throughput_tops=3.98,
+            tops_per_watt=1.97,
+            weight_update_hz=0.5e9,
+            update_note="(< , FPGA-controlled DC supply)",
+        ),
+        MacroRecord(
+            name="This Work",
+            reference="reproduced system",
+            throughput_tops=round(performance.throughput_tops, 2),
+            tops_per_watt=round(performance.tops_per_watt, 2),
+            weight_update_hz=performance.weight_update_rate,
+        ),
+    ]
+    return records
+
+
+def format_table_one(performance: PerformanceModel | None = None) -> str:
+    """ASCII rendering of Table I."""
+    headers = ("Reference", "Throughput (TOPS)", "Power Eff. (TOPS/W)", "Weight Update")
+    rows = [record.formatted() for record in table_one(performance)]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows)) for col in range(4)
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)

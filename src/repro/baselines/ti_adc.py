@@ -1,0 +1,108 @@
+"""Electrical time-interleaved ADC baseline.
+
+The paper dismisses TI-ADCs for their synchronization (skew/offset/gain
+mismatch) burden and calibration power.  This behavioural model
+quantifies that: K sub-ADC lanes at rate f/K with seeded lane
+mismatches, plus a calibration-engine power tax that grows with lane
+count (after the calibration surveys the paper cites, [42]-[43]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..electronics.power import PowerLedger
+from ..errors import ConfigurationError
+
+
+class TimeInterleavedElectricalAdc:
+    """K-lane interleaved converter with lane-mismatch errors."""
+
+    def __init__(
+        self,
+        bits: int = 3,
+        lanes: int = 8,
+        aggregate_rate: float = 8e9,
+        full_scale_voltage: float = 4.0,
+        lane_power: float = 2.0e-3,
+        calibration_power_per_lane: float = 0.4e-3,
+        offset_sigma: float = 4e-3,
+        gain_sigma: float = 0.004,
+        skew_sigma: float = 1e-12,
+        seed: int = 23,
+    ) -> None:
+        if lanes < 2:
+            raise ConfigurationError(f"interleaving needs >= 2 lanes, got {lanes}")
+        if bits < 1:
+            raise ConfigurationError(f"need >= 1 bit, got {bits}")
+        self.bits = bits
+        self.lanes = lanes
+        self.aggregate_rate = aggregate_rate
+        self.full_scale_voltage = full_scale_voltage
+        self.lane_power = lane_power
+        self.calibration_power_per_lane = calibration_power_per_lane
+        rng = np.random.default_rng(seed)
+        self.offsets = rng.normal(0.0, offset_sigma, lanes)
+        self.gains = 1.0 + rng.normal(0.0, gain_sigma, lanes)
+        self.skews = rng.normal(0.0, skew_sigma, lanes)
+
+    @property
+    def levels(self) -> int:
+        return 2**self.bits
+
+    @property
+    def lsb(self) -> float:
+        return self.full_scale_voltage / self.levels
+
+    @property
+    def lane_rate(self) -> float:
+        return self.aggregate_rate / self.lanes
+
+    def _quantize(self, value: float) -> int:
+        value = min(max(value, 0.0), self.full_scale_voltage - 1e-12)
+        return int(value / self.lsb)
+
+    def convert_stream(self, input_function, count: int) -> list[int]:
+        """Round-robin conversion of ``input_function(t)`` with each
+        lane's offset, gain and aperture-skew error applied."""
+        if count < 1:
+            raise ConfigurationError(f"need at least one sample, got {count}")
+        period = 1.0 / self.aggregate_rate
+        codes = []
+        for n in range(count):
+            lane = n % self.lanes
+            time = max(n * period + self.skews[lane], 0.0)
+            value = self.gains[lane] * float(input_function(time)) + self.offsets[lane]
+            codes.append(self._quantize(value))
+        return codes
+
+    def mismatch_sndr_db(self, amplitude: float | None = None) -> float:
+        """SNDR bound from offset/gain mismatch on a full-scale sine.
+
+        Offset spurs carry mean(offset^2); gain spurs amplitude^2/2 *
+        var(gain); quantization adds LSB^2/12.
+        """
+        amplitude = self.full_scale_voltage / 2.0 if amplitude is None else amplitude
+        signal_power = amplitude**2 / 2.0
+        offset_noise = float(np.mean(self.offsets**2))
+        gain_noise = signal_power * float(np.var(self.gains))
+        quantization = self.lsb**2 / 12.0
+        noise = offset_noise + gain_noise + quantization
+        return 10.0 * float(np.log10(signal_power / noise))
+
+    def power_ledger(self) -> PowerLedger:
+        ledger = PowerLedger()
+        ledger.add_electrical(f"sub-ADC lanes ({self.lanes} x)", self.lanes * self.lane_power)
+        ledger.add_electrical(
+            "mismatch calibration engine",
+            self.lanes * self.calibration_power_per_lane,
+        )
+        return ledger
+
+    @property
+    def total_power(self) -> float:
+        return self.power_ledger().total
+
+    @property
+    def energy_per_conversion(self) -> float:
+        return self.total_power / self.aggregate_rate

@@ -1,0 +1,145 @@
+"""Physical constants and unit-conversion helpers.
+
+Everything in this package works in SI units (meters, seconds, watts,
+volts, amperes, joules) unless a function name says otherwise.  The
+converters here are the only sanctioned way to move between engineering
+units (dBm, nm, GHz) and SI, so unit bugs stay in one file.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Speed of light in vacuum [m/s].
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602_176_634e-19
+
+#: Planck constant [J*s].
+PLANCK_CONSTANT = 6.626_070_15e-34
+
+#: Boltzmann constant [J/K].
+BOLTZMANN_CONSTANT = 1.380_649e-23
+
+#: Vacuum permittivity [F/m].
+VACUUM_PERMITTIVITY = 8.854_187_8128e-12
+
+#: Relative permittivity of silicon.
+SILICON_RELATIVE_PERMITTIVITY = 11.7
+
+#: Room temperature [K] used for thermal-noise estimates.
+ROOM_TEMPERATURE = 300.0
+
+
+def dbm_to_watts(power_dbm: float) -> float:
+    """Convert a power level in dBm to watts.
+
+    >>> dbm_to_watts(0.0)
+    0.001
+    """
+    return 1e-3 * 10.0 ** (power_dbm / 10.0)
+
+
+def watts_to_dbm(power_watts: float) -> float:
+    """Convert a power level in watts to dBm.
+
+    Raises ``ValueError`` for non-positive powers, which have no dBm
+    representation.
+    """
+    if power_watts <= 0.0:
+        raise ValueError(f"power must be positive to convert to dBm, got {power_watts}")
+    return 10.0 * math.log10(power_watts / 1e-3)
+
+
+def db_to_linear(value_db: float) -> float:
+    """Convert a power ratio in dB to a linear ratio."""
+    return 10.0 ** (value_db / 10.0)
+
+
+def linear_to_db(value: float) -> float:
+    """Convert a linear power ratio to dB."""
+    if value <= 0.0:
+        raise ValueError(f"ratio must be positive to convert to dB, got {value}")
+    return 10.0 * math.log10(value)
+
+
+def db_per_cm_to_alpha(loss_db_per_cm: float) -> float:
+    """Convert a propagation loss in dB/cm to a power attenuation
+    coefficient alpha [1/m], as in ``P(z) = P0 * exp(-alpha * z)``.
+    """
+    loss_db_per_m = loss_db_per_cm * 100.0
+    return loss_db_per_m * math.log(10.0) / 10.0
+
+
+def wavelength_to_frequency(wavelength_m: float) -> float:
+    """Optical frequency [Hz] of a vacuum wavelength [m]."""
+    if wavelength_m <= 0.0:
+        raise ValueError(f"wavelength must be positive, got {wavelength_m}")
+    return SPEED_OF_LIGHT / wavelength_m
+
+
+def frequency_to_wavelength(frequency_hz: float) -> float:
+    """Vacuum wavelength [m] of an optical frequency [Hz]."""
+    if frequency_hz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def photon_energy(wavelength_m: float) -> float:
+    """Energy [J] of a single photon at the given vacuum wavelength."""
+    return PLANCK_CONSTANT * wavelength_to_frequency(wavelength_m)
+
+
+def nm(value: float) -> float:
+    """Nanometers to meters."""
+    return value * 1e-9
+
+
+def um(value: float) -> float:
+    """Micrometers to meters."""
+    return value * 1e-6
+
+
+def mm(value: float) -> float:
+    """Millimeters to meters."""
+    return value * 1e-3
+
+
+def ps(value: float) -> float:
+    """Picoseconds to seconds."""
+    return value * 1e-12
+
+def ns(value: float) -> float:
+    """Nanoseconds to seconds."""
+    return value * 1e-9
+
+
+def ghz(value: float) -> float:
+    """Gigahertz to hertz."""
+    return value * 1e9
+
+
+def mw(value: float) -> float:
+    """Milliwatts to watts."""
+    return value * 1e-3
+
+
+def uw(value: float) -> float:
+    """Microwatts to watts."""
+    return value * 1e-6
+
+
+def ff(value: float) -> float:
+    """Femtofarads to farads."""
+    return value * 1e-15
+
+
+def pj(value: float) -> float:
+    """Picojoules to joules."""
+    return value * 1e-12
+
+
+def fj(value: float) -> float:
+    """Femtojoules to joules."""
+    return value * 1e-15

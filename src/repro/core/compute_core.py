@@ -1,0 +1,252 @@
+"""The mixed-signal multi-bit WDM vector-multiplication core (Fig. 2).
+
+An input vector rides a frequency comb (element i intensity-encoded on
+wavelength lambda_i).  A cascade of 50/50 splitters produces binary-
+scaled copies of the WDM bus (IN/2 ... IN/2^n); bit plane j of the
+weight word drives one ring per channel on its own bus, and a
+photodiode per plane converts the surviving light to current.  Equal-
+gain electrical summation of the planes then yields
+
+    I  ~  sum_i IN_i * w_i / 2^n ,
+
+the vector-vector product.  Vectors longer than the per-macro channel
+count (4 channels in a 9.36 nm FSR at 2.33 nm spacing) tile across
+macros whose photocurrents sum.
+
+Inter-channel crosstalk is included exactly: every ring's transfer
+function is evaluated at every channel wavelength, reproducing the
+paper's all-rings-in-testbench methodology; the per-channel PDK mode
+(:meth:`compute_per_channel`) mirrors the paper's one-wavelength-at-a-
+time workaround and agrees with the joint evaluation by linearity.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..config import Technology, default_technology
+from ..electronics.power import PowerLedger
+from ..errors import ConfigurationError
+from ..photonics.coupler import BinaryScaledSplitterTree
+from ..photonics.laser import FrequencyComb
+from ..photonics.photodiode import Photodiode
+from ..photonics.wdm import ChannelPlan
+from .multiplier import OneBitPhotonicMultiplier
+from .psram import PsramArray
+
+
+class VectorComputeCore:
+    """A 1 x m, n-bit photonic vector-multiplication engine."""
+
+    def __init__(
+        self,
+        vector_length: int = 4,
+        weight_bits: int | None = None,
+        technology: Technology | None = None,
+        label: str = "core",
+    ) -> None:
+        if vector_length < 1:
+            raise ConfigurationError(f"vector length must be >= 1, got {vector_length}")
+        self.technology = technology if technology is not None else default_technology()
+        tech = self.technology
+        self.vector_length = vector_length
+        self.weight_bits = tech.compute.weight_bits if weight_bits is None else weight_bits
+        if self.weight_bits < 1:
+            raise ConfigurationError(f"weight bits must be >= 1, got {self.weight_bits}")
+        self.label = label
+
+        channels = tech.compute.wavelengths_per_macro
+        self.channels_per_macro = channels
+        self.macro_count = math.ceil(vector_length / channels)
+        self.plan = ChannelPlan(
+            base_wavelength=tech.wavelength,
+            spacing=tech.compute.channel_spacing,
+            count=channels,
+        )
+        self.comb = FrequencyComb(
+            base_wavelength=tech.wavelength,
+            spacing=tech.compute.channel_spacing,
+            line_count=channels,
+            power_per_line=tech.compute.channel_power,
+            wall_plug_efficiency=tech.wall_plug_efficiency,
+            label=f"{label}.comb",
+        )
+        self.splitter_tree = BinaryScaledSplitterTree(self.weight_bits)
+        self.photodiode = Photodiode(tech.photodiode, label=f"{label}.pd")
+        self.weight_memory = PsramArray(vector_length, self.weight_bits, tech)
+
+        # multipliers[element][plane] — one ring per input element per
+        # bit plane; the element's macro determines its channel index.
+        self.multipliers: list[list[OneBitPhotonicMultiplier]] = []
+        for element in range(vector_length):
+            channel = element % channels
+            planes = [
+                OneBitPhotonicMultiplier(
+                    channel_index=channel,
+                    technology=tech,
+                    label=f"{label}.w{element}.b{plane}",
+                )
+                for plane in range(self.weight_bits)
+            ]
+            self.multipliers.append(planes)
+
+        self._weights = np.zeros(vector_length, dtype=int)
+        self._transmission_cache: np.ndarray | None = None
+        self.load_weights(self._weights)
+
+    # -- weight handling ------------------------------------------------------
+    @property
+    def weights(self) -> np.ndarray:
+        """Stored unsigned integer weights (copy)."""
+        return self._weights.copy()
+
+    @property
+    def max_weight(self) -> int:
+        return 2**self.weight_bits - 1
+
+    def load_weights(self, weights) -> None:
+        """Write a weight vector into the pSRAM planes and ring drives."""
+        weights = np.asarray(weights, dtype=int)
+        if weights.shape != (self.vector_length,):
+            raise ConfigurationError(
+                f"need {self.vector_length} weights, got shape {weights.shape}"
+            )
+        if np.any(weights < 0) or np.any(weights > self.max_weight):
+            raise ConfigurationError(
+                f"weights must lie in [0, {self.max_weight}] for {self.weight_bits} bits"
+            )
+        self.weight_memory.write_all(int(w) for w in weights)
+        for element, planes in enumerate(self.multipliers):
+            bits = self.weight_memory.word_bits(element)
+            for plane, multiplier in enumerate(planes):
+                multiplier.bit = bits[plane]
+        self._weights = weights
+        self._transmission_cache = self._build_transmission_cache()
+
+    def _build_transmission_cache(self) -> np.ndarray:
+        """Per-(macro, plane, channel) bus transmission with crosstalk.
+
+        Entry [g, j, c] is the product of every ring transfer on macro
+        g's plane-j bus, evaluated at channel c's wavelength.
+        """
+        wavelengths = self.plan.wavelengths
+        cache = np.ones(
+            (self.macro_count, self.weight_bits, self.channels_per_macro), dtype=float
+        )
+        for element, planes in enumerate(self.multipliers):
+            macro = element // self.channels_per_macro
+            for plane, multiplier in enumerate(planes):
+                cache[macro, plane, :] *= multiplier.thru_transmission(wavelengths)
+        return cache
+
+    # -- evaluation ---------------------------------------------------------------
+    def _validated_inputs(self, inputs) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.shape != (self.vector_length,):
+            raise ConfigurationError(
+                f"need {self.vector_length} inputs, got shape {inputs.shape}"
+            )
+        if np.any(inputs < 0.0) or np.any(inputs > 1.0):
+            raise ConfigurationError("analog inputs must lie in [0, 1]")
+        return inputs
+
+    def compute(self, inputs) -> float:
+        """Photocurrent [A] of the full vector multiplication."""
+        inputs = self._validated_inputs(inputs)
+        fractions = np.asarray(self.splitter_tree.branch_fractions())
+        power_per_channel = self.technology.compute.channel_power
+        responsivity = self.photodiode.spec.responsivity
+
+        current = 0.0
+        for macro in range(self.macro_count):
+            start = macro * self.channels_per_macro
+            stop = min(start + self.channels_per_macro, self.vector_length)
+            macro_inputs = np.zeros(self.channels_per_macro)
+            macro_inputs[: stop - start] = inputs[start:stop]
+            channel_powers = power_per_channel * macro_inputs
+            # plane currents: R * sum_c P_c * frac_j * T[g, j, c]
+            plane_powers = self._transmission_cache[macro] @ channel_powers
+            current += responsivity * float(fractions @ plane_powers)
+        return current
+
+    def compute_per_channel(self, inputs) -> float:
+        """The paper's PDK workaround: one wavelength at a time, all
+        rings present, photocurrents summed linearly."""
+        inputs = self._validated_inputs(inputs)
+        current = 0.0
+        for element in range(self.vector_length):
+            solo = np.zeros(self.vector_length)
+            solo[element] = inputs[element]
+            current += self.compute(solo)
+        return current
+
+    def ideal_dot_product(self, inputs) -> float:
+        """Fixed-point reference: sum_i IN_i * w_i / 2^n."""
+        inputs = self._validated_inputs(inputs)
+        return float(inputs @ self._weights) / 2.0**self.weight_bits
+
+    def full_scale_current(self) -> float:
+        """Photocurrent with all inputs at 1 and all weights at max.
+
+        Evaluated analytically (rings probed at the VDD drive) so this
+        calibration probe does not spend pSRAM write energy.
+        """
+        wavelengths = self.plan.wavelengths
+        vdd = self.technology.psram.vdd
+        cache = np.ones(
+            (self.macro_count, self.weight_bits, self.channels_per_macro), dtype=float
+        )
+        for element, planes in enumerate(self.multipliers):
+            macro = element // self.channels_per_macro
+            for plane, multiplier in enumerate(planes):
+                cache[macro, plane, :] *= np.asarray(
+                    multiplier.ring.thru_transmission(wavelengths, voltage=vdd),
+                    dtype=float,
+                )
+        fractions = np.asarray(self.splitter_tree.branch_fractions())
+        power_per_channel = self.technology.compute.channel_power
+        responsivity = self.photodiode.spec.responsivity
+        current = 0.0
+        for macro in range(self.macro_count):
+            start = macro * self.channels_per_macro
+            stop = min(start + self.channels_per_macro, self.vector_length)
+            macro_inputs = np.zeros(self.channels_per_macro)
+            macro_inputs[: stop - start] = 1.0
+            plane_powers = cache[macro] @ (power_per_channel * macro_inputs)
+            current += responsivity * float(fractions @ plane_powers)
+        return current
+
+    def unit_current(self) -> float:
+        """Current corresponding to one unit of the ideal dot product.
+
+        Calibrated from the full-scale point so normalized outputs can
+        be compared against :meth:`ideal_dot_product` directly.
+        """
+        full_scale_dot = self.vector_length * self.max_weight / 2.0**self.weight_bits
+        return self.full_scale_current() / full_scale_dot
+
+    def normalized_output(self, inputs) -> float:
+        """compute() scaled into ideal-dot-product units."""
+        return self.compute(inputs) / self.unit_current()
+
+    # -- bookkeeping ------------------------------------------------------------
+    def weight_update_energy(self) -> float:
+        """Wall-plug energy spent on pSRAM switches so far [J]."""
+        return self.weight_memory.write_energy()
+
+    def power_ledger(self) -> PowerLedger:
+        """Static optical/electrical power of this core."""
+        ledger = PowerLedger(self.technology.wall_plug_efficiency)
+        total_input = self.vector_length * self.technology.compute.channel_power
+        ledger.add_optical("input comb", total_input)
+        ledger.add_optical(
+            "pSRAM hold bias",
+            self.weight_memory.cell_count * self.technology.psram.bias_power,
+        )
+        ledger.add_electrical(
+            "pSRAM drivers",
+            self.weight_memory.cell_count * self.technology.psram.hold_electrical_power,
+        )
+        return ledger

@@ -1,0 +1,99 @@
+"""The 1-bit mixed-signal multiplication unit (paper Fig. 2, inset).
+
+One add-drop MRR, wavelength-assigned via the PDK ring-length
+adjustment, driven rail-to-rail by a pSRAM storage node: with the bit
+at 0 the ring is resonant and the channel's light is dropped (output
+0); with the bit at 1 the injection tuner detunes the ring and the
+light passes to the thru port (output = IN, minus insertion loss).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import Technology, default_technology
+from ..errors import ConfigurationError
+from ..photonics.mrr import AddDropMRR
+from ..photonics.pn_junction import InjectionTuner
+
+
+class OneBitPhotonicMultiplier:
+    """An MRR whose drive voltage encodes one weight bit."""
+
+    def __init__(
+        self,
+        channel_index: int = 0,
+        technology: Technology | None = None,
+        trim_error: float = 0.0,
+        label: str = "mul",
+    ) -> None:
+        if channel_index < 0:
+            raise ConfigurationError(f"channel index must be >= 0, got {channel_index}")
+        self.technology = technology if technology is not None else default_technology()
+        tech = self.technology
+        self.channel_index = channel_index
+        self.label = label
+        # Ring resonant at its channel wavelength when driven low (w = 0
+        # couples/drops the light, w = 1 passes it), wavelength-assigned
+        # by the ring-length adjustment step (68 nm -> 2.33 nm/channel).
+        self.ring = AddDropMRR(
+            tech.compute_ring_spec(),
+            design_wavelength=tech.wavelength,
+            design_voltage=0.0,
+            waveguide=tech.waveguide,
+            coupler=tech.coupler,
+            tuner=InjectionTuner(tech.injection),
+            thermal=tech.thermal,
+            length_adjust=channel_index * tech.compute.length_adjust_step,
+            trim_error=trim_error,
+            label=f"{label}.ring",
+        )
+        self._bit = 0
+        self.ring.voltage = 0.0
+
+    @property
+    def channel_wavelength(self) -> float:
+        """The channel wavelength this multiplier acts on [m]."""
+        return self.technology.wavelength + self.ring.length_adjust_shift()
+
+    @property
+    def bit(self) -> int:
+        """The stored weight bit driving the ring."""
+        return self._bit
+
+    @bit.setter
+    def bit(self, value: int) -> None:
+        if value not in (0, 1):
+            raise ConfigurationError(f"weight bit must be 0 or 1, got {value}")
+        self._bit = value
+        self.ring.voltage = self.technology.psram.vdd * value
+
+    def thru_transmission(self, wavelengths) -> np.ndarray:
+        """Bus transmission at the given wavelengths under the set bit."""
+        return np.asarray(self.ring.thru_transmission(wavelengths), dtype=float)
+
+    def multiply(self, input_power: float) -> float:
+        """Output power [W] at this multiplier's own channel wavelength."""
+        if input_power < 0.0:
+            raise ConfigurationError("input power must be non-negative")
+        transmission = float(self.ring.thru_transmission(self.channel_wavelength))
+        return input_power * transmission
+
+    @property
+    def on_transmission(self) -> float:
+        """Channel transmission with the bit at 1 (insertion loss)."""
+        return float(
+            self.ring.thru_transmission(
+                self.channel_wavelength, voltage=self.technology.psram.vdd
+            )
+        )
+
+    @property
+    def off_transmission(self) -> float:
+        """Channel transmission with the bit at 0 (extinction floor)."""
+        return float(self.ring.thru_transmission(self.channel_wavelength, voltage=0.0))
+
+    @property
+    def contrast_db(self) -> float:
+        """On/off contrast of the multiplication [dB]."""
+        return 10.0 * np.log10(self.on_transmission / self.off_transmission)

@@ -1,0 +1,132 @@
+"""System-level throughput and power-efficiency analysis (Section IV-D).
+
+The paper's 16x16, 3-bit tensor core computes 16 dot products of
+1 x 16 vectors per eoADC sample: 16 rows x (16 multiplies + 16
+accumulates) x 8 GS/s = 4.10 TOPS.  The power budget sums the eoADCs,
+the pSRAM hold bias, the input combs, the row TIAs, the laser
+wall-plug conversion and a calibrated control/thermal overhead,
+landing at 3.02 TOPS/W (see DESIGN.md section 2 for the provenance of
+each term).
+"""
+
+from __future__ import annotations
+
+from ..config import Technology, default_technology
+from ..electronics.power import PowerLedger
+from ..errors import ConfigurationError
+
+
+class PerformanceModel:
+    """Throughput, power and efficiency of an m x n tensor core."""
+
+    def __init__(
+        self,
+        technology: Technology | None = None,
+        rows: int | None = None,
+        columns: int | None = None,
+        weight_bits: int | None = None,
+        sample_rate: float | None = None,
+    ) -> None:
+        self.technology = technology if technology is not None else default_technology()
+        tensor = self.technology.tensor
+        self.rows = tensor.rows if rows is None else rows
+        self.columns = tensor.columns if columns is None else columns
+        self.weight_bits = tensor.weight_bits if weight_bits is None else weight_bits
+        self.sample_rate = tensor.sample_rate if sample_rate is None else sample_rate
+        if self.rows < 1 or self.columns < 1 or self.weight_bits < 1:
+            raise ConfigurationError("rows, columns and weight bits must be >= 1")
+
+    # -- throughput --------------------------------------------------------
+    @property
+    def ops_per_sample(self) -> int:
+        """1 op = one n-bit multiply or accumulate (paper convention)."""
+        return 2 * self.rows * self.columns
+
+    @property
+    def throughput_ops(self) -> float:
+        """Operations per second."""
+        return self.ops_per_sample * self.sample_rate
+
+    @property
+    def throughput_tops(self) -> float:
+        """Tera-operations per second (paper: 4.10 TOPS)."""
+        return self.throughput_ops / 1e12
+
+    @property
+    def psram_cell_count(self) -> int:
+        """Paper: 768 bitcells for the 16x16, 3-bit core."""
+        return self.rows * self.columns * self.weight_bits
+
+    @property
+    def weight_update_rate(self) -> float:
+        """Per-cell memory update rate [Hz] (paper: 20 GHz)."""
+        return self.technology.psram.update_rate
+
+    # -- power --------------------------------------------------------------
+    def power_ledger(self) -> PowerLedger:
+        """Full system power breakdown."""
+        tech = self.technology
+        ledger = PowerLedger(tech.wall_plug_efficiency)
+
+        adc = tech.eoadc
+        adc_optical = adc.levels * (adc.channel_power + adc.reference_power)
+        ledger.add_optical(f"eoADC input+reference light ({self.rows} rows)",
+                           self.rows * adc_optical)
+        ledger.add_electrical(f"eoADC electronics ({self.rows} rows)",
+                              self.rows * adc.electrical_power)
+
+        cells = self.psram_cell_count
+        ledger.add_optical(f"pSRAM hold bias ({cells} cells)",
+                           cells * tech.psram.bias_power)
+        ledger.add_electrical(f"pSRAM drivers ({cells} cells)",
+                              cells * tech.psram.hold_electrical_power)
+
+        comb_power = self.rows * self.columns * tech.compute.channel_power
+        ledger.add_optical("input frequency combs", comb_power)
+
+        ledger.add_electrical(f"row TIAs ({self.rows} x)",
+                              self.rows * tech.tensor.tia_power_per_row)
+        ledger.add_electrical("control / clock / thermal overhead",
+                              tech.tensor.control_overhead_power)
+        return ledger
+
+    @property
+    def total_power(self) -> float:
+        """Total wall-plug power [W]."""
+        return self.power_ledger().total
+
+    @property
+    def tops_per_watt(self) -> float:
+        """Power efficiency (paper: 3.02 TOPS/W)."""
+        return self.throughput_tops / self.total_power
+
+    @property
+    def energy_per_op(self) -> float:
+        """Energy per 3-bit multiply/accumulate [J]."""
+        return self.total_power / self.throughput_ops
+
+    # -- reporting -----------------------------------------------------------
+    def table_row(self) -> dict[str, float]:
+        """'This Work' row of the paper's Table I."""
+        return {
+            "throughput_tops": self.throughput_tops,
+            "power_efficiency_tops_per_w": self.tops_per_watt,
+            "weight_update_hz": self.weight_update_rate,
+        }
+
+    def summary(self) -> str:
+        """Multi-line human-readable performance summary."""
+        ledger = self.power_ledger()
+        lines = [
+            f"array                : {self.rows} x {self.columns}, "
+            f"{self.weight_bits}-bit weights ({self.psram_cell_count} pSRAM cells)",
+            f"sample rate          : {self.sample_rate / 1e9:.2f} GS/s",
+            f"throughput           : {self.throughput_tops:.2f} TOPS",
+            f"total power          : {self.total_power * 1e3:.1f} mW",
+            f"power efficiency     : {self.tops_per_watt:.2f} TOPS/W",
+            f"weight update rate   : {self.weight_update_rate / 1e9:.0f} GHz",
+            "power breakdown:",
+        ]
+        for name, value in ledger.breakdown().items():
+            lines.append(f"  {name:<45} {value * 1e3:9.2f} mW")
+        return "\n".join(lines)

@@ -1,0 +1,202 @@
+"""The scalable 2D mixed-signal photonic tensor core (paper Section III).
+
+Each of the n rows holds a 1 x m vector-multiplication core (tiled from
+4-wavelength macros), a row TIA mapping the summed photocurrent onto
+the eoADC full scale, and one eoADC digitizing the row's dot product.
+Matrix-vector multiplication runs all rows on the shared input vector
+in one ADC sample period; matrix-matrix multiplication streams input
+columns.
+
+The digital outputs are p-bit codes; :meth:`matvec` also returns the
+dequantized dot-product estimates so callers can chain layers (see
+``repro.ml``).  Weight updates stream through the pSRAM arrays at the
+20 GHz rate with energy accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import Technology, default_technology
+from ..errors import ConfigurationError
+from .compute_core import VectorComputeCore
+from .eoadc import EoAdc
+from .performance import PerformanceModel
+from .psram import PsramArray
+
+
+@dataclass
+class MatvecResult:
+    """Digital result of one matrix-vector operation."""
+
+    codes: np.ndarray
+    estimates: np.ndarray
+    currents: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.codes = np.asarray(self.codes, dtype=int)
+        self.estimates = np.asarray(self.estimates, dtype=float)
+        self.currents = np.asarray(self.currents, dtype=float)
+
+
+class PhotonicTensorCore:
+    """An m-column x n-row photonic matrix multiplication engine."""
+
+    def __init__(
+        self,
+        rows: int | None = None,
+        columns: int | None = None,
+        weight_bits: int | None = None,
+        adc_bits: int | None = None,
+        technology: Technology | None = None,
+        label: str = "ptc",
+    ) -> None:
+        self.technology = technology if technology is not None else default_technology()
+        tech = self.technology
+        self.rows = tech.tensor.rows if rows is None else rows
+        self.columns = tech.tensor.columns if columns is None else columns
+        self.weight_bits = tech.tensor.weight_bits if weight_bits is None else weight_bits
+        if self.rows < 1 or self.columns < 1:
+            raise ConfigurationError("tensor core needs at least 1 row and 1 column")
+        self.label = label
+
+        self.row_cores = [
+            VectorComputeCore(
+                vector_length=self.columns,
+                weight_bits=self.weight_bits,
+                technology=tech,
+                label=f"{label}.row{row}",
+            )
+            for row in range(self.rows)
+        ]
+        self.row_adcs = [
+            EoAdc(tech, bits=adc_bits, label=f"{label}.adc{row}")
+            for row in range(self.rows)
+        ]
+        self._weight_matrix = np.zeros((self.rows, self.columns), dtype=int)
+        # Row TIA gain calibrated so the full-scale dot product lands at
+        # the eoADC full scale.
+        self._full_scale_current = self.row_cores[0].full_scale_current()
+        self._tia_gain = (
+            self.row_adcs[0].spec.full_scale_voltage / self._full_scale_current
+        )
+
+    # -- weights -------------------------------------------------------------
+    @property
+    def max_weight(self) -> int:
+        return 2**self.weight_bits - 1
+
+    @property
+    def weight_matrix(self) -> np.ndarray:
+        return self._weight_matrix.copy()
+
+    def load_weight_matrix(self, matrix) -> None:
+        """Stream a weight matrix into the pSRAM arrays (20 GHz update)."""
+        matrix = np.asarray(matrix, dtype=int)
+        if matrix.shape != (self.rows, self.columns):
+            raise ConfigurationError(
+                f"weight matrix must be {self.rows}x{self.columns}, got {matrix.shape}"
+            )
+        for row, core in enumerate(self.row_cores):
+            core.load_weights(matrix[row])
+        self._weight_matrix = matrix
+
+    def weight_update_time(self) -> float:
+        """Time [s] to stream one full weight matrix at the update rate.
+
+        Rows update in parallel (each row has its own WBL/WBLB pairs);
+        within a row, words stream one 20 GHz cycle each.
+        """
+        return self.columns / self.technology.psram.update_rate
+
+    def weight_update_energy(self) -> float:
+        """Wall-plug energy [J] of all weight switches so far."""
+        return sum(core.weight_update_energy() for core in self.row_cores)
+
+    # -- compute -------------------------------------------------------------
+    def _validated_vector(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.columns,):
+            raise ConfigurationError(f"input must have length {self.columns}")
+        if np.any(x < 0.0) or np.any(x > 1.0):
+            raise ConfigurationError("analog inputs must lie in [0, 1]")
+        return x
+
+    def matvec(self, x, gain: float = 1.0) -> MatvecResult:
+        """One matrix-vector multiplication through the photonic path.
+
+        ``gain`` models the programmable-gain setting of the row TIAs:
+        workloads whose dot products use only part of the ADC range set
+        gain > 1 so the codes resolve the active range, and the
+        estimates are scaled back down accordingly (standard IMC ADC
+        range calibration).
+        """
+        if gain <= 0.0:
+            raise ConfigurationError(f"TIA gain must be positive, got {gain}")
+        x = self._validated_vector(x)
+        currents = np.array([core.compute(x) for core in self.row_cores])
+        voltages = np.clip(
+            gain * self._tia_gain * currents,
+            0.0,
+            self.row_adcs[0].spec.full_scale_voltage - 1e-9,
+        )
+        codes = np.array(
+            [adc.convert(float(v)) for adc, v in zip(self.row_adcs, voltages)]
+        )
+        estimates = self.dequantize_codes(codes) / gain
+        return MatvecResult(codes=codes, estimates=estimates, currents=currents)
+
+    def matmul(self, matrix) -> np.ndarray:
+        """Matrix-matrix product: photonic W @ X for X of shape
+        (columns, batch).  Returns dequantized estimates
+        (rows, batch)."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != self.columns:
+            raise ConfigurationError(
+                f"input matrix must be ({self.columns}, batch), got {matrix.shape}"
+            )
+        outputs = [self.matvec(matrix[:, col]).estimates for col in range(matrix.shape[1])]
+        return np.stack(outputs, axis=1)
+
+    def dequantize_codes(self, codes) -> np.ndarray:
+        """Map p-bit codes back to dot-product units (sum_i x_i * w_i)."""
+        codes = np.asarray(codes, dtype=float)
+        adc = self.row_adcs[0]
+        voltage = (codes + 0.5) * adc.lsb
+        current = voltage / self._tia_gain
+        unit = self._full_scale_current / (
+            self.columns * self.max_weight / 2.0**self.weight_bits
+        )
+        return current / unit * 2.0**self.weight_bits
+
+    def ideal_matvec(self, x) -> np.ndarray:
+        """Infinite-precision reference: W @ x."""
+        x = self._validated_vector(x)
+        return self._weight_matrix @ x
+
+    def quantization_limited_matvec(self, x) -> np.ndarray:
+        """Reference including only ADC quantization (no device effects).
+
+        Separates photonic non-ideality from the p-bit output
+        quantization that any implementation of this architecture pays.
+        """
+        x = self._validated_vector(x)
+        ideal = self._weight_matrix @ x
+        adc = self.row_adcs[0]
+        full_scale_dot = self.columns * self.max_weight
+        codes = np.clip(
+            (ideal / full_scale_dot * adc.levels).astype(int), 0, adc.levels - 1
+        )
+        return (codes + 0.5) / adc.levels * full_scale_dot
+
+    # -- system analysis -----------------------------------------------------
+    def performance(self) -> PerformanceModel:
+        """Throughput/efficiency model of this core (Section IV-D)."""
+        return PerformanceModel(
+            technology=self.technology,
+            rows=self.rows,
+            columns=self.columns,
+            weight_bits=self.weight_bits,
+        )

@@ -1,0 +1,42 @@
+"""Electrical substrate: nodes, drivers, amplifiers, decoder, metrics.
+
+Behavioural models of the electrical circuits the paper attaches to the
+photonics: storage nodes, inverter drivers, the TIA and cascaded
+voltage amplifier of the eoADC read chain, the ceiling-priority ROM
+decoder, ADC characterization metrics and the power/energy ledger.
+"""
+
+from .adc_metrics import (
+    code_transitions,
+    differential_nonlinearity,
+    integral_nonlinearity,
+    missing_codes,
+    sqnr_from_ramp,
+    transfer_function,
+)
+from .amplifier import AmplifierChain, VoltageAmplifier
+from .comparator import OptoElectricThresholder
+from .driver import InverterDriver
+from .elements import StorageNode
+from .power import EnergyLedger, PowerLedger
+from .rom_decoder import CeilingPriorityRomDecoder, code_to_bits
+from .tia import Tia
+
+__all__ = [
+    "AmplifierChain",
+    "CeilingPriorityRomDecoder",
+    "code_to_bits",
+    "code_transitions",
+    "differential_nonlinearity",
+    "EnergyLedger",
+    "integral_nonlinearity",
+    "InverterDriver",
+    "missing_codes",
+    "OptoElectricThresholder",
+    "PowerLedger",
+    "sqnr_from_ramp",
+    "StorageNode",
+    "Tia",
+    "transfer_function",
+    "VoltageAmplifier",
+]

@@ -1,0 +1,115 @@
+"""ADC characterization: transfer curves, DNL, INL, missing codes, SQNR.
+
+These are the analyses behind the paper's Fig. 10 (transfer function and
+differential nonlinearity with no missing codes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def transfer_function(
+    converter: Callable[[float], int],
+    v_min: float,
+    v_max: float,
+    points: int = 2001,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sweep ``converter`` over [v_min, v_max]; returns (voltages, codes)."""
+    if points < 2:
+        raise ConfigurationError(f"need at least 2 sweep points, got {points}")
+    if v_max <= v_min:
+        raise ConfigurationError("sweep range must be increasing")
+    voltages = np.linspace(v_min, v_max, points)
+    codes = np.array([converter(float(v)) for v in voltages], dtype=int)
+    return voltages, codes
+
+
+def code_transitions(voltages: np.ndarray, codes: np.ndarray) -> dict[int, float]:
+    """Input voltages where the output code first reaches each value.
+
+    Returns {code: transition voltage}; the transition to code k is the
+    midpoint between the last sample of k-1 and the first sample of k.
+    """
+    voltages = np.asarray(voltages, dtype=float)
+    codes = np.asarray(codes, dtype=int)
+    if voltages.shape != codes.shape:
+        raise ConfigurationError("voltages and codes must have matching shapes")
+    transitions: dict[int, float] = {}
+    for index in range(1, len(codes)):
+        if codes[index] != codes[index - 1]:
+            midpoint = 0.5 * (voltages[index] + voltages[index - 1])
+            transitions.setdefault(int(codes[index]), midpoint)
+    return transitions
+
+
+def differential_nonlinearity(
+    transitions: dict[int, float], lsb: float, levels: int
+) -> np.ndarray:
+    """DNL [LSB] per code from a transition map.
+
+    DNL[k] = (T[k+1] - T[k]) / LSB - 1 for codes 1 .. levels-2 (the
+    first and last bins are half-open and carry no DNL by convention);
+    codes with a missing transition get DNL = -1 (missing code).
+    """
+    if lsb <= 0.0:
+        raise ConfigurationError(f"LSB must be positive, got {lsb}")
+    dnl = np.zeros(levels, dtype=float)
+    for code in range(1, levels - 1):
+        lower = transitions.get(code)
+        upper = transitions.get(code + 1)
+        if lower is None or upper is None:
+            dnl[code] = -1.0
+        else:
+            dnl[code] = (upper - lower) / lsb - 1.0
+    return dnl
+
+
+def integral_nonlinearity(dnl: np.ndarray) -> np.ndarray:
+    """INL [LSB] as the running sum of the DNL."""
+    return np.cumsum(np.asarray(dnl, dtype=float))
+
+
+def missing_codes(codes: Sequence[int], levels: int) -> list[int]:
+    """Codes never produced during a full-scale ramp."""
+    present = set(int(code) for code in codes)
+    return [code for code in range(levels) if code not in present]
+
+
+def is_monotonic(codes: Sequence[int]) -> bool:
+    """True when the code sequence never decreases (ramp input)."""
+    codes = np.asarray(codes, dtype=int)
+    return bool(np.all(np.diff(codes) >= 0))
+
+
+def sqnr_from_ramp(
+    voltages: np.ndarray,
+    codes: np.ndarray,
+    lsb: float,
+    v_min: float = 0.0,
+) -> float:
+    """Signal-to-quantization-noise ratio [dB] over a full-scale ramp.
+
+    Reconstructs each code at its bin center and compares against the
+    analog ramp; an ideal p-bit converter on a uniform ramp approaches
+    the 6.02*p + 1.76 dB bound (with the sine/ramp crest-factor
+    difference of ~1.76 dB folded in as is conventional for ramp tests).
+    """
+    voltages = np.asarray(voltages, dtype=float)
+    codes = np.asarray(codes, dtype=int)
+    reconstructed = v_min + (codes + 0.5) * lsb
+    error = voltages - reconstructed
+    noise_power = float(np.mean(error**2))
+    if noise_power == 0.0:
+        return float("inf")
+    signal_power = float(np.mean((voltages - np.mean(voltages)) ** 2))
+    return 10.0 * np.log10(signal_power / noise_power)
+
+
+def effective_number_of_bits(sqnr_db: float) -> float:
+    """ENOB from an SQNR measurement: (SQNR - 1.76) / 6.02."""
+    return (sqnr_db - 1.76) / 6.02

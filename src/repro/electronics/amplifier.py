@@ -1,0 +1,101 @@
+"""Voltage amplifiers: the cascaded gain stage after each eoADC TIA.
+
+The paper amplifies the thresholding node's small swing to rail-to-rail
+(B_p) before the ROM decoder; :class:`AmplifierChain` models that
+cascade with an aggregate gain, a swing clamp and a power draw.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+
+class VoltageAmplifier:
+    """A single rail-clamped linear gain stage."""
+
+    def __init__(
+        self,
+        gain: float,
+        supply_voltage: float,
+        bandwidth: float = 20e9,
+        power: float = 0.0,
+        label: str = "",
+    ) -> None:
+        if gain <= 0.0:
+            raise ConfigurationError(f"gain must be positive, got {gain}")
+        if supply_voltage <= 0.0:
+            raise ConfigurationError(f"supply voltage must be positive, got {supply_voltage}")
+        if bandwidth <= 0.0:
+            raise ConfigurationError(f"bandwidth must be positive, got {bandwidth}")
+        if power < 0.0:
+            raise ConfigurationError(f"power must be non-negative, got {power}")
+        self.gain = gain
+        self.supply_voltage = supply_voltage
+        self.bandwidth = bandwidth
+        self.power = power
+        self.label = label
+
+    def amplify(self, voltage: float, reference: float = 0.0) -> float:
+        """Amplify ``voltage`` about ``reference``, clamped to the rails."""
+        output = reference + self.gain * (voltage - reference)
+        return min(max(output, 0.0), self.supply_voltage)
+
+    @property
+    def time_constant(self) -> float:
+        return 1.0 / (2.0 * math.pi * self.bandwidth)
+
+
+class AmplifierChain:
+    """A cascade of identical amplifier stages."""
+
+    def __init__(self, stages: list[VoltageAmplifier]) -> None:
+        if not stages:
+            raise ConfigurationError("amplifier chain needs at least one stage")
+        self.stages = list(stages)
+
+    @classmethod
+    def eoadc_chain(
+        cls,
+        supply_voltage: float = 1.8,
+        stage_gain: float = 8.0,
+        stage_count: int = 2,
+        total_power: float = 0.30e-3,
+    ) -> "AmplifierChain":
+        """The per-channel eoADC cascade (amplifier share of the
+        calibrated 0.80 mW per-channel TIA+amplifier budget)."""
+        stage_power = total_power / stage_count
+        stages = [
+            VoltageAmplifier(
+                gain=stage_gain,
+                supply_voltage=supply_voltage,
+                power=stage_power,
+                label=f"eoADC amp stage {index}",
+            )
+            for index in range(stage_count)
+        ]
+        return cls(stages)
+
+    @property
+    def total_gain(self) -> float:
+        gain = 1.0
+        for stage in self.stages:
+            gain *= stage.gain
+        return gain
+
+    @property
+    def power(self) -> float:
+        return sum(stage.power for stage in self.stages)
+
+    @property
+    def time_constant(self) -> float:
+        """Aggregate single-pole approximation of the cascade."""
+        return sum(stage.time_constant for stage in self.stages)
+
+    def amplify(self, voltage: float, reference: float = 0.0) -> float:
+        """Run ``voltage`` through every stage about ``reference``."""
+        output = voltage
+        for stage in self.stages:
+            output = stage.amplify(output, reference)
+        return output

@@ -1,0 +1,112 @@
+"""The opto-electric thresholding block of the eoADC.
+
+Each of the 2^p channels pairs a ring's thru port with a reference
+power on a balanced photodiode stack whose midpoint Q_p charges toward
+VDD (ring off-resonance, upper diode wins) or discharges toward ground
+(ring on-resonance, reference diode wins).  An inverter-based TIA and a
+cascaded amplifier regenerate the midpoint into the rail-to-rail
+digital activation B_p.
+"""
+
+from __future__ import annotations
+
+from ..config import PhotodiodeSpec
+from ..errors import ConfigurationError
+from ..photonics.photodiode import BalancedPhotodiodePair, Photodiode
+from .amplifier import AmplifierChain
+from .elements import StorageNode
+from .tia import Tia
+
+
+class OptoElectricThresholder:
+    """Balanced-photodiode comparator with a TIA/amplifier read chain."""
+
+    def __init__(
+        self,
+        reference_power: float,
+        supply_voltage: float = 1.8,
+        node_capacitance: float = 5e-15,
+        photodiode_spec: PhotodiodeSpec | None = None,
+        tia: Tia | None = None,
+        amplifier: AmplifierChain | None = None,
+        hysteresis_power: float = 0.0,
+        label: str = "",
+    ) -> None:
+        if reference_power <= 0.0:
+            raise ConfigurationError(f"reference power must be positive, got {reference_power}")
+        if hysteresis_power < 0.0:
+            raise ConfigurationError("hysteresis power must be non-negative")
+        self.reference_power = reference_power
+        self.supply_voltage = supply_voltage
+        self.pair = BalancedPhotodiodePair(
+            upper=Photodiode(photodiode_spec, label=f"{label}.upper"),
+            lower=Photodiode(photodiode_spec, label=f"{label}.lower"),
+        )
+        self.node = StorageNode(
+            capacitance=node_capacitance,
+            vdd=supply_voltage,
+            initial_voltage=supply_voltage,
+            label=f"{label}.Qp",
+        )
+        self.tia = tia if tia is not None else Tia.inverter_based_eoadc(supply_voltage)
+        self.amplifier = (
+            amplifier if amplifier is not None else AmplifierChain.eoadc_chain(supply_voltage)
+        )
+        self.hysteresis_power = hysteresis_power
+        self.label = label
+
+    # -- static (settled) behaviour ---------------------------------------
+    def is_active(self, thru_power: float) -> bool:
+        """Settled activation: True when the ring notch drops the thru
+        power below the reference and Q_p discharges toward ground."""
+        return thru_power < self.reference_power - self.hysteresis_power
+
+    def activation_voltage(self, thru_power: float) -> float:
+        """Settled rail-to-rail B_p voltage for a static thru power."""
+        active = self.is_active(thru_power)
+        return self.supply_voltage if active else 0.0
+
+    # -- transient behaviour ------------------------------------------------
+    def net_node_current(self, thru_power: float) -> float:
+        """Current charging the midpoint Q_p [A] (positive = toward VDD)."""
+        return self.pair.net_current(thru_power, self.reference_power)
+
+    def tia_rail_target(self, thru_power: float) -> float:
+        """Rail the TIA + amplifier chain regenerates toward [V].
+
+        The inverter TIA holds Q_p near its trip point and senses the
+        balanced-pair current directly, so the activation (B_p = VDD)
+        follows the current *sign* at the read chain's bandwidth rather
+        than waiting for the node to slew across the rails — this is
+        what buys the 8 GS/s conversion rate.
+        """
+        active = self.net_node_current(thru_power) < 0.0
+        return self.supply_voltage if active else 0.0
+
+    def step(self, thru_power: float, dt: float) -> float:
+        """Advance the midpoint node one step (no-TIA signal path).
+
+        Without the TIA the balanced pair must charge/discharge Q_p and
+        the decoder's input capacitance across the rails with its own
+        photocurrent; the hundreds-of-ps slew this takes is exactly why
+        the TIA-less eoADC runs at 416.7 MS/s.  Returns the new Q_p.
+        """
+        return self.node.integrate(self.net_node_current(thru_power), dt)
+
+    def node_rail_output(self) -> float:
+        """Active-high B_p read directly off the midpoint (no-TIA path).
+
+        A discharged Q_p means the reference diode won (channel active),
+        which the decoder input senses inverted.
+        """
+        return self.supply_voltage - self.node.voltage
+
+    @property
+    def read_chain_power(self) -> float:
+        """TIA + amplifier power of this channel [W]."""
+        return self.tia.power + self.amplifier.power
+
+    @property
+    def read_chain_time_constant(self) -> float:
+        """Aggregate settling time constant of the read chain [s]."""
+        return self.tia.time_constant + self.amplifier.time_constant

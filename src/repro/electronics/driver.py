@@ -1,0 +1,69 @@
+"""Inverter-based drivers D1/D2 of the pSRAM bitcell.
+
+A driver senses a storage node and drives the paired ring's junction
+rail-to-rail with a first-order delay, closing the cross-coupled
+electro-optic feedback loop.  An optional logical inversion lets the
+same model implement buffering (D1/D2 in the paper drive with the node
+polarity) or inverting stages.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, SimulationError
+
+
+class InverterDriver:
+    """Rail-to-rail digital driver with a single-pole response."""
+
+    def __init__(
+        self,
+        vdd: float,
+        time_constant: float,
+        inverting: bool = False,
+        load_capacitance: float = 0.0,
+        initial_output: float = 0.0,
+        label: str = "",
+    ) -> None:
+        if vdd <= 0.0:
+            raise ConfigurationError(f"VDD must be positive, got {vdd}")
+        if time_constant <= 0.0:
+            raise ConfigurationError(f"time constant must be positive, got {time_constant}")
+        if load_capacitance < 0.0:
+            raise ConfigurationError("load capacitance must be non-negative")
+        self.vdd = vdd
+        self.time_constant = time_constant
+        self.inverting = inverting
+        self.load_capacitance = load_capacitance
+        self.label = label
+        self._output = initial_output
+        #: Total CV^2-type switching energy dissipated so far [J].
+        self.switching_energy = 0.0
+
+    @property
+    def output(self) -> float:
+        """Present driver output voltage [V]."""
+        return self._output
+
+    def target(self, input_voltage: float) -> float:
+        """Rail the driver slews toward for a given input voltage."""
+        high = input_voltage > self.vdd / 2.0
+        if self.inverting:
+            high = not high
+        return self.vdd if high else 0.0
+
+    def step(self, input_voltage: float, dt: float) -> float:
+        """Advance the output by ``dt`` [s]; returns the new output."""
+        if dt <= 0.0:
+            raise SimulationError(f"time step must be positive, got {dt}")
+        target = self.target(input_voltage)
+        previous = self._output
+        alpha = 1.0 - pow(2.718281828459045, -dt / self.time_constant)
+        self._output += (target - self._output) * alpha
+        delta = abs(self._output - previous)
+        self.switching_energy += self.load_capacitance * delta * self.vdd
+        return self._output
+
+    def settle(self, input_voltage: float) -> float:
+        """Snap the output to its final value (static analyses)."""
+        self._output = self.target(input_voltage)
+        return self._output

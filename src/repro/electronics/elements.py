@@ -1,0 +1,68 @@
+"""Basic electrical elements: the rail-clamped storage node.
+
+The pSRAM storage nodes Q/QB and the eoADC thresholding midpoints Q_p
+are capacitive nodes driven by photodiode currents and clamped by the
+supply rails (the photodiodes cannot push a node beyond VDD or below
+ground).  :class:`StorageNode` integrates charge with that clamping.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, SimulationError
+
+
+class StorageNode:
+    """A capacitive circuit node clamped between ground and VDD."""
+
+    def __init__(
+        self,
+        capacitance: float,
+        vdd: float,
+        initial_voltage: float = 0.0,
+        label: str = "",
+    ) -> None:
+        if capacitance <= 0.0:
+            raise ConfigurationError(f"node capacitance must be positive, got {capacitance}")
+        if vdd <= 0.0:
+            raise ConfigurationError(f"VDD must be positive, got {vdd}")
+        if not 0.0 <= initial_voltage <= vdd:
+            raise ConfigurationError(
+                f"initial voltage {initial_voltage} outside the rails [0, {vdd}]"
+            )
+        self.capacitance = capacitance
+        self.vdd = vdd
+        self._voltage = initial_voltage
+        self.label = label
+
+    @property
+    def voltage(self) -> float:
+        """Present node voltage [V]."""
+        return self._voltage
+
+    @voltage.setter
+    def voltage(self, value: float) -> None:
+        if not 0.0 <= value <= self.vdd:
+            raise ConfigurationError(f"voltage {value} outside the rails [0, {self.vdd}]")
+        self._voltage = value
+
+    def integrate(self, net_current: float, dt: float) -> float:
+        """Advance the node by ``dt`` [s] under ``net_current`` [A].
+
+        Positive current charges the node toward VDD.  The result is
+        clamped to the rails, modelling the photodiodes' inability to
+        drive the node past the supplies.  Returns the new voltage.
+        """
+        if dt <= 0.0:
+            raise SimulationError(f"time step must be positive, got {dt}")
+        self._voltage += net_current * dt / self.capacitance
+        self._voltage = min(max(self._voltage, 0.0), self.vdd)
+        return self._voltage
+
+    @property
+    def logic_state(self) -> bool:
+        """Digital reading of the node (True above VDD/2)."""
+        return self._voltage > self.vdd / 2.0
+
+    def stored_energy(self) -> float:
+        """Energy held on the capacitor [J]."""
+        return 0.5 * self.capacitance * self._voltage**2

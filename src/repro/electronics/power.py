@@ -1,0 +1,98 @@
+"""Power and energy ledgers.
+
+Every system-level number in the paper (0.5 pJ/write, 2.32 pJ/conv,
+3.02 TOPS/W) is a sum of named contributions; the ledgers make each
+contribution explicit, convert optical powers to wall-plug draw, and
+render the breakdown tables printed by the benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import WALL_PLUG_EFFICIENCY
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One named contribution."""
+
+    name: str
+    value: float
+    category: str
+    raw_value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0.0 or self.raw_value < 0.0:
+            raise ConfigurationError(f"ledger entry {self.name!r} must be non-negative")
+
+
+class _Ledger:
+    """Shared bookkeeping for power [W] or energy [J] contributions."""
+
+    unit = ""
+
+    def __init__(self, wall_plug_efficiency: float = WALL_PLUG_EFFICIENCY) -> None:
+        if not 0.0 < wall_plug_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"wall-plug efficiency must be in (0, 1], got {wall_plug_efficiency}"
+            )
+        self.wall_plug_efficiency = wall_plug_efficiency
+        self._entries: list[LedgerEntry] = []
+
+    def add_electrical(self, name: str, value: float) -> None:
+        """Add an electrical contribution (already wall-referred)."""
+        self._entries.append(LedgerEntry(name, value, "electrical", value))
+
+    def add_optical(self, name: str, value: float) -> None:
+        """Add an optical contribution; converted to wall-plug draw."""
+        self._entries.append(
+            LedgerEntry(name, value / self.wall_plug_efficiency, "optical", value)
+        )
+
+    @property
+    def entries(self) -> list[LedgerEntry]:
+        return list(self._entries)
+
+    @property
+    def total(self) -> float:
+        """Total wall-plug value."""
+        return sum(entry.value for entry in self._entries)
+
+    def total_for(self, category: str) -> float:
+        """Total wall-plug value of one category."""
+        return sum(entry.value for entry in self._entries if entry.category == category)
+
+    def breakdown(self) -> dict[str, float]:
+        """{name: wall-plug value} in insertion order."""
+        return {entry.name: entry.value for entry in self._entries}
+
+    def report(self, scale: float = 1.0, unit: str | None = None) -> str:
+        """Human-readable table; ``scale`` converts to display units."""
+        unit = self.unit if unit is None else unit
+        width = max((len(entry.name) for entry in self._entries), default=10)
+        lines = [
+            f"{entry.name:<{width}}  {entry.value * scale:12.4f} {unit}  [{entry.category}]"
+            for entry in self._entries
+        ]
+        lines.append(f"{'TOTAL':<{width}}  {self.total * scale:12.4f} {unit}")
+        return "\n".join(lines)
+
+
+class PowerLedger(_Ledger):
+    """Named power contributions [W] with optical wall-plug conversion."""
+
+    unit = "W"
+
+    def energy(self, duration: float) -> float:
+        """Total wall-plug energy [J] over ``duration`` [s]."""
+        if duration < 0.0:
+            raise ConfigurationError(f"duration must be non-negative, got {duration}")
+        return self.total * duration
+
+
+class EnergyLedger(_Ledger):
+    """Named energy contributions [J] with optical wall-plug conversion."""
+
+    unit = "J"

@@ -1,0 +1,86 @@
+"""Transimpedance amplifiers.
+
+Two TIA classes appear in the paper: the inverter-based high-speed TIA
+inside each eoADC thresholding chain (after ref. [46]) and the 28 nm
+row TIA (ref. [52]) that converts the compute core's summed photodiode
+current for the ADC.  Both are behavioural: a transimpedance gain, an
+output swing limit, a single-pole bandwidth and a power draw.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigurationError
+
+
+class Tia:
+    """Behavioural transimpedance amplifier."""
+
+    def __init__(
+        self,
+        transimpedance: float,
+        bandwidth: float,
+        supply_voltage: float,
+        power: float,
+        label: str = "",
+    ) -> None:
+        if transimpedance <= 0.0:
+            raise ConfigurationError(f"transimpedance must be positive, got {transimpedance}")
+        if bandwidth <= 0.0:
+            raise ConfigurationError(f"bandwidth must be positive, got {bandwidth}")
+        if supply_voltage <= 0.0:
+            raise ConfigurationError(f"supply voltage must be positive, got {supply_voltage}")
+        if power < 0.0:
+            raise ConfigurationError(f"power must be non-negative, got {power}")
+        self.transimpedance = transimpedance
+        self.bandwidth = bandwidth
+        self.supply_voltage = supply_voltage
+        self.power = power
+        self.label = label
+
+    @classmethod
+    def inverter_based_eoadc(cls, supply_voltage: float = 1.8, power: float = 0.4975e-3) -> "Tia":
+        """The per-channel eoADC TIA (ref. [46]-style inverter TIA).
+
+        Power is the TIA share of the calibrated 0.80 mW per-channel
+        TIA+amplifier budget (DESIGN.md section 2).
+        """
+        return cls(
+            transimpedance=20e3,
+            bandwidth=12e9,
+            supply_voltage=supply_voltage,
+            power=power,
+            label="eoADC inverter TIA",
+        )
+
+    @classmethod
+    def row_tia_28nm(cls, supply_voltage: float = 1.8, power: float = 42e-3) -> "Tia":
+        """The compute-row TIA after ref. [52] (42 GHz class, 28 nm)."""
+        return cls(
+            transimpedance=3e3,
+            bandwidth=42e9,
+            supply_voltage=supply_voltage,
+            power=power,
+            label="28nm row TIA",
+        )
+
+    def output_voltage(self, current: float) -> float:
+        """Static output for an input ``current`` [A], swing-limited."""
+        voltage = self.transimpedance * current
+        return min(max(voltage, 0.0), self.supply_voltage)
+
+    @property
+    def time_constant(self) -> float:
+        """Single-pole response time constant [s]."""
+        return 1.0 / (2.0 * math.pi * self.bandwidth)
+
+    def full_scale_current(self) -> float:
+        """Input current that saturates the output swing [A]."""
+        return self.supply_voltage / self.transimpedance
+
+    def energy(self, duration: float) -> float:
+        """Energy consumed over ``duration`` [s]."""
+        if duration < 0.0:
+            raise ConfigurationError(f"duration must be non-negative, got {duration}")
+        return self.power * duration

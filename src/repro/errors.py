@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything from this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A device or system was constructed with inconsistent parameters."""
+
+
+class PhotonicsError(ReproError):
+    """A photonic component or network was used incorrectly."""
+
+
+class PortConnectionError(PhotonicsError):
+    """A photonic netlist connection is invalid (unknown port, double
+    drive, or a cycle in a feed-forward network)."""
+
+
+class SimulationError(ReproError):
+    """A simulation engine failed or was configured inconsistently."""
+
+
+class ConversionError(ReproError):
+    """An ADC produced no valid code (e.g. no thresholding block fired)."""
+
+
+class MappingError(ReproError):
+    """A workload could not be mapped onto the tensor core."""

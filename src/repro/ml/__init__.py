@@ -1,0 +1,31 @@
+"""ML application layer: running neural workloads on the tensor core.
+
+The paper motivates the architecture with AI/ML inference; this package
+closes the loop: synthetic datasets, a float-trained MLP, and layers
+that execute their matmuls *through* the simulated photonic tensor core
+with quantized weights and p-bit eoADC outputs.
+"""
+
+from .convolution import PhotonicConv2d, im2col, output_shape, sobel_kernels
+from .datasets import gaussian_blobs, procedural_digits, train_test_split
+from .insitu import InSituTrainer, TrainingLog
+from .layers import PhotonicDense, relu
+from .mapping import MatrixTiler
+from .network import MLP, PhotonicMLP
+
+__all__ = [
+    "gaussian_blobs",
+    "im2col",
+    "InSituTrainer",
+    "MatrixTiler",
+    "MLP",
+    "output_shape",
+    "PhotonicConv2d",
+    "PhotonicDense",
+    "PhotonicMLP",
+    "procedural_digits",
+    "relu",
+    "sobel_kernels",
+    "train_test_split",
+    "TrainingLog",
+]

@@ -1,0 +1,119 @@
+"""Synthetic datasets (no network access: everything is generated).
+
+Two workloads exercise the examples and benches:
+
+* :func:`gaussian_blobs` — separable Gaussian clusters, the smallest
+  classification task that still shows quantization effects.
+* :func:`procedural_digits` — 8x8 glyphs of the digits 0-9 rendered
+  from stroke templates with noise and jitter, an MNIST-flavoured
+  stand-in sized for a 16-column tensor core after pooling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+# 8x8 stroke templates for the ten digits ('1' marks lit pixels).
+_DIGIT_TEMPLATES = [
+    ["00111100", "01000010", "01000110", "01001010", "01010010", "01100010", "00111100", "00000000"],
+    ["00011000", "00111000", "00011000", "00011000", "00011000", "00011000", "01111110", "00000000"],
+    ["00111100", "01000010", "00000010", "00001100", "00110000", "01000000", "01111110", "00000000"],
+    ["00111100", "01000010", "00000010", "00011100", "00000010", "01000010", "00111100", "00000000"],
+    ["00000100", "00001100", "00010100", "00100100", "01111110", "00000100", "00000100", "00000000"],
+    ["01111110", "01000000", "01111100", "00000010", "00000010", "01000010", "00111100", "00000000"],
+    ["00111100", "01000000", "01111100", "01000010", "01000010", "01000010", "00111100", "00000000"],
+    ["01111110", "00000010", "00000100", "00001000", "00010000", "00100000", "00100000", "00000000"],
+    ["00111100", "01000010", "00111100", "01000010", "01000010", "01000010", "00111100", "00000000"],
+    ["00111100", "01000010", "01000010", "00111110", "00000010", "00000010", "00111100", "00000000"],
+]
+
+
+def gaussian_blobs(
+    samples_per_class: int = 60,
+    classes: int = 3,
+    features: int = 16,
+    spread: float = 0.9,
+    seed: int = 3,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gaussian clusters with non-negative features.
+
+    Returns (X, y): X of shape (samples, features) in [0, inf) suitable
+    for intensity encoding, y integer class labels.
+    """
+    if samples_per_class < 1 or classes < 2 or features < 1:
+        raise ConfigurationError("need >= 1 sample, >= 2 classes, >= 1 feature")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(1.0, 4.0, size=(classes, features))
+    data = []
+    labels = []
+    for index, center in enumerate(centers):
+        cluster = rng.normal(center, spread, size=(samples_per_class, features))
+        data.append(np.clip(cluster, 0.0, None))
+        labels.append(np.full(samples_per_class, index))
+    features_matrix = np.vstack(data)
+    label_vector = np.concatenate(labels)
+    order = rng.permutation(len(label_vector))
+    return features_matrix[order], label_vector[order]
+
+
+def procedural_digits(
+    samples_per_class: int = 40,
+    noise: float = 0.15,
+    seed: int = 5,
+    pooled: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Noisy 8x8 digit glyphs, optionally 2x2 average-pooled to 4x4.
+
+    Pooling yields 16 features — exactly one 16-column tensor-core row
+    per output class.  Pixel intensities lie in [0, 1].
+    """
+    if samples_per_class < 1:
+        raise ConfigurationError("need at least one sample per class")
+    rng = np.random.default_rng(seed)
+    templates = np.array(
+        [
+            [[float(char) for char in row] for row in template]
+            for template in _DIGIT_TEMPLATES
+        ]
+    )
+    images = []
+    labels = []
+    for digit in range(10):
+        base = templates[digit]
+        for _ in range(samples_per_class):
+            image = base.copy()
+            # Sub-pixel jitter: shift by -1/0/+1 in each axis.
+            shift_row, shift_col = rng.integers(-1, 2, size=2)
+            image = np.roll(image, (shift_row, shift_col), axis=(0, 1))
+            image = np.clip(image + rng.normal(0.0, noise, image.shape), 0.0, 1.0)
+            images.append(image)
+            labels.append(digit)
+    stack = np.array(images)
+    label_vector = np.array(labels)
+    if pooled:
+        stack = stack.reshape(-1, 4, 2, 4, 2).mean(axis=(2, 4))
+    flat = stack.reshape(len(stack), -1)
+    order = rng.permutation(len(label_vector))
+    return flat[order], label_vector[order]
+
+
+def train_test_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    test_fraction: float = 0.25,
+    seed: int = 9,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled split into (X_train, X_test, y_train, y_test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ConfigurationError("test fraction must be in (0, 1)")
+    features = np.asarray(features)
+    labels = np.asarray(labels)
+    if len(features) != len(labels):
+        raise ConfigurationError("features and labels must have equal length")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(labels))
+    cut = int(round(len(labels) * (1.0 - test_fraction)))
+    train_idx, test_idx = order[:cut], order[cut:]
+    return features[train_idx], features[test_idx], labels[train_idx], labels[test_idx]

@@ -1,0 +1,140 @@
+"""In-situ training on the photonic tensor core.
+
+The paper's conclusion: the architecture's multi-GHz memory updates
+make it 'suitable for large-scale datasets and in-situ training'.  This
+module closes that loop for a linear classifier: the *forward pass runs
+photonically* (analog matmul + eoADC readout), the gradient is computed
+digitally from the quantized outputs, and every weight update streams
+back into the pSRAM arrays at the 20 GHz rate — with the update-energy
+ledger that the fast pSRAM write makes affordable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.quantization import encode_inputs, quantize_weights_differential
+from ..core.tensor_core import PhotonicTensorCore
+from ..errors import ConfigurationError
+from .mapping import MatrixTiler
+
+
+@dataclass
+class TrainingLog:
+    """Per-epoch record of an in-situ training run."""
+
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+    weight_switch_events: list[int] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.losses)
+
+
+class InSituTrainer:
+    """Photonic-forward / digital-backward trainer for a linear layer.
+
+    Maintains float master weights (the standard quantization-aware
+    scheme); each step quantizes them to the differential pSRAM format,
+    streams them into the core, runs the forward pass photonically, and
+    applies a softmax-regression gradient computed from the *measured*
+    (eoADC-quantized) scores.
+    """
+
+    def __init__(
+        self,
+        core: PhotonicTensorCore,
+        in_features: int,
+        classes: int,
+        learning_rate: float = 0.1,
+        gain: float = 1.0,
+        seed: int = 11,
+    ) -> None:
+        if in_features < 1 or classes < 2:
+            raise ConfigurationError("need >= 1 feature and >= 2 classes")
+        if learning_rate <= 0.0:
+            raise ConfigurationError("learning rate must be positive")
+        self.core = core
+        self.tiler = MatrixTiler(core)
+        self.learning_rate = learning_rate
+        self.gain = gain
+        rng = np.random.default_rng(seed)
+        self.weights = rng.normal(0.0, 0.1, (classes, in_features))
+        self.bias = np.zeros(classes)
+        self._energy_baseline = core.weight_update_energy()
+        self._switch_baseline = self._total_switches()
+
+    def _total_switches(self) -> int:
+        return sum(core.weight_memory.switch_events for core in self.core.row_cores)
+
+    def photonic_scores(self, x: np.ndarray) -> np.ndarray:
+        """Forward one sample through the core with current weights."""
+        q_pos, q_neg, scale = quantize_weights_differential(
+            self.weights, self.core.weight_bits
+        )
+        encoded, input_scale = encode_inputs(x)
+        positive = self.tiler.matvec(q_pos, encoded, gain=self.gain)
+        negative = self.tiler.matvec(q_neg, encoded, gain=self.gain)
+        return (positive - negative) * scale * input_scale + self.bias
+
+    @staticmethod
+    def _softmax(scores: np.ndarray) -> np.ndarray:
+        shifted = scores - scores.max()
+        exp = np.exp(shifted)
+        return exp / exp.sum()
+
+    def train_epoch(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """One pass over the data; returns the mean cross-entropy loss."""
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        if len(features) != len(labels):
+            raise ConfigurationError("features and labels must align")
+        total_loss = 0.0
+        for x, label in zip(features, labels):
+            scores = self.photonic_scores(x)
+            probabilities = self._softmax(scores)
+            total_loss -= float(np.log(probabilities[label] + 1e-12))
+            gradient = probabilities.copy()
+            gradient[label] -= 1.0
+            self.weights -= self.learning_rate * np.outer(gradient, x)
+            self.bias -= self.learning_rate * gradient
+        return total_loss / len(labels)
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Photonic-inference accuracy with the current weights."""
+        predictions = [
+            int(np.argmax(self.photonic_scores(x))) for x in np.asarray(features)
+        ]
+        return float(np.mean(np.asarray(predictions) == np.asarray(labels)))
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 5,
+    ) -> TrainingLog:
+        """Run ``epochs`` of in-situ training; returns the log."""
+        if epochs < 1:
+            raise ConfigurationError("need at least one epoch")
+        log = TrainingLog()
+        for _ in range(epochs):
+            loss = self.train_epoch(features, labels)
+            log.losses.append(loss)
+            log.accuracies.append(self.accuracy(features, labels))
+            log.weight_switch_events.append(self._total_switches() - self._switch_baseline)
+        return log
+
+    def update_energy(self) -> float:
+        """Wall-plug energy [J] of this trainer's weight re-streaming."""
+        return self.core.weight_update_energy() - self._energy_baseline
+
+    def updates_per_second_bound(self) -> float:
+        """Weight-matrix re-streams per second the 20 GHz pSRAM allows.
+
+        This is the paper's 'frequent, rapid updates' headline: the
+        whole matrix rewrites in columns/update-rate seconds.
+        """
+        return 1.0 / self.core.weight_update_time()

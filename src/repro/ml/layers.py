@@ -1,0 +1,130 @@
+"""Neural-network layers executing on the photonic tensor core.
+
+:class:`PhotonicDense` owns a float weight matrix, quantizes it to the
+core's unsigned n-bit format, and runs every forward matmul through the
+simulated photonics — analog intensity inputs, pSRAM-stored weights,
+WDM multiplication, eoADC readout — then undoes the scalings digitally.
+
+Signed weights use the *differential-column* mapping: W = (W+ - W-)
+with the positive and negative magnitudes stored in separate passes and
+subtracted digitally.  Each layer also carries a programmable row-TIA
+gain (:meth:`PhotonicDense.calibrate_gain`) so its dot-product range
+fills the eoADC full scale — the ADC range calibration every analog IMC
+deployment performs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.quantization import (
+    encode_inputs,
+    quantize_weights,
+    quantize_weights_differential,
+)
+from ..core.tensor_core import PhotonicTensorCore
+from ..errors import ConfigurationError
+from .mapping import MatrixTiler
+
+
+def relu(values: np.ndarray) -> np.ndarray:
+    """Rectified linear activation."""
+    return np.maximum(values, 0.0)
+
+
+class PhotonicDense:
+    """A dense layer whose matmul runs on the photonic tensor core."""
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        core: PhotonicTensorCore,
+        bias: np.ndarray | None = None,
+        signed: bool = True,
+    ) -> None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 2:
+            raise ConfigurationError("dense weights must be 2-D (out, in)")
+        self.float_weights = weights
+        self.core = core
+        self.signed = signed
+        self.bias = (
+            np.zeros(weights.shape[0]) if bias is None else np.asarray(bias, dtype=float)
+        )
+        if self.bias.shape != (weights.shape[0],):
+            raise ConfigurationError("bias shape must match output features")
+        if signed:
+            self.q_positive, self.q_negative, self.weight_scale = (
+                quantize_weights_differential(weights, core.weight_bits)
+            )
+        else:
+            self.q_positive, self.weight_scale = quantize_weights(
+                weights, core.weight_bits, signed=False
+            )
+            self.q_negative = np.zeros_like(self.q_positive)
+        self.tiler = MatrixTiler(core)
+        #: Programmable row-TIA gain (ADC range setting); 1.0 = native.
+        self.gain = 1.0
+
+    @property
+    def out_features(self) -> int:
+        return self.float_weights.shape[0]
+
+    @property
+    def in_features(self) -> int:
+        return self.float_weights.shape[1]
+
+    def calibrate_gain(self, batch: np.ndarray, headroom: float = 1.25) -> float:
+        """Pick the TIA gain from a representative input batch.
+
+        Estimates the largest quantized-array dot product the batch
+        produces and sets the gain so it lands at ``1/headroom`` of the
+        ADC full scale.  Returns the chosen gain.
+        """
+        batch = np.asarray(batch, dtype=float)
+        if batch.ndim != 2 or batch.shape[1] != self.in_features:
+            raise ConfigurationError(
+                f"calibration batch must be (samples, {self.in_features})"
+            )
+        peak = 0.0
+        for sample in batch:
+            encoded, _ = encode_inputs(sample)
+            peak = max(
+                peak,
+                float((self.q_positive @ encoded).max(initial=0.0)),
+                float((self.q_negative @ encoded).max(initial=0.0)),
+            )
+        full_scale = self.core.columns * self.core.max_weight
+        if peak <= 0.0:
+            self.gain = 1.0
+        else:
+            self.gain = max(full_scale / (peak * headroom), 1.0)
+        return self.gain
+
+    def forward_sample(self, x: np.ndarray) -> np.ndarray:
+        """One sample through the photonic matmul (float in, float out)."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.in_features,):
+            raise ConfigurationError(f"input must have length {self.in_features}")
+        encoded, input_scale = encode_inputs(x)
+        positive = self.tiler.matvec(self.q_positive, encoded, gain=self.gain)
+        if self.signed and np.any(self.q_negative):
+            negative = self.tiler.matvec(self.q_negative, encoded, gain=self.gain)
+        else:
+            negative = 0.0
+        raw = positive - negative
+        return raw * self.weight_scale * input_scale + self.bias
+
+    def forward(self, batch: np.ndarray) -> np.ndarray:
+        """Batch forward: batch of shape (samples, in_features)."""
+        batch = np.asarray(batch, dtype=float)
+        if batch.ndim != 2 or batch.shape[1] != self.in_features:
+            raise ConfigurationError(
+                f"batch must be (samples, {self.in_features}), got {batch.shape}"
+            )
+        return np.stack([self.forward_sample(sample) for sample in batch])
+
+    def forward_float(self, batch: np.ndarray) -> np.ndarray:
+        """Float reference forward (no photonics, no quantization)."""
+        batch = np.asarray(batch, dtype=float)
+        return batch @ self.float_weights.T + self.bias

@@ -1,0 +1,83 @@
+"""Tiling arbitrary matrix multiplies onto a fixed-size tensor core.
+
+A W (out x in) @ x multiply larger than the physical rows x columns
+array is split into row/column blocks; column blocks are accumulated
+digitally (partial-sum addition), row blocks map to separate passes.
+This is the standard IMC tiling flow the paper's scalability section
+implies (replicating the 1 x m macro and the m x n array).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.tensor_core import PhotonicTensorCore
+from ..errors import MappingError
+
+
+class MatrixTiler:
+    """Executes large quantized matmuls on one physical tensor core."""
+
+    def __init__(self, core: PhotonicTensorCore) -> None:
+        self.core = core
+
+    def tile_counts(self, out_features: int, in_features: int) -> tuple[int, int]:
+        """(row_tiles, column_tiles) needed for a W of that shape."""
+        if out_features < 1 or in_features < 1:
+            raise MappingError("matrix dimensions must be >= 1")
+        rows = -(-out_features // self.core.rows)
+        cols = -(-in_features // self.core.columns)
+        return rows, cols
+
+    def matvec(
+        self, weight_matrix: np.ndarray, x: np.ndarray, gain: float = 1.0
+    ) -> np.ndarray:
+        """Photonic W @ x for arbitrary shapes via tiling.
+
+        ``weight_matrix`` holds unsigned integer weights within the
+        core's range; ``x`` holds analog intensities in [0, 1].  Column
+        tiles are accumulated digitally; zero padding fills partial
+        tiles.  ``gain`` is the per-call row-TIA range setting (see
+        :meth:`repro.core.tensor_core.PhotonicTensorCore.matvec`).
+        """
+        weight_matrix = np.asarray(weight_matrix, dtype=int)
+        x = np.asarray(x, dtype=float)
+        if weight_matrix.ndim != 2:
+            raise MappingError("weight matrix must be 2-D")
+        out_features, in_features = weight_matrix.shape
+        if x.shape != (in_features,):
+            raise MappingError(
+                f"input length {x.shape} does not match matrix columns {in_features}"
+            )
+        if np.any(weight_matrix < 0) or np.any(weight_matrix > self.core.max_weight):
+            raise MappingError(
+                f"weights must lie in [0, {self.core.max_weight}] for this core"
+            )
+        row_tiles, col_tiles = self.tile_counts(out_features, in_features)
+        result = np.zeros(out_features)
+        for row_tile in range(row_tiles):
+            row_start = row_tile * self.core.rows
+            row_stop = min(row_start + self.core.rows, out_features)
+            for col_tile in range(col_tiles):
+                col_start = col_tile * self.core.columns
+                col_stop = min(col_start + self.core.columns, in_features)
+
+                block = np.zeros((self.core.rows, self.core.columns), dtype=int)
+                block[: row_stop - row_start, : col_stop - col_start] = weight_matrix[
+                    row_start:row_stop, col_start:col_stop
+                ]
+                chunk = np.zeros(self.core.columns)
+                chunk[: col_stop - col_start] = x[col_start:col_stop]
+
+                self.core.load_weight_matrix(block)
+                partial = self.core.matvec(chunk, gain=gain).estimates
+                result[row_start:row_stop] += partial[: row_stop - row_start]
+        return result
+
+    def matmul(self, weight_matrix: np.ndarray, batch: np.ndarray) -> np.ndarray:
+        """Photonic W @ X for X of shape (in_features, samples)."""
+        batch = np.asarray(batch, dtype=float)
+        if batch.ndim != 2:
+            raise MappingError("batch must be 2-D (in_features, samples)")
+        columns = [self.matvec(weight_matrix, batch[:, i]) for i in range(batch.shape[1])]
+        return np.stack(columns, axis=1)

@@ -1,0 +1,132 @@
+"""A small MLP: float training in numpy, photonic quantized inference.
+
+Training stays in software (the paper's core is an inference engine
+with fast weight updates); inference maps every dense layer onto the
+photonic tensor core via :class:`~repro.ml.layers.PhotonicDense`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.tensor_core import PhotonicTensorCore
+from ..errors import ConfigurationError
+from .layers import PhotonicDense, relu
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def _one_hot(labels: np.ndarray, classes: int) -> np.ndarray:
+    encoded = np.zeros((len(labels), classes))
+    encoded[np.arange(len(labels)), labels] = 1.0
+    return encoded
+
+
+class MLP:
+    """One-hidden-layer perceptron trained with plain SGD."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        classes: int,
+        seed: int = 17,
+    ) -> None:
+        if min(in_features, hidden_features, classes) < 1:
+            raise ConfigurationError("all layer sizes must be >= 1")
+        rng = np.random.default_rng(seed)
+        scale1 = np.sqrt(2.0 / in_features)
+        scale2 = np.sqrt(2.0 / hidden_features)
+        self.w1 = rng.normal(0.0, scale1, (hidden_features, in_features))
+        self.b1 = np.zeros(hidden_features)
+        self.w2 = rng.normal(0.0, scale2, (classes, hidden_features))
+        self.b2 = np.zeros(classes)
+
+    def forward(self, batch: np.ndarray) -> np.ndarray:
+        """Float logits for a (samples, in_features) batch."""
+        hidden = relu(batch @ self.w1.T + self.b1)
+        return hidden @ self.w2.T + self.b2
+
+    def train(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 60,
+        learning_rate: float = 0.05,
+        batch_size: int = 32,
+        seed: int = 19,
+    ) -> list[float]:
+        """Cross-entropy SGD; returns the per-epoch training loss."""
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        classes = self.w2.shape[0]
+        targets = _one_hot(labels, classes)
+        rng = np.random.default_rng(seed)
+        losses = []
+        for _ in range(epochs):
+            order = rng.permutation(len(labels))
+            epoch_loss = 0.0
+            for start in range(0, len(labels), batch_size):
+                index = order[start : start + batch_size]
+                x, t = features[index], targets[index]
+                hidden_pre = x @ self.w1.T + self.b1
+                hidden = relu(hidden_pre)
+                logits = hidden @ self.w2.T + self.b2
+                probabilities = _softmax(logits)
+                epoch_loss += -float(
+                    np.sum(t * np.log(probabilities + 1e-12))
+                )
+                grad_logits = (probabilities - t) / len(index)
+                grad_w2 = grad_logits.T @ hidden
+                grad_b2 = grad_logits.sum(axis=0)
+                grad_hidden = (grad_logits @ self.w2) * (hidden_pre > 0.0)
+                grad_w1 = grad_hidden.T @ x
+                grad_b1 = grad_hidden.sum(axis=0)
+                self.w2 -= learning_rate * grad_w2
+                self.b2 -= learning_rate * grad_b2
+                self.w1 -= learning_rate * grad_w1
+                self.b1 -= learning_rate * grad_b1
+            losses.append(epoch_loss / len(labels))
+        return losses
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Float-inference accuracy."""
+        predictions = np.argmax(self.forward(np.asarray(features, dtype=float)), axis=1)
+        return float(np.mean(predictions == np.asarray(labels)))
+
+
+class PhotonicMLP:
+    """The trained MLP deployed on a photonic tensor core.
+
+    ``calibration_batch`` (a slice of the training inputs) sets each
+    layer's row-TIA gain so its activations fill the eoADC range — the
+    per-layer range calibration standard in analog IMC deployments.
+    """
+
+    def __init__(
+        self,
+        mlp: MLP,
+        core: PhotonicTensorCore,
+        calibration_batch: np.ndarray | None = None,
+    ) -> None:
+        self.layer1 = PhotonicDense(mlp.w1, core, bias=mlp.b1, signed=True)
+        self.layer2 = PhotonicDense(mlp.w2, core, bias=mlp.b2, signed=True)
+        if calibration_batch is not None:
+            batch = np.asarray(calibration_batch, dtype=float)
+            self.layer1.calibrate_gain(batch)
+            hidden = relu(batch @ mlp.w1.T + mlp.b1)
+            self.layer2.calibrate_gain(hidden)
+
+    def forward(self, batch: np.ndarray) -> np.ndarray:
+        """Photonic logits: both dense layers run on the core."""
+        hidden = relu(self.layer1.forward(batch))
+        return self.layer2.forward(hidden)
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Photonic-inference accuracy."""
+        predictions = np.argmax(self.forward(np.asarray(features, dtype=float)), axis=1)
+        return float(np.mean(predictions == np.asarray(labels)))

@@ -1,0 +1,56 @@
+"""Silicon-photonics device substrate.
+
+Analytic models of the fabrication-friendly components the paper builds
+on: waveguides, directional couplers and power splitters, microring
+resonators with pn-junction and thermal tuning, photodiodes, absorbers,
+lasers and frequency combs, WDM channel planning, and a feed-forward
+photonic-circuit evaluator.
+"""
+
+from .absorber import Absorber
+from .coupler import BinaryScaledSplitterTree, DirectionalCoupler, PowerSplitter
+from .laser import CWLaser, FrequencyComb, OpticalPulse
+from .modulator import PredistortedEncoder, RingModulator
+from .mrr import AddDropMRR, AllPassMRR
+from .photodiode import BalancedPhotodiodePair, Photodiode
+from .pn_junction import (
+    DepletionTuner,
+    InjectionTuner,
+    soref_bennett_delta_alpha,
+    soref_bennett_delta_n,
+)
+from .signal import WDMSignal, merge_signals
+from .thermal import Heater, ThermalTuner, WavelengthLocker
+from .waveguide import Waveguide
+from .wdm import ChannelPlan, crosstalk_matrix, usable_channels
+from .network import PhotonicCircuit
+
+__all__ = [
+    "Absorber",
+    "AddDropMRR",
+    "AllPassMRR",
+    "BalancedPhotodiodePair",
+    "BinaryScaledSplitterTree",
+    "ChannelPlan",
+    "CWLaser",
+    "DepletionTuner",
+    "DirectionalCoupler",
+    "FrequencyComb",
+    "Heater",
+    "InjectionTuner",
+    "merge_signals",
+    "OpticalPulse",
+    "Photodiode",
+    "PhotonicCircuit",
+    "PowerSplitter",
+    "PredistortedEncoder",
+    "RingModulator",
+    "soref_bennett_delta_alpha",
+    "soref_bennett_delta_n",
+    "ThermalTuner",
+    "usable_channels",
+    "Waveguide",
+    "WavelengthLocker",
+    "WDMSignal",
+    "crosstalk_matrix",
+]

@@ -1,0 +1,32 @@
+"""Passive optical absorbers (port terminators).
+
+Absorbers A1/A2 of the pSRAM bitcell and the residual port of the
+binary-scaled splitter tree terminate unused light so it cannot reflect
+back and corrupt other channels.  The model simply records what it
+swallows, which the energy ledger can audit.
+"""
+
+from __future__ import annotations
+
+from .signal import WDMSignal
+
+
+class Absorber:
+    """Terminates a waveguide, absorbing all incident light."""
+
+    input_ports = ("in",)
+    output_ports = ()
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        #: Total optical power absorbed during the last evaluation [W].
+        self.last_absorbed_power = 0.0
+
+    def absorb(self, signal: WDMSignal) -> float:
+        """Absorb ``signal``; returns the power swallowed [W]."""
+        self.last_absorbed_power = signal.total_power
+        return self.last_absorbed_power
+
+    def propagate_ports(self, inputs: dict[str, WDMSignal]) -> dict[str, WDMSignal]:
+        self.absorb(inputs["in"])
+        return {}

@@ -1,0 +1,159 @@
+"""Directional couplers, power splitters and the binary-scaled tree.
+
+The compute core of the paper distributes each analog input through a
+cascade of splitters producing binary-weighted copies (IN/2, IN/4, ...,
+IN/2^n) that feed the bit-significance-ordered MRR/pSRAM planes; that
+cascade is :class:`BinaryScaledSplitterTree`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..config import CouplerSpec
+from ..errors import ConfigurationError
+from .signal import WDMSignal
+
+
+class DirectionalCoupler:
+    """Evanescent coupler between two parallel waveguides.
+
+    The power cross-coupling ratio follows the calibrated exponential
+    gap map of :class:`repro.config.CouplerSpec`; wavelength dependence
+    over the narrow bands used here is neglected.
+    """
+
+    input_ports = ("in1", "in2")
+    output_ports = ("out1", "out2")
+
+    def __init__(
+        self,
+        gap: float | None = None,
+        power_coupling: float | None = None,
+        spec: CouplerSpec | None = None,
+        excess_loss_db: float = 0.0,
+        label: str = "",
+    ) -> None:
+        spec = spec if spec is not None else CouplerSpec()
+        if power_coupling is None:
+            if gap is None:
+                raise ConfigurationError("provide either a gap or an explicit power_coupling")
+            power_coupling = spec.power_coupling(gap)
+        if not 0.0 <= power_coupling <= 1.0:
+            raise ConfigurationError(f"power coupling must be in [0, 1], got {power_coupling}")
+        if excess_loss_db < 0.0:
+            raise ConfigurationError(f"excess loss must be non-negative, got {excess_loss_db}")
+        self.gap = gap
+        self.power_coupling = power_coupling
+        self.excess_loss_db = excess_loss_db
+        self.label = label
+
+    @property
+    def power_through(self) -> float:
+        """Fraction of power staying in the same waveguide."""
+        return 1.0 - self.power_coupling
+
+    @property
+    def field_self_coupling(self) -> float:
+        """Field self-coupling coefficient t = sqrt(1 - kappa^2)."""
+        return math.sqrt(self.power_through)
+
+    @property
+    def field_cross_coupling(self) -> float:
+        """Field cross-coupling coefficient kappa."""
+        return math.sqrt(self.power_coupling)
+
+    def propagate_ports(self, inputs: dict[str, WDMSignal]) -> dict[str, WDMSignal]:
+        """Incoherent 2x2 power routing with excess loss."""
+        survive = 10.0 ** (-self.excess_loss_db / 10.0)
+        in1 = inputs.get("in1")
+        in2 = inputs.get("in2")
+        outputs: dict[str, WDMSignal] = {}
+        contributions1 = []
+        contributions2 = []
+        if in1 is not None:
+            contributions1.append(in1.scaled(self.power_through * survive))
+            contributions2.append(in1.scaled(self.power_coupling * survive))
+        if in2 is not None:
+            contributions2.append(in2.scaled(self.power_through * survive))
+            contributions1.append(in2.scaled(self.power_coupling * survive))
+        if contributions1:
+            result = contributions1[0]
+            for extra in contributions1[1:]:
+                result = result.merged_with(extra)
+            outputs["out1"] = result
+        if contributions2:
+            result = contributions2[0]
+            for extra in contributions2[1:]:
+                result = result.merged_with(extra)
+            outputs["out2"] = result
+        return outputs
+
+
+class PowerSplitter:
+    """1x2 optical power splitter (PS1-PS3 of the pSRAM bitcell).
+
+    ``ratio`` is the fraction of input power sent to ``out1``; the rest
+    (minus excess loss) goes to ``out2``.
+    """
+
+    input_ports = ("in",)
+    output_ports = ("out1", "out2")
+
+    def __init__(self, ratio: float = 0.5, excess_loss_db: float = 0.0, label: str = "") -> None:
+        if not 0.0 <= ratio <= 1.0:
+            raise ConfigurationError(f"split ratio must be in [0, 1], got {ratio}")
+        if excess_loss_db < 0.0:
+            raise ConfigurationError(f"excess loss must be non-negative, got {excess_loss_db}")
+        self.ratio = ratio
+        self.excess_loss_db = excess_loss_db
+        self.label = label
+
+    def split(self, signal: WDMSignal) -> tuple[WDMSignal, WDMSignal]:
+        """Split ``signal`` into (out1, out2)."""
+        survive = 10.0 ** (-self.excess_loss_db / 10.0)
+        return (
+            signal.scaled(self.ratio * survive),
+            signal.scaled((1.0 - self.ratio) * survive),
+        )
+
+    def propagate_ports(self, inputs: dict[str, WDMSignal]) -> dict[str, WDMSignal]:
+        out1, out2 = self.split(inputs["in"])
+        return {"out1": out1, "out2": out2}
+
+
+class BinaryScaledSplitterTree:
+    """Cascade of 50/50 splitters producing binary-weighted copies.
+
+    For ``bits`` = n, the input signal is divided into n branches with
+    powers IN/2, IN/4, ..., IN/2^n ordered MSB first, plus a residual
+    IN/2^n that is sent to an absorber.  Branch k then multiplies the
+    analog input by the weight bit of significance 2^(n-1-k), so the
+    photodiode-summed output of equal-gain bit planes reconstructs
+    IN * w / 2^n exactly (see DESIGN.md).
+    """
+
+    def __init__(self, bits: int, excess_loss_db_per_stage: float = 0.0) -> None:
+        if bits < 1:
+            raise ConfigurationError(f"splitter tree needs at least 1 bit, got {bits}")
+        self.bits = bits
+        self.excess_loss_db_per_stage = excess_loss_db_per_stage
+        self._stage = PowerSplitter(ratio=0.5, excess_loss_db=excess_loss_db_per_stage)
+
+    def branch_fractions(self) -> list[float]:
+        """Ideal branch power fractions, MSB first (loss excluded)."""
+        return [2.0 ** (-(k + 1)) for k in range(self.bits)]
+
+    @property
+    def residual_fraction(self) -> float:
+        """Fraction of input power absorbed after the last stage."""
+        return 2.0 ** (-self.bits)
+
+    def split(self, signal: WDMSignal) -> tuple[list[WDMSignal], WDMSignal]:
+        """Return ([branch_msb, ..., branch_lsb], residual)."""
+        branches: list[WDMSignal] = []
+        remaining = signal
+        for _ in range(self.bits):
+            tap, remaining = self._stage.split(remaining)
+            branches.append(tap)
+        return branches, remaining

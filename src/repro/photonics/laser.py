@@ -1,0 +1,172 @@
+"""Laser sources: CW bias, write pulses and the WDM frequency comb.
+
+All sources carry the paper's wall-plug efficiency of 0.23 (ref. [47])
+so the energy ledger can convert optical power to electrical draw.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import WALL_PLUG_EFFICIENCY
+from ..errors import ConfigurationError
+from .signal import WDMSignal
+
+
+class CWLaser:
+    """Continuous-wave laser at a single wavelength."""
+
+    input_ports = ()
+    output_ports = ("out",)
+
+    def __init__(
+        self,
+        wavelength: float,
+        power: float,
+        wall_plug_efficiency: float = WALL_PLUG_EFFICIENCY,
+        label: str = "",
+    ) -> None:
+        if power < 0.0:
+            raise ConfigurationError(f"laser power must be non-negative, got {power}")
+        if not 0.0 < wall_plug_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"wall-plug efficiency must be in (0, 1], got {wall_plug_efficiency}"
+            )
+        self.wavelength = wavelength
+        self.power = power
+        self.wall_plug_efficiency = wall_plug_efficiency
+        self.label = label
+
+    def signal(self) -> WDMSignal:
+        """The emitted optical signal."""
+        return WDMSignal.single(self.wavelength, self.power)
+
+    @property
+    def wall_plug_power(self) -> float:
+        """Electrical power drawn from the wall [W]."""
+        return self.power / self.wall_plug_efficiency
+
+    def energy(self, duration: float) -> float:
+        """Wall-plug energy [J] consumed over ``duration`` [s]."""
+        if duration < 0.0:
+            raise ConfigurationError(f"duration must be non-negative, got {duration}")
+        return self.wall_plug_power * duration
+
+    def propagate_ports(self, inputs: dict[str, WDMSignal]) -> dict[str, WDMSignal]:
+        return {"out": self.signal()}
+
+
+class OpticalPulse:
+    """A rectangular optical pulse (the pSRAM write stimulus).
+
+    The paper writes the pSRAM with 50 ps, 0 dBm pulses on WBL/WBLB.
+    """
+
+    def __init__(
+        self,
+        wavelength: float,
+        peak_power: float,
+        start_time: float,
+        width: float,
+        wall_plug_efficiency: float = WALL_PLUG_EFFICIENCY,
+    ) -> None:
+        if peak_power < 0.0:
+            raise ConfigurationError(f"peak power must be non-negative, got {peak_power}")
+        if width <= 0.0:
+            raise ConfigurationError(f"pulse width must be positive, got {width}")
+        self.wavelength = wavelength
+        self.peak_power = peak_power
+        self.start_time = start_time
+        self.width = width
+        self.wall_plug_efficiency = wall_plug_efficiency
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.width
+
+    def power_at(self, time: float) -> float:
+        """Instantaneous optical power [W] at ``time`` [s]."""
+        if self.start_time <= time < self.end_time:
+            return self.peak_power
+        return 0.0
+
+    @property
+    def optical_energy(self) -> float:
+        """Optical energy in the pulse [J]."""
+        return self.peak_power * self.width
+
+    @property
+    def wall_plug_energy(self) -> float:
+        """Electrical energy the source spends emitting the pulse [J]."""
+        return self.optical_energy / self.wall_plug_efficiency
+
+
+class FrequencyComb:
+    """Optical frequency comb: equally spaced WDM carriers.
+
+    The paper generates the intensity-encoded input vector from a comb
+    (ref. [30]); :meth:`modulated` encodes an analog vector onto the
+    comb lines for WDM transmission through one bus waveguide.
+    """
+
+    input_ports = ()
+    output_ports = ("out",)
+
+    def __init__(
+        self,
+        base_wavelength: float,
+        spacing: float,
+        line_count: int,
+        power_per_line: float,
+        wall_plug_efficiency: float = WALL_PLUG_EFFICIENCY,
+        label: str = "",
+    ) -> None:
+        if line_count < 1:
+            raise ConfigurationError(f"comb needs at least 1 line, got {line_count}")
+        if spacing <= 0.0:
+            raise ConfigurationError(f"comb spacing must be positive, got {spacing}")
+        if power_per_line < 0.0:
+            raise ConfigurationError(f"line power must be non-negative, got {power_per_line}")
+        self.base_wavelength = base_wavelength
+        self.spacing = spacing
+        self.line_count = line_count
+        self.power_per_line = power_per_line
+        self.wall_plug_efficiency = wall_plug_efficiency
+        self.label = label
+
+    @property
+    def wavelengths(self) -> np.ndarray:
+        """Comb line wavelengths [m], ascending."""
+        return self.base_wavelength + self.spacing * np.arange(self.line_count)
+
+    def signal(self) -> WDMSignal:
+        """Unmodulated comb output (all lines at full power)."""
+        return WDMSignal(self.wavelengths, np.full(self.line_count, self.power_per_line))
+
+    def modulated(self, intensities) -> WDMSignal:
+        """Comb lines intensity-modulated by ``intensities`` in [0, 1].
+
+        This is the analog input encoding of the compute core: element i
+        of the input vector rides on wavelength lambda_i.
+        """
+        intensities = np.asarray(intensities, dtype=float)
+        if intensities.shape != (self.line_count,):
+            raise ConfigurationError(
+                f"need {self.line_count} intensities, got shape {intensities.shape}"
+            )
+        if np.any(intensities < 0.0) or np.any(intensities > 1.0):
+            raise ConfigurationError("modulation intensities must lie in [0, 1]")
+        return WDMSignal(self.wavelengths, intensities * self.power_per_line)
+
+    @property
+    def total_power(self) -> float:
+        """Total emitted optical power at full modulation [W]."""
+        return self.line_count * self.power_per_line
+
+    @property
+    def wall_plug_power(self) -> float:
+        """Electrical power drawn from the wall [W]."""
+        return self.total_power / self.wall_plug_efficiency
+
+    def propagate_ports(self, inputs: dict[str, WDMSignal]) -> dict[str, WDMSignal]:
+        return {"out": self.signal()}

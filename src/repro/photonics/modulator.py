@@ -1,0 +1,138 @@
+"""Input intensity modulators for the analog vector encoding.
+
+The compute core's analog inputs are 'intensity-encoded optical
+pulses' riding the frequency comb.  A practical encoder is a microring
+modulator operated on its transmission flank; its drive-to-intensity
+curve is a Lorentzian flank, *not* a straight line, so a naive encoder
+compresses large inputs.  :class:`RingModulator` models that curve and
+:class:`PredistortedEncoder` inverts it (the lookup predistortion any
+deployed transmitter applies), restoring end-to-end linearity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import Technology, default_technology
+from ..errors import ConfigurationError
+from .mrr import AllPassMRR
+from .pn_junction import DepletionTuner
+
+
+class RingModulator:
+    """An all-pass ring biased on its flank as an intensity modulator.
+
+    ``bias_detuning`` places the carrier on the transmission flank at
+    zero drive; the depletion junction then swings the resonance so the
+    carrier transmission moves between a low and a high value across
+    the drive range.
+    """
+
+    def __init__(
+        self,
+        technology: Technology | None = None,
+        drive_range: float = 1.8,
+        bias_detuning: float | None = None,
+        label: str = "mod",
+    ) -> None:
+        self.technology = technology if technology is not None else default_technology()
+        tech = self.technology
+        if drive_range <= 0.0:
+            raise ConfigurationError("drive range must be positive")
+        self.drive_range = drive_range
+        self.ring = AllPassMRR(
+            tech.adc_ring_spec(),
+            design_wavelength=tech.wavelength,
+            design_voltage=0.0,
+            waveguide=tech.waveguide,
+            coupler=tech.coupler,
+            tuner=DepletionTuner(tech.depletion),
+            label=f"{label}.ring",
+        )
+        if bias_detuning is None:
+            # Half the drive-induced swing keeps the carrier on one
+            # flank across the whole drive range.
+            efficiency = tech.depletion.efficiency
+            bias_detuning = 0.75 * efficiency * drive_range
+        self.bias_detuning = bias_detuning
+
+    def transmission(self, drive_voltage) -> np.ndarray:
+        """Carrier transmission for a drive voltage in [0, range]."""
+        drive = np.asarray(drive_voltage, dtype=float)
+        if np.any(drive < 0.0) or np.any(drive > self.drive_range):
+            raise ConfigurationError(
+                f"drive must lie in [0, {self.drive_range}] V"
+            )
+        wavelength = self.technology.wavelength + self.bias_detuning
+        flat = drive.ravel()
+        values = np.array(
+            [
+                float(self.ring.thru_transmission(wavelength, voltage=float(v)))
+                for v in flat
+            ]
+        )
+        return values.reshape(drive.shape) if drive.shape else values[0]
+
+    @property
+    def extinction(self) -> tuple[float, float]:
+        """(minimum, maximum) transmission across the drive range."""
+        drives = np.linspace(0.0, self.drive_range, 201)
+        transmissions = self.transmission(drives)
+        return float(transmissions.min()), float(transmissions.max())
+
+    def nonlinearity(self) -> float:
+        """Worst deviation of the raw drive->intensity curve from the
+        straight line between its endpoints (fraction of the swing)."""
+        drives = np.linspace(0.0, self.drive_range, 201)
+        transmissions = self.transmission(drives)
+        line = np.linspace(transmissions[0], transmissions[-1], drives.size)
+        swing = abs(transmissions[-1] - transmissions[0])
+        if swing == 0.0:
+            raise ConfigurationError("modulator has no swing at this bias")
+        return float(np.max(np.abs(transmissions - line)) / swing)
+
+
+class PredistortedEncoder:
+    """Lookup predistortion linearizing a ring modulator.
+
+    Builds an inverse table mapping desired normalized intensity in
+    [0, 1] to the drive voltage producing it, so ``encode`` followed by
+    the physical modulator yields the requested intensity.
+    """
+
+    def __init__(self, modulator: RingModulator, table_points: int = 512) -> None:
+        if table_points < 16:
+            raise ConfigurationError("need at least 16 predistortion points")
+        self.modulator = modulator
+        drives = np.linspace(0.0, modulator.drive_range, table_points)
+        transmissions = modulator.transmission(drives)
+        low, high = transmissions.min(), transmissions.max()
+        if high - low <= 0.0:
+            raise ConfigurationError("modulator has no usable swing")
+        normalized = (transmissions - low) / (high - low)
+        # The flank is monotone across the drive range; sort defensively.
+        order = np.argsort(normalized)
+        self._intensity_table = normalized[order]
+        self._drive_table = drives[order]
+        self.floor = float(low)
+        self.swing = float(high - low)
+
+    def encode(self, intensities) -> np.ndarray:
+        """Drive voltages producing the requested intensities in [0, 1]."""
+        intensities = np.asarray(intensities, dtype=float)
+        if np.any(intensities < 0.0) or np.any(intensities > 1.0):
+            raise ConfigurationError("intensities must lie in [0, 1]")
+        return np.interp(intensities, self._intensity_table, self._drive_table)
+
+    def realized_intensity(self, intensities) -> np.ndarray:
+        """Round trip: intensity -> predistorted drive -> modulator."""
+        drives = self.encode(intensities)
+        transmissions = self.modulator.transmission(np.atleast_1d(drives))
+        normalized = (np.asarray(transmissions) - self.floor) / self.swing
+        return normalized if np.ndim(intensities) else float(normalized[0])
+
+    def residual_nonlinearity(self, points: int = 101) -> float:
+        """Worst |realized - requested| after predistortion."""
+        targets = np.linspace(0.0, 1.0, points)
+        realized = self.realized_intensity(targets)
+        return float(np.max(np.abs(realized - targets)))

@@ -1,0 +1,104 @@
+"""Photodiodes and the balanced pair used for opto-electric thresholding.
+
+Photodiodes are the optical-to-electrical boundary everywhere in the
+architecture: the pSRAM storage nodes (P1-P4), the compute-core output
+accumulators, and the eoADC thresholding blocks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..config import PhotodiodeSpec
+from ..constants import BOLTZMANN_CONSTANT, ELEMENTARY_CHARGE, ROOM_TEMPERATURE
+from ..errors import ConfigurationError
+from .signal import WDMSignal
+
+
+class Photodiode:
+    """A broadband Ge photodiode converting optical power to current.
+
+    The broadband response matters for the pSRAM: its photodiodes sum
+    the hold-bias wavelength and the (possibly different) write-laser
+    wavelength, as the paper notes in Section II-A.
+    """
+
+    input_ports = ("in",)
+    output_ports = ()
+
+    def __init__(self, spec: PhotodiodeSpec | None = None, label: str = "") -> None:
+        self.spec = spec if spec is not None else PhotodiodeSpec()
+        if self.spec.responsivity <= 0.0:
+            raise ConfigurationError("photodiode responsivity must be positive")
+        self.label = label
+        #: Last optical power absorbed through the network interface [W].
+        self.last_input_power = 0.0
+
+    def current(self, optical_power: float) -> float:
+        """Photocurrent [A] for an incident optical power [W]."""
+        if optical_power < 0.0:
+            raise ConfigurationError(f"optical power must be non-negative, got {optical_power}")
+        return self.spec.responsivity * optical_power + self.spec.dark_current
+
+    def current_from_signal(self, signal: WDMSignal) -> float:
+        """Photocurrent [A] summing all carriers (broadband response)."""
+        return self.current(signal.total_power)
+
+    def shot_noise_sigma(self, optical_power: float, bandwidth: float | None = None) -> float:
+        """Shot-noise current std-dev [A] at the given bandwidth."""
+        bandwidth = self.spec.bandwidth if bandwidth is None else bandwidth
+        mean_current = self.current(optical_power)
+        return math.sqrt(2.0 * ELEMENTARY_CHARGE * mean_current * bandwidth)
+
+    def noisy_current(
+        self,
+        optical_power: float,
+        rng: np.random.Generator,
+        bandwidth: float | None = None,
+        load_resistance: float = 10e3,
+    ) -> float:
+        """Photocurrent sample including shot and thermal noise [A]."""
+        bandwidth = self.spec.bandwidth if bandwidth is None else bandwidth
+        shot = self.shot_noise_sigma(optical_power, bandwidth)
+        thermal = math.sqrt(
+            4.0 * BOLTZMANN_CONSTANT * ROOM_TEMPERATURE * bandwidth / load_resistance
+        )
+        sigma = math.hypot(shot, thermal)
+        return self.current(optical_power) + rng.normal(0.0, sigma)
+
+    def propagate_ports(self, inputs: dict[str, WDMSignal]) -> dict[str, WDMSignal]:
+        """Network sink: record absorbed power, emit nothing."""
+        self.last_input_power = inputs["in"].total_power
+        return {}
+
+
+class BalancedPhotodiodePair:
+    """Two stacked photodiodes producing a signed difference current.
+
+    The eoADC thresholding block connects the upper diode to a ring thru
+    port and the lower diode to the reference power; the paper's pSRAM
+    uses the same topology with the storage node at the midpoint (the
+    upper diode pulls the node toward VDD, the lower toward ground).
+    """
+
+    def __init__(
+        self,
+        upper: Photodiode | None = None,
+        lower: Photodiode | None = None,
+        label: str = "",
+    ) -> None:
+        self.upper = upper if upper is not None else Photodiode()
+        self.lower = lower if lower is not None else Photodiode()
+        self.label = label
+
+    def net_current(self, upper_power: float, lower_power: float) -> float:
+        """I_upper - I_lower [A]: positive pulls the midpoint up."""
+        return self.upper.current(upper_power) - self.lower.current(lower_power)
+
+    def discharges(self, upper_power: float, lower_power: float) -> bool:
+        """True when the midpoint node discharges toward ground,
+        i.e. the lower (reference) diode wins — the eoADC's 'active'
+        thresholding condition."""
+        return self.net_current(upper_power, lower_power) < 0.0

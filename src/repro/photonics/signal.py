@@ -1,0 +1,138 @@
+"""Optical signal containers.
+
+The architecture reproduced here never recombines light interferometrically
+(no MZIs), so signals between components are represented *incoherently* as
+per-wavelength powers.  Phase is handled analytically inside each ring's
+transfer function.  This matches the paper's own assumption that WDM
+channel results combine by linear photocurrent summation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from ..errors import PhotonicsError
+
+
+class WDMSignal:
+    """A set of optical carriers, each with a wavelength [m] and power [W].
+
+    Instances behave like immutable value objects: arithmetic helpers
+    return new signals.  Wavelengths are kept sorted and unique; merging
+    signals adds powers of coincident carriers.
+    """
+
+    #: Wavelengths closer than this [m] are treated as the same carrier.
+    WAVELENGTH_TOLERANCE = 1e-15
+
+    def __init__(self, wavelengths: Iterable[float], powers: Iterable[float]) -> None:
+        wl = np.atleast_1d(np.asarray(wavelengths, dtype=float))
+        pw = np.atleast_1d(np.asarray(powers, dtype=float))
+        if wl.shape != pw.shape:
+            raise PhotonicsError(
+                f"wavelengths and powers must match in shape, got {wl.shape} vs {pw.shape}"
+            )
+        if np.any(pw < 0.0):
+            raise PhotonicsError("optical powers must be non-negative")
+        if np.any(wl <= 0.0):
+            raise PhotonicsError("wavelengths must be positive")
+        order = np.argsort(wl)
+        self._wavelengths = wl[order]
+        self._powers = pw[order]
+
+    @classmethod
+    def single(cls, wavelength: float, power: float) -> "WDMSignal":
+        """A single-carrier signal."""
+        return cls([wavelength], [power])
+
+    @classmethod
+    def dark(cls, wavelengths: Iterable[float]) -> "WDMSignal":
+        """A signal with the given carriers all at zero power."""
+        wl = np.asarray(list(wavelengths), dtype=float)
+        return cls(wl, np.zeros_like(wl))
+
+    @classmethod
+    def from_mapping(cls, channels: Mapping[float, float]) -> "WDMSignal":
+        """Build from a {wavelength: power} mapping."""
+        return cls(list(channels.keys()), list(channels.values()))
+
+    @property
+    def wavelengths(self) -> np.ndarray:
+        return self._wavelengths.copy()
+
+    @property
+    def powers(self) -> np.ndarray:
+        return self._powers.copy()
+
+    @property
+    def num_channels(self) -> int:
+        return int(self._wavelengths.size)
+
+    @property
+    def total_power(self) -> float:
+        """Sum of carrier powers [W]."""
+        return float(self._powers.sum())
+
+    def power_at(self, wavelength: float) -> float:
+        """Power [W] of the carrier at ``wavelength`` (0 if absent)."""
+        mask = np.abs(self._wavelengths - wavelength) <= self.WAVELENGTH_TOLERANCE
+        return float(self._powers[mask].sum())
+
+    def scaled(self, factor) -> "WDMSignal":
+        """Return a copy with powers multiplied by ``factor``.
+
+        ``factor`` may be a scalar or an array matching the channel count
+        (a per-wavelength transmission vector).
+        """
+        factor = np.asarray(factor, dtype=float)
+        new_powers = self._powers * factor
+        if np.any(new_powers < 0.0):
+            raise PhotonicsError("transmission factors must be non-negative")
+        return WDMSignal(self._wavelengths, new_powers)
+
+    def attenuated_db(self, loss_db: float) -> "WDMSignal":
+        """Return a copy attenuated by ``loss_db`` (positive = loss)."""
+        return self.scaled(10.0 ** (-loss_db / 10.0))
+
+    def merged_with(self, other: "WDMSignal") -> "WDMSignal":
+        """Combine two signals, adding powers on coincident carriers."""
+        return merge_signals([self, other])
+
+    def as_mapping(self) -> dict[float, float]:
+        """Return {wavelength: power}."""
+        return {float(w): float(p) for w, p in zip(self._wavelengths, self._powers)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        channels = ", ".join(
+            f"{w * 1e9:.3f}nm:{p * 1e6:.3f}uW" for w, p in zip(self._wavelengths, self._powers)
+        )
+        return f"WDMSignal({channels})"
+
+
+def merge_signals(signals: Iterable[WDMSignal]) -> WDMSignal:
+    """Sum an iterable of signals into one, merging coincident carriers.
+
+    Carriers within :attr:`WDMSignal.WAVELENGTH_TOLERANCE` of each other
+    are treated as one wavelength and their powers add (incoherent
+    summation, the paper's photodiode-summation assumption).
+    """
+    signals = list(signals)
+    if not signals:
+        raise PhotonicsError("cannot merge an empty collection of signals")
+    wavelengths = np.concatenate([s._wavelengths for s in signals])
+    powers = np.concatenate([s._powers for s in signals])
+    order = np.argsort(wavelengths)
+    wavelengths = wavelengths[order]
+    powers = powers[order]
+
+    merged_wl: list[float] = []
+    merged_pw: list[float] = []
+    for wl, pw in zip(wavelengths, powers):
+        if merged_wl and abs(wl - merged_wl[-1]) <= WDMSignal.WAVELENGTH_TOLERANCE:
+            merged_pw[-1] += pw
+        else:
+            merged_wl.append(float(wl))
+            merged_pw.append(float(pw))
+    return WDMSignal(merged_wl, merged_pw)

@@ -1,0 +1,98 @@
+"""Thermo-optic tuning: drift, heaters and closed-loop locking.
+
+MRRs are sensitive to thermal fluctuations; the paper (and its MRR
+references [37], [38]) points to integrated-heater stabilization.  This
+module provides the drift model, a heater actuator and a simple
+integral-feedback wavelength locker used by the thermal ablation bench.
+"""
+
+from __future__ import annotations
+
+from ..config import ThermalSpec
+from ..errors import ConfigurationError
+
+
+class ThermalTuner:
+    """Converts a temperature offset into a resonance shift."""
+
+    def __init__(self, spec: ThermalSpec | None = None) -> None:
+        self.spec = spec if spec is not None else ThermalSpec()
+
+    def wavelength_shift(self, delta_temperature: float) -> float:
+        """Red-shift [m] for a temperature rise ``delta_temperature`` [K]."""
+        return self.spec.shift_per_kelvin * delta_temperature
+
+
+class Heater:
+    """Integrated micro-heater actuator above a ring."""
+
+    def __init__(self, spec: ThermalSpec | None = None) -> None:
+        self.spec = spec if spec is not None else ThermalSpec()
+        self._power = 0.0
+
+    @property
+    def power(self) -> float:
+        """Electrical heater power [W]."""
+        return self._power
+
+    @power.setter
+    def power(self, value: float) -> None:
+        if value < 0.0:
+            raise ConfigurationError(f"heater power must be non-negative, got {value}")
+        self._power = min(value, self.spec.max_heater_power)
+
+    def wavelength_shift(self) -> float:
+        """Red-shift [m] produced by the current heater power."""
+        return self.spec.heater_efficiency * self._power
+
+
+class WavelengthLocker:
+    """Integral feedback loop locking a ring resonance to a target.
+
+    The locker measures the residual detuning (in a real system: via a
+    drop-port monitor photodiode) and adjusts heater power to cancel it.
+    Because a heater can only red-shift, the ring is biased mid-range so
+    the loop can correct drift of either sign.
+    """
+
+    def __init__(
+        self,
+        heater: Heater,
+        gain: float = 0.5,
+        bias_power: float | None = None,
+    ) -> None:
+        if not 0.0 < gain <= 1.0:
+            raise ConfigurationError(f"locker gain must be in (0, 1], got {gain}")
+        self.heater = heater
+        self.gain = gain
+        if bias_power is None:
+            bias_power = heater.spec.max_heater_power / 2.0
+        self.bias_power = bias_power
+        self.heater.power = bias_power
+
+    def step(self, measured_detuning: float) -> float:
+        """One feedback iteration.
+
+        ``measured_detuning`` is (actual - target) resonance wavelength
+        [m] *including* the current heater contribution.  Returns the
+        updated heater power [W].
+        """
+        efficiency = self.heater.spec.heater_efficiency
+        correction = -self.gain * measured_detuning / efficiency
+        self.heater.power = max(0.0, self.heater.power + correction)
+        return self.heater.power
+
+    def _residual(self, ambient_detuning: float) -> float:
+        """Net detuning [m]: ambient drift plus the heater's deviation
+        from its mid-range bias contribution."""
+        bias_shift = self.heater.spec.heater_efficiency * self.bias_power
+        return ambient_detuning + self.heater.wavelength_shift() - bias_shift
+
+    def lock(self, ambient_detuning: float, iterations: int = 20) -> float:
+        """Drive the loop to cancel a static ``ambient_detuning`` [m].
+
+        Returns the residual detuning [m] after ``iterations`` steps.
+        """
+        for _ in range(iterations):
+            self.step(self._residual(ambient_detuning))
+        return self._residual(ambient_detuning)

@@ -1,0 +1,56 @@
+"""Strip waveguide propagation model.
+
+Waveguides confine light through the high-index silicon core; here they
+contribute propagation loss, phase delay and group delay.  The modal
+indices come from :class:`repro.config.WaveguideSpec`, calibrated to the
+paper's ring measurements (DESIGN.md section 2).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..config import WaveguideSpec
+from ..errors import ConfigurationError
+from .signal import WDMSignal
+
+
+class Waveguide:
+    """A length of routing waveguide between two ports."""
+
+    def __init__(self, length: float, spec: WaveguideSpec | None = None, label: str = "") -> None:
+        if length < 0.0:
+            raise ConfigurationError(f"waveguide length must be non-negative, got {length}")
+        self.length = length
+        self.spec = spec if spec is not None else WaveguideSpec()
+        self.label = label
+
+    @property
+    def power_transmission(self) -> float:
+        """Fraction of optical power surviving propagation."""
+        return math.exp(-self.spec.alpha * self.length)
+
+    @property
+    def loss_db(self) -> float:
+        """Insertion loss [dB] of this waveguide."""
+        return self.spec.loss_db_per_cm * self.length * 100.0
+
+    def phase(self, wavelength: float) -> float:
+        """Accumulated optical phase [rad] at ``wavelength`` [m]."""
+        return 2.0 * math.pi * self.spec.effective_index * self.length / wavelength
+
+    def group_delay(self) -> float:
+        """Group delay [s] through the waveguide."""
+        return self.spec.group_index * self.length / 299_792_458.0
+
+    def propagate(self, signal: WDMSignal) -> WDMSignal:
+        """Apply propagation loss to every carrier of ``signal``."""
+        return signal.scaled(self.power_transmission)
+
+    # Port protocol used by repro.photonics.network ------------------------
+    input_ports = ("in",)
+    output_ports = ("out",)
+
+    def propagate_ports(self, inputs: dict[str, WDMSignal]) -> dict[str, WDMSignal]:
+        """Network-protocol adapter: ``in`` -> ``out`` with loss."""
+        return {"out": self.propagate(inputs["in"])}

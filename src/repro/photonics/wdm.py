@@ -1,0 +1,97 @@
+"""WDM channel planning and inter-channel crosstalk analysis.
+
+Section III of the paper sizes the channel count from the ring FSR and
+channel spacing (9.36 nm FSR / 2.33 nm spacing -> 4 usable channels).
+:func:`crosstalk_matrix` quantifies how much each weight ring perturbs
+its neighbours' wavelengths — the effect the paper folds in by keeping
+all rings in the testbench while simulating one channel at a time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """An equally spaced WDM channel grid."""
+
+    base_wavelength: float
+    spacing: float
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigurationError(f"channel plan needs >= 1 channel, got {self.count}")
+        if self.spacing <= 0.0:
+            raise ConfigurationError(f"channel spacing must be positive, got {self.spacing}")
+
+    @property
+    def wavelengths(self) -> np.ndarray:
+        """Channel wavelengths [m], ascending."""
+        return self.base_wavelength + self.spacing * np.arange(self.count)
+
+    def wavelength(self, index: int) -> float:
+        """Wavelength [m] of channel ``index``."""
+        if not 0 <= index < self.count:
+            raise ConfigurationError(f"channel index {index} outside 0..{self.count - 1}")
+        return self.base_wavelength + self.spacing * index
+
+    def span(self) -> float:
+        """Spectral width from first to last channel [m]."""
+        return self.spacing * (self.count - 1)
+
+    def fits_in_fsr(self, fsr: float) -> bool:
+        """True when all channels (plus one guard spacing) fit in one FSR,
+        so the periodic ring response cannot alias channels."""
+        return self.spacing * self.count <= fsr
+
+
+def usable_channels(fsr: float, spacing: float) -> int:
+    """Number of channels usable within one FSR at a given spacing.
+
+    The paper's example: a 9 nm FSR with 2 nm spacing supports 4.
+    """
+    if fsr <= 0.0 or spacing <= 0.0:
+        raise ConfigurationError("FSR and spacing must be positive")
+    return int(math.floor(fsr / spacing))
+
+
+def crosstalk_matrix(rings, plan: ChannelPlan) -> np.ndarray:
+    """Thru transmission of every ring at every channel wavelength.
+
+    ``rings`` is a sequence of ring models (one per channel, in channel
+    order) with their drives already set.  Entry [i, j] is ring j's
+    thru-port transmission at channel i's wavelength: diagonal entries
+    are the intended modulation, off-diagonal entries the parasitic
+    attenuation of neighbouring channels (inter-channel crosstalk).
+    """
+    rings = list(rings)
+    if len(rings) != plan.count:
+        raise ConfigurationError(
+            f"need one ring per channel: {len(rings)} rings vs {plan.count} channels"
+        )
+    wavelengths = plan.wavelengths
+    matrix = np.empty((plan.count, plan.count), dtype=float)
+    for j, ring in enumerate(rings):
+        matrix[:, j] = np.asarray(ring.thru_transmission(wavelengths), dtype=float)
+    return matrix
+
+
+def worst_case_crosstalk_db(matrix: np.ndarray) -> float:
+    """Largest off-diagonal attenuation [dB] in a crosstalk matrix.
+
+    0 dB means a neighbour ring is fully transparent at this channel;
+    more negative numbers mean stronger parasitic attenuation.
+    """
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ConfigurationError("crosstalk matrix must be square")
+    off_diagonal = matrix[~np.eye(matrix.shape[0], dtype=bool)]
+    if off_diagonal.size == 0:
+        return 0.0
+    return float(10.0 * np.log10(off_diagonal.min()))

@@ -1,0 +1,19 @@
+"""Simulation engines: waveforms, transient co-simulation, sweeps, MC."""
+
+from .montecarlo import MonteCarlo, SummaryStatistics
+from .sweep import sweep_1d, sweep_2d
+from .transient import FirstOrderLag, Recorder, TransientEngine
+from .waveform import PulseTrain, StepSequence, Waveform
+
+__all__ = [
+    "FirstOrderLag",
+    "MonteCarlo",
+    "PulseTrain",
+    "Recorder",
+    "StepSequence",
+    "SummaryStatistics",
+    "sweep_1d",
+    "sweep_2d",
+    "TransientEngine",
+    "Waveform",
+]

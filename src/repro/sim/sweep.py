@@ -1,0 +1,48 @@
+"""Parameter-sweep helpers for device characterization benches."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def sweep_1d(func: Callable[[float], float], values: Sequence[float]) -> np.ndarray:
+    """Evaluate ``func`` over ``values``; returns an array of results.
+
+    ``func`` may return a scalar or an array (results are stacked).
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("sweep needs at least one value")
+    results = [func(float(value)) for value in values]
+    return np.asarray(results)
+
+
+def sweep_2d(
+    func: Callable[[float, float], float],
+    first: Sequence[float],
+    second: Sequence[float],
+) -> np.ndarray:
+    """Evaluate ``func`` over the Cartesian grid first x second.
+
+    Returns an array of shape (len(first), len(second)).
+    """
+    first = np.asarray(first, dtype=float)
+    second = np.asarray(second, dtype=float)
+    if first.size == 0 or second.size == 0:
+        raise ConfigurationError("sweep needs at least one value per axis")
+    return np.asarray(
+        [[func(float(a), float(b)) for b in second] for a in first]
+    )
+
+
+def wavelength_grid(center: float, half_span: float, points: int = 1001) -> np.ndarray:
+    """A symmetric wavelength sweep grid around ``center`` [m]."""
+    if half_span <= 0.0:
+        raise ConfigurationError(f"half span must be positive, got {half_span}")
+    if points < 3:
+        raise ConfigurationError(f"need at least 3 points, got {points}")
+    return np.linspace(center - half_span, center + half_span, points)

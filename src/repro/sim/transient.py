@@ -1,0 +1,115 @@
+"""Fixed-step transient co-simulation scaffolding.
+
+The mixed-signal systems in this package (pSRAM latch, eoADC) advance
+per time step as: (1) update drive voltages, (2) propagate optical
+powers quasi-statically with a first-order photon-lifetime lag on ring
+responses, (3) integrate the electrical node ODEs.  The engine here
+owns the time base and recording; each system supplies a step callback.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError
+from .waveform import Waveform
+
+
+class FirstOrderLag:
+    """Single-pole tracker: state follows a target with time constant tau.
+
+    Used for ring photon-lifetime response, injection-tuner carrier
+    dynamics and TIA/amplifier settling.
+    """
+
+    def __init__(self, initial, time_constant: float) -> None:
+        if time_constant <= 0.0:
+            raise ConfigurationError(f"time constant must be positive, got {time_constant}")
+        self.state = np.asarray(initial, dtype=float) * 1.0
+        self.time_constant = time_constant
+
+    def step(self, target, dt: float):
+        """Advance toward ``target`` by ``dt``; returns the new state."""
+        if dt <= 0.0:
+            raise SimulationError(f"time step must be positive, got {dt}")
+        alpha = 1.0 - math.exp(-dt / self.time_constant)
+        self.state = self.state + (np.asarray(target, dtype=float) - self.state) * alpha
+        return self.state
+
+    def snap(self, value) -> None:
+        """Force the state (initial conditions)."""
+        self.state = np.asarray(value, dtype=float) * 1.0
+
+
+class Recorder:
+    """Collects named scalar signals sampled every engine step."""
+
+    def __init__(self) -> None:
+        self._times: list[float] = []
+        self._signals: dict[str, list[float]] = {}
+
+    def record(self, time: float, **signals: float) -> None:
+        """Append one sample of each named signal."""
+        self._times.append(time)
+        for name, value in signals.items():
+            self._signals.setdefault(name, []).append(float(value))
+        for name, series in self._signals.items():
+            if len(series) != len(self._times):
+                raise SimulationError(
+                    f"signal {name!r} missing a sample at t={time}; record every "
+                    "signal on every step"
+                )
+
+    @property
+    def signal_names(self) -> list[str]:
+        return list(self._signals)
+
+    def waveform(self, name: str) -> Waveform:
+        """The recorded series for ``name`` as a :class:`Waveform`."""
+        if name not in self._signals:
+            raise SimulationError(f"no recorded signal named {name!r}")
+        return Waveform(self._times, self._signals[name])
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+
+class TransientEngine:
+    """Fixed-step driver for a mixed-signal step callback."""
+
+    def __init__(self, time_step: float, duration: float) -> None:
+        if time_step <= 0.0:
+            raise ConfigurationError(f"time step must be positive, got {time_step}")
+        if duration <= time_step:
+            raise ConfigurationError("duration must exceed the time step")
+        self.time_step = time_step
+        self.duration = duration
+
+    @property
+    def step_count(self) -> int:
+        return int(round(self.duration / self.time_step))
+
+    def run(
+        self,
+        step: Callable[[float, float], dict[str, float]],
+        recorder: Recorder | None = None,
+    ) -> Recorder:
+        """Run the simulation.
+
+        ``step(t, dt)`` advances the system from ``t`` to ``t + dt`` and
+        returns the named signals to record for that instant.  Returns
+        the recorder with every signal's full history.
+        """
+        recorder = recorder if recorder is not None else Recorder()
+        time = 0.0
+        dt = self.time_step
+        for _ in range(self.step_count):
+            signals = step(time, dt)
+            if not isinstance(signals, dict):
+                raise SimulationError("step callback must return a dict of signals")
+            recorder.record(time, **signals)
+            time += dt
+        return recorder

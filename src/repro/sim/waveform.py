@@ -1,0 +1,165 @@
+"""Waveform containers and stimulus builders.
+
+:class:`Waveform` stores a sampled signal and provides the measurements
+the paper's transient figures rely on (threshold crossings, settling,
+final values).  :class:`PulseTrain` and :class:`StepSequence` build the
+optical/electrical stimuli: 50 ps write pulses for Fig. 5, stepped
+analog inputs for Fig. 9.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, SimulationError
+
+
+class Waveform:
+    """A sampled time-domain signal."""
+
+    def __init__(self, times: Sequence[float], values: Sequence[float]) -> None:
+        self._times = np.asarray(times, dtype=float)
+        self._values = np.asarray(values, dtype=float)
+        if self._times.shape != self._values.shape:
+            raise ConfigurationError("times and values must have matching shapes")
+        if self._times.ndim != 1 or self._times.size == 0:
+            raise ConfigurationError("waveform needs a non-empty 1-D time base")
+        if np.any(np.diff(self._times) <= 0.0):
+            raise ConfigurationError("time base must be strictly increasing")
+
+    @property
+    def times(self) -> np.ndarray:
+        return self._times.copy()
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values.copy()
+
+    @property
+    def duration(self) -> float:
+        return float(self._times[-1] - self._times[0])
+
+    def value_at(self, time: float) -> float:
+        """Linear interpolation of the waveform at ``time``."""
+        return float(np.interp(time, self._times, self._values))
+
+    def final_value(self) -> float:
+        return float(self._values[-1])
+
+    def crossings(self, threshold: float, rising: bool | None = None) -> list[float]:
+        """Times where the signal crosses ``threshold``.
+
+        ``rising`` selects edge direction (None = both).  Crossing times
+        are linearly interpolated between samples.
+        """
+        above = self._values >= threshold
+        times: list[float] = []
+        for index in range(1, len(above)):
+            if above[index] == above[index - 1]:
+                continue
+            edge_rising = above[index]
+            if rising is not None and edge_rising != rising:
+                continue
+            v0, v1 = self._values[index - 1], self._values[index]
+            t0, t1 = self._times[index - 1], self._times[index]
+            fraction = (threshold - v0) / (v1 - v0)
+            times.append(float(t0 + fraction * (t1 - t0)))
+        return times
+
+    def settling_time(self, target: float, tolerance: float) -> float:
+        """Time after which the signal stays within ``tolerance`` of
+        ``target`` until the end of the record.
+
+        Raises :class:`SimulationError` if the signal never settles.
+        """
+        inside = np.abs(self._values - target) <= tolerance
+        if not inside[-1]:
+            raise SimulationError("signal does not end inside the settling band")
+        # Last sample outside the band marks the settling boundary.
+        outside = np.nonzero(~inside)[0]
+        if outside.size == 0:
+            return float(self._times[0])
+        return float(self._times[outside[-1] + 1])
+
+    def window(self, start: float, end: float) -> "Waveform":
+        """Sub-waveform with start <= t <= end."""
+        if end <= start:
+            raise ConfigurationError("window must be increasing")
+        mask = (self._times >= start) & (self._times <= end)
+        if not np.any(mask):
+            raise ConfigurationError("window contains no samples")
+        return Waveform(self._times[mask], self._values[mask])
+
+
+class PulseTrain:
+    """Sum of rectangular pulses: level(t) = baseline + active pulses."""
+
+    def __init__(self, baseline: float = 0.0) -> None:
+        self.baseline = baseline
+        self._pulses: list[tuple[float, float, float]] = []
+
+    def add_pulse(self, start: float, width: float, amplitude: float) -> "PulseTrain":
+        """Add a rectangular pulse; returns self for chaining."""
+        if width <= 0.0:
+            raise ConfigurationError(f"pulse width must be positive, got {width}")
+        self._pulses.append((start, width, amplitude))
+        return self
+
+    def level_at(self, time: float) -> float:
+        """Instantaneous level at ``time``."""
+        level = self.baseline
+        for start, width, amplitude in self._pulses:
+            if start <= time < start + width:
+                level += amplitude
+        return level
+
+    def __call__(self, time: float) -> float:
+        return self.level_at(time)
+
+    @property
+    def pulse_count(self) -> int:
+        return len(self._pulses)
+
+
+class StepSequence:
+    """Piecewise-constant stimulus: one level per equal period.
+
+    The Fig. 9 eoADC transient applies analog levels 0.72 V, 2.0 V,
+    3.3 V for one 125 ps sample period each.
+    """
+
+    def __init__(self, levels: Sequence[float], period: float, start: float = 0.0) -> None:
+        if period <= 0.0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        if len(levels) == 0:
+            raise ConfigurationError("step sequence needs at least one level")
+        self.levels = [float(level) for level in levels]
+        self.period = period
+        self.start = start
+
+    def level_at(self, time: float) -> float:
+        """Level applied at ``time``; clamps to first/last level outside."""
+        index = int((time - self.start) // self.period)
+        index = min(max(index, 0), len(self.levels) - 1)
+        return self.levels[index]
+
+    def __call__(self, time: float) -> float:
+        return self.level_at(time)
+
+    @property
+    def duration(self) -> float:
+        return self.period * len(self.levels)
+
+    def sample_times(self, offset_fraction: float = 1.0) -> list[float]:
+        """One sampling instant per level, at ``offset_fraction`` of the
+        period (1.0 = sample at the end of each period, just before the
+        next step)."""
+        if not 0.0 < offset_fraction <= 1.0:
+            raise ConfigurationError("offset fraction must be in (0, 1]")
+        epsilon = 1e-4 * self.period
+        return [
+            self.start + (index + offset_fraction) * self.period - epsilon
+            for index in range(len(self.levels))
+        ]

@@ -1,0 +1,95 @@
+"""Unit tests for ADC characterization metrics (paper Fig. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.electronics.adc_metrics import (
+    code_transitions,
+    differential_nonlinearity,
+    effective_number_of_bits,
+    integral_nonlinearity,
+    is_monotonic,
+    missing_codes,
+    sqnr_from_ramp,
+    transfer_function,
+)
+from repro.errors import ConfigurationError
+
+
+def ideal_converter(lsb=0.5, levels=8):
+    def convert(v):
+        return min(max(int(v / lsb), 0), levels - 1)
+
+    return convert
+
+
+def test_transfer_function_sweep():
+    voltages, codes = transfer_function(ideal_converter(), 0.0, 3.999, points=801)
+    assert voltages.shape == codes.shape == (801,)
+    assert codes[0] == 0 and codes[-1] == 7
+
+
+def test_transfer_function_validates_arguments():
+    with pytest.raises(ConfigurationError):
+        transfer_function(ideal_converter(), 1.0, 0.0)
+    with pytest.raises(ConfigurationError):
+        transfer_function(ideal_converter(), 0.0, 1.0, points=1)
+
+
+def test_code_transitions_of_ideal_converter():
+    voltages, codes = transfer_function(ideal_converter(), 0.0, 3.999, points=8001)
+    transitions = code_transitions(voltages, codes)
+    for code in range(1, 8):
+        assert transitions[code] == pytest.approx(code * 0.5, abs=1e-3)
+
+
+def test_dnl_of_ideal_converter_is_zero():
+    voltages, codes = transfer_function(ideal_converter(), 0.0, 3.999, points=16001)
+    transitions = code_transitions(voltages, codes)
+    dnl = differential_nonlinearity(transitions, lsb=0.5, levels=8)
+    assert np.all(np.abs(dnl) < 5e-3)
+
+
+def test_dnl_flags_missing_code():
+    transitions = {1: 0.5, 3: 1.5}  # code 2 never appears
+    dnl = differential_nonlinearity(transitions, lsb=0.5, levels=8)
+    assert dnl[1] == -1.0  # missing upper transition
+    assert dnl[2] == -1.0
+
+
+def test_dnl_detects_wide_and_narrow_bins():
+    transitions = {1: 0.5, 2: 1.25, 3: 1.5}  # bin 1 is 1.5 LSB, bin 2 is 0.5
+    dnl = differential_nonlinearity(transitions, lsb=0.5, levels=4)
+    assert dnl[1] == pytest.approx(0.5)
+    assert dnl[2] == pytest.approx(-0.5)
+
+
+def test_inl_is_cumulative_dnl():
+    dnl = np.array([0.0, 0.2, -0.1, 0.0])
+    inl = integral_nonlinearity(dnl)
+    assert inl == pytest.approx([0.0, 0.2, 0.1, 0.1])
+
+
+def test_missing_codes_detection():
+    assert missing_codes([0, 1, 3], levels=4) == [2]
+    assert missing_codes(range(8), levels=8) == []
+
+
+def test_monotonicity_check():
+    assert is_monotonic([0, 0, 1, 2, 2, 3])
+    assert not is_monotonic([0, 1, 0, 2])
+
+
+def test_sqnr_near_ideal_bound():
+    """An ideal 3-bit ramp test approaches 6.02*3 + 1.76 dB."""
+    voltages, codes = transfer_function(ideal_converter(), 0.0, 3.999, points=40001)
+    sqnr = sqnr_from_ramp(voltages, codes, lsb=0.5)
+    # Ramp crest factor differs from sine; allow a band around the bound.
+    assert 17.0 < sqnr < 21.0
+    enob = effective_number_of_bits(sqnr)
+    assert 2.5 < enob < 3.3
+
+
+def test_dnl_validates_lsb():
+    with pytest.raises(ConfigurationError):
+        differential_nonlinearity({}, lsb=0.0, levels=8)

@@ -1,0 +1,73 @@
+"""Tests for linearity analysis and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.linearity import linear_fit, linearity_report
+from repro.analysis.reporting import ascii_table, format_series
+from repro.errors import ConfigurationError
+
+
+def test_linear_fit_exact_line():
+    x = np.linspace(0.0, 1.0, 20)
+    slope, intercept = linear_fit(x, 3.0 * x + 0.5)
+    assert slope == pytest.approx(3.0)
+    assert intercept == pytest.approx(0.5)
+
+
+def test_linear_fit_validation():
+    with pytest.raises(ConfigurationError):
+        linear_fit([1.0], [2.0])
+    with pytest.raises(ConfigurationError):
+        linear_fit([1.0, 2.0], [1.0])
+
+
+def test_linearity_report_perfect_fit():
+    x = np.linspace(0.0, 2.0, 50)
+    report = linearity_report(x, 2.0 * x)
+    assert report.r_squared == pytest.approx(1.0)
+    assert report.max_abs_error == pytest.approx(0.0, abs=1e-12)
+    assert report.is_linear()
+
+
+def test_linearity_report_detects_nonlinearity():
+    x = np.linspace(0.0, 2.0, 50)
+    report = linearity_report(x, x**2)
+    assert report.r_squared < 0.999
+    assert not report.is_linear()
+    assert report.rms_error > 0.0
+
+
+def test_ascii_table_alignment():
+    table = ascii_table(("a", "bb"), [("1", "2"), ("333", "4")])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+
+def test_ascii_table_validation():
+    with pytest.raises(ConfigurationError):
+        ascii_table((), [])
+    with pytest.raises(ConfigurationError):
+        ascii_table(("a",), [("1", "2")])
+
+
+def test_format_series_full():
+    text = format_series("x", "y", [1.0, 2.0], [10.0, 20.0])
+    assert "x" in text and "20" in text
+
+
+def test_format_series_decimation_keeps_endpoints():
+    x = list(range(100))
+    y = [2 * v for v in x]
+    text = format_series("x", "y", x, y, max_rows=10)
+    assert "0" in text.splitlines()[2]
+    assert "99" in text.splitlines()[-1]
+
+
+def test_format_series_validation():
+    with pytest.raises(ConfigurationError):
+        format_series("x", "y", [1.0], [])
+    with pytest.raises(ConfigurationError):
+        format_series("x", "y", [], [])

@@ -1,0 +1,146 @@
+"""Tests for the baseline comparators (flash/TI ADC, electrical IMC,
+and the Table I records)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.electrical_imc import ElectricalImcMacro
+from repro.baselines.flash_adc import FlashAdc
+from repro.baselines.photonic_macros import format_table_one, table_one
+from repro.baselines.ti_adc import TimeInterleavedElectricalAdc
+from repro.core.eoadc import EoAdc
+from repro.errors import ConfigurationError, ConversionError
+
+
+class TestFlashAdc:
+    def test_ideal_transfer(self):
+        adc = FlashAdc(bits=3)
+        for code in range(8):
+            assert adc.convert((code + 0.5) * 0.5) == code
+
+    def test_out_of_range(self):
+        adc = FlashAdc(bits=3)
+        with pytest.raises(ConversionError):
+            adc.convert(4.0)
+
+    def test_all_comparators_active_every_cycle(self):
+        """The structural contrast with the 1-hot eoADC."""
+        adc = FlashAdc(bits=3)
+        assert adc.active_blocks_per_conversion == 7
+
+    def test_power_grows_exponentially_with_bits(self):
+        three = FlashAdc(bits=3).total_power
+        six = FlashAdc(bits=6).total_power
+        assert six > 5 * three
+
+    def test_eoadc_beats_flash_at_matched_channel_power(self, tech):
+        """With identical per-channel read-chain power, the eoADC's
+        electrical draw undercuts the flash ADC's comparator bank."""
+        flash = FlashAdc(bits=3, comparator_power=0.7975e-3)
+        eoadc = EoAdc(tech)
+        flash_electrical = flash.total_power
+        eoadc_electrical = eoadc.power_ledger().total_for("electrical")
+        # eoADC pays an optical budget instead, but the electrical
+        # comparator-bank scaling is the flash bottleneck at high bits.
+        assert FlashAdc(bits=6, comparator_power=0.7975e-3).total_power > 5 * flash_electrical
+        assert eoadc_electrical < 2 * flash_electrical
+
+    def test_offsets_can_create_dnl(self):
+        clean = FlashAdc(bits=3, offset_sigma=0.0)
+        noisy = FlashAdc(bits=3, offset_sigma=0.1, seed=4)
+        ramp = np.linspace(0.01, 3.99, 999)
+        clean_codes = [clean.convert(float(v)) for v in ramp]
+        noisy_codes = [noisy.convert(float(v)) for v in ramp]
+        assert clean_codes != noisy_codes
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlashAdc(bits=0)
+
+
+class TestTimeInterleavedElectrical:
+    def test_lane_rate(self):
+        adc = TimeInterleavedElectricalAdc(lanes=8, aggregate_rate=8e9)
+        assert adc.lane_rate == pytest.approx(1e9)
+
+    def test_stream_with_no_mismatch_is_clean(self):
+        adc = TimeInterleavedElectricalAdc(
+            offset_sigma=0.0, gain_sigma=0.0, skew_sigma=0.0
+        )
+        codes = adc.convert_stream(lambda t: 2.1, count=16)
+        assert codes == [4] * 16
+
+    def test_mismatch_degrades_sndr(self):
+        clean = TimeInterleavedElectricalAdc(offset_sigma=1e-6, gain_sigma=1e-6)
+        dirty = TimeInterleavedElectricalAdc(offset_sigma=50e-3, gain_sigma=0.02)
+        assert dirty.mismatch_sndr_db() < clean.mismatch_sndr_db()
+
+    def test_calibration_power_tax(self):
+        few = TimeInterleavedElectricalAdc(lanes=2)
+        many = TimeInterleavedElectricalAdc(lanes=16)
+        assert many.total_power > few.total_power
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimeInterleavedElectricalAdc(lanes=1)
+        adc = TimeInterleavedElectricalAdc()
+        with pytest.raises(ConfigurationError):
+            adc.convert_stream(lambda t: 1.0, count=0)
+
+
+class TestElectricalImc:
+    def test_rc_limits_grow_with_rows(self):
+        small = ElectricalImcMacro(rows=16)
+        tall = ElectricalImcMacro(rows=256)
+        assert tall.access_time > small.access_time
+        assert tall.compute_rate < small.compute_rate
+
+    def test_update_rate_far_below_psram(self, tech):
+        """The paper's headline: 20 GHz photonic updates vs ~1 GHz SRAM
+        write cycles."""
+        macro = ElectricalImcMacro()
+        assert tech.psram.update_rate / macro.weight_update_rate >= 10.0
+
+    def test_power_breakdown(self):
+        macro = ElectricalImcMacro()
+        names = list(macro.power_ledger().breakdown())
+        assert "MAC array" in names and "column ADCs" in names
+
+    def test_throughput_positive(self):
+        macro = ElectricalImcMacro()
+        assert macro.throughput_tops > 0
+        assert macro.tops_per_watt > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ElectricalImcMacro(rows=0)
+
+
+class TestTableOne:
+    def test_contains_all_six_rows(self):
+        records = table_one()
+        assert len(records) == 6
+        names = [record.name for record in records]
+        assert "This Work" in names
+
+    def test_this_work_values(self):
+        this_work = table_one()[-1]
+        assert this_work.throughput_tops == pytest.approx(4.10, abs=0.01)
+        assert this_work.tops_per_watt == pytest.approx(3.02, abs=0.01)
+        assert this_work.weight_update_hz == pytest.approx(20e9)
+
+    def test_this_work_has_fastest_update_among_tunable_macros(self):
+        """20 GHz beats every compared update path except the TFLN
+        modulator-based [33] (which has no memory)."""
+        records = {record.name: record for record in table_one()}
+        this_work = records["This Work"]
+        for name, record in records.items():
+            if name in ("This Work", "TFLN tensor core [33]"):
+                continue
+            if record.weight_update_hz is not None:
+                assert this_work.weight_update_hz > record.weight_update_hz
+
+    def test_formatted_table_renders(self):
+        text = format_table_one()
+        assert "This Work" in text
+        assert "4.10" in text and "3.02" in text and "20 GHz" in text

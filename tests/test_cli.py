@@ -1,0 +1,29 @@
+"""Tests for the ``python -m repro`` entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_default_summary(capsys):
+    assert main([]) == 0
+    output = capsys.readouterr().out
+    assert "TOPS" in output and "This Work" in output
+
+
+def test_demo(capsys):
+    assert main(["demo"]) == 0
+    output = capsys.readouterr().out
+    assert "ADC codes" in output
+
+
+def test_adc(capsys):
+    assert main(["adc"]) == 0
+    output = capsys.readouterr().out
+    assert "V_IN" in output
+    assert output.count("\n") >= 13
+
+
+def test_unknown_command(capsys):
+    assert main(["bogus"]) == 2
+    assert "unknown command" in capsys.readouterr().out

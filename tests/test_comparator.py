@@ -1,0 +1,68 @@
+"""Unit tests for the opto-electric thresholding block."""
+
+import pytest
+
+from repro.electronics.comparator import OptoElectricThresholder
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def thresholder():
+    return OptoElectricThresholder(reference_power=18e-6, supply_voltage=1.8)
+
+
+def test_static_activation_threshold(thresholder):
+    """Active exactly when the ring notch drops below the reference."""
+    assert thresholder.is_active(10e-6)
+    assert thresholder.is_active(17.9e-6)
+    assert not thresholder.is_active(18.1e-6)
+    assert not thresholder.is_active(200e-6)
+
+
+def test_activation_voltage_rails(thresholder):
+    assert thresholder.activation_voltage(1e-6) == 1.8
+    assert thresholder.activation_voltage(100e-6) == 0.0
+
+
+def test_tia_rail_target_follows_current_sign(thresholder):
+    """The with-TIA read path regenerates from the current sign."""
+    assert thresholder.tia_rail_target(1e-6) == 1.8
+    assert thresholder.tia_rail_target(100e-6) == 0.0
+
+
+def test_node_slew_is_slow_without_tia(thresholder):
+    """The no-TIA path must take hundreds of ps to cross the trip point
+    — the physical reason the paper's TIA-less eoADC runs at
+    416.7 MS/s instead of 8 GS/s."""
+    thresholder.node.voltage = 1.8
+    time = 0.0
+    dt = 1e-12
+    while thresholder.node.voltage > 0.9 and time < 5e-9:
+        thresholder.step(1e-6, dt)  # deep notch: reference wins
+        time += dt
+    assert 100e-12 < time < 1.2e-9
+    assert thresholder.node_rail_output() > 0.9
+
+
+def test_read_chain_time_constant_fits_8gsps(thresholder):
+    """TIA + amp settling must fit several time constants in 125 ps."""
+    assert thresholder.read_chain_time_constant < 125e-12 / 3.0
+
+
+def test_read_chain_power_is_per_channel_budget(thresholder):
+    assert thresholder.read_chain_power == pytest.approx(0.7975e-3, rel=1e-6)
+
+
+def test_hysteresis_moves_threshold():
+    thresholder = OptoElectricThresholder(
+        reference_power=18e-6, hysteresis_power=2e-6
+    )
+    assert not thresholder.is_active(17e-6)  # inside the hysteresis band
+    assert thresholder.is_active(15.9e-6)
+
+
+def test_rejects_bad_construction():
+    with pytest.raises(ConfigurationError):
+        OptoElectricThresholder(reference_power=0.0)
+    with pytest.raises(ConfigurationError):
+        OptoElectricThresholder(reference_power=18e-6, hysteresis_power=-1e-6)

@@ -1,0 +1,115 @@
+"""Tests for the WDM vector-multiplication core (paper Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.linearity import linearity_report
+from repro.core.compute_core import VectorComputeCore
+from repro.errors import ConfigurationError
+
+
+def test_zero_weights_give_near_zero_current(tech):
+    core = VectorComputeCore(4, 3, tech)
+    core.load_weights([0, 0, 0, 0])
+    leak = core.compute(np.ones(4))
+    full = core.full_scale_current()
+    assert leak < 0.02 * full  # only extinction-floor leakage
+
+
+def test_zero_inputs_give_dark_current_only(small_core):
+    current = small_core.compute(np.zeros(4))
+    assert current < 1e-7
+
+
+def test_output_scales_linearly_with_inputs(small_core):
+    x = np.array([0.5, 0.25, 0.75, 0.1])
+    assert small_core.compute(2 * x / 2) == pytest.approx(small_core.compute(x))
+    half = small_core.compute(x / 2)
+    assert 2 * half == pytest.approx(small_core.compute(x), rel=1e-9)
+
+
+def test_normalized_output_tracks_ideal_dot_product(small_core):
+    """The Fig. 7 claim: normalized PD current ~ expected products."""
+    rng = np.random.default_rng(2)
+    expected = []
+    measured = []
+    for _ in range(20):
+        x = rng.uniform(0.0, 1.0, 4)
+        expected.append(small_core.ideal_dot_product(x))
+        measured.append(small_core.normalized_output(x))
+    report = linearity_report(expected, measured)
+    assert report.r_squared > 0.999
+    assert report.slope == pytest.approx(1.0, abs=0.05)
+
+
+def test_per_channel_pdk_mode_equals_joint_evaluation(small_core):
+    """The paper's one-wavelength-at-a-time workaround must agree with
+    the joint evaluation (linear, incoherent summation)."""
+    rng = np.random.default_rng(3)
+    for _ in range(5):
+        x = rng.uniform(0.0, 1.0, 4)
+        joint = small_core.compute(x)
+        per_channel = small_core.compute_per_channel(x)
+        assert per_channel == pytest.approx(joint, rel=1e-9)
+
+
+def test_weight_bit_significance(tech):
+    """Weight 4 (MSB) must produce ~4x the current of weight 1 (LSB)."""
+    core = VectorComputeCore(4, 3, tech)
+    x = np.array([1.0, 0.0, 0.0, 0.0])
+    core.load_weights([1, 0, 0, 0])
+    lsb_current = core.compute(x)
+    core.load_weights([4, 0, 0, 0])
+    msb_current = core.compute(x)
+    assert msb_current / lsb_current == pytest.approx(4.0, rel=0.05)
+
+
+def test_vector_longer_than_macro_tiles(tech):
+    """A 1x16 vector uses four 1x4 macros with photocurrent summation
+    (paper Section III)."""
+    core = VectorComputeCore(16, 3, tech)
+    assert core.macro_count == 4
+    core.load_weights(np.full(16, 7))
+    x = np.ones(16)
+    current16 = core.compute(x)
+    small = VectorComputeCore(4, 3, tech)
+    small.load_weights(np.full(4, 7))
+    current4 = small.compute(np.ones(4))
+    assert current16 == pytest.approx(4 * current4, rel=1e-9)
+
+
+def test_weights_stored_in_psram(small_core):
+    assert small_core.weight_memory.word(0) == 7
+    assert small_core.weight_memory.word(3) == 1
+    assert np.array_equal(small_core.weights, [7, 3, 5, 1])
+
+
+def test_weight_update_energy_accumulates(tech):
+    core = VectorComputeCore(4, 3, tech)
+    core.load_weights([7, 7, 7, 7])  # 12 switches from all-zero
+    assert core.weight_update_energy() == pytest.approx(12 * 0.5e-12, rel=1e-3)
+
+
+def test_power_ledger_contains_comb_and_bias(small_core):
+    breakdown = small_core.power_ledger().breakdown()
+    assert "input comb" in breakdown
+    assert "pSRAM hold bias" in breakdown
+
+
+def test_input_validation(small_core):
+    with pytest.raises(ConfigurationError):
+        small_core.compute(np.ones(3))
+    with pytest.raises(ConfigurationError):
+        small_core.compute(np.array([0.5, 0.5, 0.5, 1.5]))
+    with pytest.raises(ConfigurationError):
+        small_core.compute(-np.ones(4))
+
+
+def test_weight_validation(tech):
+    core = VectorComputeCore(4, 3, tech)
+    with pytest.raises(ConfigurationError):
+        core.load_weights([8, 0, 0, 0])
+    with pytest.raises(ConfigurationError):
+        core.load_weights([-1, 0, 0, 0])
+    with pytest.raises(ConfigurationError):
+        core.load_weights([1, 2, 3])

@@ -1,0 +1,76 @@
+"""Unit tests for repro.constants."""
+
+import math
+
+import pytest
+
+from repro import constants as c
+
+
+def test_dbm_round_trip():
+    for dbm in (-30.0, -20.0, 0.0, 10.0):
+        assert c.watts_to_dbm(c.dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+
+def test_dbm_reference_points():
+    assert c.dbm_to_watts(0.0) == pytest.approx(1e-3)
+    assert c.dbm_to_watts(-20.0) == pytest.approx(10e-6)
+    assert c.dbm_to_watts(30.0) == pytest.approx(1.0)
+
+
+def test_watts_to_dbm_rejects_non_positive():
+    with pytest.raises(ValueError):
+        c.watts_to_dbm(0.0)
+    with pytest.raises(ValueError):
+        c.watts_to_dbm(-1.0)
+
+
+def test_db_linear_round_trip():
+    for db in (-30.0, -3.0, 0.0, 3.0, 20.0):
+        assert c.linear_to_db(c.db_to_linear(db)) == pytest.approx(db)
+
+
+def test_linear_to_db_rejects_non_positive():
+    with pytest.raises(ValueError):
+        c.linear_to_db(0.0)
+
+
+def test_alpha_conversion_matches_definition():
+    # 10 dB/cm over 1 mm must attenuate power by exactly 1 dB.
+    alpha = c.db_per_cm_to_alpha(10.0)
+    transmission = math.exp(-alpha * 1e-3)
+    assert 10.0 * math.log10(transmission) == pytest.approx(-1.0)
+
+
+def test_wavelength_frequency_round_trip():
+    wavelength = 1310.5e-9
+    assert c.frequency_to_wavelength(c.wavelength_to_frequency(wavelength)) == pytest.approx(
+        wavelength
+    )
+
+
+def test_wavelength_frequency_reject_non_positive():
+    with pytest.raises(ValueError):
+        c.wavelength_to_frequency(0.0)
+    with pytest.raises(ValueError):
+        c.frequency_to_wavelength(-1.0)
+
+
+def test_photon_energy_o_band():
+    # ~0.95 eV at 1310 nm.
+    energy_ev = c.photon_energy(1310e-9) / c.ELEMENTARY_CHARGE
+    assert energy_ev == pytest.approx(0.946, rel=1e-2)
+
+
+def test_unit_helpers():
+    assert c.nm(1.0) == pytest.approx(1e-9)
+    assert c.um(2.0) == pytest.approx(2e-6)
+    assert c.mm(3.0) == pytest.approx(3e-3)
+    assert c.ps(4.0) == pytest.approx(4e-12)
+    assert c.ns(5.0) == pytest.approx(5e-9)
+    assert c.ghz(6.0) == pytest.approx(6e9)
+    assert c.mw(7.0) == pytest.approx(7e-3)
+    assert c.uw(8.0) == pytest.approx(8e-6)
+    assert c.ff(9.0) == pytest.approx(9e-15)
+    assert c.pj(1.0) == pytest.approx(1e-12)
+    assert c.fj(1.0) == pytest.approx(1e-15)

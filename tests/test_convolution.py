@@ -1,0 +1,101 @@
+"""Tests for im2col convolution on the photonic tensor core."""
+
+import numpy as np
+import pytest
+
+from repro.core.tensor_core import PhotonicTensorCore
+from repro.errors import ConfigurationError
+from repro.ml.convolution import PhotonicConv2d, im2col, output_shape, sobel_kernels
+
+
+def test_im2col_shapes_and_contents():
+    image = np.arange(16, dtype=float).reshape(4, 4)
+    patches = im2col(image, kernel_size=3)
+    assert patches.shape == (9, 4)
+    # Top-left patch is the first column, row-major.
+    np.testing.assert_array_equal(
+        patches[:, 0], image[0:3, 0:3].ravel()
+    )
+    # Bottom-right patch is the last column.
+    np.testing.assert_array_equal(
+        patches[:, -1], image[1:4, 1:4].ravel()
+    )
+
+
+def test_im2col_stride():
+    image = np.arange(25, dtype=float).reshape(5, 5)
+    patches = im2col(image, kernel_size=3, stride=2)
+    assert patches.shape == (9, 4)
+
+
+def test_im2col_validation():
+    with pytest.raises(ConfigurationError):
+        im2col(np.ones(4), 2)
+    with pytest.raises(ConfigurationError):
+        im2col(np.ones((4, 4)), 5)
+    with pytest.raises(ConfigurationError):
+        im2col(np.ones((4, 4)), 2, stride=0)
+
+
+def test_output_shape():
+    assert output_shape((8, 8), 3) == (6, 6)
+    assert output_shape((8, 8), 3, stride=2) == (3, 3)
+    with pytest.raises(ConfigurationError):
+        output_shape((2, 2), 3)
+
+
+def test_sobel_kernels_shape_and_antisymmetry():
+    kernels = sobel_kernels()
+    assert kernels.shape == (2, 3, 3)
+    np.testing.assert_array_equal(kernels[0], kernels[1].T)
+    assert kernels[0].sum() == 0.0  # zero-mean edge detector
+
+
+@pytest.fixture(scope="module")
+def conv_core(tech):
+    return PhotonicTensorCore(
+        rows=4, columns=9, weight_bits=3, adc_bits=6, technology=tech
+    )
+
+
+def test_photonic_conv_tracks_float_reference(conv_core):
+    conv = PhotonicConv2d(sobel_kernels(), conv_core, gain=2.0)
+    rng = np.random.default_rng(3)
+    image = rng.uniform(0.0, 1.0, (6, 6))
+    photonic = conv.forward(image)
+    reference = conv.forward_float(image)
+    assert photonic.shape == reference.shape == (2, 4, 4)
+    scale = np.abs(reference).max()
+    assert np.max(np.abs(photonic - reference)) < 0.2 * scale
+
+
+def test_float_reference_matches_manual_convolution(conv_core):
+    conv = PhotonicConv2d(sobel_kernels(), conv_core)
+    image = np.eye(5)
+    reference = conv.forward_float(image)
+    kernel = sobel_kernels()[0]
+    manual = np.array(
+        [
+            [np.sum(image[r : r + 3, c : c + 3] * kernel) for c in range(3)]
+            for r in range(3)
+        ]
+    )
+    np.testing.assert_allclose(reference[0], manual)
+
+
+def test_conv_rejects_negative_image(conv_core):
+    conv = PhotonicConv2d(sobel_kernels(), conv_core)
+    with pytest.raises(ConfigurationError):
+        conv.forward(-np.ones((5, 5)))
+
+
+def test_conv_validation(conv_core):
+    with pytest.raises(ConfigurationError):
+        PhotonicConv2d(np.ones((2, 3, 4)), conv_core)
+    with pytest.raises(ConfigurationError):
+        PhotonicConv2d(sobel_kernels(), conv_core, gain=0.0)
+
+
+def test_patch_throughput_is_adc_bound(conv_core):
+    conv = PhotonicConv2d(sobel_kernels(), conv_core)
+    assert conv.patch_throughput() == pytest.approx(8e9)

@@ -1,0 +1,91 @@
+"""Unit tests for couplers, splitters and the binary-scaled tree."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics.coupler import (
+    BinaryScaledSplitterTree,
+    DirectionalCoupler,
+    PowerSplitter,
+)
+from repro.photonics.signal import WDMSignal
+
+
+def test_directional_coupler_conserves_power():
+    coupler = DirectionalCoupler(power_coupling=0.3)
+    outputs = coupler.propagate_ports({"in1": WDMSignal.single(1310e-9, 1e-3)})
+    total = outputs["out1"].total_power + outputs["out2"].total_power
+    assert total == pytest.approx(1e-3)
+    assert outputs["out2"].total_power == pytest.approx(0.3e-3)
+
+
+def test_directional_coupler_from_gap_uses_map():
+    coupler = DirectionalCoupler(gap=200e-9)
+    assert coupler.power_coupling == pytest.approx(0.046, rel=1e-3)
+    assert coupler.field_self_coupling**2 + coupler.field_cross_coupling**2 == pytest.approx(1.0)
+
+
+def test_directional_coupler_requires_gap_or_coupling():
+    with pytest.raises(ConfigurationError):
+        DirectionalCoupler()
+
+
+def test_directional_coupler_two_inputs_superpose():
+    coupler = DirectionalCoupler(power_coupling=0.5)
+    outputs = coupler.propagate_ports(
+        {
+            "in1": WDMSignal.single(1310e-9, 1e-3),
+            "in2": WDMSignal.single(1310e-9, 1e-3),
+        }
+    )
+    assert outputs["out1"].total_power == pytest.approx(1e-3)
+    assert outputs["out2"].total_power == pytest.approx(1e-3)
+
+
+def test_power_splitter_ratio_and_loss():
+    splitter = PowerSplitter(ratio=0.25, excess_loss_db=0.1)
+    out1, out2 = splitter.split(WDMSignal.single(1310e-9, 1e-3))
+    survive = 10 ** (-0.01)
+    assert out1.total_power == pytest.approx(0.25e-3 * survive)
+    assert out2.total_power == pytest.approx(0.75e-3 * survive)
+
+
+def test_power_splitter_rejects_bad_ratio():
+    with pytest.raises(ConfigurationError):
+        PowerSplitter(ratio=1.5)
+    with pytest.raises(ConfigurationError):
+        PowerSplitter(excess_loss_db=-1.0)
+
+
+def test_binary_tree_fractions_are_exact_powers_of_two():
+    tree = BinaryScaledSplitterTree(bits=3)
+    assert tree.branch_fractions() == [0.5, 0.25, 0.125]
+    assert tree.residual_fraction == 0.125
+
+
+def test_binary_tree_split_conserves_power():
+    tree = BinaryScaledSplitterTree(bits=4)
+    branches, residual = tree.split(WDMSignal.single(1310e-9, 1e-3))
+    total = sum(branch.total_power for branch in branches) + residual.total_power
+    assert total == pytest.approx(1e-3)
+    assert branches[0].total_power == pytest.approx(0.5e-3)
+    assert residual.total_power == pytest.approx(1e-3 / 16)
+
+
+def test_binary_tree_needs_positive_bits():
+    with pytest.raises(ConfigurationError):
+        BinaryScaledSplitterTree(bits=0)
+
+
+def test_binary_tree_msb_ordering_matches_weight_significance():
+    """Branch k carries fraction 2^-(k+1): MSB first, so equal-gain PD
+    summation reconstructs IN * w / 2^n (paper Fig. 2)."""
+    tree = BinaryScaledSplitterTree(bits=3)
+    branches, _ = tree.split(WDMSignal.single(1310e-9, 8e-3))
+    weights = [4, 2, 1]  # bit significances for 3 bits, MSB first
+    reconstructed = sum(
+        branch.total_power * (bit_weight > 0)
+        for branch, bit_weight in zip(branches, weights)
+    )
+    # All bits set: IN * 7/8.
+    assert reconstructed == pytest.approx(8e-3 * 7 / 8)

@@ -1,0 +1,90 @@
+"""Unit tests for storage nodes and inverter drivers."""
+
+import pytest
+
+from repro.electronics.driver import InverterDriver
+from repro.electronics.elements import StorageNode
+from repro.errors import ConfigurationError, SimulationError
+
+
+def test_node_integrates_current():
+    node = StorageNode(capacitance=5e-15, vdd=1.8, initial_voltage=0.0)
+    node.integrate(1e-3, 1e-12)  # 1 mA for 1 ps on 5 fF -> 0.2 V
+    assert node.voltage == pytest.approx(0.2)
+
+
+def test_node_clamps_at_rails():
+    node = StorageNode(capacitance=5e-15, vdd=1.8, initial_voltage=1.7)
+    node.integrate(1e-3, 10e-12)  # would overshoot far beyond VDD
+    assert node.voltage == 1.8
+    node.integrate(-1e-3, 100e-12)
+    assert node.voltage == 0.0
+
+
+def test_node_logic_state_threshold():
+    node = StorageNode(5e-15, 1.8, 1.0)
+    assert node.logic_state
+    node.voltage = 0.3
+    assert not node.logic_state
+
+
+def test_node_rejects_bad_construction():
+    with pytest.raises(ConfigurationError):
+        StorageNode(0.0, 1.8)
+    with pytest.raises(ConfigurationError):
+        StorageNode(5e-15, 1.8, initial_voltage=2.0)
+    node = StorageNode(5e-15, 1.8)
+    with pytest.raises(SimulationError):
+        node.integrate(1e-6, 0.0)
+    with pytest.raises(ConfigurationError):
+        node.voltage = -0.1
+
+
+def test_node_stored_energy():
+    node = StorageNode(10e-15, 1.8, 1.8)
+    assert node.stored_energy() == pytest.approx(0.5 * 10e-15 * 1.8**2)
+
+
+def test_driver_slews_toward_rail():
+    driver = InverterDriver(vdd=1.8, time_constant=5e-12, initial_output=0.0)
+    for _ in range(20):
+        driver.step(1.8, 5e-12)
+    assert driver.output == pytest.approx(1.8, abs=1e-6)
+
+
+def test_driver_threshold_at_half_vdd():
+    driver = InverterDriver(vdd=1.8, time_constant=5e-12)
+    assert driver.target(1.0) == 1.8
+    assert driver.target(0.8) == 0.0
+
+
+def test_inverting_driver():
+    driver = InverterDriver(vdd=1.8, time_constant=5e-12, inverting=True)
+    assert driver.target(1.8) == 0.0
+    assert driver.target(0.0) == 1.8
+
+
+def test_driver_settle_snaps_output():
+    driver = InverterDriver(vdd=1.8, time_constant=5e-12)
+    assert driver.settle(1.8) == 1.8
+    assert driver.output == 1.8
+
+
+def test_driver_accumulates_switching_energy():
+    driver = InverterDriver(
+        vdd=1.8, time_constant=1e-12, load_capacitance=10e-15, initial_output=0.0
+    )
+    for _ in range(50):
+        driver.step(1.8, 1e-12)
+    # One full 0 -> VDD transition: C * dV * VDD = 10 fF * 1.8 * 1.8.
+    assert driver.switching_energy == pytest.approx(10e-15 * 1.8 * 1.8, rel=1e-3)
+
+
+def test_driver_rejects_bad_construction():
+    with pytest.raises(ConfigurationError):
+        InverterDriver(vdd=0.0, time_constant=1e-12)
+    with pytest.raises(ConfigurationError):
+        InverterDriver(vdd=1.8, time_constant=0.0)
+    driver = InverterDriver(vdd=1.8, time_constant=1e-12)
+    with pytest.raises(SimulationError):
+        driver.step(1.0, 0.0)

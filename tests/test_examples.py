@@ -1,0 +1,52 @@
+"""Smoke tests: the quick example scripts must run end to end.
+
+Only the fast examples run here (the neural-inference and in-situ
+scripts take tens of seconds and are exercised by their underlying
+module tests instead).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    present = {path.name for path in EXAMPLES.glob("*.py")}
+    expected = {
+        "quickstart.py",
+        "psram_memory_array.py",
+        "adc_characterization.py",
+        "neural_inference.py",
+        "convolution_wdm.py",
+        "insitu_training.py",
+    }
+    assert expected <= present
+
+
+@pytest.mark.parametrize(
+    "name, markers",
+    [
+        ("quickstart.py", ["TOPS", "3.02"]),
+        ("psram_memory_array.py", ["500", "GHz"]),
+        ("adc_characterization.py", ["001", "2.32"]),
+    ],
+)
+def test_fast_examples_run(name, markers):
+    stdout = run_example(name)
+    for marker in markers:
+        assert marker in stdout, f"{name} output missing {marker!r}"

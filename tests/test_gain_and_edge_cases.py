@@ -1,0 +1,90 @@
+"""Edge-case coverage: TIA range gain, ADC clamp paths, tiny cores."""
+
+import numpy as np
+import pytest
+
+from repro.core.eoadc import EoAdc
+from repro.core.compute_core import VectorComputeCore
+from repro.core.tensor_core import PhotonicTensorCore
+from repro.errors import ConfigurationError
+
+
+class TestMatvecGain:
+    @pytest.fixture(scope="class")
+    def small_system(self, tech):
+        core = PhotonicTensorCore(rows=2, columns=4, adc_bits=4, technology=tech)
+        core.load_weight_matrix(np.array([[1, 1, 0, 0], [0, 0, 1, 1]]))
+        return core
+
+    def test_gain_resolves_small_signals(self, small_system):
+        """A weak input that lands in code 0 at unity gain must resolve
+        to a non-zero code once the range gain is applied."""
+        x = np.full(4, 0.05)
+        unity = small_system.matvec(x, gain=1.0)
+        boosted = small_system.matvec(x, gain=64.0)
+        assert np.all(unity.codes == 0)  # buried below 1 LSB natively
+        assert np.all(boosted.codes > 0)
+
+    def test_gain_is_undone_in_estimates(self, small_system):
+        """Estimates stay in dot-product units regardless of gain."""
+        x = np.full(4, 0.3)
+        ideal = small_system.ideal_matvec(x)
+        for gain in (2.0, 4.0):
+            estimates = small_system.matvec(x, gain=gain).estimates
+            full_scale = 4 * small_system.max_weight
+            lsb = full_scale / (16 * gain)
+            assert np.all(np.abs(estimates - ideal) <= 2.0 * lsb)
+
+    def test_gain_saturates_gracefully(self, small_system):
+        """Excessive gain clips at the top code instead of failing."""
+        result = small_system.matvec(np.ones(4), gain=100.0)
+        assert np.all(result.codes == 15)
+
+    def test_gain_validation(self, small_system):
+        with pytest.raises(ConfigurationError):
+            small_system.matvec(np.ones(4), gain=0.0)
+
+
+class TestTinyConfigurations:
+    def test_one_by_one_core(self, tech):
+        core = PhotonicTensorCore(rows=1, columns=1, technology=tech)
+        core.load_weight_matrix([[7]])
+        result = core.matvec([1.0])
+        assert result.codes.shape == (1,)
+        assert result.codes[0] == core.row_adcs[0].levels - 1
+
+    def test_single_channel_compute_core(self, tech):
+        core = VectorComputeCore(vector_length=1, weight_bits=1, technology=tech)
+        core.load_weights([1])
+        assert core.macro_count == 1
+        on_current = core.compute([1.0])
+        core.load_weights([0])
+        off_current = core.compute([1.0])
+        assert on_current > 50 * off_current
+
+    def test_one_bit_adc(self, tech):
+        adc = EoAdc(tech, bits=1, trim_errors=np.zeros(2))
+        assert adc.convert(0.5) == 0
+        assert adc.convert(3.5) == 1
+
+    def test_vector_not_multiple_of_macro_width(self, tech):
+        """A 1x6 vector needs two macros, the second half-filled."""
+        core = VectorComputeCore(vector_length=6, weight_bits=2, technology=tech)
+        assert core.macro_count == 2
+        core.load_weights([3, 3, 3, 3, 3, 3])
+        x = np.array([1.0, 1.0, 1.0, 1.0, 0.0, 0.0])
+        partial = core.compute(x)
+        full = core.compute(np.ones(6))
+        assert full > partial > 0.0
+
+
+class TestAdcClampPaths:
+    def test_convert_clamped_handles_extremes(self, ideal_adc):
+        assert ideal_adc.convert_clamped(-10.0) == 0
+        assert ideal_adc.convert_clamped(10.0) == 7
+        assert ideal_adc.convert_clamped(1.3) == ideal_adc.convert(1.3)
+
+    def test_dequantize_monotone(self, tech):
+        core = PhotonicTensorCore(rows=2, columns=4, technology=tech)
+        estimates = core.dequantize_codes(np.arange(8))
+        assert np.all(np.diff(estimates) > 0)

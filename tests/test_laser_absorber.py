@@ -1,0 +1,66 @@
+"""Unit tests for laser sources, pulses, combs and absorbers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics.absorber import Absorber
+from repro.photonics.laser import CWLaser, FrequencyComb, OpticalPulse
+from repro.photonics.signal import WDMSignal
+
+
+def test_cw_laser_signal_and_wall_plug():
+    laser = CWLaser(1310.5e-9, 1e-3, wall_plug_efficiency=0.23)
+    assert laser.signal().total_power == pytest.approx(1e-3)
+    assert laser.wall_plug_power == pytest.approx(1e-3 / 0.23)
+    assert laser.energy(1e-9) == pytest.approx(1e-3 / 0.23 * 1e-9)
+
+
+def test_cw_laser_rejects_bad_arguments():
+    with pytest.raises(ConfigurationError):
+        CWLaser(1310e-9, -1e-3)
+    with pytest.raises(ConfigurationError):
+        CWLaser(1310e-9, 1e-3, wall_plug_efficiency=0.0)
+    with pytest.raises(ConfigurationError):
+        CWLaser(1310e-9, 1e-3).energy(-1.0)
+
+
+def test_optical_pulse_window_and_energy():
+    """The pSRAM write stimulus: 50 ps at 0 dBm."""
+    pulse = OpticalPulse(1310.5e-9, 1e-3, start_time=10e-12, width=50e-12)
+    assert pulse.power_at(9e-12) == 0.0
+    assert pulse.power_at(30e-12) == pytest.approx(1e-3)
+    assert pulse.power_at(60.1e-12) == 0.0
+    assert pulse.optical_energy == pytest.approx(50e-15)
+    assert pulse.wall_plug_energy == pytest.approx(50e-15 / 0.23)
+
+
+def test_frequency_comb_wavelength_grid():
+    comb = FrequencyComb(1310.5e-9, 2.33e-9, line_count=4, power_per_line=200e-6)
+    expected = 1310.5e-9 + 2.33e-9 * np.arange(4)
+    assert np.allclose(comb.wavelengths, expected)
+    assert comb.total_power == pytest.approx(800e-6)
+
+
+def test_frequency_comb_modulation_encodes_vector():
+    comb = FrequencyComb(1310.5e-9, 2.33e-9, line_count=4, power_per_line=200e-6)
+    signal = comb.modulated([1.0, 0.5, 0.0, 0.25])
+    assert signal.power_at(comb.wavelengths[0]) == pytest.approx(200e-6)
+    assert signal.power_at(comb.wavelengths[1]) == pytest.approx(100e-6)
+    assert signal.power_at(comb.wavelengths[2]) == 0.0
+
+
+def test_frequency_comb_modulation_bounds():
+    comb = FrequencyComb(1310.5e-9, 2.33e-9, line_count=2, power_per_line=1e-3)
+    with pytest.raises(ConfigurationError):
+        comb.modulated([1.5, 0.0])
+    with pytest.raises(ConfigurationError):
+        comb.modulated([0.5])
+
+
+def test_absorber_records_power():
+    absorber = Absorber()
+    swallowed = absorber.absorb(WDMSignal.single(1310e-9, 3e-6))
+    assert swallowed == pytest.approx(3e-6)
+    assert absorber.last_absorbed_power == pytest.approx(3e-6)
+    assert absorber.propagate_ports({"in": WDMSignal.single(1310e-9, 1e-6)}) == {}

@@ -1,0 +1,141 @@
+"""Tests for datasets, photonic layers, tiling and the MLP flow."""
+
+import numpy as np
+import pytest
+
+from repro.core.tensor_core import PhotonicTensorCore
+from repro.errors import ConfigurationError, MappingError
+from repro.ml.datasets import gaussian_blobs, procedural_digits, train_test_split
+from repro.ml.layers import PhotonicDense, relu
+from repro.ml.mapping import MatrixTiler
+from repro.ml.network import MLP, PhotonicMLP
+
+
+class TestDatasets:
+    def test_blobs_shapes_and_ranges(self):
+        X, y = gaussian_blobs(samples_per_class=10, classes=3, features=5)
+        assert X.shape == (30, 5)
+        assert set(y) == {0, 1, 2}
+        assert np.all(X >= 0.0)
+
+    def test_blobs_reproducible(self):
+        X1, y1 = gaussian_blobs(seed=4)
+        X2, y2 = gaussian_blobs(seed=4)
+        assert np.array_equal(X1, X2) and np.array_equal(y1, y2)
+
+    def test_digits_pooled_to_16_features(self):
+        X, y = procedural_digits(samples_per_class=5)
+        assert X.shape == (50, 16)
+        assert set(y) == set(range(10))
+        assert np.all((X >= 0.0) & (X <= 1.0))
+
+    def test_digits_unpooled(self):
+        X, _ = procedural_digits(samples_per_class=2, pooled=False)
+        assert X.shape == (20, 64)
+
+    def test_digit_classes_are_distinguishable(self):
+        """Class-mean templates must differ pairwise."""
+        X, y = procedural_digits(samples_per_class=20, noise=0.05)
+        means = np.stack([X[y == d].mean(axis=0) for d in range(10)])
+        for a in range(10):
+            for b in range(a + 1, 10):
+                assert np.linalg.norm(means[a] - means[b]) > 0.15
+
+    def test_split_preserves_all_samples(self):
+        X, y = gaussian_blobs(samples_per_class=10, classes=2, features=4)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_fraction=0.25)
+        assert len(Xtr) + len(Xte) == len(X)
+        assert len(ytr) == len(Xtr) and len(yte) == len(Xte)
+
+    def test_split_validation(self):
+        X, y = gaussian_blobs(samples_per_class=5, classes=2, features=2)
+        with pytest.raises(ConfigurationError):
+            train_test_split(X, y, test_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            train_test_split(X, y[:-1])
+
+
+class TestTiler:
+    @pytest.fixture(scope="class")
+    def small_ptc(self, tech):
+        return PhotonicTensorCore(rows=4, columns=4, technology=tech)
+
+    def test_tile_counts(self, small_ptc):
+        tiler = MatrixTiler(small_ptc)
+        assert tiler.tile_counts(4, 4) == (1, 1)
+        assert tiler.tile_counts(5, 9) == (2, 3)
+
+    def test_tiled_matvec_matches_untiled_within_quantization(self, small_ptc, tech):
+        """A 6x6 matmul on a 4x4 core must approximate W @ x."""
+        tiler = MatrixTiler(small_ptc)
+        rng = np.random.default_rng(31)
+        W = rng.integers(0, 8, (6, 6))
+        x = rng.uniform(0.0, 1.0, 6)
+        estimate = tiler.matvec(W, x)
+        ideal = W @ x
+        # Each of 2 column tiles contributes <= ~1 ADC LSB of error.
+        lsb = small_ptc.columns * small_ptc.max_weight / 8
+        assert np.all(np.abs(estimate - ideal) <= 2.5 * lsb)
+
+    def test_matmul_batches(self, small_ptc):
+        tiler = MatrixTiler(small_ptc)
+        rng = np.random.default_rng(32)
+        W = rng.integers(0, 8, (4, 4))
+        X = rng.uniform(0.0, 1.0, (4, 3))
+        result = tiler.matmul(W, X)
+        assert result.shape == (4, 3)
+
+    def test_validation(self, small_ptc):
+        tiler = MatrixTiler(small_ptc)
+        with pytest.raises(MappingError):
+            tiler.matvec(np.ones((2, 2, 2), dtype=int), np.ones(2))
+        with pytest.raises(MappingError):
+            tiler.matvec(np.full((2, 2), 9), np.ones(2))
+        with pytest.raises(MappingError):
+            tiler.matvec(np.ones((2, 2), dtype=int), np.ones(3))
+
+
+class TestLayersAndNetwork:
+    def test_relu(self):
+        assert np.array_equal(relu(np.array([-1.0, 0.5])), [0.0, 0.5])
+
+    def test_photonic_dense_approximates_float_layer(self, tech):
+        core = PhotonicTensorCore(rows=4, columns=4, adc_bits=6, technology=tech)
+        rng = np.random.default_rng(41)
+        weights = rng.normal(0.0, 1.0, (3, 4))
+        layer = PhotonicDense(weights, core)
+        x = rng.uniform(0.0, 2.0, (4, 4))
+        photonic = layer.forward(x)
+        reference = layer.forward_float(x)
+        scale = np.abs(reference).max()
+        assert np.max(np.abs(photonic - reference)) < 0.35 * scale
+
+    def test_mlp_trains_on_blobs(self):
+        X, y = gaussian_blobs(samples_per_class=40, classes=3, features=8, spread=0.5)
+        Xtr, Xte, ytr, yte = train_test_split(X, y)
+        mlp = MLP(8, 8, 3)
+        losses = mlp.train(Xtr, ytr, epochs=40)
+        assert losses[-1] < losses[0]
+        assert mlp.accuracy(Xte, yte) > 0.7
+
+    def test_photonic_inference_close_to_float(self, tech):
+        X, y = gaussian_blobs(samples_per_class=30, classes=3, features=8, spread=0.5)
+        Xtr, Xte, ytr, yte = train_test_split(X, y)
+        mlp = MLP(8, 8, 3)
+        mlp.train(Xtr, ytr, epochs=40)
+        float_accuracy = mlp.accuracy(Xte, yte)
+        core = PhotonicTensorCore(rows=8, columns=8, adc_bits=6, technology=tech)
+        photonic = PhotonicMLP(mlp, core, calibration_batch=Xtr[:30])
+        subset = slice(0, 20)
+        photonic_accuracy = photonic.accuracy(Xte[subset], yte[subset])
+        assert photonic_accuracy >= float_accuracy - 0.25
+
+    def test_layer_validation(self, tech):
+        core = PhotonicTensorCore(rows=2, columns=2, technology=tech)
+        with pytest.raises(ConfigurationError):
+            PhotonicDense(np.ones(3), core)
+        layer = PhotonicDense(np.ones((2, 2)), core)
+        with pytest.raises(ConfigurationError):
+            layer.forward_sample(np.ones(3))
+        with pytest.raises(ConfigurationError):
+            MLP(0, 1, 2)

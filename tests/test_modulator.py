@@ -1,0 +1,72 @@
+"""Tests for the input ring modulator and predistortion encoder."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.photonics.modulator import PredistortedEncoder, RingModulator
+
+
+@pytest.fixture(scope="module")
+def modulator(tech):
+    return RingModulator(tech)
+
+
+def test_transmission_monotone_across_drive(modulator):
+    drives = np.linspace(0.0, modulator.drive_range, 101)
+    transmissions = modulator.transmission(drives)
+    assert np.all(np.diff(transmissions) > 0.0)
+
+
+def test_usable_extinction(modulator):
+    low, high = modulator.extinction
+    assert 0.0 < low < high <= 1.0
+    assert high - low > 0.1  # > 10 % swing to encode into
+
+
+def test_raw_flank_is_visibly_nonlinear(modulator):
+    """The Lorentzian flank deviates from a straight line by > 5 % —
+    the reason predistortion exists."""
+    assert modulator.nonlinearity() > 0.05
+
+
+def test_drive_range_validation(modulator, tech):
+    with pytest.raises(ConfigurationError):
+        modulator.transmission(-0.1)
+    with pytest.raises(ConfigurationError):
+        modulator.transmission(modulator.drive_range + 0.1)
+    with pytest.raises(ConfigurationError):
+        RingModulator(tech, drive_range=0.0)
+
+
+class TestPredistortion:
+    @pytest.fixture(scope="class")
+    def encoder(self, modulator):
+        return PredistortedEncoder(modulator)
+
+    def test_encode_endpoints(self, encoder):
+        drives = encoder.encode([0.0, 1.0])
+        assert drives[0] == pytest.approx(0.0, abs=1e-6)
+        assert drives[1] == pytest.approx(encoder.modulator.drive_range, abs=1e-6)
+
+    def test_round_trip_is_linear(self, encoder):
+        """Predistortion must collapse the flank nonlinearity by
+        orders of magnitude."""
+        residual = encoder.residual_nonlinearity()
+        assert residual < 1e-3
+        assert residual < encoder.modulator.nonlinearity() / 50.0
+
+    def test_realized_intensity_tracks_target(self, encoder):
+        targets = np.array([0.1, 0.37, 0.62, 0.93])
+        realized = encoder.realized_intensity(targets)
+        assert np.max(np.abs(realized - targets)) < 1e-3
+
+    def test_intensity_bounds_checked(self, encoder):
+        with pytest.raises(ConfigurationError):
+            encoder.encode([1.2])
+        with pytest.raises(ConfigurationError):
+            encoder.encode([-0.1])
+
+    def test_table_size_validated(self, modulator):
+        with pytest.raises(ConfigurationError):
+            PredistortedEncoder(modulator, table_points=4)

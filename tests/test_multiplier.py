@@ -1,0 +1,59 @@
+"""Unit tests for the 1-bit photonic multiplier."""
+
+import numpy as np
+import pytest
+
+from repro.core.multiplier import OneBitPhotonicMultiplier
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def multiplier(tech):
+    return OneBitPhotonicMultiplier(channel_index=0, technology=tech)
+
+
+def test_weight_zero_drops_the_channel(multiplier):
+    multiplier.bit = 0
+    assert multiplier.multiply(100e-6) < 1e-6  # output ~ 0
+
+
+def test_weight_one_passes_the_channel(multiplier):
+    multiplier.bit = 1
+    assert multiplier.multiply(100e-6) > 80e-6  # output ~ IN
+
+
+def test_multiplication_is_linear_in_input(multiplier):
+    multiplier.bit = 1
+    assert multiplier.multiply(200e-6) == pytest.approx(
+        2 * multiplier.multiply(100e-6)
+    )
+
+
+def test_contrast_exceeds_20db(multiplier):
+    assert multiplier.contrast_db > 20.0
+
+
+def test_channel_wavelength_follows_length_adjust(tech):
+    for index in range(4):
+        multiplier = OneBitPhotonicMultiplier(channel_index=index, technology=tech)
+        expected = tech.wavelength + index * 2.33e-9
+        assert multiplier.channel_wavelength == pytest.approx(expected, rel=1e-9)
+
+
+def test_resonant_ring_transparent_at_other_channels(tech):
+    """A w=0 ring on channel 0 must barely touch channels 1-3 (the
+    paper's minimal-crosstalk claim)."""
+    multiplier = OneBitPhotonicMultiplier(channel_index=0, technology=tech)
+    multiplier.bit = 0
+    other_channels = tech.wavelength + 2.33e-9 * np.arange(1, 4)
+    transmissions = multiplier.thru_transmission(other_channels)
+    assert np.all(transmissions > 0.99)
+
+
+def test_bit_validation(multiplier):
+    with pytest.raises(ConfigurationError):
+        multiplier.bit = 2
+    with pytest.raises(ConfigurationError):
+        multiplier.multiply(-1e-6)
+    with pytest.raises(ConfigurationError):
+        OneBitPhotonicMultiplier(channel_index=-1)

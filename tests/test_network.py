@@ -1,0 +1,125 @@
+"""Unit tests for the feed-forward photonic circuit evaluator."""
+
+import pytest
+
+from repro.errors import PortConnectionError
+from repro.photonics.absorber import Absorber
+from repro.photonics.coupler import PowerSplitter
+from repro.photonics.laser import CWLaser
+from repro.photonics.mrr import AddDropMRR
+from repro.photonics.network import PhotonicCircuit
+from repro.photonics.photodiode import Photodiode
+from repro.photonics.signal import WDMSignal
+from repro.photonics.waveguide import Waveguide
+
+
+def build_basic_circuit(tech):
+    circuit = PhotonicCircuit()
+    circuit.add("laser", CWLaser(tech.wavelength, 10e-6))
+    circuit.add("splitter", PowerSplitter())
+    circuit.add(
+        "ring",
+        AddDropMRR(
+            tech.compute_ring_spec(),
+            design_wavelength=tech.wavelength,
+            waveguide=tech.waveguide,
+            coupler=tech.coupler,
+        ),
+    )
+    circuit.add("pd_thru", Photodiode())
+    circuit.add("pd_drop", Photodiode())
+    circuit.add("absorber", Absorber())
+    circuit.connect("laser", "out", "splitter", "in")
+    circuit.connect("splitter", "out1", "ring", "in")
+    circuit.connect("splitter", "out2", "absorber", "in")
+    circuit.connect("ring", "thru", "pd_thru", "in")
+    circuit.connect("ring", "drop", "pd_drop", "in")
+    return circuit
+
+
+def test_evaluation_routes_power(tech):
+    circuit = build_basic_circuit(tech)
+    circuit.evaluate()
+    pd_thru = circuit.component("pd_thru")
+    pd_drop = circuit.component("pd_drop")
+    absorber = circuit.component("absorber")
+    assert absorber.last_absorbed_power == pytest.approx(5e-6)
+    # Resonant ring: most of the 5 uW drops.
+    assert pd_drop.last_input_power > 4e-6
+    assert pd_thru.last_input_power < 0.1e-6
+    total = pd_thru.last_input_power + pd_drop.last_input_power
+    assert total < 5e-6  # ring loss dissipates the remainder
+
+
+def test_external_sources_merge_with_wiring(tech):
+    circuit = PhotonicCircuit()
+    circuit.add("pd", Photodiode())
+    circuit.evaluate({("pd", "in"): WDMSignal.single(tech.wavelength, 2e-6)})
+    assert circuit.component("pd").last_input_power == pytest.approx(2e-6)
+
+
+def test_duplicate_name_rejected():
+    circuit = PhotonicCircuit()
+    circuit.add("pd", Photodiode())
+    with pytest.raises(PortConnectionError):
+        circuit.add("pd", Photodiode())
+
+
+def test_unknown_ports_rejected():
+    circuit = PhotonicCircuit()
+    circuit.add("a", Waveguide(0.0))
+    circuit.add("b", Waveguide(0.0))
+    with pytest.raises(PortConnectionError):
+        circuit.connect("a", "nope", "b", "in")
+    with pytest.raises(PortConnectionError):
+        circuit.connect("a", "out", "b", "nope")
+
+
+def test_double_drive_rejected():
+    circuit = PhotonicCircuit()
+    circuit.add("a", Waveguide(0.0))
+    circuit.add("b", Waveguide(0.0))
+    circuit.add("c", Waveguide(0.0))
+    circuit.connect("a", "out", "c", "in")
+    with pytest.raises(PortConnectionError):
+        circuit.connect("b", "out", "c", "in")
+
+
+def test_output_fanout_rejected():
+    """Physical fan-out needs an explicit splitter."""
+    circuit = PhotonicCircuit()
+    circuit.add("a", Waveguide(0.0))
+    circuit.add("b", Waveguide(0.0))
+    circuit.add("c", Waveguide(0.0))
+    circuit.connect("a", "out", "b", "in")
+    with pytest.raises(PortConnectionError):
+        circuit.connect("a", "out", "c", "in")
+
+
+def test_cycle_detection():
+    circuit = PhotonicCircuit()
+    circuit.add("a", Waveguide(0.0))
+    circuit.add("b", Waveguide(0.0))
+    circuit.connect("a", "out", "b", "in")
+    circuit.connect("b", "out", "a", "in")
+    with pytest.raises(PortConnectionError):
+        circuit.evaluate()
+
+
+def test_missing_protocol_rejected():
+    circuit = PhotonicCircuit()
+    with pytest.raises(PortConnectionError):
+        circuit.add("bad", object())
+
+
+def test_unconnected_outputs_reported(tech):
+    circuit = PhotonicCircuit()
+    circuit.add("laser", CWLaser(tech.wavelength, 1e-3))
+    assert circuit.unconnected_outputs() == [("laser", "out")]
+
+
+def test_source_type_checked(tech):
+    circuit = PhotonicCircuit()
+    circuit.add("pd", Photodiode())
+    with pytest.raises(PortConnectionError):
+        circuit.evaluate({("pd", "in"): 1e-3})

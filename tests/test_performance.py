@@ -1,0 +1,78 @@
+"""Tests for the Section IV-D performance analysis (Table I row)."""
+
+import pytest
+
+from repro.core.performance import PerformanceModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def perf(tech):
+    return PerformanceModel(tech)
+
+
+def test_throughput_matches_paper(perf):
+    """16 rows x 32 ops x 8 GS/s = 4.096 TOPS (paper rounds to 4.10)."""
+    assert perf.ops_per_sample == 512
+    assert perf.throughput_tops == pytest.approx(4.096, rel=1e-6)
+    assert round(perf.throughput_tops, 2) == 4.10
+
+
+def test_power_efficiency_matches_paper(perf):
+    """3.02 TOPS/W."""
+    assert perf.tops_per_watt == pytest.approx(3.02, abs=0.005)
+
+
+def test_psram_cell_count(perf):
+    """Paper: 768 bitcells for 16x16 at 3 bits."""
+    assert perf.psram_cell_count == 768
+
+
+def test_weight_update_rate(perf):
+    assert perf.weight_update_rate == pytest.approx(20e9)
+
+
+def test_power_breakdown_components(perf):
+    breakdown = perf.power_ledger().breakdown()
+    names = list(breakdown)
+    assert any("eoADC" in name for name in names)
+    assert any("pSRAM" in name for name in names)
+    assert any("TIA" in name for name in names)
+    assert any("comb" in name for name in names)
+    # eoADC electronics: 16 x 11 mW.
+    adc_electronics = [v for k, v in breakdown.items() if "eoADC electronics" in k]
+    assert adc_electronics[0] == pytest.approx(16 * 11e-3, rel=1e-6)
+
+
+def test_total_power_reasonable(perf):
+    assert perf.total_power == pytest.approx(4.096 / 3.02, rel=1e-3)
+
+
+def test_energy_per_op(perf):
+    assert perf.energy_per_op == pytest.approx(1.0 / 3.02e12, rel=1e-3)
+
+
+def test_table_row_contents(perf):
+    row = perf.table_row()
+    assert row["throughput_tops"] == pytest.approx(4.10, abs=0.01)
+    assert row["power_efficiency_tops_per_w"] == pytest.approx(3.02, abs=0.01)
+    assert row["weight_update_hz"] == pytest.approx(20e9)
+
+
+def test_summary_is_readable(perf):
+    summary = perf.summary()
+    assert "TOPS" in summary and "TOPS/W" in summary and "768" in summary
+
+
+def test_scaling_with_array_size(tech):
+    """Throughput scales with rows x columns; efficiency improves as the
+    fixed overheads amortize."""
+    small = PerformanceModel(tech, rows=8, columns=8)
+    large = PerformanceModel(tech, rows=32, columns=32)
+    assert large.throughput_tops == pytest.approx(16 * small.throughput_tops)
+    assert large.tops_per_watt > small.tops_per_watt
+
+
+def test_invalid_configuration(tech):
+    with pytest.raises(ConfigurationError):
+        PerformanceModel(tech, rows=0)

@@ -1,0 +1,66 @@
+"""Unit tests for photodiodes and the balanced thresholding pair."""
+
+import numpy as np
+import pytest
+
+from repro.config import PhotodiodeSpec
+from repro.errors import ConfigurationError
+from repro.photonics.photodiode import BalancedPhotodiodePair, Photodiode
+from repro.photonics.signal import WDMSignal
+
+
+def test_current_linear_in_power():
+    pd = Photodiode(PhotodiodeSpec(responsivity=0.8, dark_current=0.0))
+    assert pd.current(100e-6) == pytest.approx(80e-6)
+    assert pd.current(2 * 100e-6) == pytest.approx(2 * 80e-6)
+
+
+def test_dark_current_floor():
+    pd = Photodiode(PhotodiodeSpec(dark_current=10e-9))
+    assert pd.current(0.0) == pytest.approx(10e-9)
+
+
+def test_negative_power_rejected():
+    with pytest.raises(ConfigurationError):
+        Photodiode().current(-1e-6)
+
+
+def test_broadband_response_sums_carriers():
+    """pSRAM photodiodes add the hold bias and write wavelengths."""
+    pd = Photodiode(PhotodiodeSpec(responsivity=0.8, dark_current=0.0))
+    signal = WDMSignal([1310.5e-9, 1304e-9], [10e-6, 1e-3])
+    assert pd.current_from_signal(signal) == pytest.approx(0.8 * 1.01e-3)
+
+
+def test_shot_noise_scales_with_sqrt_power():
+    pd = Photodiode()
+    low = pd.shot_noise_sigma(10e-6, bandwidth=10e9)
+    high = pd.shot_noise_sigma(40e-6, bandwidth=10e9)
+    assert high == pytest.approx(2.0 * low, rel=0.05)
+
+
+def test_noisy_current_statistics():
+    pd = Photodiode(PhotodiodeSpec(responsivity=0.8, dark_current=0.0))
+    rng = np.random.default_rng(0)
+    samples = [pd.noisy_current(200e-6, rng, bandwidth=10e9) for _ in range(400)]
+    assert np.mean(samples) == pytest.approx(0.8 * 200e-6, rel=0.01)
+    assert np.std(samples) > 0.0
+
+
+def test_balanced_pair_sign_convention():
+    pair = BalancedPhotodiodePair()
+    assert pair.net_current(200e-6, 18e-6) > 0.0  # upper wins: node up
+    assert pair.net_current(10e-6, 18e-6) < 0.0  # reference wins: node down
+
+
+def test_balanced_pair_discharge_predicate():
+    """The eoADC activation condition: reference diode wins."""
+    pair = BalancedPhotodiodePair()
+    assert pair.discharges(upper_power=10e-6, lower_power=18e-6)
+    assert not pair.discharges(upper_power=100e-6, lower_power=18e-6)
+
+
+def test_network_sink_records_power():
+    pd = Photodiode()
+    pd.propagate_ports({"in": WDMSignal.single(1310e-9, 5e-6)})
+    assert pd.last_input_power == pytest.approx(5e-6)

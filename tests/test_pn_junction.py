@@ -1,0 +1,90 @@
+"""Unit tests for the plasma-dispersion junction models."""
+
+import pytest
+
+from repro.config import DepletionJunctionSpec, InjectionTunerSpec
+from repro.errors import ConfigurationError
+from repro.photonics.pn_junction import (
+    DepletionTuner,
+    InjectionTuner,
+    depletion_width,
+    soref_bennett_delta_alpha,
+    soref_bennett_delta_n,
+)
+
+
+def test_soref_bennett_sign_conventions():
+    """Adding carriers lowers the index and raises the absorption."""
+    assert soref_bennett_delta_n(1e17, 0.0) < 0.0
+    assert soref_bennett_delta_n(0.0, 1e17) < 0.0
+    assert soref_bennett_delta_alpha(1e17, 1e17) > 0.0
+
+
+def test_soref_bennett_order_of_magnitude():
+    """~1e17 cm^-3 injection gives |dn| ~ 1e-4 at O-band."""
+    delta_n = abs(soref_bennett_delta_n(1e17, 1e17, wavelength=1.31e-6))
+    assert 1e-5 < delta_n < 1e-3
+
+
+def test_soref_bennett_band_selection():
+    o_band = soref_bennett_delta_n(1e17, 1e17, wavelength=1.31e-6)
+    c_band = soref_bennett_delta_n(1e17, 1e17, wavelength=1.55e-6)
+    assert abs(c_band) > abs(o_band)
+
+
+def test_calibrated_efficiency_is_physically_plausible(tech):
+    """The calibrated 32 pm/V maps to a carrier-density modulation well
+    inside the Soref-Bennett range for a moderately confined mode."""
+    efficiency = tech.depletion.efficiency
+    delta_n_eff_per_volt = efficiency * tech.waveguide.group_index / tech.wavelength
+    # Required bulk index change at ~30% confinement:
+    delta_n_bulk = delta_n_eff_per_volt / 0.3
+    # Compare with the shift from a 2e17 cm^-3 swing (upper plausible bound).
+    bound = abs(soref_bennett_delta_n(2e17, 2e17))
+    assert delta_n_bulk < bound
+
+
+def test_depletion_width_grows_with_reverse_bias():
+    narrow = depletion_width(0.0)
+    wide = depletion_width(3.0)
+    assert wide > narrow
+    # Typical junctions: tens to hundreds of nm.
+    assert 10e-9 < narrow < 200e-9
+
+
+def test_depletion_width_rejects_strong_forward_bias():
+    with pytest.raises(ConfigurationError):
+        depletion_width(-1.0)
+
+
+def test_depletion_tuner_odd_symmetry_with_asymmetry():
+    tuner = DepletionTuner(DepletionJunctionSpec(asymmetry_per_volt=0.0))
+    assert tuner.wavelength_shift(-1.0) == pytest.approx(-tuner.wavelength_shift(1.0))
+
+
+def test_depletion_tuner_small_signal_efficiency():
+    tuner = DepletionTuner()
+    shift = tuner.wavelength_shift(-0.01)
+    assert shift / 0.01 == pytest.approx(tuner.small_signal_efficiency(), rel=0.02)
+
+
+def test_depletion_tuner_range_guard():
+    tuner = DepletionTuner()
+    with pytest.raises(ConfigurationError):
+        tuner.wavelength_shift(5.0)
+    with pytest.raises(ConfigurationError):
+        tuner.wavelength_shift(-5.0)
+
+
+def test_injection_tuner_blue_shift_monotone():
+    tuner = InjectionTuner(InjectionTunerSpec())
+    shifts = [tuner.wavelength_shift(v) for v in (0.0, 0.8, 1.2, 1.8)]
+    assert shifts[0] == 0.0
+    assert all(b <= a for a, b in zip(shifts, shifts[1:]))
+    assert shifts[-1] == pytest.approx(-180e-12)
+
+
+def test_injection_tuner_rejects_negative_drive():
+    tuner = InjectionTuner()
+    with pytest.raises(ConfigurationError):
+        tuner.wavelength_shift(-1.0)

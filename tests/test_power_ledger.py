@@ -1,0 +1,73 @@
+"""Unit tests for the power/energy ledgers."""
+
+import pytest
+
+from repro.electronics.power import EnergyLedger, LedgerEntry, PowerLedger
+from repro.errors import ConfigurationError
+
+
+def test_optical_entries_convert_to_wall_plug():
+    ledger = PowerLedger(wall_plug_efficiency=0.23)
+    ledger.add_optical("laser", 1e-3)
+    assert ledger.total == pytest.approx(1e-3 / 0.23)
+    assert ledger.entries[0].raw_value == pytest.approx(1e-3)
+
+
+def test_electrical_entries_pass_through():
+    ledger = PowerLedger()
+    ledger.add_electrical("tia", 42e-3)
+    assert ledger.total == pytest.approx(42e-3)
+
+
+def test_category_totals():
+    ledger = PowerLedger(wall_plug_efficiency=0.5)
+    ledger.add_optical("bias", 1e-3)
+    ledger.add_electrical("decoder", 3e-3)
+    assert ledger.total_for("optical") == pytest.approx(2e-3)
+    assert ledger.total_for("electrical") == pytest.approx(3e-3)
+    assert ledger.total == pytest.approx(5e-3)
+
+
+def test_breakdown_preserves_insertion_order():
+    ledger = PowerLedger()
+    ledger.add_electrical("b", 2.0)
+    ledger.add_electrical("a", 1.0)
+    assert list(ledger.breakdown()) == ["b", "a"]
+
+
+def test_energy_over_duration():
+    ledger = PowerLedger()
+    ledger.add_electrical("x", 2.0)
+    assert ledger.energy(3.0) == pytest.approx(6.0)
+    with pytest.raises(ConfigurationError):
+        ledger.energy(-1.0)
+
+
+def test_energy_ledger_paper_psram_example():
+    """0.5 pJ = (50 fJ write + 0.5 fJ bias)/0.23 + electrical rest."""
+    ledger = EnergyLedger(wall_plug_efficiency=0.23)
+    ledger.add_optical("write pulse", 1e-3 * 50e-12)
+    ledger.add_optical("bias", 10e-6 * 50e-12)
+    ledger.add_electrical("switching", 86.554e-15 * 1.8**2)
+    assert ledger.total == pytest.approx(0.5e-12, rel=1e-3)
+
+
+def test_report_renders_all_entries():
+    ledger = PowerLedger()
+    ledger.add_electrical("alpha", 1e-3)
+    ledger.add_electrical("beta", 2e-3)
+    report = ledger.report(scale=1e3, unit="mW")
+    assert "alpha" in report and "beta" in report and "TOTAL" in report
+
+
+def test_negative_entries_rejected():
+    ledger = PowerLedger()
+    with pytest.raises(ConfigurationError):
+        ledger.add_electrical("bad", -1.0)
+    with pytest.raises(ConfigurationError):
+        LedgerEntry("bad", -1.0, "electrical", -1.0)
+
+
+def test_invalid_wall_plug_efficiency():
+    with pytest.raises(ConfigurationError):
+        PowerLedger(wall_plug_efficiency=0.0)

@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import default_technology
+from repro.core.quantization import (
+    dequantize_weights,
+    encode_inputs,
+    quantize_weights,
+    signed_matmul_correction,
+)
+from repro.electronics.adc_metrics import differential_nonlinearity
+from repro.electronics.elements import StorageNode
+from repro.electronics.rom_decoder import CeilingPriorityRomDecoder, code_to_bits
+from repro.photonics.coupler import BinaryScaledSplitterTree, PowerSplitter
+from repro.photonics.mrr import AddDropMRR
+from repro.photonics.signal import WDMSignal, merge_signals
+from repro.sim.transient import FirstOrderLag
+
+TECH = default_technology()
+RING = AddDropMRR(
+    TECH.compute_ring_spec(),
+    design_wavelength=TECH.wavelength,
+    waveguide=TECH.waveguide,
+    coupler=TECH.coupler,
+)
+
+
+@given(
+    detuning=st.floats(min_value=-5e-9, max_value=5e-9),
+)
+@settings(max_examples=200)
+def test_ring_passivity(detuning):
+    """For any wavelength, thru and drop powers are in [0, 1] and their
+    sum never exceeds unity (no gain in a passive ring)."""
+    wavelength = TECH.wavelength + detuning
+    thru = float(RING.thru_transmission(wavelength))
+    drop = float(RING.drop_transmission(wavelength))
+    assert 0.0 <= thru <= 1.0
+    assert 0.0 <= drop <= 1.0
+    assert thru + drop <= 1.0 + 1e-12
+
+
+@given(ratio=st.floats(min_value=0.0, max_value=1.0), power=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=100)
+def test_splitter_conserves_power(ratio, power):
+    splitter = PowerSplitter(ratio=ratio)
+    out1, out2 = splitter.split(WDMSignal.single(1310.5e-9, power))
+    assert out1.total_power + out2.total_power == pytest.approx(power, rel=1e-12, abs=1e-18)
+
+
+@given(bits=st.integers(min_value=1, max_value=10))
+def test_splitter_tree_fractions_sum_to_one(bits):
+    tree = BinaryScaledSplitterTree(bits)
+    total = sum(tree.branch_fractions()) + tree.residual_fraction
+    assert total == pytest.approx(1.0)
+
+
+@given(
+    powers=st.lists(st.floats(min_value=0.0, max_value=1e-3), min_size=1, max_size=6),
+)
+@settings(max_examples=100)
+def test_merge_conserves_total_power(powers):
+    signals = [WDMSignal.single(1310e-9 + i * 1e-9, p) for i, p in enumerate(powers)]
+    merged = merge_signals(signals)
+    assert merged.total_power == pytest.approx(sum(powers), abs=1e-18)
+
+
+@given(bits=st.integers(min_value=1, max_value=6), data=st.data())
+def test_decoder_one_hot_identity(bits, data):
+    decoder = CeilingPriorityRomDecoder(bits)
+    code = data.draw(st.integers(min_value=0, max_value=2**bits - 1))
+    activations = [False] * 2**bits
+    activations[code] = True
+    assert decoder.decode(activations) == code
+
+
+@given(bits=st.integers(min_value=2, max_value=6), data=st.data())
+def test_decoder_adjacent_two_hot_ceiling(bits, data):
+    decoder = CeilingPriorityRomDecoder(bits)
+    lower = data.draw(st.integers(min_value=0, max_value=2**bits - 2))
+    activations = [False] * 2**bits
+    activations[lower] = activations[lower + 1] = True
+    assert decoder.decode(activations) == lower + 1
+
+
+@given(bits=st.integers(min_value=1, max_value=8), data=st.data())
+def test_code_to_bits_round_trip(bits, data):
+    code = data.draw(st.integers(min_value=0, max_value=2**bits - 1))
+    expansion = code_to_bits(code, bits)
+    value = 0
+    for bit in expansion:
+        value = (value << 1) | bit
+    assert value == code
+
+
+@given(
+    weights=st.lists(
+        st.floats(min_value=-10.0, max_value=10.0, allow_nan=False), min_size=1, max_size=16
+    ),
+    bits=st.integers(min_value=2, max_value=8),
+)
+@settings(max_examples=150)
+def test_signed_quantization_error_bounded(weights, bits):
+    weights = np.asarray(weights)
+    q, scale = quantize_weights(weights, bits, signed=True)
+    restored = dequantize_weights(q, scale, bits, signed=True)
+    assert np.all(np.abs(restored - weights) <= scale / 2 + 1e-9)
+    assert np.all(q >= 0) and np.all(q < 2**bits)
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=16
+    )
+)
+@settings(max_examples=100)
+def test_encode_inputs_bounds_and_recovery(values):
+    values = np.asarray(values)
+    encoded, scale = encode_inputs(values)
+    assert np.all(encoded >= 0.0) and np.all(encoded <= 1.0)
+    assert np.allclose(encoded * scale, values, atol=1e-9)
+
+
+@given(
+    bits=st.integers(min_value=2, max_value=5),
+    data=st.data(),
+)
+@settings(max_examples=100)
+def test_signed_correction_identity(bits, data):
+    """Offset-binary correction is exact in integer arithmetic."""
+    size = data.draw(st.integers(min_value=1, max_value=8))
+    offset = 2 ** (bits - 1)
+    signed = data.draw(
+        st.lists(
+            st.integers(min_value=-offset, max_value=offset - 1),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    x = data.draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    signed = np.asarray(signed)
+    x = np.asarray(x)
+    unsigned = (signed + offset) @ x
+    assert signed_matmul_correction(unsigned, x, bits) == pytest.approx(signed @ x)
+
+
+@given(
+    currents=st.lists(
+        st.floats(min_value=-1e-3, max_value=1e-3, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=100)
+def test_storage_node_never_leaves_rails(currents):
+    node = StorageNode(5e-15, 1.8, 0.9)
+    for current in currents:
+        node.integrate(current, 1e-12)
+        assert 0.0 <= node.voltage <= 1.8
+
+
+@given(
+    target=st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+    steps=st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=100)
+def test_first_order_lag_contracts_toward_target(target, steps):
+    lag = FirstOrderLag(0.0, time_constant=1e-12)
+    previous_distance = abs(target - 0.0)
+    for _ in range(steps):
+        lag.step(target, 1e-12)
+        distance = abs(target - float(lag.state))
+        assert distance <= previous_distance + 1e-12
+        previous_distance = distance
+
+
+@given(
+    edges=st.lists(
+        st.floats(min_value=0.01, max_value=0.99, allow_nan=False),
+        min_size=3,
+        max_size=3,
+        unique=True,
+    )
+)
+@settings(max_examples=100)
+def test_dnl_sums_to_span_error(edges):
+    """Sum of DNL equals (last-first transition)/LSB - (levels-2) by
+    construction; with ideal first/last edges it is ~0."""
+    transitions = {k + 1: v for k, v in enumerate(sorted(edges))}
+    lsb = (max(edges) - min(edges)) / 2.0
+    dnl = differential_nonlinearity(transitions, lsb, levels=4)
+    assert dnl.sum() == pytest.approx(
+        (max(edges) - min(edges)) / lsb - 2.0, abs=1e-9
+    )

@@ -1,0 +1,88 @@
+"""Tests for weight/input quantization and signed-arithmetic recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantization import (
+    decode_output,
+    dequantize_weights,
+    encode_inputs,
+    quantize_weights,
+    signed_matmul_correction,
+)
+from repro.errors import ConfigurationError
+
+
+def test_unsigned_quantization_round_trip():
+    weights = np.array([0.0, 0.5, 1.0, 3.5])
+    q, scale = quantize_weights(weights, bits=3)
+    assert q.max() == 7
+    restored = dequantize_weights(q, scale, bits=3)
+    assert np.all(np.abs(restored - weights) <= scale / 2 + 1e-12)
+
+
+def test_unsigned_rejects_negative_weights():
+    with pytest.raises(ConfigurationError):
+        quantize_weights(np.array([-1.0, 1.0]), bits=3)
+
+
+def test_signed_offset_binary_round_trip():
+    weights = np.array([-1.5, -0.3, 0.0, 0.9, 1.5])
+    q, scale = quantize_weights(weights, bits=3, signed=True)
+    assert np.all(q >= 0) and np.all(q <= 7)
+    restored = dequantize_weights(q, scale, bits=3, signed=True)
+    assert np.all(np.abs(restored - weights) <= scale / 2 + 1e-12)
+
+
+def test_signed_zero_maps_to_offset():
+    q, _ = quantize_weights(np.array([0.0]), bits=3, signed=True)
+    assert q[0] == 4  # 2^(bits-1)
+
+
+def test_signed_correction_recovers_signed_dot_product():
+    """q = w + 4 (3-bit offset binary): subtracting 4*sum(x) from the
+    unsigned product recovers the signed product exactly."""
+    rng = np.random.default_rng(8)
+    signed_weights = rng.integers(-4, 4, size=(3, 6))
+    offset_weights = signed_weights + 4
+    x = rng.uniform(0.0, 1.0, 6)
+    unsigned = offset_weights @ x
+    corrected = signed_matmul_correction(unsigned, x, bits=3)
+    assert np.allclose(corrected, signed_weights @ x)
+
+
+def test_encode_inputs_scale_recovery():
+    values = np.array([0.0, 2.0, 8.0])
+    encoded, scale = encode_inputs(values)
+    assert encoded.max() == pytest.approx(1.0)
+    assert np.allclose(encoded * scale, values)
+
+
+def test_encode_inputs_all_zero():
+    encoded, scale = encode_inputs(np.zeros(4))
+    assert np.all(encoded == 0.0)
+    assert scale == 1.0
+
+
+def test_encode_inputs_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        encode_inputs(np.array([-1.0, 1.0]))
+
+
+def test_decode_output_undoes_scales():
+    estimates = np.array([1.0, 2.0])
+    assert np.allclose(decode_output(estimates, 2.0, 0.5), [1.0, 2.0])
+
+
+def test_zero_magnitude_weights():
+    q, scale = quantize_weights(np.zeros(3), bits=3)
+    assert np.all(q == 0) and scale == 1.0
+
+
+def test_bits_validation():
+    with pytest.raises(ConfigurationError):
+        quantize_weights(np.ones(2), bits=0)
+    with pytest.raises(ConfigurationError):
+        dequantize_weights(np.ones(2), 1.0, bits=0)
+    with pytest.raises(ConfigurationError):
+        signed_matmul_correction(np.ones(2), np.ones(2), bits=0)

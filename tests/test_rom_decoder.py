@@ -1,0 +1,96 @@
+"""Unit tests for the ceiling-priority ROM decoder (paper Fig. 9)."""
+
+import pytest
+
+from repro.electronics.rom_decoder import CeilingPriorityRomDecoder, code_to_bits
+from repro.errors import ConfigurationError, ConversionError
+
+
+@pytest.fixture()
+def decoder():
+    return CeilingPriorityRomDecoder(bits=3)
+
+
+def one_hot(index, channels=8):
+    activations = [False] * channels
+    activations[index] = True
+    return activations
+
+
+def test_one_hot_decoding(decoder):
+    for code in range(8):
+        assert decoder.decode(one_hot(code)) == code
+
+
+def test_paper_examples(decoder):
+    """Fig. 9: B2 -> 001, B7 -> 110, B4+B5 -> 100 (ceiling)."""
+    assert decoder.decode(one_hot(1)) == 1  # B2 -> 001
+    assert decoder.decode(one_hot(6)) == 6  # B7 -> 110
+    boundary = [False] * 8
+    boundary[3] = boundary[4] = True  # B4 and B5
+    assert decoder.decode(boundary) == 4  # ceiling -> 100
+
+
+def test_adjacent_pair_takes_ceiling(decoder):
+    for lower in range(7):
+        activations = [False] * 8
+        activations[lower] = activations[lower + 1] = True
+        assert decoder.decode(activations) == lower + 1
+
+
+def test_no_activation_raises(decoder):
+    with pytest.raises(ConversionError):
+        decoder.decode([False] * 8)
+
+
+def test_non_adjacent_raises_in_strict_mode(decoder):
+    activations = [False] * 8
+    activations[1] = activations[5] = True
+    with pytest.raises(ConversionError):
+        decoder.decode(activations)
+
+
+def test_non_adjacent_takes_max_when_not_strict():
+    decoder = CeilingPriorityRomDecoder(bits=3, strict=False)
+    activations = [False] * 8
+    activations[1] = activations[5] = True
+    assert decoder.decode(activations) == 5
+
+
+def test_contiguous_run_takes_ceiling(decoder):
+    activations = [False] * 8
+    activations[2] = activations[3] = activations[4] = True
+    assert decoder.decode(activations) == 4
+
+
+def test_decode_or_hold_keeps_previous_code(decoder):
+    assert decoder.decode_or_hold([False] * 8, held_code=5) == 5
+    assert decoder.decode_or_hold(one_hot(2), held_code=5) == 2
+
+
+def test_wrong_width_rejected(decoder):
+    with pytest.raises(ConfigurationError):
+        decoder.decode([True] * 4)
+
+
+def test_decode_bits(decoder):
+    assert decoder.decode_bits(one_hot(4)) == (1, 0, 0)
+    assert decoder.decode_bits(one_hot(1)) == (0, 0, 1)
+
+
+def test_code_to_bits_round_trip():
+    for bits in (1, 3, 5):
+        for code in range(2**bits):
+            expansion = code_to_bits(code, bits)
+            assert len(expansion) == bits
+            reconstructed = 0
+            for bit in expansion:
+                reconstructed = (reconstructed << 1) | bit
+            assert reconstructed == code
+
+
+def test_code_to_bits_bounds():
+    with pytest.raises(ConfigurationError):
+        code_to_bits(8, 3)
+    with pytest.raises(ConfigurationError):
+        code_to_bits(0, 0)

@@ -1,0 +1,82 @@
+"""Unit tests for WDM signal containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PhotonicsError
+from repro.photonics.signal import WDMSignal, merge_signals
+
+
+def test_single_carrier_accessors():
+    signal = WDMSignal.single(1310.5e-9, 1e-3)
+    assert signal.num_channels == 1
+    assert signal.total_power == pytest.approx(1e-3)
+    assert signal.power_at(1310.5e-9) == pytest.approx(1e-3)
+    assert signal.power_at(1550e-9) == 0.0
+
+
+def test_wavelengths_sorted_on_construction():
+    signal = WDMSignal([1550e-9, 1310e-9], [1e-3, 2e-3])
+    assert np.all(np.diff(signal.wavelengths) > 0)
+    assert signal.power_at(1310e-9) == pytest.approx(2e-3)
+
+
+def test_rejects_mismatched_shapes():
+    with pytest.raises(PhotonicsError):
+        WDMSignal([1310e-9, 1311e-9], [1e-3])
+
+
+def test_rejects_negative_power_and_wavelength():
+    with pytest.raises(PhotonicsError):
+        WDMSignal([1310e-9], [-1e-3])
+    with pytest.raises(PhotonicsError):
+        WDMSignal([-1310e-9], [1e-3])
+
+
+def test_scaled_by_scalar_and_vector():
+    signal = WDMSignal([1310e-9, 1312e-9], [1e-3, 2e-3])
+    halved = signal.scaled(0.5)
+    assert halved.total_power == pytest.approx(1.5e-3)
+    weighted = signal.scaled([1.0, 0.0])
+    assert weighted.power_at(1312e-9) == 0.0
+    assert weighted.power_at(1310e-9) == pytest.approx(1e-3)
+
+
+def test_scaled_rejects_negative_factor():
+    signal = WDMSignal.single(1310e-9, 1e-3)
+    with pytest.raises(PhotonicsError):
+        signal.scaled(-0.1)
+
+
+def test_attenuated_db():
+    signal = WDMSignal.single(1310e-9, 1e-3)
+    assert signal.attenuated_db(3.0).total_power == pytest.approx(1e-3 * 10 ** (-0.3))
+
+
+def test_merge_adds_coincident_carriers():
+    one = WDMSignal.single(1310e-9, 1e-3)
+    two = WDMSignal.single(1310e-9, 2e-3)
+    merged = one.merged_with(two)
+    assert merged.num_channels == 1
+    assert merged.total_power == pytest.approx(3e-3)
+
+
+def test_merge_keeps_distinct_carriers():
+    one = WDMSignal.single(1310e-9, 1e-3)
+    two = WDMSignal.single(1312.33e-9, 2e-3)
+    merged = merge_signals([one, two])
+    assert merged.num_channels == 2
+    assert merged.total_power == pytest.approx(3e-3)
+
+
+def test_merge_rejects_empty():
+    with pytest.raises(PhotonicsError):
+        merge_signals([])
+
+
+def test_dark_and_mapping_round_trip():
+    dark = WDMSignal.dark([1310e-9, 1312e-9])
+    assert dark.total_power == 0.0
+    mapping = {1310e-9: 1e-3, 1312e-9: 2e-3}
+    signal = WDMSignal.from_mapping(mapping)
+    assert signal.as_mapping() == pytest.approx(mapping)

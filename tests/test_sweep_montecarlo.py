@@ -1,0 +1,83 @@
+"""Unit tests for sweep helpers and the Monte-Carlo engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.montecarlo import MonteCarlo, SummaryStatistics
+from repro.sim.sweep import sweep_1d, sweep_2d, wavelength_grid
+
+
+def test_sweep_1d_scalar_results():
+    results = sweep_1d(lambda x: x**2, [1.0, 2.0, 3.0])
+    assert np.allclose(results, [1.0, 4.0, 9.0])
+
+
+def test_sweep_1d_array_results_stack():
+    results = sweep_1d(lambda x: np.array([x, -x]), [1.0, 2.0])
+    assert results.shape == (2, 2)
+
+
+def test_sweep_1d_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        sweep_1d(lambda x: x, [])
+
+
+def test_sweep_2d_grid_shape_and_values():
+    grid = sweep_2d(lambda a, b: a * 10 + b, [1.0, 2.0], [0.1, 0.2, 0.3])
+    assert grid.shape == (2, 3)
+    assert grid[1, 2] == pytest.approx(20.3)
+
+
+def test_wavelength_grid_symmetric():
+    grid = wavelength_grid(1310.5e-9, 1e-9, points=11)
+    assert grid[0] == pytest.approx(1309.5e-9)
+    assert grid[-1] == pytest.approx(1311.5e-9)
+    assert grid[5] == pytest.approx(1310.5e-9)
+
+
+def test_wavelength_grid_validation():
+    with pytest.raises(ConfigurationError):
+        wavelength_grid(1310e-9, 0.0)
+    with pytest.raises(ConfigurationError):
+        wavelength_grid(1310e-9, 1e-9, points=2)
+
+
+def test_monte_carlo_reproducible():
+    first = MonteCarlo(seed=7).run(lambda rng: rng.normal(), trials=10)
+    second = MonteCarlo(seed=7).run(lambda rng: rng.normal(), trials=10)
+    assert first == second
+
+
+def test_monte_carlo_trials_independent():
+    samples = MonteCarlo(seed=7).run(lambda rng: rng.normal(), trials=50)
+    assert len(set(samples)) == 50
+
+
+def test_yield_fraction():
+    mc = MonteCarlo()
+    assert mc.yield_fraction([1.0, 2.0, 3.0, 4.0], lambda x: x <= 2.0) == 0.5
+    with pytest.raises(ConfigurationError):
+        mc.yield_fraction([], lambda x: True)
+
+
+def test_confidence_interval_bounds():
+    mc = MonteCarlo()
+    low, high = mc.confidence_interval_95(0.9, trials=100)
+    assert 0.0 <= low < 0.9 < high <= 1.0
+    assert mc.confidence_interval_95(1.0, trials=10) == (1.0, 1.0)
+
+
+def test_summary_statistics():
+    stats = SummaryStatistics.from_samples([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert stats.count == 5
+    assert stats.mean == pytest.approx(3.0)
+    assert stats.minimum == 1.0 and stats.maximum == 5.0
+    assert stats.percentile_5 < stats.percentile_95
+    with pytest.raises(ConfigurationError):
+        SummaryStatistics.from_samples([])
+
+
+def test_normal_rejects_negative_sigma():
+    with pytest.raises(ConfigurationError):
+        MonteCarlo().normal(-1.0)

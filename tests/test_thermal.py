@@ -1,0 +1,54 @@
+"""Unit tests for thermal tuning, heaters and wavelength locking."""
+
+import pytest
+
+from repro.config import ThermalSpec
+from repro.errors import ConfigurationError
+from repro.photonics.thermal import Heater, ThermalTuner, WavelengthLocker
+
+
+def test_thermal_tuner_shift_per_kelvin():
+    tuner = ThermalTuner(ThermalSpec(shift_per_kelvin=75e-12))
+    assert tuner.wavelength_shift(2.0) == pytest.approx(150e-12)
+    assert tuner.wavelength_shift(-1.0) == pytest.approx(-75e-12)
+
+
+def test_heater_power_to_shift():
+    heater = Heater(ThermalSpec())
+    heater.power = 1e-3
+    assert heater.wavelength_shift() == pytest.approx(200e-12)
+
+
+def test_heater_power_limits():
+    heater = Heater(ThermalSpec(max_heater_power=2e-3))
+    heater.power = 5e-3
+    assert heater.power == 2e-3  # clamped at the maximum
+    with pytest.raises(ConfigurationError):
+        heater.power = -1e-3
+
+
+def test_locker_cancels_static_drift():
+    """The thermal-stabilization story of the paper's MRR discussion:
+    a locker must null out an ambient drift within its heater range."""
+    heater = Heater(ThermalSpec())
+    locker = WavelengthLocker(heater, gain=0.6)
+    residual = locker.lock(ambient_detuning=150e-12, iterations=30)
+    assert abs(residual) < 2e-12
+
+
+def test_locker_corrects_blue_drift_with_extra_heat():
+    """Blue drift is cancelled by *raising* heater power above the bias
+    (heaters only red-shift; the mid-range bias gives both directions)."""
+    heater = Heater(ThermalSpec())
+    locker = WavelengthLocker(heater, gain=0.6)
+    residual = locker.lock(ambient_detuning=-150e-12, iterations=30)
+    assert abs(residual) < 2e-12
+    assert heater.power > locker.bias_power
+
+
+def test_locker_gain_validation():
+    heater = Heater(ThermalSpec())
+    with pytest.raises(ConfigurationError):
+        WavelengthLocker(heater, gain=0.0)
+    with pytest.raises(ConfigurationError):
+        WavelengthLocker(heater, gain=1.5)

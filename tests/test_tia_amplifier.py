@@ -1,0 +1,76 @@
+"""Unit tests for the TIA and amplifier chain models."""
+
+import pytest
+
+from repro.electronics.amplifier import AmplifierChain, VoltageAmplifier
+from repro.electronics.tia import Tia
+from repro.errors import ConfigurationError
+
+
+def test_tia_output_linear_then_clamped():
+    tia = Tia(transimpedance=20e3, bandwidth=12e9, supply_voltage=1.8, power=0.5e-3)
+    assert tia.output_voltage(10e-6) == pytest.approx(0.2)
+    assert tia.output_voltage(1e-3) == 1.8  # clamped
+    assert tia.output_voltage(-1e-6) == 0.0  # clamped at ground
+
+
+def test_tia_full_scale_current():
+    tia = Tia(transimpedance=20e3, bandwidth=12e9, supply_voltage=1.8, power=0.5e-3)
+    assert tia.full_scale_current() == pytest.approx(1.8 / 20e3)
+
+
+def test_tia_time_constant_from_bandwidth():
+    tia = Tia.inverter_based_eoadc()
+    assert tia.time_constant == pytest.approx(1.0 / (2 * 3.14159265 * tia.bandwidth), rel=1e-6)
+
+
+def test_eoadc_preset_power_budget():
+    """Per-channel TIA + amps must sum to the calibrated 0.7975 mW so
+    8 channels + decoder land on the paper's 11 mW."""
+    tia = Tia.inverter_based_eoadc()
+    chain = AmplifierChain.eoadc_chain()
+    assert tia.power + chain.power == pytest.approx(0.7975e-3, rel=1e-6)
+
+
+def test_row_tia_preset_matches_ref52_class():
+    tia = Tia.row_tia_28nm()
+    assert tia.power == pytest.approx(42e-3)
+    assert tia.bandwidth == pytest.approx(42e9)
+
+
+def test_tia_energy():
+    tia = Tia.row_tia_28nm()
+    assert tia.energy(1e-9) == pytest.approx(42e-12)
+    with pytest.raises(ConfigurationError):
+        tia.energy(-1.0)
+
+
+def test_tia_rejects_bad_construction():
+    with pytest.raises(ConfigurationError):
+        Tia(transimpedance=0.0, bandwidth=1e9, supply_voltage=1.8, power=1e-3)
+    with pytest.raises(ConfigurationError):
+        Tia(transimpedance=1e3, bandwidth=1e9, supply_voltage=1.8, power=-1e-3)
+
+
+def test_amplifier_gain_about_reference():
+    amp = VoltageAmplifier(gain=8.0, supply_voltage=1.8)
+    assert amp.amplify(0.95, reference=0.9) == pytest.approx(0.9 + 8 * 0.05)
+
+
+def test_amplifier_clamps_to_rails():
+    amp = VoltageAmplifier(gain=100.0, supply_voltage=1.8)
+    assert amp.amplify(1.0, reference=0.9) == 1.8
+    assert amp.amplify(0.8, reference=0.9) == 0.0
+
+
+def test_chain_total_gain_and_regeneration():
+    chain = AmplifierChain.eoadc_chain(stage_gain=8.0, stage_count=2)
+    assert chain.total_gain == pytest.approx(64.0)
+    # A 30 mV offset from the trip point regenerates past the rails.
+    assert chain.amplify(0.9 + 0.03, reference=0.9) == 1.8
+    assert chain.amplify(0.9 - 0.03, reference=0.9) == 0.0
+
+
+def test_chain_requires_stages():
+    with pytest.raises(ConfigurationError):
+        AmplifierChain([])

@@ -1,0 +1,93 @@
+"""Unit tests for the transient engine and first-order lag."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.transient import FirstOrderLag, Recorder, TransientEngine
+
+
+def test_lag_converges_exponentially():
+    lag = FirstOrderLag(0.0, time_constant=1e-12)
+    lag.step(1.0, 1e-12)
+    assert float(lag.state) == pytest.approx(1.0 - math.exp(-1.0))
+
+
+def test_lag_vector_state():
+    lag = FirstOrderLag(np.zeros(3), time_constant=1e-12)
+    lag.step(np.array([1.0, 2.0, 3.0]), 10e-12)
+    assert np.allclose(lag.state, [1.0, 2.0, 3.0], atol=1e-3)
+
+
+def test_lag_snap_resets_state():
+    lag = FirstOrderLag(0.0, 1e-12)
+    lag.snap(5.0)
+    assert float(lag.state) == 5.0
+
+
+def test_lag_validation():
+    with pytest.raises(ConfigurationError):
+        FirstOrderLag(0.0, 0.0)
+    lag = FirstOrderLag(0.0, 1e-12)
+    with pytest.raises(SimulationError):
+        lag.step(1.0, 0.0)
+
+
+def test_recorder_collects_waveforms():
+    recorder = Recorder()
+    for step in range(5):
+        recorder.record(step * 1e-12, a=float(step), b=float(-step))
+    assert len(recorder) == 5
+    assert recorder.signal_names == ["a", "b"]
+    assert recorder.waveform("a").final_value() == 4.0
+
+
+def test_recorder_missing_signal_raises():
+    recorder = Recorder()
+    recorder.record(0.0, a=1.0)
+    with pytest.raises(SimulationError):
+        recorder.record(1.0, b=2.0)
+
+
+def test_recorder_unknown_waveform():
+    recorder = Recorder()
+    recorder.record(0.0, a=1.0)
+    with pytest.raises(SimulationError):
+        recorder.waveform("missing")
+
+
+def test_engine_runs_expected_step_count():
+    engine = TransientEngine(time_step=1e-12, duration=100e-12)
+    assert engine.step_count == 100
+    recorder = engine.run(lambda t, dt: {"t": t})
+    assert len(recorder) == 100
+
+
+def test_engine_integrates_simple_ode():
+    """dv/dt = -v/tau integrated with the engine matches the analytic
+    solution to first order."""
+    tau = 10e-12
+    state = {"v": 1.0}
+
+    def step(t, dt):
+        state["v"] += -state["v"] / tau * dt
+        return {"v": state["v"]}
+
+    engine = TransientEngine(time_step=0.01e-12, duration=10e-12)
+    recorder = engine.run(step)
+    assert recorder.waveform("v").final_value() == pytest.approx(math.exp(-1.0), rel=1e-2)
+
+
+def test_engine_validates_configuration():
+    with pytest.raises(ConfigurationError):
+        TransientEngine(time_step=0.0, duration=1.0)
+    with pytest.raises(ConfigurationError):
+        TransientEngine(time_step=1.0, duration=0.5)
+
+
+def test_engine_requires_dict_signals():
+    engine = TransientEngine(time_step=1e-12, duration=3e-12)
+    with pytest.raises(SimulationError):
+        engine.run(lambda t, dt: 1.0)

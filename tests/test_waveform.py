@@ -1,0 +1,103 @@
+"""Unit tests for waveforms and stimulus builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.waveform import PulseTrain, StepSequence, Waveform
+
+
+def test_waveform_validation():
+    with pytest.raises(ConfigurationError):
+        Waveform([0.0, 1.0], [0.0])
+    with pytest.raises(ConfigurationError):
+        Waveform([0.0, 0.0], [1.0, 2.0])  # non-increasing time base
+    with pytest.raises(ConfigurationError):
+        Waveform([], [])
+
+
+def test_value_interpolation():
+    wave = Waveform([0.0, 1.0], [0.0, 2.0])
+    assert wave.value_at(0.5) == pytest.approx(1.0)
+    assert wave.final_value() == 2.0
+    assert wave.duration == 1.0
+
+
+def test_crossings_both_directions():
+    times = np.linspace(0.0, 2 * np.pi, 1001)
+    wave = Waveform(times, np.sin(times))
+    rising = wave.crossings(0.5, rising=True)
+    falling = wave.crossings(0.5, rising=False)
+    assert rising[0] == pytest.approx(np.arcsin(0.5), abs=1e-2)
+    assert falling[0] == pytest.approx(np.pi - np.arcsin(0.5), abs=1e-2)
+
+
+def test_crossings_interpolate_between_samples():
+    wave = Waveform([0.0, 1.0], [0.0, 1.0])
+    assert wave.crossings(0.25) == [pytest.approx(0.25)]
+
+
+def test_settling_time():
+    times = np.linspace(0.0, 10.0, 1001)
+    values = 1.0 - np.exp(-times)
+    wave = Waveform(times, values)
+    settle = wave.settling_time(target=1.0, tolerance=0.05)
+    assert settle == pytest.approx(3.0, abs=0.05)  # -ln(0.05) ~ 3
+
+
+def test_settling_never_raises():
+    wave = Waveform([0.0, 1.0], [0.0, 0.0])
+    with pytest.raises(SimulationError):
+        wave.settling_time(target=1.0, tolerance=0.01)
+
+
+def test_window_extraction():
+    wave = Waveform([0.0, 1.0, 2.0, 3.0], [0.0, 1.0, 2.0, 3.0])
+    sub = wave.window(0.5, 2.5)
+    assert sub.times.tolist() == [1.0, 2.0]
+    with pytest.raises(ConfigurationError):
+        wave.window(2.0, 1.0)
+
+
+def test_pulse_train_levels():
+    train = PulseTrain(baseline=1e-6).add_pulse(10e-12, 50e-12, 1e-3)
+    assert train.level_at(5e-12) == pytest.approx(1e-6)
+    assert train.level_at(30e-12) == pytest.approx(1e-3 + 1e-6)
+    assert train.level_at(60.1e-12) == pytest.approx(1e-6)
+    assert train.pulse_count == 1
+
+
+def test_pulse_train_overlapping_pulses_add():
+    train = PulseTrain().add_pulse(0.0, 2.0, 1.0).add_pulse(1.0, 2.0, 1.0)
+    assert train(1.5) == pytest.approx(2.0)
+
+
+def test_pulse_train_rejects_bad_width():
+    with pytest.raises(ConfigurationError):
+        PulseTrain().add_pulse(0.0, 0.0, 1.0)
+
+
+def test_step_sequence_levels_and_clamping():
+    seq = StepSequence([0.72, 2.0, 3.3], period=125e-12)
+    assert seq(10e-12) == 0.72
+    assert seq(130e-12) == 2.0
+    assert seq(300e-12) == 3.3
+    assert seq(999e-12) == 3.3  # clamps to the last level
+    assert seq(-10e-12) == 0.72  # clamps to the first
+
+
+def test_step_sequence_sample_times():
+    seq = StepSequence([1.0, 2.0], period=100e-12)
+    samples = seq.sample_times()
+    assert len(samples) == 2
+    assert samples[0] < 100e-12 <= samples[0] + 1e-12
+    assert seq.duration == pytest.approx(200e-12)
+
+
+def test_step_sequence_validation():
+    with pytest.raises(ConfigurationError):
+        StepSequence([], period=1.0)
+    with pytest.raises(ConfigurationError):
+        StepSequence([1.0], period=0.0)
+    with pytest.raises(ConfigurationError):
+        StepSequence([1.0], period=1.0).sample_times(offset_fraction=0.0)

@@ -1,0 +1,50 @@
+"""Unit tests for the waveguide model."""
+
+import pytest
+
+from repro.config import WaveguideSpec
+from repro.errors import ConfigurationError
+from repro.photonics.signal import WDMSignal
+from repro.photonics.waveguide import Waveguide
+
+
+def test_loss_db_matches_length():
+    guide = Waveguide(length=1e-2, spec=WaveguideSpec(loss_db_per_cm=2.0))
+    assert guide.loss_db == pytest.approx(2.0)
+    assert guide.power_transmission == pytest.approx(10 ** (-0.2), rel=1e-6)
+
+
+def test_zero_length_is_transparent():
+    guide = Waveguide(length=0.0)
+    assert guide.power_transmission == 1.0
+    assert guide.loss_db == 0.0
+
+
+def test_negative_length_rejected():
+    with pytest.raises(ConfigurationError):
+        Waveguide(length=-1e-6)
+
+
+def test_phase_scales_inversely_with_wavelength():
+    guide = Waveguide(length=100e-6)
+    assert guide.phase(1310e-9) > guide.phase(1550e-9)
+
+
+def test_group_delay_positive_and_reasonable():
+    guide = Waveguide(length=1e-3)  # 1 mm
+    delay = guide.group_delay()
+    # n_g ~ 3.9 -> ~13 ps/mm.
+    assert delay == pytest.approx(13e-12, rel=0.05)
+
+
+def test_propagate_scales_all_carriers():
+    guide = Waveguide(length=1e-2, spec=WaveguideSpec(loss_db_per_cm=3.0))
+    signal = WDMSignal([1310e-9, 1312e-9], [1e-3, 2e-3])
+    out = guide.propagate(signal)
+    assert out.total_power == pytest.approx(3e-3 * 10 ** (-0.3), rel=1e-6)
+
+
+def test_port_protocol():
+    guide = Waveguide(length=0.0)
+    out = guide.propagate_ports({"in": WDMSignal.single(1310e-9, 1e-3)})
+    assert out["out"].total_power == pytest.approx(1e-3)

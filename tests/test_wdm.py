@@ -1,0 +1,78 @@
+"""Unit tests for WDM channel planning and crosstalk analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.multiplier import OneBitPhotonicMultiplier
+from repro.errors import ConfigurationError
+from repro.photonics.wdm import (
+    ChannelPlan,
+    crosstalk_matrix,
+    usable_channels,
+    worst_case_crosstalk_db,
+)
+
+
+def test_channel_plan_grid():
+    plan = ChannelPlan(1310.5e-9, 2.33e-9, 4)
+    assert plan.wavelength(0) == pytest.approx(1310.5e-9)
+    assert plan.wavelength(3) == pytest.approx(1310.5e-9 + 3 * 2.33e-9)
+    assert plan.span() == pytest.approx(3 * 2.33e-9)
+
+
+def test_channel_plan_bounds():
+    plan = ChannelPlan(1310.5e-9, 2.33e-9, 4)
+    with pytest.raises(ConfigurationError):
+        plan.wavelength(4)
+    with pytest.raises(ConfigurationError):
+        ChannelPlan(1310.5e-9, 0.0, 4)
+
+
+def test_usable_channels_paper_example():
+    """Paper Section III: 9 nm FSR / 2 nm spacing -> 4 channels."""
+    assert usable_channels(9e-9, 2e-9) == 4
+    assert usable_channels(9.36e-9, 2.33e-9) == 4
+
+
+def test_plan_fits_in_fsr():
+    plan = ChannelPlan(1310.5e-9, 2.33e-9, 4)
+    assert plan.fits_in_fsr(9.36e-9)
+    assert not plan.fits_in_fsr(9.0e-9)
+
+
+@pytest.fixture(scope="module")
+def channel_rings(tech):
+    rings = []
+    for index in range(4):
+        multiplier = OneBitPhotonicMultiplier(channel_index=index, technology=tech)
+        multiplier.bit = 0  # resonant at its own channel
+        rings.append(multiplier.ring)
+    return rings
+
+
+def test_crosstalk_matrix_diagonal_is_notch(channel_rings):
+    plan = ChannelPlan(1310.5e-9, 2.33e-9, 4)
+    matrix = crosstalk_matrix(channel_rings, plan)
+    assert matrix.shape == (4, 4)
+    assert np.all(np.diag(matrix) < 0.01)
+    off_diagonal = matrix[~np.eye(4, dtype=bool)]
+    assert np.all(off_diagonal > 0.99)  # neighbours nearly transparent
+
+
+def test_crosstalk_matrix_requires_one_ring_per_channel(channel_rings):
+    plan = ChannelPlan(1310.5e-9, 2.33e-9, 3)
+    with pytest.raises(ConfigurationError):
+        crosstalk_matrix(channel_rings, plan)
+
+
+def test_worst_case_crosstalk_small(channel_rings):
+    """Paper Section IV-B: 2.33 nm separation ensures minimal crosstalk."""
+    plan = ChannelPlan(1310.5e-9, 2.33e-9, 4)
+    matrix = crosstalk_matrix(channel_rings, plan)
+    worst = worst_case_crosstalk_db(matrix)
+    assert worst > -0.1  # less than 0.1 dB parasitic attenuation
+
+
+def test_worst_case_crosstalk_validates_shape():
+    with pytest.raises(ConfigurationError):
+        worst_case_crosstalk_db(np.ones((2, 3)))
