@@ -14,6 +14,9 @@ The package rebuilds the paper's full stack in Python:
 * :mod:`repro.baselines` — flash/TI ADC and electrical-IMC baselines,
   plus the published macros of Table I.
 * :mod:`repro.ml` — neural-network inference through the tensor core.
+* :mod:`repro.runtime` — batched/tiled/cached inference serving on top
+  of the device models (compiled fast path, sharding, batching queue,
+  weight-program cache, traffic bench).
 * :mod:`repro.analysis` — linearity fits and bench reporting.
 
 Quickstart::
@@ -39,12 +42,22 @@ from .core import (
     VectorComputeCore,
 )
 from .errors import ReproError
+from .runtime import (
+    BatchScheduler,
+    CompiledCore,
+    InferenceServer,
+    TiledMatmul,
+    WeightProgramCache,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchScheduler",
+    "CompiledCore",
     "default_technology",
     "EoAdc",
+    "InferenceServer",
     "PerformanceModel",
     "PhotonicTensorCore",
     "PsramArray",
@@ -52,7 +65,9 @@ __all__ = [
     "ReproError",
     "ShiftAddEoAdc",
     "Technology",
+    "TiledMatmul",
     "TimeInterleavedEoAdc",
     "VectorComputeCore",
+    "WeightProgramCache",
     "__version__",
 ]

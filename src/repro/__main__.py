@@ -7,6 +7,9 @@ Commands:
 * ``demo`` — a quick 4x8 matrix-vector multiplication through the
   photonic path.
 * ``adc`` — static eoADC conversions across the full-scale range.
+* ``serve-bench [requests]`` — replay a synthetic multi-tenant trace
+  through the batched/cached inference runtime and print throughput,
+  batch-fill and cache statistics.
 """
 
 from __future__ import annotations
@@ -16,7 +19,7 @@ import sys
 import numpy as np
 
 
-def _summary() -> None:
+def _summary(argv: list[str]) -> None:
     from .baselines.photonic_macros import format_table_one
     from .core.performance import PerformanceModel
 
@@ -26,7 +29,7 @@ def _summary() -> None:
     print(format_table_one(performance))
 
 
-def _demo() -> None:
+def _demo(argv: list[str]) -> None:
     from .core.tensor_core import PhotonicTensorCore
 
     rng = np.random.default_rng(0)
@@ -40,7 +43,7 @@ def _demo() -> None:
     print(f"exact W @ x: {np.round(core.ideal_matvec(x), 2)}")
 
 
-def _adc() -> None:
+def _adc(argv: list[str]) -> None:
     from .core.eoadc import EoAdc
 
     adc = EoAdc()
@@ -50,15 +53,35 @@ def _adc() -> None:
         print(f"{v_in:>8.2f}  {code:>4}  {code:03b}")
 
 
+def _serve_bench(argv: list[str]) -> int:
+    from .runtime.serving import run_serve_bench
+
+    try:
+        requests = int(argv[0]) if argv else 240
+    except ValueError:
+        print(f"serve-bench expects a request count, got {argv[0]!r}")
+        return 2
+    if requests < 0:
+        print(f"serve-bench request count must be >= 0, got {requests}")
+        return 2
+    run_serve_bench(requests=requests)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     command = argv[0] if argv else "summary"
-    commands = {"summary": _summary, "demo": _demo, "adc": _adc}
+    commands = {
+        "summary": _summary,
+        "demo": _demo,
+        "adc": _adc,
+        "serve-bench": _serve_bench,
+    }
     if command not in commands:
         print(f"unknown command {command!r}; choose from {sorted(commands)}")
         return 2
-    commands[command]()
-    return 0
+    status = commands[command](argv[1:])
+    return 0 if status is None else status
 
 
 if __name__ == "__main__":

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 from scipy.special import erfc
 
 from ..config import Technology, default_technology

@@ -171,6 +171,34 @@ class VectorComputeCore:
             current += responsivity * float(fractions @ plane_powers)
         return current
 
+    def element_responses(self) -> np.ndarray:
+        """Per-element photocurrent response [A per unit input intensity].
+
+        Because the settled optical path is linear in the input
+        intensities, ``compute(x)`` equals ``element_responses() @ x``
+        for every valid ``x``.  Entry i folds the splitter-tree
+        fractions, the bit-plane bus transmissions at element i's
+        channel wavelength (including every other ring's crosstalk on
+        the shared buses), the channel power and the photodiode
+        responsivity into one coefficient.  This is the hook the
+        :mod:`repro.runtime` compiler uses to turn the device loop into
+        a dense matrix row; it is rebuilt implicitly on every
+        :meth:`load_weights` via the transmission cache.
+        """
+        fractions = np.asarray(self.splitter_tree.branch_fractions())
+        power_per_channel = self.technology.compute.channel_power
+        responsivity = self.photodiode.spec.responsivity
+        responses = np.empty(self.vector_length)
+        for element in range(self.vector_length):
+            macro = element // self.channels_per_macro
+            channel = element % self.channels_per_macro
+            responses[element] = (
+                responsivity
+                * power_per_channel
+                * float(fractions @ self._transmission_cache[macro, :, channel])
+            )
+        return responses
+
     def compute_per_channel(self, inputs) -> float:
         """The paper's PDK workaround: one wavelength at a time, all
         rings present, photocurrents summed linearly."""

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..config import EoAdcSpec, Technology, default_technology
+from ..config import Technology, default_technology
 from ..electronics.comparator import OptoElectricThresholder
 from ..electronics.power import PowerLedger
 from ..electronics.rom_decoder import CeilingPriorityRomDecoder
@@ -116,6 +116,7 @@ class EoAdc:
         self.decoder = CeilingPriorityRomDecoder(
             spec.bits, strict=strict_decoder, power=self._decoder_power()
         )
+        self._code_boundaries: np.ndarray | None = None
 
     # -- design rules ----------------------------------------------------------
     def _design_reference_power(self) -> float:
@@ -218,6 +219,51 @@ class EoAdc:
             return self.decoder.decode(activations)
         below = np.nonzero(self.reference_voltages <= v_in)[0]
         return int(below[-1]) if below.size else 0
+
+    def code_boundaries(self) -> np.ndarray:
+        """Exact code-transition voltages of the settled converter.
+
+        Entry k - 1 is the smallest representable input voltage whose
+        static conversion reaches code ``k`` (k = 1 .. 2^p - 1), found
+        by bisecting :meth:`convert` down to floating-point resolution.
+        Because the settled transfer function is a non-decreasing
+        staircase (ring activation windows ordered along the reference
+        ladder, ceiling-priority decoding, ramp-hold in the trim dead
+        zones), ``np.searchsorted(boundaries, v, side="right")``
+        reproduces ``convert(v)`` exactly for every in-range ``v`` —
+        this ladder is what the :mod:`repro.runtime` compiler bins whole
+        batches against.  The result is cached; ring trims never change
+        after construction.
+        """
+        if self._code_boundaries is not None:
+            return self._code_boundaries
+        upper_probe = self.spec.full_scale_voltage - 1e-9
+        top_code = self.convert(upper_probe)
+        boundaries = np.empty(self.levels - 1)
+        lower = 0.0
+        for code in range(1, self.levels):
+            if code > top_code:
+                # Unreachable code (severely mistrimmed part): park the
+                # threshold at full scale so binning never emits it.
+                boundaries[code - 1] = self.spec.full_scale_voltage
+                continue
+            low, high = lower, upper_probe
+            if self.convert(low) >= code:
+                boundaries[code - 1] = low
+                continue
+            # Invariant: convert(low) < code <= convert(high).
+            while True:
+                mid = 0.5 * (low + high)
+                if not low < mid < high:
+                    break
+                if self.convert(mid) >= code:
+                    high = mid
+                else:
+                    low = mid
+            boundaries[code - 1] = high
+            lower = low
+        self._code_boundaries = boundaries
+        return boundaries
 
     def convert_clamped(self, v_in: float) -> int:
         """Conversion with the input clipped into the full-scale range."""

@@ -24,7 +24,6 @@ from ..errors import ConfigurationError
 from .compute_core import VectorComputeCore
 from .eoadc import EoAdc
 from .performance import PerformanceModel
-from .psram import PsramArray
 
 
 @dataclass
@@ -115,13 +114,30 @@ class PhotonicTensorCore:
         """Wall-plug energy [J] of all weight switches so far."""
         return sum(core.weight_update_energy() for core in self.row_cores)
 
+    # -- calibration constants (used by the runtime compiler) ----------------
+    @property
+    def tia_gain(self) -> float:
+        """Native row-TIA transimpedance [V/A] mapping the full-scale
+        photocurrent onto the eoADC full scale."""
+        return self._tia_gain
+
+    @property
+    def full_scale_current(self) -> float:
+        """Row photocurrent [A] with all inputs at 1, all weights max."""
+        return self._full_scale_current
+
     # -- compute -------------------------------------------------------------
     def _validated_vector(self, x) -> np.ndarray:
         x = np.asarray(x, dtype=float)
         if x.shape != (self.columns,):
-            raise ConfigurationError(f"input must have length {self.columns}")
+            raise ConfigurationError(
+                f"input must have shape ({self.columns},), got {x.shape}"
+            )
         if np.any(x < 0.0) or np.any(x > 1.0):
-            raise ConfigurationError("analog inputs must lie in [0, 1]")
+            raise ConfigurationError(
+                "analog inputs must lie in [0, 1], got range "
+                f"[{x.min():.6g}, {x.max():.6g}]"
+            )
         return x
 
     def matvec(self, x, gain: float = 1.0) -> MatvecResult:
@@ -148,16 +164,20 @@ class PhotonicTensorCore:
         estimates = self.dequantize_codes(codes) / gain
         return MatvecResult(codes=codes, estimates=estimates, currents=currents)
 
-    def matmul(self, matrix) -> np.ndarray:
+    def matmul(self, matrix, gain: float = 1.0) -> np.ndarray:
         """Matrix-matrix product: photonic W @ X for X of shape
         (columns, batch).  Returns dequantized estimates
-        (rows, batch)."""
+        (rows, batch).  ``gain`` is the row-TIA range setting applied to
+        every column, exactly as in :meth:`matvec`."""
         matrix = np.asarray(matrix, dtype=float)
         if matrix.ndim != 2 or matrix.shape[0] != self.columns:
             raise ConfigurationError(
-                f"input matrix must be ({self.columns}, batch), got {matrix.shape}"
+                f"input matrix must be ({self.columns}, batch), got shape {matrix.shape}"
             )
-        outputs = [self.matvec(matrix[:, col]).estimates for col in range(matrix.shape[1])]
+        outputs = [
+            self.matvec(matrix[:, col], gain=gain).estimates
+            for col in range(matrix.shape[1])
+        ]
         return np.stack(outputs, axis=1)
 
     def dequantize_codes(self, codes) -> np.ndarray:
@@ -190,6 +210,18 @@ class PhotonicTensorCore:
             (ideal / full_scale_dot * adc.levels).astype(int), 0, adc.levels - 1
         )
         return (codes + 0.5) / adc.levels * full_scale_dot
+
+    def compile(self):
+        """Snapshot the loaded weights into a vectorized inference engine.
+
+        Returns a :class:`repro.runtime.CompiledCore` that evaluates
+        whole input batches as dense numpy products, agreeing with this
+        device loop code-for-code.  The snapshot is detached: reloading
+        weights afterwards does not disturb it.
+        """
+        from ..runtime.engine import CompiledCore
+
+        return CompiledCore(self)
 
     # -- system analysis -----------------------------------------------------
     def performance(self) -> PerformanceModel:

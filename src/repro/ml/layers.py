@@ -33,7 +33,16 @@ def relu(values: np.ndarray) -> np.ndarray:
 
 
 class PhotonicDense:
-    """A dense layer whose matmul runs on the photonic tensor core."""
+    """A dense layer whose matmul runs on the photonic tensor core.
+
+    ``runtime=True`` switches :meth:`forward` onto the compiled
+    :class:`repro.runtime.TiledMatmul` fast path: the quantized weight
+    arrays are sharded once onto dedicated compiled tile grids (same
+    tile shape and technology as ``core``) and every batch evaluates as
+    dense numpy products instead of the per-sample device loop.  The
+    physics is identical — the engines are compiled from the same
+    device models — so the outputs match the loop path.
+    """
 
     def __init__(
         self,
@@ -41,6 +50,7 @@ class PhotonicDense:
         core: PhotonicTensorCore,
         bias: np.ndarray | None = None,
         signed: bool = True,
+        runtime: bool = False,
     ) -> None:
         weights = np.asarray(weights, dtype=float)
         if weights.ndim != 2:
@@ -65,6 +75,9 @@ class PhotonicDense:
         self.tiler = MatrixTiler(core)
         #: Programmable row-TIA gain (ADC range setting); 1.0 = native.
         self.gain = 1.0
+        self.runtime = runtime
+        self._runtime_positive = None
+        self._runtime_negative = None
 
     @property
     def out_features(self) -> int:
@@ -115,6 +128,40 @@ class PhotonicDense:
         raw = positive - negative
         return raw * self.weight_scale * input_scale + self.bias
 
+    def _runtime_engines(self):
+        """Compiled tile grids for the quantized weight arrays (lazy)."""
+        from ..runtime.tiling import TiledMatmul
+
+        # Mirror every quantization-relevant setting of the device core
+        # (including a non-default ADC precision) so the compiled tiles
+        # digitize exactly as the loop path would.
+        tile_settings = {
+            "tile_rows": self.core.rows,
+            "tile_columns": self.core.columns,
+            "weight_bits": self.core.weight_bits,
+            "adc_bits": self.core.row_adcs[0].bits,
+            "technology": self.core.technology,
+            "gain": 1.0,
+        }
+        if self._runtime_positive is None:
+            self._runtime_positive = TiledMatmul(self.q_positive, **tile_settings)
+        if self._runtime_negative is None and self.signed and np.any(self.q_negative):
+            self._runtime_negative = TiledMatmul(self.q_negative, **tile_settings)
+        return self._runtime_positive, self._runtime_negative
+
+    def _forward_runtime(self, batch: np.ndarray) -> np.ndarray:
+        """Batched compiled-engine forward (one matmul per weight array)."""
+        positive_engine, negative_engine = self._runtime_engines()
+        samples = batch.shape[0]
+        encoded = np.empty((self.in_features, samples))
+        input_scales = np.empty(samples)
+        for index, sample in enumerate(batch):
+            encoded[:, index], input_scales[index] = encode_inputs(sample)
+        raw = positive_engine.matmul(encoded, gain=self.gain)
+        if negative_engine is not None:
+            raw = raw - negative_engine.matmul(encoded, gain=self.gain)
+        return raw.T * self.weight_scale * input_scales[:, np.newaxis] + self.bias
+
     def forward(self, batch: np.ndarray) -> np.ndarray:
         """Batch forward: batch of shape (samples, in_features)."""
         batch = np.asarray(batch, dtype=float)
@@ -122,6 +169,8 @@ class PhotonicDense:
             raise ConfigurationError(
                 f"batch must be (samples, {self.in_features}), got {batch.shape}"
             )
+        if self.runtime:
+            return self._forward_runtime(batch)
         return np.stack([self.forward_sample(sample) for sample in batch])
 
     def forward_float(self, batch: np.ndarray) -> np.ndarray:

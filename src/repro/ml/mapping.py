@@ -15,6 +15,39 @@ from ..core.tensor_core import PhotonicTensorCore
 from ..errors import MappingError
 
 
+def tile_grid(
+    out_features: int, in_features: int, tile_rows: int, tile_columns: int
+) -> tuple[int, int]:
+    """(row_tiles, column_tiles) covering an (out, in) matrix."""
+    if out_features < 1 or in_features < 1:
+        raise MappingError("matrix dimensions must be >= 1")
+    if tile_rows < 1 or tile_columns < 1:
+        raise MappingError("tile dimensions must be >= 1")
+    return -(-out_features // tile_rows), -(-in_features // tile_columns)
+
+
+def iter_tile_blocks(
+    out_features: int, in_features: int, tile_rows: int, tile_columns: int
+):
+    """Iterate the tile assignments of an (out, in) matrix.
+
+    Yields ``(row_tile, col_tile, (row_start, row_stop), (col_start,
+    col_stop))`` in row-major order; edge tiles are ragged (their stop
+    bounds clip to the matrix), and callers zero-pad the remainder.
+    Shared by the device-loop :class:`MatrixTiler` and the compiled
+    :class:`repro.runtime.TiledMatmul` so the two paths cannot diverge
+    on tiling geometry.
+    """
+    row_tiles, col_tiles = tile_grid(out_features, in_features, tile_rows, tile_columns)
+    for row_tile in range(row_tiles):
+        row_start = row_tile * tile_rows
+        row_stop = min(row_start + tile_rows, out_features)
+        for col_tile in range(col_tiles):
+            col_start = col_tile * tile_columns
+            col_stop = min(col_start + tile_columns, in_features)
+            yield row_tile, col_tile, (row_start, row_stop), (col_start, col_stop)
+
+
 class MatrixTiler:
     """Executes large quantized matmuls on one physical tensor core."""
 
@@ -23,11 +56,7 @@ class MatrixTiler:
 
     def tile_counts(self, out_features: int, in_features: int) -> tuple[int, int]:
         """(row_tiles, column_tiles) needed for a W of that shape."""
-        if out_features < 1 or in_features < 1:
-            raise MappingError("matrix dimensions must be >= 1")
-        rows = -(-out_features // self.core.rows)
-        cols = -(-in_features // self.core.columns)
-        return rows, cols
+        return tile_grid(out_features, in_features, self.core.rows, self.core.columns)
 
     def matvec(
         self, weight_matrix: np.ndarray, x: np.ndarray, gain: float = 1.0
@@ -53,25 +82,20 @@ class MatrixTiler:
             raise MappingError(
                 f"weights must lie in [0, {self.core.max_weight}] for this core"
             )
-        row_tiles, col_tiles = self.tile_counts(out_features, in_features)
         result = np.zeros(out_features)
-        for row_tile in range(row_tiles):
-            row_start = row_tile * self.core.rows
-            row_stop = min(row_start + self.core.rows, out_features)
-            for col_tile in range(col_tiles):
-                col_start = col_tile * self.core.columns
-                col_stop = min(col_start + self.core.columns, in_features)
+        for _, _, (row_start, row_stop), (col_start, col_stop) in iter_tile_blocks(
+            out_features, in_features, self.core.rows, self.core.columns
+        ):
+            block = np.zeros((self.core.rows, self.core.columns), dtype=int)
+            block[: row_stop - row_start, : col_stop - col_start] = weight_matrix[
+                row_start:row_stop, col_start:col_stop
+            ]
+            chunk = np.zeros(self.core.columns)
+            chunk[: col_stop - col_start] = x[col_start:col_stop]
 
-                block = np.zeros((self.core.rows, self.core.columns), dtype=int)
-                block[: row_stop - row_start, : col_stop - col_start] = weight_matrix[
-                    row_start:row_stop, col_start:col_stop
-                ]
-                chunk = np.zeros(self.core.columns)
-                chunk[: col_stop - col_start] = x[col_start:col_stop]
-
-                self.core.load_weight_matrix(block)
-                partial = self.core.matvec(chunk, gain=gain).estimates
-                result[row_start:row_stop] += partial[: row_stop - row_start]
+            self.core.load_weight_matrix(block)
+            partial = self.core.matvec(chunk, gain=gain).estimates
+            result[row_start:row_stop] += partial[: row_stop - row_start]
         return result
 
     def matmul(self, weight_matrix: np.ndarray, batch: np.ndarray) -> np.ndarray:

@@ -105,6 +105,9 @@ class PhotonicMLP:
     ``calibration_batch`` (a slice of the training inputs) sets each
     layer's row-TIA gain so its activations fill the eoADC range — the
     per-layer range calibration standard in analog IMC deployments.
+    ``runtime=True`` serves both layers through the compiled
+    :mod:`repro.runtime` fast path instead of the per-sample device
+    loop (same physics, batched evaluation).
     """
 
     def __init__(
@@ -112,9 +115,10 @@ class PhotonicMLP:
         mlp: MLP,
         core: PhotonicTensorCore,
         calibration_batch: np.ndarray | None = None,
+        runtime: bool = False,
     ) -> None:
-        self.layer1 = PhotonicDense(mlp.w1, core, bias=mlp.b1, signed=True)
-        self.layer2 = PhotonicDense(mlp.w2, core, bias=mlp.b2, signed=True)
+        self.layer1 = PhotonicDense(mlp.w1, core, bias=mlp.b1, signed=True, runtime=runtime)
+        self.layer2 = PhotonicDense(mlp.w2, core, bias=mlp.b2, signed=True, runtime=runtime)
         if calibration_batch is not None:
             batch = np.asarray(calibration_batch, dtype=float)
             self.layer1.calibrate_gain(batch)

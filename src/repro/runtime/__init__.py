@@ -1,0 +1,56 @@
+"""Batched, tiled, cached inference runtime over the device simulator.
+
+The device layer (:mod:`repro.core`) walks one vector at a time through
+Python loops — faithful, but not a serving engine.  This package turns
+it into one, in four layers:
+
+* :mod:`~repro.runtime.engine` — :class:`CompiledCore`: a weight
+  program snapshotted into dense response matrices and exact ADC code
+  ladders, evaluating whole batches as numpy matmuls + searchsorted
+  binning, code-for-code equal to the device loop.
+* :mod:`~repro.runtime.tiling` — :class:`TiledMatmul`: arbitrary
+  (out, in) weight shapes sharded across a grid of physical tiles with
+  digital partial-sum accumulation, ragged-edge padding and per-tile
+  TIA range calibration.
+* :mod:`~repro.runtime.scheduler` — :class:`BatchScheduler` +
+  :class:`WeightProgramCache`: request coalescing per weight program
+  and an LRU of compiled programs so repeated weights skip the 20 GHz
+  pSRAM re-streaming, with energy/latency accounting riding on the
+  device ledgers and :class:`~repro.core.performance.PerformanceModel`.
+* :mod:`~repro.runtime.serving` — :class:`InferenceServer` facade and
+  the ``python -m repro serve-bench`` multi-tenant traffic replay.
+"""
+
+from .engine import BatchResult, CompiledCore, weight_key
+from .scheduler import (
+    BatchScheduler,
+    CachedProgram,
+    SchedulerStats,
+    Ticket,
+    WeightProgramCache,
+)
+from .serving import (
+    InferenceServer,
+    ServerStats,
+    ServerTicket,
+    run_serve_bench,
+    synthetic_trace,
+)
+from .tiling import TiledMatmul
+
+__all__ = [
+    "BatchResult",
+    "BatchScheduler",
+    "CachedProgram",
+    "CompiledCore",
+    "InferenceServer",
+    "run_serve_bench",
+    "SchedulerStats",
+    "ServerStats",
+    "ServerTicket",
+    "synthetic_trace",
+    "Ticket",
+    "TiledMatmul",
+    "weight_key",
+    "WeightProgramCache",
+]

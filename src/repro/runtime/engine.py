@@ -1,0 +1,212 @@
+"""The vectorized fast path: device loops compiled to dense numpy.
+
+:class:`PhotonicTensorCore` evaluates one input vector at a time
+through Python loops over row cores and per-row ADC conversions — a
+faithful device walk, but three orders of magnitude too slow to serve
+traffic.  Both halves of that walk are, at a fixed weight program,
+static functions of the input:
+
+* the settled optical path is *linear*: each row's photocurrent is
+  ``element_responses() @ x`` (crosstalk folded into the coefficients),
+  so a whole batch is one ``(rows, columns) @ (columns, batch)``
+  matrix product;
+* the settled eoADC is a *non-decreasing staircase*: its exact
+  code-transition ladder (:meth:`EoAdc.code_boundaries`) turns
+  conversion into ``np.searchsorted`` binning.
+
+:class:`CompiledCore` snapshots both at weight-load time and replays
+them vectorized, matching the device loop code-for-code.  Compilation
+costs one ladder bisection per distinct ADC trim (cached on the ADC)
+plus a cheap response-matrix rebuild per weight program, so schedulers
+can recompile on every cache miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.tensor_core import MatvecResult, PhotonicTensorCore
+from ..errors import ConfigurationError
+
+
+@dataclass
+class BatchResult:
+    """Digital result of one batched matrix-matrix operation.
+
+    All arrays have shape (rows, batch): column b holds the same
+    codes/estimates/currents a :meth:`PhotonicTensorCore.matvec` call on
+    input column b would produce.
+    """
+
+    codes: np.ndarray
+    estimates: np.ndarray
+    currents: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.codes = np.asarray(self.codes, dtype=int)
+        self.estimates = np.asarray(self.estimates, dtype=float)
+        self.currents = np.asarray(self.currents, dtype=float)
+
+    @property
+    def batch_size(self) -> int:
+        return self.codes.shape[1]
+
+    def column(self, index: int) -> MatvecResult:
+        """The single-vector result view of batch column ``index``."""
+        return MatvecResult(
+            codes=self.codes[:, index],
+            estimates=self.estimates[:, index],
+            currents=self.currents[:, index],
+        )
+
+
+def _row_ladders(core: PhotonicTensorCore, ladder_cache: list | None) -> np.ndarray:
+    """Per-row ADC code ladders, sharing bisection work between ADCs
+    with identical trim/spec (the common case: one seeded trim draw per
+    technology).  ``ladder_cache`` is an optional cross-core memo of
+    ``[technology, spec, trim_errors, ladder]`` rows that tiled grids
+    pass so every tile of the same technology compiles one ladder."""
+    ladders = []
+    local: list = [] if ladder_cache is None else ladder_cache
+    for adc in core.row_adcs:
+        found = None
+        for technology, spec, trim, ladder in local:
+            if (
+                technology is adc.technology
+                and spec == adc.spec
+                and np.array_equal(trim, adc.trim_errors)
+            ):
+                found = ladder
+                break
+        if found is None:
+            found = adc.code_boundaries()
+            local.append([adc.technology, adc.spec, adc.trim_errors, found])
+        ladders.append(found)
+    return np.stack(ladders)
+
+
+class CompiledCore:
+    """A weight program of a :class:`PhotonicTensorCore`, compiled to
+    dense arrays for batched evaluation.
+
+    The snapshot is detached from the device: reloading the source
+    core's weights afterwards (as the :class:`~repro.runtime.scheduler.
+    BatchScheduler` does on every cache miss) leaves this program valid.
+    """
+
+    def __init__(
+        self,
+        core: PhotonicTensorCore,
+        ladder_cache: list | None = None,
+    ) -> None:
+        self.rows = core.rows
+        self.columns = core.columns
+        self.weight_bits = core.weight_bits
+        self.max_weight = core.max_weight
+        self.technology = core.technology
+        self.weight_matrix = core.weight_matrix
+        #: (rows, columns) photocurrent per unit input intensity.
+        self.response = np.stack(
+            [row_core.element_responses() for row_core in core.row_cores]
+        )
+        #: (rows, levels - 1) exact per-row code-transition voltages.
+        self.boundaries = _row_ladders(core, ladder_cache)
+        shared = all(
+            np.array_equal(self.boundaries[row], self.boundaries[0])
+            for row in range(1, self.rows)
+        )
+        self._shared_ladder = self.boundaries[0] if shared else None
+
+        adc = core.row_adcs[0]
+        self.adc_bits = adc.bits
+        self.adc_levels = adc.levels
+        self._adc_lsb = adc.lsb
+        self._full_scale_voltage = adc.spec.full_scale_voltage
+        self._tia_gain = core.tia_gain
+        self._full_scale_current = core.full_scale_current
+        self.sample_rate = adc.sample_rate
+
+    # -- bookkeeping ---------------------------------------------------------
+    @property
+    def weight_key(self) -> bytes:
+        """Canonical cache key of this weight program."""
+        return weight_key(self.weight_matrix)
+
+    # -- evaluation ----------------------------------------------------------
+    def _validated_batch(self, batch) -> np.ndarray:
+        batch = np.asarray(batch, dtype=float)
+        if batch.ndim != 2 or batch.shape[0] != self.columns:
+            raise ConfigurationError(
+                f"input batch must be ({self.columns}, batch), got shape {batch.shape}"
+            )
+        if batch.size and (batch.min() < 0.0 or batch.max() > 1.0):
+            raise ConfigurationError(
+                "analog inputs must lie in [0, 1], got range "
+                f"[{batch.min():.6g}, {batch.max():.6g}]"
+            )
+        return batch
+
+    def quantize_voltages(self, voltages: np.ndarray) -> np.ndarray:
+        """Bin row voltages (rows, batch) into codes against the exact
+        per-row ADC ladders."""
+        if self._shared_ladder is not None:
+            return np.searchsorted(self._shared_ladder, voltages, side="right")
+        codes = np.empty(voltages.shape, dtype=int)
+        for row in range(self.rows):
+            codes[row] = np.searchsorted(self.boundaries[row], voltages[row], side="right")
+        return codes
+
+    def dequantize_codes(self, codes) -> np.ndarray:
+        """Map p-bit codes back to dot-product units.
+
+        Term-for-term the same arithmetic as
+        :meth:`PhotonicTensorCore.dequantize_codes`, so estimates agree
+        bitwise with the device loop for equal codes.
+        """
+        codes = np.asarray(codes, dtype=float)
+        voltage = (codes + 0.5) * self._adc_lsb
+        current = voltage / self._tia_gain
+        unit = self._full_scale_current / (
+            self.columns * self.max_weight / 2.0**self.weight_bits
+        )
+        return current / unit * 2.0**self.weight_bits
+
+    def matmul(self, batch, gain: float = 1.0) -> BatchResult:
+        """Batched photonic W @ X for X of shape (columns, batch).
+
+        One dense matrix product plus vectorized ADC binning; column b
+        of the result carries the codes the device loop would emit for
+        ``matvec(X[:, b], gain)``.
+        """
+        if gain <= 0.0:
+            raise ConfigurationError(f"TIA gain must be positive, got {gain}")
+        batch = self._validated_batch(batch)
+        currents = self.response @ batch
+        voltages = np.clip(
+            gain * self._tia_gain * currents,
+            0.0,
+            self._full_scale_voltage - 1e-9,
+        )
+        codes = self.quantize_voltages(voltages)
+        estimates = self.dequantize_codes(codes) / gain
+        return BatchResult(codes=codes, estimates=estimates, currents=currents)
+
+    def matvec(self, x, gain: float = 1.0) -> MatvecResult:
+        """Single-vector evaluation with the batched fast path."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.columns,):
+            raise ConfigurationError(
+                f"input must have shape ({self.columns},), got {x.shape}"
+            )
+        return self.matmul(x[:, np.newaxis], gain=gain).column(0)
+
+
+def weight_key(matrix) -> bytes:
+    """Canonical cache key for a weight matrix: shape plus the bytes of
+    its canonical int64 form, so equal programs hash equal regardless of
+    the caller's integer dtype."""
+    matrix = np.ascontiguousarray(np.asarray(matrix, dtype=np.int64))
+    shape = "x".join(str(dim) for dim in matrix.shape)
+    return shape.encode() + b":" + matrix.tobytes()

@@ -1,0 +1,319 @@
+"""Request batching and weight-program caching for the serving path.
+
+The physical core imposes two costs a naive caller pays on every
+request: streaming the weight matrix through the pSRAM arrays (one
+20 GHz cycle per column, plus 0.5 pJ per flipped bitcell) and one ADC
+sample period per input vector.  Traffic amortizes both:
+
+* :class:`WeightProgramCache` — an LRU of compiled weight programs
+  keyed on the matrix bytes.  A hit skips the pSRAM re-streaming
+  entirely (the weights are already latched and compiled); only misses
+  pay load energy and compile time.
+* :class:`BatchScheduler` — accepts many small matvec requests,
+  coalesces them per (weight program, TIA gain) and evaluates each
+  group as one batched :meth:`CompiledCore.matmul`, so the Python/ADC
+  dispatch overhead is paid once per batch instead of once per vector.
+
+Energy and latency accounting rides on the existing device models:
+weight-load energy is the tensor core's own pSRAM ledger (measured
+across each reload), analog compute time/energy come from
+:class:`~repro.core.performance.PerformanceModel`, and every cache hit
+is credited with the re-streaming cost it avoided — so
+:meth:`BatchScheduler.stats` shows cache hits directly reducing the
+reported weight-update energy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import Technology, default_technology
+from ..core.performance import PerformanceModel
+from ..core.tensor_core import MatvecResult, PhotonicTensorCore
+from ..errors import ConfigurationError
+from .engine import CompiledCore, weight_key
+
+
+@dataclass
+class CachedProgram:
+    """A compiled weight program plus the load costs a hit avoids."""
+
+    engine: CompiledCore
+    load_energy: float
+    load_time: float
+
+
+class WeightProgramCache:
+    """Least-recently-used cache of weight programs.
+
+    Generic over the cached value (the scheduler stores
+    :class:`CachedProgram`, the server also stores tiled engines); the
+    key is the canonical byte string of the weight matrix
+    (:func:`repro.runtime.engine.weight_key`).
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._programs: OrderedDict[bytes, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._programs
+
+    def keys(self) -> list[bytes]:
+        """Cached keys, least recently used first."""
+        return list(self._programs)
+
+    def get(self, key: bytes):
+        """Look up a program, refreshing its recency.  Counts the
+        hit/miss; returns None on miss."""
+        program = self._programs.get(key)
+        if program is None:
+            self.misses += 1
+            return None
+        self._programs.move_to_end(key)
+        self.hits += 1
+        return program
+
+    def put(self, key: bytes, program) -> object | None:
+        """Insert a program, evicting the least recently used entry
+        beyond capacity.  Returns the evicted program (or None)."""
+        self._programs[key] = program
+        self._programs.move_to_end(key)
+        if len(self._programs) > self.capacity:
+            _, evicted = self._programs.popitem(last=False)
+            self.evictions += 1
+            return evicted
+        return None
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class Ticket:
+    """Handle for one submitted request; resolved by the next flush."""
+
+    __slots__ = ("result",)
+
+    def __init__(self) -> None:
+        self.result: MatvecResult | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.result is not None
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate accounting of a scheduler's traffic so far."""
+
+    requests: int = 0
+    flushed: int = 0
+    batches: int = 0
+    max_batch: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    #: pSRAM streaming energy actually spent on cache misses [J].
+    weight_energy_spent: float = 0.0
+    #: pSRAM streaming energy avoided by cache hits [J].
+    weight_energy_saved: float = 0.0
+    #: Weight streaming time actually spent [s] / avoided [s].
+    weight_time_spent: float = 0.0
+    weight_time_saved: float = 0.0
+    #: ADC sample slots consumed by batched evaluations.
+    samples: int = 0
+    #: Analog compute time [s] and wall-plug energy [J] from the
+    #: PerformanceModel (one sample period per batched input column).
+    analog_time: float = 0.0
+    analog_energy: float = 0.0
+
+    @property
+    def batch_fill(self) -> float:
+        """Mean evaluated batch size over the configured maximum."""
+        if self.batches == 0 or self.max_batch == 0:
+            return 0.0
+        return self.flushed / (self.batches * self.max_batch)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def total_latency(self) -> float:
+        """Modelled serving time [s]: weight streaming plus analog compute."""
+        return self.weight_time_spent + self.analog_time
+
+    @property
+    def total_energy(self) -> float:
+        """Modelled serving energy [J]: weight streaming plus analog compute."""
+        return self.weight_energy_spent + self.analog_energy
+
+
+class BatchScheduler:
+    """Coalesces matvec requests into batched compiled evaluations.
+
+    One physical :class:`PhotonicTensorCore` backs the scheduler; each
+    distinct weight matrix becomes a compiled program in the LRU cache.
+    Requests queue per (weight program, gain) and :meth:`flush` runs
+    every group as dense batches of at most ``max_batch`` columns.
+    """
+
+    def __init__(
+        self,
+        rows: int | None = None,
+        columns: int | None = None,
+        weight_bits: int | None = None,
+        adc_bits: int | None = None,
+        technology: Technology | None = None,
+        cache_capacity: int = 8,
+        max_batch: int = 256,
+        label: str = "sched",
+    ) -> None:
+        if max_batch < 1:
+            raise ConfigurationError(f"max batch must be >= 1, got {max_batch}")
+        self.technology = technology if technology is not None else default_technology()
+        self.core = PhotonicTensorCore(
+            rows=rows,
+            columns=columns,
+            weight_bits=weight_bits,
+            adc_bits=adc_bits,
+            technology=self.technology,
+            label=label,
+        )
+        self.performance = PerformanceModel(
+            technology=self.technology,
+            rows=self.core.rows,
+            columns=self.core.columns,
+            weight_bits=self.core.weight_bits,
+        )
+        self.cache = WeightProgramCache(cache_capacity)
+        self.max_batch = max_batch
+        self._pending: OrderedDict[tuple[bytes, float], dict] = OrderedDict()
+        self._stats = SchedulerStats(max_batch=max_batch)
+
+    @property
+    def rows(self) -> int:
+        return self.core.rows
+
+    @property
+    def columns(self) -> int:
+        return self.core.columns
+
+    @property
+    def pending(self) -> int:
+        """Requests submitted but not yet flushed."""
+        return sum(len(group["tickets"]) for group in self._pending.values())
+
+    # -- request path --------------------------------------------------------
+    def submit(self, weights, x, gain: float = 1.0) -> Ticket:
+        """Queue one matvec request; resolved by the next :meth:`flush`."""
+        weights = np.asarray(weights, dtype=int)
+        if weights.shape != (self.rows, self.columns):
+            raise ConfigurationError(
+                f"weight matrix must be {self.rows}x{self.columns}, "
+                f"got shape {weights.shape}"
+            )
+        if np.any(weights < 0) or np.any(weights > self.core.max_weight):
+            raise ConfigurationError(
+                f"weights must lie in [0, {self.core.max_weight}], got range "
+                f"[{weights.min()}, {weights.max()}]"
+            )
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.columns,):
+            raise ConfigurationError(
+                f"input must have shape ({self.columns},), got {x.shape}"
+            )
+        if x.size and (x.min() < 0.0 or x.max() > 1.0):
+            raise ConfigurationError(
+                f"analog inputs must lie in [0, 1], got range "
+                f"[{x.min():.6g}, {x.max():.6g}]"
+            )
+        if gain <= 0.0:
+            raise ConfigurationError(f"TIA gain must be positive, got {gain}")
+
+        key = (weight_key(weights), float(gain))
+        group = self._pending.get(key)
+        if group is None:
+            # Copy: np.asarray aliases the caller's int array, and an
+            # in-place mutation between submit and flush would compile
+            # the mutated weights under the original key, poisoning the
+            # program cache for every future request with that key.
+            group = {"weights": weights.copy(), "inputs": [], "tickets": []}
+            self._pending[key] = group
+        ticket = Ticket()
+        group["inputs"].append(x.copy())
+        group["tickets"].append(ticket)
+        self._stats.requests += 1
+        return ticket
+
+    def _program_for(self, key: bytes, weights: np.ndarray) -> CachedProgram:
+        program = self.cache.get(key)
+        if program is not None:
+            # Hit: the pSRAM streaming this program originally paid is
+            # exactly what reusing it avoids.
+            self._stats.cache_hits += 1
+            self._stats.weight_energy_saved += program.load_energy
+            self._stats.weight_time_saved += program.load_time
+            return program
+        self._stats.cache_misses += 1
+        energy_before = self.core.weight_update_energy()
+        self.core.load_weight_matrix(weights)
+        load_energy = self.core.weight_update_energy() - energy_before
+        load_time = self.core.weight_update_time()
+        program = CachedProgram(
+            engine=CompiledCore(self.core),
+            load_energy=load_energy,
+            load_time=load_time,
+        )
+        self._stats.weight_energy_spent += load_energy
+        self._stats.weight_time_spent += load_time
+        if self.cache.put(key, program) is not None:
+            self._stats.cache_evictions += 1
+        return program
+
+    def flush(self) -> int:
+        """Evaluate every pending group; returns resolved request count."""
+        resolved = 0
+        sample_period = 1.0 / self.performance.sample_rate
+        power = self.performance.total_power
+        try:
+            for (key, gain), group in self._pending.items():
+                program = self._program_for(key, group["weights"])
+                inputs = group["inputs"]
+                tickets = group["tickets"]
+                for start in range(0, len(inputs), self.max_batch):
+                    chunk = inputs[start : start + self.max_batch]
+                    batch = np.stack(chunk, axis=1)
+                    result = program.engine.matmul(batch, gain=gain)
+                    for offset, ticket in enumerate(tickets[start : start + len(chunk)]):
+                        ticket.result = result.column(offset)
+                    self._stats.batches += 1
+                    self._stats.samples += len(chunk)
+                    self._stats.analog_time += len(chunk) * sample_period
+                    self._stats.analog_energy += len(chunk) * sample_period * power
+                    resolved += len(chunk)
+        finally:
+            # Never leave a stale group behind: a failed compile or
+            # evaluation must not wedge every subsequent flush.
+            self._pending.clear()
+            self._stats.flushed += resolved
+        return resolved
+
+    def stats(self) -> SchedulerStats:
+        """Detached snapshot of the accounting so far."""
+        return dataclasses.replace(self._stats)

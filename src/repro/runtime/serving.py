@@ -1,0 +1,414 @@
+"""The serving facade and the multi-tenant traffic benchmark.
+
+:class:`InferenceServer` is the synchronous front door of the runtime:
+``submit`` takes any unsigned weight matrix and input vector, routes it
+to the batching scheduler (weights that fit one physical tile, zero-
+padded if smaller) or to an LRU-cached :class:`TiledMatmul` grid
+(weights larger than a tile), ``flush`` drains every queue as dense
+batched evaluations, and ``stats`` reports throughput, batch fill,
+cache behaviour and the modelled energy/latency.
+
+:func:`synthetic_trace` builds the repeatable multi-tenant workload the
+``python -m repro serve-bench`` command replays: a handful of tenants
+with mixed matrix shapes, Zipf-skewed request popularity, and
+occasional weight churn so the program caches see both hits and fresh
+compiles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import Technology, default_technology
+from ..errors import ConfigurationError
+from .engine import weight_key
+from .scheduler import BatchScheduler, SchedulerStats, Ticket, WeightProgramCache
+from .tiling import TiledMatmul, auto_range_gain
+
+
+class ServerTicket:
+    """Handle for one server request; resolved by the next flush."""
+
+    __slots__ = ("_ticket", "_out_features", "_estimates")
+
+    def __init__(self, out_features: int, ticket: Ticket | None = None) -> None:
+        self._ticket = ticket
+        self._out_features = out_features
+        self._estimates: np.ndarray | None = None
+
+    def _resolve(self, estimates: np.ndarray) -> None:
+        self._estimates = np.asarray(estimates, dtype=float)
+
+    @property
+    def done(self) -> bool:
+        if self._ticket is not None:
+            return self._ticket.done
+        return self._estimates is not None
+
+    @property
+    def estimates(self) -> np.ndarray:
+        """Dequantized W @ x estimates (length out_features)."""
+        if self._ticket is not None:
+            if self._ticket.result is None:
+                raise ConfigurationError("request not flushed yet")
+            return self._ticket.result.estimates[: self._out_features]
+        if self._estimates is None:
+            raise ConfigurationError("request not flushed yet")
+        return self._estimates
+
+
+@dataclass
+class ServerStats:
+    """Combined serving statistics of both request paths."""
+
+    scheduler: SchedulerStats
+    tiled_requests: int
+    tiled_builds: int
+    tiled_hits: int
+    tiled_batches: int
+    tiled_samples: int
+    tiled_analog_time: float
+    tiled_analog_energy: float
+    tiled_weight_energy_spent: float
+    tiled_weight_energy_saved: float
+
+    @property
+    def requests(self) -> int:
+        return self.scheduler.requests + self.tiled_requests
+
+    @property
+    def batches(self) -> int:
+        return self.scheduler.batches + self.tiled_batches
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits = self.scheduler.cache_hits + self.tiled_hits
+        total = hits + self.scheduler.cache_misses + self.tiled_builds
+        return hits / total if total else 0.0
+
+    @property
+    def analog_time(self) -> float:
+        """Modelled ADC sampling time [s] across both request paths."""
+        return self.scheduler.analog_time + self.tiled_analog_time
+
+    @property
+    def analog_energy(self) -> float:
+        """Modelled analog compute energy [J] across both request paths."""
+        return self.scheduler.analog_energy + self.tiled_analog_energy
+
+    @property
+    def weight_energy_spent(self) -> float:
+        return self.scheduler.weight_energy_spent + self.tiled_weight_energy_spent
+
+    @property
+    def weight_energy_saved(self) -> float:
+        return self.scheduler.weight_energy_saved + self.tiled_weight_energy_saved
+
+    @property
+    def total_latency(self) -> float:
+        return self.scheduler.weight_time_spent + self.analog_time
+
+    @property
+    def total_energy(self) -> float:
+        return self.weight_energy_spent + self.analog_energy
+
+
+class InferenceServer:
+    """Synchronous batched inference over one tile size.
+
+    ``rows x columns`` is the physical tile; any (out, in) unsigned
+    weight matrix is served — smaller shapes are zero-padded onto the
+    tile and share the scheduler's batching/caching, larger shapes
+    compile onto a cached :class:`TiledMatmul` grid.
+    """
+
+    def __init__(
+        self,
+        rows: int | None = None,
+        columns: int | None = None,
+        weight_bits: int | None = None,
+        adc_bits: int | None = None,
+        technology: Technology | None = None,
+        cache_capacity: int = 8,
+        tiled_cache_capacity: int = 4,
+        max_batch: int = 256,
+    ) -> None:
+        self.technology = technology if technology is not None else default_technology()
+        self.scheduler = BatchScheduler(
+            rows=rows,
+            columns=columns,
+            weight_bits=weight_bits,
+            adc_bits=adc_bits,
+            technology=self.technology,
+            cache_capacity=cache_capacity,
+            max_batch=max_batch,
+        )
+        self.tiled_cache = WeightProgramCache(tiled_cache_capacity)
+        self._tiled_pending: dict[tuple[bytes, float | str], dict] = {}
+        self._tiled_requests = 0
+        self._tiled_batches = 0
+        self._tiled_samples = 0
+        self._tiled_analog_time = 0.0
+        self._tiled_analog_energy = 0.0
+        self._tiled_energy_spent = 0.0
+        self._tiled_energy_saved = 0.0
+
+    @property
+    def rows(self) -> int:
+        return self.scheduler.rows
+
+    @property
+    def columns(self) -> int:
+        return self.scheduler.columns
+
+    @staticmethod
+    def _validated_gain(gain) -> float | str | None:
+        """Normalize the shared gain semantics of both request paths:
+        None = native TIA gain 1.0, "auto" = calibrate the range from
+        the weights, a positive float = explicit setting."""
+        if gain is None or gain == "auto":
+            return gain
+        if not isinstance(gain, (int, float)):
+            raise ConfigurationError(f"gain must be a number, 'auto' or None, got {gain!r}")
+        if gain <= 0.0:
+            raise ConfigurationError(f"TIA gain must be positive, got {gain}")
+        return float(gain)
+
+    def _auto_gain(self, weights: np.ndarray) -> float:
+        """The shared range-calibration rule applied to one padded tile."""
+        return auto_range_gain(weights, self.columns * self.scheduler.core.max_weight)
+
+    # -- request path --------------------------------------------------------
+    def submit(self, weights, x, gain: float | str | None = None) -> ServerTicket:
+        """Queue one W @ x request for the next :meth:`flush`.
+
+        ``gain`` sets the row-TIA range on every tile the request
+        touches: None runs at the native gain 1.0, ``"auto"``
+        calibrates the range from the weights (the same rule on both
+        the single-tile and the tiled path), and a positive float is
+        applied as-is.
+        """
+        weights = np.asarray(weights, dtype=int)
+        if weights.ndim != 2:
+            raise ConfigurationError(
+                f"weight matrix must be 2-D, got shape {weights.shape}"
+            )
+        x = np.asarray(x, dtype=float)
+        out_features, in_features = weights.shape
+        if x.shape != (in_features,):
+            raise ConfigurationError(
+                f"input must have shape ({in_features},), got {x.shape}"
+            )
+        gain = self._validated_gain(gain)
+        if out_features <= self.rows and in_features <= self.columns:
+            padded_w = np.zeros((self.rows, self.columns), dtype=int)
+            padded_w[:out_features, :in_features] = weights
+            padded_x = np.zeros(self.columns)
+            padded_x[:in_features] = x
+            if gain is None:
+                gain = 1.0
+            elif gain == "auto":
+                gain = self._auto_gain(padded_w)
+            ticket = self.scheduler.submit(padded_w, padded_x, gain=gain)
+            return ServerTicket(out_features, ticket=ticket)
+        return self._submit_tiled(weights, x, gain)
+
+    def _submit_tiled(self, weights, x, gain: float | str | None) -> ServerTicket:
+        max_weight = self.scheduler.core.max_weight
+        if np.any(weights < 0) or np.any(weights > max_weight):
+            raise ConfigurationError(
+                f"weights must lie in [0, {max_weight}], got range "
+                f"[{weights.min()}, {weights.max()}]"
+            )
+        if x.size and (x.min() < 0.0 or x.max() > 1.0):
+            raise ConfigurationError(
+                f"analog inputs must lie in [0, 1], got range "
+                f"[{x.min():.6g}, {x.max():.6g}]"
+            )
+        # Requests batch per (program, gain): mixed gains against the
+        # same weights must not share an evaluation.  None means native
+        # gain 1.0 (matching the single-tile path); "auto" defers to
+        # the grid's per-tile calibrated gains.
+        gain = 1.0 if gain is None else gain
+        key = (weight_key(weights), gain)
+        group = self._tiled_pending.get(key)
+        if group is None:
+            group = {"weights": weights.copy(), "inputs": [], "tickets": [], "gain": gain}
+            self._tiled_pending[key] = group
+        ticket = ServerTicket(weights.shape[0])
+        group["inputs"].append(x.copy())
+        group["tickets"].append(ticket)
+        self._tiled_requests += 1
+        return ticket
+
+    def flush(self) -> int:
+        """Evaluate every pending request; returns resolved count."""
+        resolved = self.scheduler.flush()
+        try:
+            for (key, _), group in self._tiled_pending.items():
+                engine = self.tiled_cache.get(key)
+                if engine is None:
+                    engine = TiledMatmul(
+                        group["weights"],
+                        tile_rows=self.rows,
+                        tile_columns=self.columns,
+                        weight_bits=self.scheduler.core.weight_bits,
+                        adc_bits=self.scheduler.core.row_adcs[0].bits,
+                        technology=self.technology,
+                    )
+                    self._tiled_energy_spent += engine.weight_update_energy
+                    self.tiled_cache.put(key, engine)
+                else:
+                    self._tiled_energy_saved += engine.weight_update_energy
+                batch = np.stack(group["inputs"], axis=1)
+                gain = None if group["gain"] == "auto" else group["gain"]
+                estimates = engine.matmul(batch, gain=gain)
+                for index, ticket in enumerate(group["tickets"]):
+                    ticket._resolve(estimates[:, index])
+                resolved += len(group["tickets"])
+                # Tiles digitize concurrently: one ADC sample period per
+                # input column, at tile_count times one tile's power.
+                samples = batch.shape[1]
+                period = 1.0 / self.scheduler.performance.sample_rate
+                power = self.scheduler.performance.total_power * engine.tile_count
+                self._tiled_batches += 1
+                self._tiled_samples += samples
+                self._tiled_analog_time += samples * period
+                self._tiled_analog_energy += samples * period * power
+        finally:
+            # Never leave a stale group behind: a failed evaluation must
+            # not wedge every subsequent flush.
+            self._tiled_pending.clear()
+        return resolved
+
+    def stats(self) -> ServerStats:
+        """Combined scheduler + tiled-path accounting."""
+        return ServerStats(
+            scheduler=self.scheduler.stats(),
+            tiled_requests=self._tiled_requests,
+            tiled_builds=self.tiled_cache.misses,
+            tiled_hits=self.tiled_cache.hits,
+            tiled_batches=self._tiled_batches,
+            tiled_samples=self._tiled_samples,
+            tiled_analog_time=self._tiled_analog_time,
+            tiled_analog_energy=self._tiled_analog_energy,
+            tiled_weight_energy_spent=self._tiled_energy_spent,
+            tiled_weight_energy_saved=self._tiled_energy_saved,
+        )
+
+
+def synthetic_trace(
+    tenants: int = 6,
+    requests: int = 240,
+    rows: int = 8,
+    columns: int = 8,
+    max_weight: int = 7,
+    churn: float = 0.02,
+    seed: int = 2025,
+):
+    """A repeatable multi-tenant request stream.
+
+    Yields ``(tenant, weights, x)`` tuples.  Tenant shapes alternate
+    between tile-native, smaller-than-tile and tiled (larger than one
+    tile in both dimensions); popularity is Zipf-skewed so a few
+    tenants dominate (good cache locality) and ``churn`` is the
+    per-request probability the chosen tenant retrains its weights
+    (forcing a fresh program compile).
+    """
+    if tenants < 1 or requests < 0:
+        raise ConfigurationError("need at least one tenant and requests >= 0")
+    rng = np.random.default_rng(seed)
+    shapes = [
+        (rows, columns),
+        (max(rows // 2, 1), max(columns - 2, 1)),
+        (rows + rows // 2, columns + columns // 2),
+        (2 * rows + 1, columns),
+    ]
+    weights = [
+        rng.integers(0, max_weight + 1, shapes[tenant % len(shapes)])
+        for tenant in range(tenants)
+    ]
+    popularity = 1.0 / np.arange(1, tenants + 1)
+    popularity /= popularity.sum()
+    for _ in range(requests):
+        tenant = int(rng.choice(tenants, p=popularity))
+        if rng.uniform() < churn:
+            weights[tenant] = rng.integers(0, max_weight + 1, weights[tenant].shape)
+        x = rng.uniform(0.0, 1.0, weights[tenant].shape[1])
+        yield tenant, weights[tenant], x
+
+
+def run_serve_bench(
+    requests: int = 240,
+    rows: int = 8,
+    columns: int = 8,
+    flush_every: int = 32,
+    cache_capacity: int = 4,
+    seed: int = 2025,
+    print_fn=print,
+) -> dict:
+    """Replay a synthetic trace through an :class:`InferenceServer`.
+
+    Prints throughput (inferences/s of the compiled serving path),
+    batch-fill and cache statistics; returns them as a dict so tests
+    and benches can assert on the numbers.
+    """
+    server = InferenceServer(
+        rows=rows,
+        columns=columns,
+        cache_capacity=cache_capacity,
+        max_batch=flush_every,
+    )
+    tickets = []
+    started = time.perf_counter()
+    submitted = 0
+    for _, weights, x in synthetic_trace(
+        requests=requests, rows=rows, columns=columns, seed=seed
+    ):
+        tickets.append(server.submit(weights, x))
+        submitted += 1
+        if submitted % flush_every == 0:
+            server.flush()
+    server.flush()
+    elapsed = time.perf_counter() - started
+
+    if not all(ticket.done for ticket in tickets):
+        raise ConfigurationError("serve bench left unresolved tickets")
+    stats = server.stats()
+    throughput = requests / elapsed if elapsed > 0 else float("inf")
+    summary = {
+        "requests": stats.requests,
+        "elapsed_s": elapsed,
+        "throughput_per_s": throughput,
+        "batch_fill": stats.scheduler.batch_fill,
+        "batches": stats.batches,
+        "cache_hit_rate": stats.cache_hit_rate,
+        "cache_hits": stats.scheduler.cache_hits + stats.tiled_hits,
+        "cache_misses": stats.scheduler.cache_misses + stats.tiled_builds,
+        "weight_energy_spent_pj": stats.weight_energy_spent * 1e12,
+        "weight_energy_saved_pj": stats.weight_energy_saved * 1e12,
+        "analog_latency_us": stats.total_latency * 1e6,
+        "analog_energy_nj": stats.total_energy * 1e9,
+    }
+    lines = [
+        f"tile              : {rows} x {columns} "
+        f"(cache {cache_capacity} programs, flush every {flush_every})",
+        f"requests          : {summary['requests']} "
+        f"({stats.scheduler.requests} single-tile, {stats.tiled_requests} tiled)",
+        f"wall-clock        : {elapsed * 1e3:.1f} ms "
+        f"({throughput:,.0f} inferences/s)",
+        f"batches           : {summary['batches']} "
+        f"(single-tile batch fill {summary['batch_fill']:.0%})",
+        f"program cache     : {summary['cache_hits']} hits / "
+        f"{summary['cache_misses']} misses "
+        f"({summary['cache_hit_rate']:.0%} hit rate)",
+        f"weight energy     : {summary['weight_energy_spent_pj']:.1f} pJ spent, "
+        f"{summary['weight_energy_saved_pj']:.1f} pJ saved by caching",
+        f"analog latency    : {summary['analog_latency_us']:.3f} us modelled "
+        f"({summary['analog_energy_nj']:.2f} nJ, both paths)",
+    ]
+    print_fn("\n".join(lines))
+    return summary

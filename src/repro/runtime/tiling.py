@@ -1,0 +1,217 @@
+"""Sharding arbitrary weight shapes across a grid of physical tiles.
+
+One physical core is ``rows x columns``; a workload matrix is not.
+:class:`TiledMatmul` maps an (out, in) unsigned weight matrix onto a
+grid of :class:`PhotonicTensorCore` tiles the way a multi-tile
+deployment would: row tiles fan output rows across independent cores
+(their ADCs digitize in parallel), column tiles split the input vector
+and their dequantized partial sums accumulate digitally.  Ragged edge
+tiles are zero-padded — padded rows read code 0 and padded inputs
+contribute nothing, so no masking is needed on the way out.
+
+Each tile is compiled (:class:`~repro.runtime.engine.CompiledCore`)
+once at construction, with the ADC ladder bisection shared across the
+whole grid, so batched evaluation stays dense end-to-end.  Per-tile
+row-TIA gains are chosen from the tile's own weight block (``gain=
+"auto"``): a block holding small weights uses a hotter TIA so its
+partial sums still resolve against the full eoADC ladder — the
+per-tile ADC range calibration a real deployment performs.
+
+The price of tiling is one output quantization *per column tile*
+instead of one per output; :meth:`quantization_error_bound` exposes the
+resulting envelope so callers (and the acceptance tests) can bound the
+end-to-end error against the exact float product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import Technology, default_technology
+from ..core.tensor_core import PhotonicTensorCore
+from ..errors import MappingError
+from ..ml.mapping import iter_tile_blocks, tile_grid
+from .engine import CompiledCore
+
+
+def auto_range_gain(block: np.ndarray, full_scale_dot: int) -> float:
+    """The 'auto' TIA range-calibration rule shared by every request
+    path: map the block's largest achievable dot product (max row
+    weight sum, inputs at 1) onto the eoADC full scale.  A zero block
+    falls back to the native gain."""
+    peak = int(np.asarray(block).sum(axis=1).max(initial=0))
+    return full_scale_dot / peak if peak > 0 else 1.0
+
+
+class TiledMatmul:
+    """A weight matrix of arbitrary shape compiled onto a tile grid."""
+
+    def __init__(
+        self,
+        weight_matrix,
+        tile_rows: int | None = None,
+        tile_columns: int | None = None,
+        weight_bits: int | None = None,
+        adc_bits: int | None = None,
+        technology: Technology | None = None,
+        gain: float | str = "auto",
+        label: str = "tiled",
+    ) -> None:
+        self.technology = technology if technology is not None else default_technology()
+        tensor = self.technology.tensor
+        self.tile_rows = tensor.rows if tile_rows is None else tile_rows
+        self.tile_columns = tensor.columns if tile_columns is None else tile_columns
+        if self.tile_rows < 1 or self.tile_columns < 1:
+            raise MappingError("tile dimensions must be >= 1")
+
+        weight_matrix = np.asarray(weight_matrix, dtype=int)
+        if weight_matrix.ndim != 2:
+            raise MappingError(
+                f"weight matrix must be 2-D, got shape {weight_matrix.shape}"
+            )
+        self.weight_matrix = weight_matrix
+        self.out_features, self.in_features = weight_matrix.shape
+
+        probe = PhotonicTensorCore(
+            rows=self.tile_rows,
+            columns=self.tile_columns,
+            weight_bits=weight_bits,
+            adc_bits=adc_bits,
+            technology=self.technology,
+            label=f"{label}.probe",
+        )
+        if np.any(weight_matrix < 0) or np.any(weight_matrix > probe.max_weight):
+            raise MappingError(
+                f"weights must lie in [0, {probe.max_weight}] for "
+                f"{probe.weight_bits}-bit tiles, got range "
+                f"[{weight_matrix.min()}, {weight_matrix.max()}]"
+            )
+        self.weight_bits = probe.weight_bits
+        self.max_weight = probe.max_weight
+        self.adc_levels = probe.row_adcs[0].levels
+
+        self.row_tiles, self.column_tiles = tile_grid(
+            self.out_features, self.in_features, self.tile_rows, self.tile_columns
+        )
+
+        #: Per-(row_tile, col_tile) TIA gain actually applied (the
+        #: defaults; a float ``gain`` argument to matvec/matmul
+        #: overrides them globally for that call).
+        self.gains = np.ones((self.row_tiles, self.column_tiles))
+        #: Grid of compiled tile programs, [row_tile][col_tile].
+        self.tiles: list[list[CompiledCore]] = [[] for _ in range(self.row_tiles)]
+
+        full_scale_dot = self.tile_columns * self.max_weight
+        ladder_cache: list = []
+        for row_tile, col_tile, (row_start, row_stop), (col_start, col_stop) in (
+            iter_tile_blocks(self.out_features, self.in_features,
+                             self.tile_rows, self.tile_columns)
+        ):
+            block = np.zeros((self.tile_rows, self.tile_columns), dtype=int)
+            block[: row_stop - row_start, : col_stop - col_start] = weight_matrix[
+                row_start:row_stop, col_start:col_stop
+            ]
+            if gain == "auto":
+                tile_gain = auto_range_gain(block, full_scale_dot)
+            elif isinstance(gain, (int, float)):
+                if gain <= 0.0:
+                    raise MappingError(f"TIA gain must be positive, got {gain}")
+                tile_gain = float(gain)
+            else:
+                raise MappingError(f"gain must be a number or 'auto', got {gain!r}")
+            self.gains[row_tile, col_tile] = tile_gain
+
+            # Reuse one physical-core template per tile slot; each
+            # compile() snapshot is detached from the template.
+            probe.load_weight_matrix(block)
+            self.tiles[row_tile].append(CompiledCore(probe, ladder_cache=ladder_cache))
+        self.weight_update_energy = probe.weight_update_energy()
+        self.weight_update_time = self.column_tiles * probe.weight_update_time()
+
+    # -- planning ------------------------------------------------------------
+    @property
+    def tile_count(self) -> int:
+        return self.row_tiles * self.column_tiles
+
+    def plan(self) -> list[dict]:
+        """The tile assignment map (for inspection and reporting)."""
+        return [
+            {
+                "row_tile": row_tile,
+                "col_tile": col_tile,
+                "rows": rows,
+                "columns": columns,
+                "gain": float(self.gains[row_tile, col_tile]),
+            }
+            for row_tile, col_tile, rows, columns in iter_tile_blocks(
+                self.out_features, self.in_features, self.tile_rows, self.tile_columns
+            )
+        ]
+
+    def quantization_error_bound(self, gain: float | None = None) -> np.ndarray:
+        """Per-output worst-case quantization envelope [dot units].
+
+        Each column tile contributes one independently quantized partial
+        sum whose dequantized estimate sits within one code bin of the
+        analog value; a bin spans ``full_scale_dot / levels / gain`` dot
+        units at that tile's gain.  The bound per output row is the sum
+        over its row band's column tiles — the "single-tile quantization
+        error envelope" scaled by the tiling fan-in.
+        """
+        full_scale_dot = self.tile_columns * self.max_weight
+        bin_per_tile = np.empty((self.row_tiles, self.column_tiles))
+        for row_tile in range(self.row_tiles):
+            for col_tile in range(self.column_tiles):
+                tile_gain = self.gains[row_tile, col_tile] if gain is None else gain
+                bin_per_tile[row_tile, col_tile] = (
+                    full_scale_dot / self.adc_levels / tile_gain
+                )
+        per_band = bin_per_tile.sum(axis=1)
+        bound = np.empty(self.out_features)
+        for row_tile in range(self.row_tiles):
+            row_start = row_tile * self.tile_rows
+            row_stop = min(row_start + self.tile_rows, self.out_features)
+            bound[row_start:row_stop] = per_band[row_tile]
+        return bound
+
+    # -- evaluation ----------------------------------------------------------
+    def _validated_batch(self, batch) -> np.ndarray:
+        batch = np.asarray(batch, dtype=float)
+        if batch.ndim != 2 or batch.shape[0] != self.in_features:
+            raise MappingError(
+                f"input batch must be ({self.in_features}, batch), got shape {batch.shape}"
+            )
+        return batch
+
+    def matmul(self, batch, gain: float | None = None) -> np.ndarray:
+        """Batched W @ X for X of shape (in_features, samples).
+
+        Returns dequantized estimates (out_features, samples).  ``gain``
+        overrides every tile's calibrated TIA gain when given.
+        """
+        batch = self._validated_batch(batch)
+        samples = batch.shape[1]
+        result = np.zeros((self.out_features, samples))
+        for row_tile, col_tile, (row_start, row_stop), (col_start, col_stop) in (
+            iter_tile_blocks(self.out_features, self.in_features,
+                             self.tile_rows, self.tile_columns)
+        ):
+            chunk = np.zeros((self.tile_columns, samples))
+            chunk[: col_stop - col_start] = batch[col_start:col_stop]
+            tile_gain = self.gains[row_tile, col_tile] if gain is None else float(gain)
+            partial = self.tiles[row_tile][col_tile].matmul(chunk, gain=tile_gain)
+            result[row_start:row_stop] += partial.estimates[: row_stop - row_start]
+        return result
+
+    def matvec(self, x, gain: float | None = None) -> np.ndarray:
+        """Tiled W @ x for a single input vector."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.in_features,):
+            raise MappingError(
+                f"input must have shape ({self.in_features},), got {x.shape}"
+            )
+        return self.matmul(x[:, np.newaxis], gain=gain)[:, 0]
+
+    def ideal_matmul(self, batch) -> np.ndarray:
+        """Infinite-precision reference: W @ X in dot units."""
+        return self.weight_matrix @ self._validated_batch(batch)

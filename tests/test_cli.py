@@ -24,6 +24,16 @@ def test_adc(capsys):
     assert output.count("\n") >= 13
 
 
+def test_serve_bench(capsys):
+    assert main(["serve-bench", "24"]) == 0
+    output = capsys.readouterr().out
+    assert "inferences/s" in output
+    assert "requests          : 24" in output
+    assert "hit rate" in output
+
+
 def test_unknown_command(capsys):
     assert main(["bogus"]) == 2
-    assert "unknown command" in capsys.readouterr().out
+    output = capsys.readouterr().out
+    assert "unknown command" in output
+    assert "serve-bench" in output

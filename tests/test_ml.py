@@ -130,6 +130,40 @@ class TestLayersAndNetwork:
         photonic_accuracy = photonic.accuracy(Xte[subset], yte[subset])
         assert photonic_accuracy >= float_accuracy - 0.25
 
+    def test_runtime_path_matches_device_loop(self, tech):
+        """runtime=True must reproduce the per-sample loop outputs."""
+        core = PhotonicTensorCore(rows=4, columns=6, technology=tech)
+        rng = np.random.default_rng(23)
+        weights = rng.normal(0.0, 1.0, (5, 9))
+        batch = rng.uniform(0.0, 2.0, (6, 9))
+        loop = PhotonicDense(weights, core)
+        fast = PhotonicDense(weights, core, runtime=True)
+        loop.calibrate_gain(batch)
+        fast.calibrate_gain(batch)
+        assert loop.gain == fast.gain
+        assert np.allclose(loop.forward(batch), fast.forward(batch))
+
+    def test_runtime_path_honours_custom_adc_bits(self, tech):
+        """The fast path must quantize with the core's ADC precision,
+        not the technology default."""
+        core = PhotonicTensorCore(rows=4, columns=4, adc_bits=5, technology=tech)
+        rng = np.random.default_rng(29)
+        weights = rng.normal(0.0, 1.0, (3, 4))
+        batch = rng.uniform(0.0, 2.0, (5, 4))
+        loop = PhotonicDense(weights, core)
+        fast = PhotonicDense(weights, core, runtime=True)
+        assert np.allclose(loop.forward(batch), fast.forward(batch))
+
+    def test_runtime_mlp_matches_device_loop(self, tech):
+        X, y = gaussian_blobs(samples_per_class=10, classes=3, features=6, spread=0.5)
+        mlp = MLP(6, 4, 3)
+        mlp.train(X, y, epochs=5)
+        core = PhotonicTensorCore(rows=4, columns=6, technology=tech)
+        loop = PhotonicMLP(mlp, core, calibration_batch=X[:8])
+        fast = PhotonicMLP(mlp, core, calibration_batch=X[:8], runtime=True)
+        subset = X[:10]
+        assert np.allclose(loop.forward(subset), fast.forward(subset))
+
     def test_layer_validation(self, tech):
         core = PhotonicTensorCore(rows=2, columns=2, technology=tech)
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,184 @@
+"""Tests for batching and weight-program caching (repro.runtime.scheduler)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tensor_core import PhotonicTensorCore
+from repro.errors import ConfigurationError
+from repro.runtime.scheduler import BatchScheduler, WeightProgramCache
+
+
+@pytest.fixture()
+def scheduler(tech):
+    return BatchScheduler(rows=4, columns=6, technology=tech,
+                          cache_capacity=2, max_batch=8)
+
+
+def _weights(seed):
+    return np.random.default_rng(seed).integers(0, 8, (4, 6))
+
+
+def test_lru_eviction_order():
+    cache = WeightProgramCache(capacity=2)
+    cache.put(b"a", "A")
+    cache.put(b"b", "B")
+    assert cache.get(b"a") == "A"          # refresh a: order is now [b, a]
+    evicted = cache.put(b"c", "C")
+    assert evicted == "B"
+    assert cache.keys() == [b"a", b"c"]
+    assert cache.get(b"b") is None
+    assert cache.evictions == 1
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_requests_coalesce_into_batches(scheduler):
+    rng = np.random.default_rng(0)
+    w1, w2 = _weights(1), _weights(2)
+    for _ in range(5):
+        scheduler.submit(w1, rng.uniform(0.0, 1.0, 6))
+    for _ in range(3):
+        scheduler.submit(w2, rng.uniform(0.0, 1.0, 6))
+    assert scheduler.pending == 8
+    assert scheduler.flush() == 8
+    stats = scheduler.stats()
+    # One batch per weight program, not one evaluation per request.
+    assert stats.batches == 2
+    assert stats.cache_misses == 2 and stats.cache_hits == 0
+    assert scheduler.pending == 0
+
+
+def test_max_batch_chunks_large_groups(scheduler):
+    rng = np.random.default_rng(4)
+    w = _weights(3)
+    for _ in range(20):
+        scheduler.submit(w, rng.uniform(0.0, 1.0, 6))
+    scheduler.flush()
+    stats = scheduler.stats()
+    assert stats.batches == 3  # 8 + 8 + 4
+    assert stats.samples == 20
+    assert 0.0 < stats.batch_fill <= 1.0
+
+
+def test_results_match_direct_device_evaluation(scheduler, tech):
+    rng = np.random.default_rng(6)
+    w = _weights(5)
+    inputs = [rng.uniform(0.0, 1.0, 6) for _ in range(4)]
+    tickets = [scheduler.submit(w, x, gain=1.5) for x in inputs]
+    assert not any(ticket.done for ticket in tickets)
+    scheduler.flush()
+    reference = PhotonicTensorCore(rows=4, columns=6, technology=tech)
+    reference.load_weight_matrix(w)
+    for ticket, x in zip(tickets, inputs):
+        assert ticket.done
+        expected = reference.matvec(x, gain=1.5)
+        assert np.array_equal(ticket.result.codes, expected.codes)
+        assert np.allclose(ticket.result.estimates, expected.estimates)
+
+
+def test_cache_hits_skip_weight_restreaming(scheduler):
+    rng = np.random.default_rng(8)
+    w = _weights(7)
+    scheduler.submit(w, rng.uniform(0.0, 1.0, 6))
+    scheduler.flush()
+    first = scheduler.stats()
+    assert first.weight_energy_spent > 0.0
+    assert first.weight_energy_saved == 0.0
+
+    scheduler.submit(w, rng.uniform(0.0, 1.0, 6))
+    scheduler.flush()
+    second = scheduler.stats()
+    assert second.cache_hits == 1
+    # The hit spends nothing new and is credited with the avoided load.
+    assert second.weight_energy_spent == first.weight_energy_spent
+    assert second.weight_energy_saved == pytest.approx(first.weight_energy_spent)
+    assert second.weight_time_saved > 0.0
+
+
+def test_distinct_gains_do_not_share_batches(scheduler):
+    rng = np.random.default_rng(9)
+    w = _weights(11)
+    x = rng.uniform(0.0, 1.0, 6)
+    low = scheduler.submit(w, x, gain=1.0)
+    high = scheduler.submit(w, x, gain=2.0)
+    scheduler.flush()
+    stats = scheduler.stats()
+    assert stats.batches == 2
+    # Same program though: one miss, one hit.
+    assert stats.cache_misses == 1 and stats.cache_hits == 1
+    assert np.all(high.result.codes >= low.result.codes)
+
+
+def test_eviction_makes_program_recompile(scheduler):
+    rng = np.random.default_rng(10)
+    programs = [_weights(seed) for seed in (21, 22, 23)]
+    for w in programs:  # capacity is 2: the first program gets evicted
+        scheduler.submit(w, rng.uniform(0.0, 1.0, 6))
+        scheduler.flush()
+    assert scheduler.stats().cache_evictions == 1
+    scheduler.submit(programs[0], rng.uniform(0.0, 1.0, 6))
+    scheduler.flush()
+    stats = scheduler.stats()
+    assert stats.cache_misses == 4 and stats.cache_hits == 0
+
+
+def test_analog_accounting_uses_performance_model(scheduler):
+    rng = np.random.default_rng(12)
+    w = _weights(13)
+    for _ in range(3):
+        scheduler.submit(w, rng.uniform(0.0, 1.0, 6))
+    scheduler.flush()
+    stats = scheduler.stats()
+    period = 1.0 / scheduler.performance.sample_rate
+    assert stats.analog_time == pytest.approx(3 * period)
+    assert stats.analog_energy == pytest.approx(
+        3 * period * scheduler.performance.total_power
+    )
+    assert stats.total_latency > stats.analog_time  # includes weight streaming
+    assert stats.total_energy > stats.analog_energy
+
+
+def test_submit_validation(scheduler):
+    good = _weights(14)
+    with pytest.raises(ConfigurationError, match=r"\(2, 2\)"):
+        scheduler.submit(np.zeros((2, 2), dtype=int), np.ones(6) * 0.5)
+    with pytest.raises(ConfigurationError, match=r"\[0, 7\]"):
+        scheduler.submit(np.full((4, 6), 9), np.ones(6) * 0.5)
+    with pytest.raises(ConfigurationError, match=r"\(3,\)"):
+        scheduler.submit(good, np.ones(3) * 0.5)
+    with pytest.raises(ConfigurationError, match=r"\[0, 1\]"):
+        scheduler.submit(good, np.ones(6) * 1.5)
+    with pytest.raises(ConfigurationError, match="gain"):
+        scheduler.submit(good, np.ones(6) * 0.5, gain=-1.0)
+
+
+def test_submitted_arrays_are_snapshotted(scheduler, tech):
+    """Mutating the caller's arrays between submit and flush must not
+    poison the program cache or the queued inputs."""
+    weights = np.ones((4, 6), dtype=int)
+    x = np.full(6, 0.5)
+    ticket = scheduler.submit(weights, x)
+    weights[:] = 7  # caller reuses its buffers
+    x[:] = 0.0
+    scheduler.flush()
+    reference = PhotonicTensorCore(rows=4, columns=6, technology=tech)
+    reference.load_weight_matrix(np.ones((4, 6), dtype=int))
+    expected = reference.matvec(np.full(6, 0.5))
+    assert np.array_equal(ticket.result.codes, expected.codes)
+    # A later all-ones submit must hit a program compiled from ones.
+    clean = scheduler.submit(np.ones((4, 6), dtype=int), np.full(6, 0.5))
+    scheduler.flush()
+    assert np.array_equal(clean.result.codes, expected.codes)
+    assert scheduler.stats().cache_hits == 1
+
+
+def test_stats_snapshot_is_detached(scheduler):
+    snapshot = scheduler.stats()
+    snapshot.requests = 999
+    assert scheduler.stats().requests == 0
+
+
+def test_cache_capacity_validation():
+    with pytest.raises(ConfigurationError):
+        WeightProgramCache(capacity=0)
+    with pytest.raises(ConfigurationError):
+        BatchScheduler(rows=2, columns=2, max_batch=0)

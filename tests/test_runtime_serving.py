@@ -1,0 +1,177 @@
+"""Tests for the serving facade and traffic bench (repro.runtime.serving)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tensor_core import PhotonicTensorCore
+from repro.errors import ConfigurationError
+from repro.runtime.serving import InferenceServer, run_serve_bench, synthetic_trace
+
+
+@pytest.fixture()
+def server(tech):
+    return InferenceServer(rows=4, columns=6, technology=tech,
+                           cache_capacity=4, max_batch=16)
+
+
+def test_native_shape_roundtrip(server, tech):
+    rng = np.random.default_rng(1)
+    weights = rng.integers(0, 8, (4, 6))
+    x = rng.uniform(0.0, 1.0, 6)
+    ticket = server.submit(weights, x)
+    assert not ticket.done
+    assert server.flush() == 1
+    reference = PhotonicTensorCore(rows=4, columns=6, technology=tech)
+    reference.load_weight_matrix(weights)
+    assert np.allclose(ticket.estimates, reference.matvec(x).estimates)
+
+
+def test_smaller_shape_is_zero_padded(server, tech):
+    rng = np.random.default_rng(2)
+    weights = rng.integers(0, 8, (3, 4))
+    x = rng.uniform(0.0, 1.0, 4)
+    ticket = server.submit(weights, x)
+    server.flush()
+    assert ticket.estimates.shape == (3,)
+    padded_w = np.zeros((4, 6), dtype=int)
+    padded_w[:3, :4] = weights
+    padded_x = np.zeros(6)
+    padded_x[:4] = x
+    reference = PhotonicTensorCore(rows=4, columns=6, technology=tech)
+    reference.load_weight_matrix(padded_w)
+    assert np.allclose(ticket.estimates, reference.matvec(padded_x).estimates[:3])
+
+
+def test_oversize_shape_routes_to_tiled_grid(server):
+    rng = np.random.default_rng(3)
+    weights = rng.integers(0, 8, (7, 9))
+    inputs = [rng.uniform(0.0, 1.0, 9) for _ in range(3)]
+    tickets = [server.submit(weights, x) for x in inputs]
+    server.flush()
+    stats = server.stats()
+    assert stats.tiled_requests == 3
+    assert stats.tiled_builds == 1  # one grid build served the batch
+    # Tiled traffic is accounted like scheduler traffic: one sample
+    # period per input column, energy scaled by the tile count.
+    assert stats.tiled_batches == 1 and stats.tiled_samples == 3
+    assert stats.analog_time > 0.0 and stats.analog_energy > 0.0
+    assert stats.total_energy >= stats.analog_energy
+    for ticket, x in zip(tickets, inputs):
+        assert ticket.estimates.shape == (7,)
+        exact = weights @ x
+        assert np.abs(ticket.estimates - exact).max() <= 18.0  # 2 col tiles x 1 bin
+
+
+def test_tiled_engine_cache_reuse(server):
+    rng = np.random.default_rng(4)
+    weights = rng.integers(0, 8, (7, 9))
+    server.submit(weights, rng.uniform(0.0, 1.0, 9))
+    server.flush()
+    server.submit(weights, rng.uniform(0.0, 1.0, 9))
+    server.flush()
+    stats = server.stats()
+    assert stats.tiled_builds == 1 and stats.tiled_hits == 1
+    assert stats.weight_energy_saved > 0.0
+    assert stats.cache_hit_rate > 0.0
+
+
+def test_tiled_requests_with_distinct_gains_do_not_mix(server):
+    rng = np.random.default_rng(14)
+    weights = rng.integers(1, 8, (7, 9))
+    x = rng.uniform(0.1, 0.3, 9)
+    low = server.submit(weights, x, gain=1.0)
+    high = server.submit(weights, x, gain=4.0)
+    server.flush()
+    # The hotter TIA resolves the small dot products onto finer codes;
+    # a shared batch would have returned identical estimates.
+    assert not np.allclose(low.estimates, high.estimates)
+    exact = weights @ x
+    assert np.abs(high.estimates - exact).max() <= np.abs(low.estimates - exact).max()
+
+
+def test_auto_gain_consistent_across_tile_boundary(server):
+    """gain='auto' must range-calibrate on both request paths, and the
+    default (None) must mean native gain 1.0 on both.  Calibration
+    guarantees a tighter quantization envelope (finer code bins), so
+    errors must fit the scaled-down bin on each path."""
+    rng = np.random.default_rng(16)
+    full_scale_dot = server.columns * server.scheduler.core.max_weight
+    native_bin = full_scale_dot / server.scheduler.core.row_adcs[0].levels
+
+    small = rng.integers(1, 4, (4, 6))     # fits the tile, leaves range idle
+    x = rng.uniform(0.1, 0.3, 6)
+    native = server.submit(small, x)
+    calibrated = server.submit(small, x, gain="auto")
+    server.flush()
+    exact = small @ x
+    auto_gain = full_scale_dot / int(small.sum(axis=1).max())
+    assert auto_gain > 1.0
+    assert np.abs(native.estimates - exact).max() <= native_bin
+    assert np.abs(calibrated.estimates - exact).max() <= native_bin / auto_gain
+
+    tiled_w = rng.integers(1, 4, (7, 9))
+    tx = rng.uniform(0.1, 0.3, 9)
+    t_native = server.submit(tiled_w, tx)
+    t_auto = server.submit(tiled_w, tx, gain="auto")
+    server.flush()
+    t_exact = tiled_w @ tx
+    # Two column tiles: one native bin each vs the calibrated envelope.
+    assert np.abs(t_native.estimates - t_exact).max() <= 2 * native_bin
+    tiles = server.tiled_cache.get(server.tiled_cache.keys()[-1])
+    auto_bound = tiles.quantization_error_bound()
+    assert np.all(auto_bound < 2 * native_bin)
+    assert np.abs(t_auto.estimates - t_exact).max() <= auto_bound.max()
+
+
+def test_tiled_validation_happens_at_submit(server):
+    rng = np.random.default_rng(15)
+    with pytest.raises(ConfigurationError, match=r"\[0, 7\]"):
+        server.submit(np.full((7, 9), 9), rng.uniform(0.0, 1.0, 9))
+    with pytest.raises(ConfigurationError, match=r"\[0, 1\]"):
+        server.submit(rng.integers(0, 8, (7, 9)), np.full(9, 1.5))
+    with pytest.raises(ConfigurationError, match="gain"):
+        server.submit(rng.integers(0, 8, (7, 9)), np.full(9, 0.5), gain=0.0)
+    # Nothing queued: the next flush serves later requests normally.
+    good = server.submit(rng.integers(0, 8, (7, 9)), rng.uniform(0.0, 1.0, 9))
+    assert server.flush() == 1
+    assert good.done
+
+
+def test_unflushed_ticket_raises(server):
+    rng = np.random.default_rng(5)
+    native = server.submit(rng.integers(0, 8, (4, 6)), rng.uniform(0.0, 1.0, 6))
+    tiled = server.submit(rng.integers(0, 8, (9, 9)), rng.uniform(0.0, 1.0, 9))
+    for ticket in (native, tiled):
+        with pytest.raises(ConfigurationError, match="not flushed"):
+            ticket.estimates
+
+
+def test_submit_validation(server):
+    with pytest.raises(ConfigurationError, match="2-D"):
+        server.submit(np.ones(4, dtype=int), np.ones(4) * 0.5)
+    with pytest.raises(ConfigurationError, match=r"\(3,\)"):
+        server.submit(np.ones((4, 6), dtype=int), np.ones(3) * 0.5)
+
+
+def test_synthetic_trace_is_deterministic():
+    first = list(synthetic_trace(requests=20, rows=4, columns=4, seed=9))
+    second = list(synthetic_trace(requests=20, rows=4, columns=4, seed=9))
+    assert len(first) == 20
+    for (ta, wa, xa), (tb, wb, xb) in zip(first, second):
+        assert ta == tb
+        assert np.array_equal(wa, wb)
+        assert np.array_equal(xa, xb)
+    shapes = {w.shape for _, w, _ in first}
+    assert len(shapes) > 1  # mixed tenant shapes
+
+
+def test_run_serve_bench_smoke(tech, capsys):
+    summary = run_serve_bench(requests=40, rows=4, columns=4, flush_every=8,
+                              cache_capacity=3, seed=7)
+    output = capsys.readouterr().out
+    assert "inferences/s" in output
+    assert summary["requests"] == 40
+    assert summary["throughput_per_s"] > 0.0
+    assert 0.0 < summary["batch_fill"] <= 1.0
+    assert summary["cache_hits"] + summary["cache_misses"] > 0
+    assert summary["weight_energy_saved_pj"] > 0.0

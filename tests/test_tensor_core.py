@@ -61,6 +61,31 @@ def test_matmul_batches_columns(core):
         assert np.allclose(product[:, col], single)
 
 
+def test_matmul_gain_passthrough(core):
+    """matmul must forward the TIA range setting to every column's
+    matvec instead of silently evaluating at native gain."""
+    rng = np.random.default_rng(8)
+    batch = rng.uniform(0.0, 0.4, (core.columns, 3))
+    product = core.matmul(batch, gain=2.0)
+    for col in range(3):
+        single = core.matvec(batch[:, col], gain=2.0).estimates
+        assert np.allclose(product[:, col], single)
+    # A hotter TIA resolves small dot products that native gain rounds
+    # into the same coarse codes.
+    native = core.matmul(batch)
+    ideal = core.weight_matrix @ batch
+    assert np.abs(product - ideal).max() <= np.abs(native - ideal).max() + 1e-12
+
+
+def test_validation_reports_offending_shape(core):
+    with pytest.raises(ConfigurationError, match=r"\(3,\)"):
+        core.matvec(np.ones(3))
+    with pytest.raises(ConfigurationError, match=r"\(3, 2\)"):
+        core.matmul(np.ones((3, 2)))
+    with pytest.raises(ConfigurationError, match="1.5"):
+        core.matvec(np.full(8, 1.5))
+
+
 def test_weight_update_time_and_energy(tech):
     core = PhotonicTensorCore(rows=2, columns=4, technology=tech)
     assert core.weight_update_time() == pytest.approx(4 / 20e9)
