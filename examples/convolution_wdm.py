@@ -52,7 +52,8 @@ def main() -> None:
     print(f"\nmax relative error vs float: {error * 100:.1f} % "
           "(3-bit kernels + 6-bit eoADC readout)")
     print(f"patch throughput bound: {conv.patch_throughput() / 1e9:.0f} G patches/s "
-          "(one eoADC sample per patch, kernels in parallel rows)")
+          f"({conv.analog_passes} analog passes per patch: tile grid x "
+          "differential arrays, kernels in parallel rows)")
 
 
 if __name__ == "__main__":

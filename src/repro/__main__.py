@@ -10,6 +10,9 @@ Commands:
 * ``serve-bench [requests]`` — replay a synthetic multi-tenant trace
   through the batched/cached inference runtime and print throughput,
   batch-fill and cache statistics.
+* ``serve-bench cnn [images]`` — replay a CNN feature-extraction
+  stream (im2col convolutions of digit glyphs against a shared kernel
+  bank) through the server's conv route.
 """
 
 from __future__ import annotations
@@ -54,8 +57,19 @@ def _adc(argv: list[str]) -> None:
 
 
 def _serve_bench(argv: list[str]) -> int:
-    from .runtime.serving import run_serve_bench
+    from .runtime.serving import run_cnn_serve_bench, run_serve_bench
 
+    if argv and argv[0] == "cnn":
+        try:
+            images = int(argv[1]) if len(argv) > 1 else 48
+        except ValueError:
+            print(f"serve-bench cnn expects an image count, got {argv[1]!r}")
+            return 2
+        if images < 1:
+            print(f"serve-bench cnn image count must be >= 1, got {images}")
+            return 2
+        run_cnn_serve_bench(images=images)
+        return 0
     try:
         requests = int(argv[0]) if argv else 240
     except ValueError:

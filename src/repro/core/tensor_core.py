@@ -81,6 +81,13 @@ class PhotonicTensorCore:
         self._tia_gain = (
             self.row_adcs[0].spec.full_scale_voltage / self._full_scale_current
         )
+        #: Cross-compiler memo of bisected ADC code ladders (see
+        #: :func:`repro.runtime.engine._row_ladders`): every runtime
+        #: engine derived from this core — compiled programs, tiled
+        #: grids, the dense/conv layer fast paths — shares it, so each
+        #: distinct ADC trim is bisected once per core, not once per
+        #: compile.
+        self.runtime_ladder_cache: list = []
 
     # -- weights -------------------------------------------------------------
     @property
@@ -221,7 +228,7 @@ class PhotonicTensorCore:
         """
         from ..runtime.engine import CompiledCore
 
-        return CompiledCore(self)
+        return CompiledCore(self, ladder_cache=self.runtime_ladder_cache)
 
     # -- system analysis -----------------------------------------------------
     def performance(self) -> PerformanceModel:

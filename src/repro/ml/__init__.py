@@ -6,20 +6,32 @@ that execute their matmuls *through* the simulated photonic tensor core
 with quantized weights and p-bit eoADC outputs.
 """
 
-from .convolution import PhotonicConv2d, im2col, output_shape, sobel_kernels
+from .convolution import (
+    PhotonicConv2d,
+    avg_pool2d,
+    im2col,
+    im2col_channels,
+    output_shape,
+    sobel_kernels,
+)
 from .datasets import gaussian_blobs, procedural_digits, train_test_split
 from .insitu import InSituTrainer, TrainingLog
-from .layers import PhotonicDense, relu
+from .layers import PhotonicDense, compile_differential_engines, relu
 from .mapping import MatrixTiler
-from .network import MLP, PhotonicMLP
+from .network import MLP, PhotonicCNN, PhotonicMLP, cnn_float_features
 
 __all__ = [
+    "avg_pool2d",
+    "cnn_float_features",
+    "compile_differential_engines",
     "gaussian_blobs",
     "im2col",
+    "im2col_channels",
     "InSituTrainer",
     "MatrixTiler",
     "MLP",
     "output_shape",
+    "PhotonicCNN",
     "PhotonicConv2d",
     "PhotonicDense",
     "PhotonicMLP",

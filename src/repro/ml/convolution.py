@@ -7,46 +7,71 @@ natively executes.  This module implements that mapping: patches are
 intensity-encoded per sample, kernels are quantized (differential
 mapping for signed kernels) into the pSRAM weights once, and every
 patch dot product flows through the analog path and the eoADC.
+
+Two execution paths share that mapping.  The device-loop path streams
+one patch at a time through :class:`~repro.ml.mapping.MatrixTiler`
+(faithful, slow); ``runtime=True`` shards the flattened kernel matrix
+onto compiled :class:`~repro.runtime.tiling.TiledMatmul` grids and
+evaluates every patch of an image — or a whole image batch — as one
+dense matmul, code-for-code equal to the loop.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from ..core.quantization import encode_inputs, quantize_weights_differential
 from ..core.tensor_core import PhotonicTensorCore
 from ..errors import ConfigurationError
-from .mapping import MatrixTiler
+from .mapping import MatrixTiler, tile_grid
 
 
 def im2col(image: np.ndarray, kernel_size: int, stride: int = 1) -> np.ndarray:
     """Unroll sliding windows of ``image`` into columns.
 
     Returns an array of shape (kernel_size^2, num_patches), patches in
-    row-major output order.
+    row-major output order.  Extraction is a strided view + reshape —
+    no Python window loop — but the columns are value-for-value the
+    windows' row-major ravels.
     """
     image = np.asarray(image, dtype=float)
     if image.ndim != 2:
         raise ConfigurationError("im2col expects a 2-D image")
-    if kernel_size < 1 or kernel_size > min(image.shape):
+    _validate_window(image.shape, kernel_size, stride)
+    windows = sliding_window_view(image, (kernel_size, kernel_size))
+    windows = windows[::stride, ::stride]
+    return windows.reshape(-1, kernel_size * kernel_size).T
+
+
+def im2col_channels(volume: np.ndarray, kernel_size: int, stride: int = 1) -> np.ndarray:
+    """Multi-channel im2col: (channels, H, W) -> (channels * k^2, patches).
+
+    Column p holds patch p's (channels, k, k) window flattened
+    channel-major, matching ``kernels.reshape(n, -1)`` of a
+    (n, channels, k, k) kernel bank.
+    """
+    volume = np.asarray(volume, dtype=float)
+    if volume.ndim != 3:
+        raise ConfigurationError("im2col_channels expects a (channels, H, W) volume")
+    _validate_window(volume.shape[1:], kernel_size, stride)
+    windows = sliding_window_view(volume, (kernel_size, kernel_size), axis=(1, 2))
+    windows = windows[:, ::stride, ::stride]
+    channels = volume.shape[0]
+    # (channels, rows, cols, k, k) -> (patches, channels * k^2) -> transpose.
+    patches = windows.transpose(1, 2, 0, 3, 4).reshape(
+        -1, channels * kernel_size * kernel_size
+    )
+    return patches.T
+
+
+def _validate_window(image_shape, kernel_size: int, stride: int) -> None:
+    if kernel_size < 1 or kernel_size > min(image_shape):
         raise ConfigurationError(
-            f"kernel size {kernel_size} incompatible with image {image.shape}"
+            f"kernel size {kernel_size} incompatible with image {tuple(image_shape)}"
         )
     if stride < 1:
         raise ConfigurationError(f"stride must be >= 1, got {stride}")
-    rows = (image.shape[0] - kernel_size) // stride + 1
-    cols = (image.shape[1] - kernel_size) // stride + 1
-    patches = np.empty((kernel_size * kernel_size, rows * cols))
-    index = 0
-    for r in range(rows):
-        for c in range(cols):
-            window = image[
-                r * stride : r * stride + kernel_size,
-                c * stride : c * stride + kernel_size,
-            ]
-            patches[:, index] = window.ravel()
-            index += 1
-    return patches
 
 
 def output_shape(image_shape, kernel_size: int, stride: int = 1) -> tuple[int, int]:
@@ -58,13 +83,101 @@ def output_shape(image_shape, kernel_size: int, stride: int = 1) -> tuple[int, i
     return rows, cols
 
 
+def encode_patch_batch(patches: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized per-column :func:`~repro.core.quantization.encode_inputs`.
+
+    Each patch column is peak-normalized into the [0, 1] analog range
+    with its own scale, exactly as the per-patch loop does: column p of
+    the result times ``scales[p]`` reproduces ``patches[:, p]``.
+    """
+    patches = np.asarray(patches, dtype=float)
+    if np.any(patches < 0.0):
+        raise ConfigurationError(
+            "analog intensity encoding requires non-negative inputs; "
+            "shift or split signed activations first"
+        )
+    peaks = patches.max(axis=0, initial=0.0)
+    scales = np.where(peaks > 0.0, peaks, 1.0)
+    return patches / scales, scales
+
+
+def normalize_kernel_bank(kernels) -> np.ndarray:
+    """Validate a float kernel bank and promote it to 4-D.
+
+    Accepts (num_kernels, k, k) — promoted to one input channel — or
+    (num_kernels, channels, k, k) with square taps.  Shared by the conv
+    layer, the float feature extractor and the serving conv route so
+    the accepted shapes cannot drift apart.
+    """
+    kernels = np.asarray(kernels, dtype=float)
+    if kernels.ndim == 3:
+        kernels = kernels[:, np.newaxis]
+    if kernels.ndim != 4 or kernels.shape[2] != kernels.shape[3]:
+        raise ConfigurationError(
+            "kernels must have shape (n, k, k) or (n, channels, k, k)"
+        )
+    return kernels
+
+
+def normalize_image(
+    image, channels: int, require_non_negative: bool = True
+) -> np.ndarray:
+    """Validate an input image and promote it to (channels, H, W).
+
+    A 2-D image is promoted to one channel; a 3-D volume must match
+    ``channels``.  Non-negativity is enforced by default (intensities
+    ride on optical carrier powers); the float reference path turns it
+    off.  Shared by the conv layer and the serving conv route.
+    """
+    image = np.asarray(image, dtype=float)
+    if image.ndim == 2:
+        image = image[np.newaxis]
+    if image.ndim != 3 or image.shape[0] != channels:
+        raise ConfigurationError(
+            f"image must be (H, W) or ({channels}, H, W), got shape {image.shape}"
+        )
+    if require_non_negative and np.any(image < 0.0):
+        raise ConfigurationError("image intensities must be non-negative")
+    return image
+
+
+def avg_pool2d(maps: np.ndarray, size: int = 2) -> np.ndarray:
+    """Non-overlapping average pooling over the trailing two axes.
+
+    Accepts any leading shape (..., H, W); trailing rows/columns that
+    do not fill a full window are cropped, the standard floor-mode
+    pooling convention.
+    """
+    maps = np.asarray(maps, dtype=float)
+    if size < 1:
+        raise ConfigurationError(f"pool size must be >= 1, got {size}")
+    if maps.ndim < 2:
+        raise ConfigurationError("avg_pool2d expects at least a 2-D array")
+    rows, cols = maps.shape[-2] // size, maps.shape[-1] // size
+    if rows < 1 or cols < 1:
+        raise ConfigurationError(
+            f"pool size {size} does not fit feature map {maps.shape[-2:]}"
+        )
+    cropped = maps[..., : rows * size, : cols * size]
+    shape = maps.shape[:-2] + (rows, size, cols, size)
+    return cropped.reshape(shape).mean(axis=(-3, -1))
+
+
 class PhotonicConv2d:
     """Valid 2-D convolution executed on the photonic tensor core.
 
-    ``kernels`` has shape (num_kernels, k, k) with float (signed)
+    ``kernels`` has shape (num_kernels, k, k) — or (num_kernels,
+    in_channels, k, k) for multi-channel inputs — with float (signed)
     taps.  The kernels are quantized once into differential pSRAM
     weight rows; :meth:`forward` then streams every image patch through
     the analog matmul path.
+
+    ``runtime=True`` switches the forward passes onto the compiled
+    :class:`~repro.runtime.tiling.TiledMatmul` fast path: the flattened
+    kernel matrix is sharded once onto compiled tile grids (same tile
+    shape, weight/ADC bits and technology as ``core``) and all patches
+    of an image — or of a whole batch via :meth:`forward_batch` —
+    evaluate as dense matmuls, matching the loop path code-for-code.
     """
 
     def __init__(
@@ -73,14 +186,13 @@ class PhotonicConv2d:
         core: PhotonicTensorCore,
         stride: int = 1,
         gain: float = 1.0,
+        runtime: bool = False,
     ) -> None:
-        kernels = np.asarray(kernels, dtype=float)
-        if kernels.ndim != 3 or kernels.shape[1] != kernels.shape[2]:
-            raise ConfigurationError("kernels must have shape (n, k, k)")
+        kernels = normalize_kernel_bank(kernels)
         if gain <= 0.0:
             raise ConfigurationError(f"gain must be positive, got {gain}")
         self.kernels = kernels
-        self.kernel_size = kernels.shape[1]
+        self.kernel_size = kernels.shape[2]
         self.stride = stride
         self.core = core
         self.gain = gain
@@ -89,11 +201,34 @@ class PhotonicConv2d:
             quantize_weights_differential(flattened, core.weight_bits)
         )
         self.tiler = MatrixTiler(core)
+        self.runtime = runtime
+        self._runtime_positive = None
+        self._runtime_negative = None
 
     @property
     def num_kernels(self) -> int:
         return self.kernels.shape[0]
 
+    @property
+    def in_channels(self) -> int:
+        return self.kernels.shape[1]
+
+    @property
+    def taps(self) -> int:
+        """Flattened kernel length: in_channels * kernel_size^2."""
+        return self.in_channels * self.kernel_size * self.kernel_size
+
+    # -- geometry ------------------------------------------------------------
+    def _shaped_image(self, image) -> np.ndarray:
+        return normalize_image(image, self.in_channels, require_non_negative=False)
+
+    def _validated_image(self, image) -> np.ndarray:
+        return normalize_image(image, self.in_channels)
+
+    def _patches(self, image: np.ndarray) -> np.ndarray:
+        return im2col_channels(image, self.kernel_size, self.stride)
+
+    # -- evaluation ----------------------------------------------------------
     def forward(self, image: np.ndarray) -> np.ndarray:
         """Convolve ``image``; returns (num_kernels, out_rows, out_cols).
 
@@ -101,31 +236,107 @@ class PhotonicConv2d:
         carrier powers); each patch is peak-normalized for encoding and
         rescaled digitally after the eoADC.
         """
-        image = np.asarray(image, dtype=float)
-        if np.any(image < 0.0):
-            raise ConfigurationError("image intensities must be non-negative")
-        patches = im2col(image, self.kernel_size, self.stride)
-        rows, cols = output_shape(image.shape, self.kernel_size, self.stride)
+        image = self._validated_image(image)
+        patches = self._patches(image)
+        rows, cols = output_shape(image.shape[1:], self.kernel_size, self.stride)
+        outputs = self._forward_patches(patches)
+        return outputs.reshape(self.num_kernels, rows, cols)
+
+    def forward_batch(self, images: np.ndarray) -> np.ndarray:
+        """Convolve a whole image batch.
+
+        ``images`` has shape (batch, H, W) or (batch, channels, H, W);
+        returns (batch, num_kernels, out_rows, out_cols).  On the
+        runtime path every patch of every image lands in one dense
+        compiled matmul.
+        """
+        images = np.asarray(images, dtype=float)
+        if images.ndim not in (3, 4) or len(images) == 0:
+            raise ConfigurationError(
+                f"image batch must be non-empty 3-D or 4-D, got shape {images.shape}"
+            )
+        stack = [self._validated_image(image) for image in images]
+        rows, cols = output_shape(stack[0].shape[1:], self.kernel_size, self.stride)
+        patches = np.concatenate([self._patches(image) for image in stack], axis=1)
+        outputs = self._forward_patches(patches)
+        return outputs.reshape(self.num_kernels, len(stack), rows, cols).transpose(
+            1, 0, 2, 3
+        )
+
+    def _forward_patches(self, patches: np.ndarray) -> np.ndarray:
+        """(taps, patches) -> (num_kernels, patches) dot products."""
+        if self.runtime:
+            return self._forward_patches_runtime(patches)
+        has_negative = bool(np.any(self.q_negative))
         outputs = np.empty((self.num_kernels, patches.shape[1]))
         for index in range(patches.shape[1]):
             encoded, input_scale = encode_inputs(patches[:, index])
-            positive = self.tiler.matvec(self.q_positive, encoded, gain=self.gain)
-            negative = self.tiler.matvec(self.q_negative, encoded, gain=self.gain)
-            outputs[:, index] = (positive - negative) * self.weight_scale * input_scale
-        return outputs.reshape(self.num_kernels, rows, cols)
+            raw = self.tiler.matvec(self.q_positive, encoded, gain=self.gain)
+            if has_negative:
+                raw = raw - self.tiler.matvec(self.q_negative, encoded, gain=self.gain)
+            outputs[:, index] = raw * self.weight_scale * input_scale
+        return outputs
+
+    def _forward_patches_runtime(self, patches: np.ndarray) -> np.ndarray:
+        positive_engine, negative_engine = self._runtime_engines()
+        encoded, scales = encode_patch_batch(patches)
+        raw = positive_engine.matmul(encoded, gain=self.gain)
+        if negative_engine is not None:
+            raw = raw - negative_engine.matmul(encoded, gain=self.gain)
+        return raw * self.weight_scale * scales
+
+    def _runtime_engines(self):
+        """Compiled tile grids for the quantized kernel arrays (lazy)."""
+        from .layers import compile_differential_engines
+
+        if self._runtime_positive is None:
+            self._runtime_positive, self._runtime_negative = (
+                compile_differential_engines(self.q_positive, self.q_negative, self.core)
+            )
+        return self._runtime_positive, self._runtime_negative
+
+    def invalidate_runtime(self) -> None:
+        """Drop compiled runtime engines so the next runtime forward
+        recompiles from the current quantized arrays — call after
+        mutating ``q_positive``/``q_negative`` in place, exactly as
+        :meth:`PhotonicDense.invalidate_runtime` on the dense layer."""
+        self._runtime_positive = None
+        self._runtime_negative = None
 
     def forward_float(self, image: np.ndarray) -> np.ndarray:
         """Exact reference convolution (no photonics)."""
-        image = np.asarray(image, dtype=float)
-        patches = im2col(image, self.kernel_size, self.stride)
-        rows, cols = output_shape(image.shape, self.kernel_size, self.stride)
+        image = self._shaped_image(image)
+        patches = self._patches(image)
+        rows, cols = output_shape(image.shape[1:], self.kernel_size, self.stride)
         flattened = self.kernels.reshape(self.num_kernels, -1)
         return (flattened @ patches).reshape(self.num_kernels, rows, cols)
 
+    # -- accounting ----------------------------------------------------------
+    @property
+    def analog_passes(self) -> int:
+        """Sequential analog passes per patch.
+
+        The (num_kernels, taps) kernel matrix covers a grid of
+        row/column tiles, each needing its own pass on the physical
+        core; a signed kernel bank additionally runs the negative
+        differential array, doubling the passes.  An all-non-negative
+        bank skips that second array entirely.
+        """
+        row_tiles, column_tiles = tile_grid(
+            self.num_kernels, self.taps, self.core.rows, self.core.columns
+        )
+        arrays = 2 if np.any(self.q_negative) else 1
+        return row_tiles * column_tiles * arrays
+
     def patch_throughput(self) -> float:
-        """Patches per second: one eoADC sample per patch per kernel
-        row, all kernels in parallel across core rows."""
-        return self.core.row_adcs[0].sample_rate
+        """Patches per second at the eoADC sample rate.
+
+        One ADC sample period buys one analog pass; a patch needs
+        :attr:`analog_passes` of them (tile-grid passes times the
+        differential arrays), so throughput is the sample rate divided
+        by that pass count.
+        """
+        return self.core.row_adcs[0].sample_rate / self.analog_passes
 
 
 def sobel_kernels() -> np.ndarray:

@@ -32,6 +32,36 @@ def relu(values: np.ndarray) -> np.ndarray:
     return np.maximum(values, 0.0)
 
 
+def compile_differential_engines(q_positive, q_negative, core: PhotonicTensorCore):
+    """Compile a differential weight pair onto tiled runtime grids.
+
+    Returns ``(positive_engine, negative_engine)`` — the negative
+    engine is None when every negative tap is zero, so purely
+    non-negative programs never spend the second analog pass.  Every
+    quantization-relevant setting of ``core`` (tile shape, weight bits,
+    a non-default ADC precision, technology) is mirrored so the
+    compiled tiles digitize exactly as the device loop would.  Shared
+    by :class:`PhotonicDense` and
+    :class:`~repro.ml.convolution.PhotonicConv2d`.
+    """
+    from ..runtime.tiling import TiledMatmul
+
+    tile_settings = {
+        "tile_rows": core.rows,
+        "tile_columns": core.columns,
+        "weight_bits": core.weight_bits,
+        "adc_bits": core.row_adcs[0].bits,
+        "technology": core.technology,
+        "gain": 1.0,
+        "ladder_cache": core.runtime_ladder_cache,
+    }
+    positive = TiledMatmul(q_positive, **tile_settings)
+    negative = (
+        TiledMatmul(q_negative, **tile_settings) if np.any(q_negative) else None
+    )
+    return positive, negative
+
+
 class PhotonicDense:
     """A dense layer whose matmul runs on the photonic tensor core.
 
@@ -52,32 +82,16 @@ class PhotonicDense:
         signed: bool = True,
         runtime: bool = False,
     ) -> None:
-        weights = np.asarray(weights, dtype=float)
-        if weights.ndim != 2:
-            raise ConfigurationError("dense weights must be 2-D (out, in)")
-        self.float_weights = weights
         self.core = core
         self.signed = signed
-        self.bias = (
-            np.zeros(weights.shape[0]) if bias is None else np.asarray(bias, dtype=float)
-        )
-        if self.bias.shape != (weights.shape[0],):
-            raise ConfigurationError("bias shape must match output features")
-        if signed:
-            self.q_positive, self.q_negative, self.weight_scale = (
-                quantize_weights_differential(weights, core.weight_bits)
-            )
-        else:
-            self.q_positive, self.weight_scale = quantize_weights(
-                weights, core.weight_bits, signed=False
-            )
-            self.q_negative = np.zeros_like(self.q_positive)
         self.tiler = MatrixTiler(core)
         #: Programmable row-TIA gain (ADC range setting); 1.0 = native.
         self.gain = 1.0
         self.runtime = runtime
         self._runtime_positive = None
         self._runtime_negative = None
+        self.bias = None
+        self.set_weights(weights, bias=bias)
 
     @property
     def out_features(self) -> int:
@@ -86,6 +100,45 @@ class PhotonicDense:
     @property
     def in_features(self) -> int:
         return self.float_weights.shape[1]
+
+    def set_weights(self, weights, bias: np.ndarray | None = None) -> None:
+        """Replace the float weights (and optionally the bias).
+
+        Requantizes into the pSRAM representation and invalidates any
+        compiled runtime engines, so the next runtime forward recompiles
+        against the new program instead of silently serving stale
+        weights.  With ``bias=None`` the existing bias is kept when its
+        shape still fits, otherwise it resets to zeros.
+        """
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 2:
+            raise ConfigurationError("dense weights must be 2-D (out, in)")
+        if bias is None:
+            keep = self.bias is not None and self.bias.shape == (weights.shape[0],)
+            bias = self.bias if keep else np.zeros(weights.shape[0])
+        bias = np.asarray(bias, dtype=float)
+        if bias.shape != (weights.shape[0],):
+            raise ConfigurationError("bias shape must match output features")
+        self.float_weights = weights
+        self.bias = bias
+        if self.signed:
+            self.q_positive, self.q_negative, self.weight_scale = (
+                quantize_weights_differential(weights, self.core.weight_bits)
+            )
+        else:
+            self.q_positive, self.weight_scale = quantize_weights(
+                weights, self.core.weight_bits, signed=False
+            )
+            self.q_negative = np.zeros_like(self.q_positive)
+        self.invalidate_runtime()
+
+    def invalidate_runtime(self) -> None:
+        """Drop compiled runtime engines so the next runtime forward
+        recompiles from the current quantized arrays.  Called by
+        :meth:`set_weights`; call it directly after mutating
+        ``float_weights``/``q_positive``/``q_negative`` in place."""
+        self._runtime_positive = None
+        self._runtime_negative = None
 
     def calibrate_gain(self, batch: np.ndarray, headroom: float = 1.25) -> float:
         """Pick the TIA gain from a representative input batch.
@@ -130,23 +183,10 @@ class PhotonicDense:
 
     def _runtime_engines(self):
         """Compiled tile grids for the quantized weight arrays (lazy)."""
-        from ..runtime.tiling import TiledMatmul
-
-        # Mirror every quantization-relevant setting of the device core
-        # (including a non-default ADC precision) so the compiled tiles
-        # digitize exactly as the loop path would.
-        tile_settings = {
-            "tile_rows": self.core.rows,
-            "tile_columns": self.core.columns,
-            "weight_bits": self.core.weight_bits,
-            "adc_bits": self.core.row_adcs[0].bits,
-            "technology": self.core.technology,
-            "gain": 1.0,
-        }
         if self._runtime_positive is None:
-            self._runtime_positive = TiledMatmul(self.q_positive, **tile_settings)
-        if self._runtime_negative is None and self.signed and np.any(self.q_negative):
-            self._runtime_negative = TiledMatmul(self.q_negative, **tile_settings)
+            self._runtime_positive, self._runtime_negative = (
+                compile_differential_engines(self.q_positive, self.q_negative, self.core)
+            )
         return self._runtime_positive, self._runtime_negative
 
     def _forward_runtime(self, batch: np.ndarray) -> np.ndarray:

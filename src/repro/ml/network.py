@@ -1,8 +1,13 @@
-"""A small MLP: float training in numpy, photonic quantized inference.
+"""Networks: float training in numpy, photonic quantized inference.
 
 Training stays in software (the paper's core is an inference engine
 with fast weight updates); inference maps every dense layer onto the
-photonic tensor core via :class:`~repro.ml.layers.PhotonicDense`.
+photonic tensor core via :class:`~repro.ml.layers.PhotonicDense` and
+every convolution via :class:`~repro.ml.convolution.PhotonicConv2d`.
+:class:`PhotonicCNN` composes conv + ReLU + average pooling + flatten
++ an MLP head — the im2col CNN workload the photonic-tensor-core
+literature targets — with ``runtime=True`` serving every stage through
+the compiled batched fast path.
 """
 
 from __future__ import annotations
@@ -11,6 +16,13 @@ import numpy as np
 
 from ..core.tensor_core import PhotonicTensorCore
 from ..errors import ConfigurationError
+from .convolution import (
+    PhotonicConv2d,
+    avg_pool2d,
+    im2col_channels,
+    normalize_kernel_bank,
+    output_shape,
+)
 from .layers import PhotonicDense, relu
 
 
@@ -133,4 +145,95 @@ class PhotonicMLP:
     def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
         """Photonic-inference accuracy."""
         predictions = np.argmax(self.forward(np.asarray(features, dtype=float)), axis=1)
+        return float(np.mean(predictions == np.asarray(labels)))
+
+
+def cnn_float_features(
+    kernels: np.ndarray, images: np.ndarray, pool: int = 2, stride: int = 1
+) -> np.ndarray:
+    """Float conv + ReLU + average-pool + flatten feature extraction.
+
+    This is the exact software counterpart of the photonic feature
+    stage of :class:`PhotonicCNN` (no quantization, no photonics) —
+    use it to train the MLP head before deploying, the same float-
+    train/photonic-infer split as :class:`PhotonicMLP`.  ``images`` has
+    shape (batch, H, W) or (batch, channels, H, W); returns
+    (batch, features).
+    """
+    kernels = normalize_kernel_bank(kernels)
+    flattened = kernels.reshape(kernels.shape[0], -1)
+    kernel_size = kernels.shape[2]
+    images = np.asarray(images, dtype=float)
+    if images.ndim not in (3, 4):
+        raise ConfigurationError(
+            f"image batch must be 3-D or 4-D, got shape {images.shape}"
+        )
+    features = []
+    for image in images:
+        if image.ndim == 2:
+            image = image[np.newaxis]
+        patches = im2col_channels(image, kernel_size, stride)
+        rows, cols = output_shape(image.shape[1:], kernel_size, stride)
+        maps = (flattened @ patches).reshape(kernels.shape[0], rows, cols)
+        features.append(avg_pool2d(relu(maps), pool).ravel())
+    return np.stack(features)
+
+
+class PhotonicCNN:
+    """A CNN deployed on the photonic tensor core.
+
+    Composition: :class:`~repro.ml.convolution.PhotonicConv2d` feature
+    extraction (im2col matmuls on the core), digital ReLU + average
+    pooling + flatten, then a :class:`PhotonicMLP` head.  The float
+    ``kernels`` are quantized into differential pSRAM programs; the
+    ``mlp`` head is float-trained on :func:`cnn_float_features` of the
+    training images.  ``calibration_images`` sets the head layers' TIA
+    gains from representative feature activations; ``runtime=True``
+    serves the conv and both dense layers through the compiled
+    :mod:`repro.runtime` fast path (same physics, dense batched
+    evaluation).
+    """
+
+    def __init__(
+        self,
+        kernels: np.ndarray,
+        mlp: MLP,
+        core: PhotonicTensorCore,
+        pool: int = 2,
+        stride: int = 1,
+        conv_gain: float = 1.0,
+        calibration_images: np.ndarray | None = None,
+        runtime: bool = False,
+    ) -> None:
+        self.conv = PhotonicConv2d(
+            kernels, core, stride=stride, gain=conv_gain, runtime=runtime
+        )
+        self.pool = pool
+        calibration_batch = None
+        if calibration_images is not None:
+            calibration_batch = cnn_float_features(
+                kernels, calibration_images, pool=pool, stride=stride
+            )
+        if calibration_batch is not None and mlp.w1.shape[1] != calibration_batch.shape[1]:
+            raise ConfigurationError(
+                f"MLP head expects {mlp.w1.shape[1]} features, but the conv "
+                f"stage produces {calibration_batch.shape[1]}"
+            )
+        self.head = PhotonicMLP(
+            mlp, core, calibration_batch=calibration_batch, runtime=runtime
+        )
+
+    def features(self, images: np.ndarray) -> np.ndarray:
+        """Photonic conv + ReLU + pool + flatten: (batch, features)."""
+        maps = self.conv.forward_batch(images)
+        pooled = avg_pool2d(relu(maps), self.pool)
+        return pooled.reshape(len(pooled), -1)
+
+    def forward(self, images: np.ndarray) -> np.ndarray:
+        """Photonic logits for an image batch."""
+        return self.head.forward(self.features(images))
+
+    def accuracy(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Photonic-inference accuracy."""
+        predictions = np.argmax(self.forward(images), axis=1)
         return float(np.mean(predictions == np.asarray(labels)))

@@ -17,8 +17,10 @@ it into one, in four layers:
   and an LRU of compiled programs so repeated weights skip the 20 GHz
   pSRAM re-streaming, with energy/latency accounting riding on the
   device ledgers and :class:`~repro.core.performance.PerformanceModel`.
-* :mod:`~repro.runtime.serving` — :class:`InferenceServer` facade and
-  the ``python -m repro serve-bench`` multi-tenant traffic replay.
+* :mod:`~repro.runtime.serving` — :class:`InferenceServer` facade
+  (dense requests plus the ``submit_conv`` im2col CNN route with
+  cached differential :class:`ConvProgram` grids) and the ``python -m
+  repro serve-bench`` / ``serve-bench cnn`` traffic replays.
 """
 
 from .engine import BatchResult, CompiledCore, weight_key
@@ -30,9 +32,12 @@ from .scheduler import (
     WeightProgramCache,
 )
 from .serving import (
+    ConvProgram,
+    ConvTicket,
     InferenceServer,
     ServerStats,
     ServerTicket,
+    run_cnn_serve_bench,
     run_serve_bench,
     synthetic_trace,
 )
@@ -43,7 +48,10 @@ __all__ = [
     "BatchScheduler",
     "CachedProgram",
     "CompiledCore",
+    "ConvProgram",
+    "ConvTicket",
     "InferenceServer",
+    "run_cnn_serve_bench",
     "run_serve_bench",
     "SchedulerStats",
     "ServerStats",

@@ -276,7 +276,7 @@ class BatchScheduler:
         load_energy = self.core.weight_update_energy() - energy_before
         load_time = self.core.weight_update_time()
         program = CachedProgram(
-            engine=CompiledCore(self.core),
+            engine=CompiledCore(self.core, ladder_cache=self.core.runtime_ladder_cache),
             load_energy=load_energy,
             load_time=load_time,
         )

@@ -4,15 +4,21 @@
 ``submit`` takes any unsigned weight matrix and input vector, routes it
 to the batching scheduler (weights that fit one physical tile, zero-
 padded if smaller) or to an LRU-cached :class:`TiledMatmul` grid
-(weights larger than a tile), ``flush`` drains every queue as dense
-batched evaluations, and ``stats`` reports throughput, batch fill,
-cache behaviour and the modelled energy/latency.
+(weights larger than a tile), ``submit_conv`` serves im2col CNN
+convolutions (float kernel banks quantized into cached differential
+:class:`ConvProgram` grids, every patch a batched matmul column),
+``flush`` drains every queue as dense batched evaluations, and
+``stats`` reports throughput, batch fill, cache behaviour and the
+modelled energy/latency.
 
 :func:`synthetic_trace` builds the repeatable multi-tenant workload the
 ``python -m repro serve-bench`` command replays: a handful of tenants
 with mixed matrix shapes, Zipf-skewed request popularity, and
 occasional weight churn so the program caches see both hits and fresh
-compiles.
+compiles.  :func:`run_cnn_serve_bench` is the CNN counterpart
+(``python -m repro serve-bench cnn``): a stream of digit glyphs
+convolved against a shared kernel bank, exercising the conv program
+cache.
 """
 
 from __future__ import annotations
@@ -23,7 +29,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import Technology, default_technology
+from ..core.quantization import quantize_weights_differential
 from ..errors import ConfigurationError
+from ..ml.convolution import (
+    encode_patch_batch,
+    im2col_channels,
+    normalize_image,
+    normalize_kernel_bank,
+    output_shape,
+)
+from ..ml.layers import compile_differential_engines
 from .engine import weight_key
 from .scheduler import BatchScheduler, SchedulerStats, Ticket, WeightProgramCache
 from .tiling import TiledMatmul, auto_range_gain
@@ -60,6 +75,69 @@ class ServerTicket:
         return self._estimates
 
 
+class ConvTicket:
+    """Handle for one conv request; resolved by the next flush."""
+
+    __slots__ = ("shape", "_feature_maps")
+
+    def __init__(self, num_kernels: int, rows: int, cols: int) -> None:
+        self.shape = (num_kernels, rows, cols)
+        self._feature_maps: np.ndarray | None = None
+
+    def _resolve(self, feature_maps: np.ndarray) -> None:
+        self._feature_maps = np.asarray(feature_maps, dtype=float).reshape(self.shape)
+
+    @property
+    def done(self) -> bool:
+        return self._feature_maps is not None
+
+    @property
+    def feature_maps(self) -> np.ndarray:
+        """Dequantized (num_kernels, out_rows, out_cols) feature maps."""
+        if self._feature_maps is None:
+            raise ConfigurationError("request not flushed yet")
+        return self._feature_maps
+
+
+@dataclass
+class ConvProgram:
+    """A cached differential conv weight program on tiled grids.
+
+    The positive/negative engines hold the quantized kernel magnitudes
+    (the negative grid is None for an all-non-negative bank, saving the
+    second analog pass); the float dequantization scale stays with each
+    request, so kernel banks that quantize to the same integers share
+    one program.
+    """
+
+    positive: TiledMatmul
+    negative: TiledMatmul | None
+
+    @property
+    def passes(self) -> int:
+        """Sequential analog passes per patch column."""
+        return 2 if self.negative is not None else 1
+
+    @property
+    def tile_count(self) -> int:
+        return self.positive.tile_count + (
+            self.negative.tile_count if self.negative is not None else 0
+        )
+
+    @property
+    def weight_update_energy(self) -> float:
+        return self.positive.weight_update_energy + (
+            self.negative.weight_update_energy if self.negative is not None else 0.0
+        )
+
+    def matmul(self, batch: np.ndarray, gain: float) -> np.ndarray:
+        """Differential W @ X in quantized dot units."""
+        raw = self.positive.matmul(batch, gain=gain)
+        if self.negative is not None:
+            raw = raw - self.negative.matmul(batch, gain=gain)
+        return raw
+
+
 @dataclass
 class ServerStats:
     """Combined serving statistics of both request paths."""
@@ -69,15 +147,25 @@ class ServerStats:
     tiled_builds: int
     tiled_hits: int
     tiled_batches: int
+    #: Sequential ADC sample periods consumed on the tiled/conv paths
+    #: — the time-slot count, so ``tiled_analog_time`` is exactly this
+    #: many sample periods on both paths.  Tiles of one grid digitize
+    #: in parallel and share a slot; a differential conv bank's two
+    #: sequential array passes take two slots per patch column.
     tiled_samples: int
     tiled_analog_time: float
     tiled_analog_energy: float
     tiled_weight_energy_spent: float
     tiled_weight_energy_saved: float
+    #: Conv-route traffic: requests are whole images; their per-patch
+    #: ADC samples and energy are folded into the tiled_* accumulators
+    #: (conv programs live in the same cache and grids).
+    conv_requests: int = 0
+    conv_patches: int = 0
 
     @property
     def requests(self) -> int:
-        return self.scheduler.requests + self.tiled_requests
+        return self.scheduler.requests + self.tiled_requests + self.conv_requests
 
     @property
     def batches(self) -> int:
@@ -148,6 +236,7 @@ class InferenceServer:
         )
         self.tiled_cache = WeightProgramCache(tiled_cache_capacity)
         self._tiled_pending: dict[tuple[bytes, float | str], dict] = {}
+        self._conv_pending: dict[tuple[bytes, float], dict] = {}
         self._tiled_requests = 0
         self._tiled_batches = 0
         self._tiled_samples = 0
@@ -155,6 +244,8 @@ class InferenceServer:
         self._tiled_analog_energy = 0.0
         self._tiled_energy_spent = 0.0
         self._tiled_energy_saved = 0.0
+        self._conv_requests = 0
+        self._conv_patches = 0
 
     @property
     def rows(self) -> int:
@@ -244,6 +335,70 @@ class InferenceServer:
         self._tiled_requests += 1
         return ticket
 
+    # -- conv route ----------------------------------------------------------
+    def submit_conv(
+        self, kernels, image, stride: int = 1, gain: float | None = None
+    ) -> ConvTicket:
+        """Queue one im2col convolution for the next :meth:`flush`.
+
+        ``kernels`` is a float bank of shape (n, k, k) — or
+        (n, channels, k, k) — quantized here into a differential conv
+        program keyed on the quantized integers, so repeated banks hit
+        the shared program cache; ``image`` is a non-negative (H, W) or
+        (channels, H, W) intensity map.  ``gain`` is the row-TIA range
+        setting applied to every tile (None = native 1.0); the per-tile
+        ``"auto"`` calibration is not offered here because differential
+        halves must digitize at one common gain to subtract exactly.
+        """
+        kernels = normalize_kernel_bank(kernels)
+        gain = self._validated_gain(gain)
+        if gain == "auto":
+            raise ConfigurationError(
+                "the conv route takes a numeric gain (or None for native 1.0)"
+            )
+        gain = 1.0 if gain is None else float(gain)
+        kernel_size = kernels.shape[2]
+        image = normalize_image(image, kernels.shape[1])
+
+        flattened = kernels.reshape(kernels.shape[0], -1)
+        q_positive, q_negative, weight_scale = quantize_weights_differential(
+            flattened, self.scheduler.core.weight_bits
+        )
+        patches = im2col_channels(image, kernel_size, stride)
+        out_rows, out_cols = output_shape(image.shape[1:], kernel_size, stride)
+        encoded, scales = encode_patch_batch(patches)
+
+        # Conv programs share the tiled LRU; the prefix keeps a kernel
+        # bank from colliding with a plain weight matrix of equal bytes.
+        key = b"conv:" + weight_key(np.concatenate([q_positive, q_negative]))
+        group = self._conv_pending.get((key, gain))
+        if group is None:
+            group = {
+                "q_positive": q_positive,
+                "q_negative": q_negative,
+                "segments": [],
+                "tickets": [],
+            }
+            self._conv_pending[(key, gain)] = group
+        ticket = ConvTicket(kernels.shape[0], out_rows, out_cols)
+        group["segments"].append((encoded, scales, weight_scale))
+        group["tickets"].append(ticket)
+        self._conv_requests += 1
+        return ticket
+
+    def _conv_program(self, key: bytes, group: dict) -> ConvProgram:
+        program = self.tiled_cache.get(key)
+        if program is None:
+            positive, negative = compile_differential_engines(
+                group["q_positive"], group["q_negative"], self.scheduler.core
+            )
+            program = ConvProgram(positive=positive, negative=negative)
+            self._tiled_energy_spent += program.weight_update_energy
+            self.tiled_cache.put(key, program)
+        else:
+            self._tiled_energy_saved += program.weight_update_energy
+        return program
+
     def flush(self) -> int:
         """Evaluate every pending request; returns resolved count."""
         resolved = self.scheduler.flush()
@@ -258,6 +413,7 @@ class InferenceServer:
                         weight_bits=self.scheduler.core.weight_bits,
                         adc_bits=self.scheduler.core.row_adcs[0].bits,
                         technology=self.technology,
+                        ladder_cache=self.scheduler.core.runtime_ladder_cache,
                     )
                     self._tiled_energy_spent += engine.weight_update_energy
                     self.tiled_cache.put(key, engine)
@@ -278,10 +434,39 @@ class InferenceServer:
                 self._tiled_samples += samples
                 self._tiled_analog_time += samples * period
                 self._tiled_analog_energy += samples * period * power
+            for (key, gain), group in self._conv_pending.items():
+                program = self._conv_program(key, group)
+                batch = np.concatenate(
+                    [encoded for encoded, _, _ in group["segments"]], axis=1
+                )
+                raw = program.matmul(batch, gain=gain)
+                offset = 0
+                for (encoded, scales, weight_scale), ticket in zip(
+                    group["segments"], group["tickets"]
+                ):
+                    count = encoded.shape[1]
+                    maps = raw[:, offset : offset + count] * weight_scale * scales
+                    ticket._resolve(maps)
+                    offset += count
+                resolved += len(group["tickets"])
+                # Each patch column costs one ADC sample period per
+                # analog pass (two passes for differential banks); the
+                # active grid burns tile_count times one tile's power.
+                patches = batch.shape[1]
+                period = 1.0 / self.scheduler.performance.sample_rate
+                power = self.scheduler.performance.total_power
+                self._conv_patches += patches
+                self._tiled_batches += 1
+                self._tiled_samples += patches * program.passes
+                self._tiled_analog_time += patches * period * program.passes
+                self._tiled_analog_energy += (
+                    patches * period * power * program.tile_count
+                )
         finally:
             # Never leave a stale group behind: a failed evaluation must
             # not wedge every subsequent flush.
             self._tiled_pending.clear()
+            self._conv_pending.clear()
         return resolved
 
     def stats(self) -> ServerStats:
@@ -297,6 +482,8 @@ class InferenceServer:
             tiled_analog_energy=self._tiled_analog_energy,
             tiled_weight_energy_spent=self._tiled_energy_spent,
             tiled_weight_energy_saved=self._tiled_energy_saved,
+            conv_requests=self._conv_requests,
+            conv_patches=self._conv_patches,
         )
 
 
@@ -356,6 +543,8 @@ def run_serve_bench(
     batch-fill and cache statistics; returns them as a dict so tests
     and benches can assert on the numbers.
     """
+    if flush_every < 1:
+        raise ConfigurationError(f"flush interval must be >= 1, got {flush_every}")
     server = InferenceServer(
         rows=rows,
         columns=columns,
@@ -409,6 +598,88 @@ def run_serve_bench(
         f"{summary['weight_energy_saved_pj']:.1f} pJ saved by caching",
         f"analog latency    : {summary['analog_latency_us']:.3f} us modelled "
         f"({summary['analog_energy_nj']:.2f} nJ, both paths)",
+    ]
+    print_fn("\n".join(lines))
+    return summary
+
+
+def run_cnn_serve_bench(
+    images: int = 48,
+    rows: int = 8,
+    columns: int = 9,
+    kernels: int = 4,
+    kernel_size: int = 3,
+    flush_every: int = 16,
+    seed: int = 2025,
+    print_fn=print,
+) -> dict:
+    """Replay a CNN feature-extraction stream through the conv route.
+
+    A stream of 8x8 procedural digit glyphs is convolved against one
+    shared signed kernel bank via :meth:`InferenceServer.submit_conv`
+    (im2col patches batched into compiled differential matmuls); the
+    repeated bank exercises the conv program cache — one build, hits
+    thereafter.  Prints image/patch throughput and cache/energy
+    statistics; returns them as a dict for tests and benches.
+    """
+    from ..ml.datasets import procedural_digits
+
+    if images < 1:
+        raise ConfigurationError(f"need at least one image, got {images}")
+    if flush_every < 1:
+        raise ConfigurationError(f"flush interval must be >= 1, got {flush_every}")
+    rng = np.random.default_rng(seed)
+    bank = rng.normal(0.0, 1.0, (kernels, kernel_size, kernel_size))
+    data, _ = procedural_digits(
+        samples_per_class=-(-images // 10), noise=0.1, seed=seed, pooled=False
+    )
+    glyphs = data[:images].reshape(-1, 8, 8)
+
+    server = InferenceServer(rows=rows, columns=columns)
+    tickets = []
+    started = time.perf_counter()
+    for index, glyph in enumerate(glyphs):
+        tickets.append(server.submit_conv(bank, glyph))
+        if (index + 1) % flush_every == 0:
+            server.flush()
+    server.flush()
+    elapsed = time.perf_counter() - started
+
+    if not all(ticket.done for ticket in tickets):
+        raise ConfigurationError("cnn serve bench left unresolved tickets")
+    stats = server.stats()
+    out_side = glyphs.shape[1] - kernel_size + 1
+    summary = {
+        "images": stats.conv_requests,
+        "patches": stats.conv_patches,
+        "kernels": kernels,
+        "feature_map": [kernels, out_side, out_side],
+        "elapsed_s": elapsed,
+        "images_per_s": images / elapsed if elapsed > 0 else float("inf"),
+        "patches_per_s": stats.conv_patches / elapsed if elapsed > 0 else float("inf"),
+        "cache_hits": stats.tiled_hits,
+        "cache_misses": stats.tiled_builds,
+        "cache_hit_rate": stats.cache_hit_rate,
+        "weight_energy_spent_pj": stats.weight_energy_spent * 1e12,
+        "weight_energy_saved_pj": stats.weight_energy_saved * 1e12,
+        "analog_latency_us": stats.analog_time * 1e6,
+        "analog_energy_nj": stats.analog_energy * 1e9,
+    }
+    lines = [
+        f"conv program      : {kernels} kernels {kernel_size}x{kernel_size} "
+        f"on {rows} x {columns} tiles (flush every {flush_every})",
+        f"images            : {summary['images']} "
+        f"({summary['patches']} im2col patches)",
+        f"wall-clock        : {elapsed * 1e3:.1f} ms "
+        f"({summary['images_per_s']:,.0f} images/s, "
+        f"{summary['patches_per_s']:,.0f} patches/s)",
+        f"program cache     : {summary['cache_hits']} hits / "
+        f"{summary['cache_misses']} misses "
+        f"({summary['cache_hit_rate']:.0%} hit rate)",
+        f"weight energy     : {summary['weight_energy_spent_pj']:.1f} pJ spent, "
+        f"{summary['weight_energy_saved_pj']:.1f} pJ saved by caching",
+        f"analog latency    : {summary['analog_latency_us']:.3f} us modelled "
+        f"({summary['analog_energy_nj']:.2f} nJ)",
     ]
     print_fn("\n".join(lines))
     return summary

@@ -56,6 +56,7 @@ class TiledMatmul:
         technology: Technology | None = None,
         gain: float | str = "auto",
         label: str = "tiled",
+        ladder_cache: list | None = None,
     ) -> None:
         self.technology = technology if technology is not None else default_technology()
         tensor = self.technology.tensor
@@ -102,7 +103,14 @@ class TiledMatmul:
         self.tiles: list[list[CompiledCore]] = [[] for _ in range(self.row_tiles)]
 
         full_scale_dot = self.tile_columns * self.max_weight
-        ladder_cache: list = []
+        # Callers building several grids over the same technology (the
+        # dense/conv differential pairs, the serving cache) pass a
+        # shared ladder memo so the ADC bisection runs once for all of
+        # them; a private list still shares it across this grid's tiles.
+        if ladder_cache is None:
+            ladder_cache = []
+        cleared = np.zeros((self.tile_rows, self.tile_columns), dtype=int)
+        load_energy = 0.0
         for row_tile, col_tile, (row_start, row_stop), (col_start, col_stop) in (
             iter_tile_blocks(self.out_features, self.in_features,
                              self.tile_rows, self.tile_columns)
@@ -122,10 +130,18 @@ class TiledMatmul:
             self.gains[row_tile, col_tile] = tile_gain
 
             # Reuse one physical-core template per tile slot; each
-            # compile() snapshot is detached from the template.
+            # compile() snapshot is detached from the template.  Every
+            # tile of a real grid is its own core loading its block
+            # into cleared pSRAM arrays, so each block's load energy is
+            # the delta from a cleared probe — not from the previous
+            # block's residue, which would make the grid energy depend
+            # on tile iteration order.
+            probe.load_weight_matrix(cleared)
+            energy_before = probe.weight_update_energy()
             probe.load_weight_matrix(block)
+            load_energy += probe.weight_update_energy() - energy_before
             self.tiles[row_tile].append(CompiledCore(probe, ladder_cache=ladder_cache))
-        self.weight_update_energy = probe.weight_update_energy()
+        self.weight_update_energy = load_energy
         self.weight_update_time = self.column_tiles * probe.weight_update_time()
 
     # -- planning ------------------------------------------------------------

@@ -32,6 +32,21 @@ def test_serve_bench(capsys):
     assert "hit rate" in output
 
 
+def test_serve_bench_cnn(capsys):
+    assert main(["serve-bench", "cnn", "8"]) == 0
+    output = capsys.readouterr().out
+    assert "images/s" in output
+    assert "conv program" in output
+    assert "hit rate" in output
+
+
+def test_serve_bench_cnn_rejects_bad_count(capsys):
+    assert main(["serve-bench", "cnn", "zero"]) == 2
+    assert main(["serve-bench", "cnn", "0"]) == 2
+    output = capsys.readouterr().out
+    assert "image count" in output
+
+
 def test_unknown_command(capsys):
     assert main(["bogus"]) == 2
     output = capsys.readouterr().out

@@ -33,6 +33,7 @@ def test_examples_directory_complete():
         "adc_characterization.py",
         "neural_inference.py",
         "convolution_wdm.py",
+        "cnn_inference.py",
         "insitu_training.py",
     }
     assert expected <= present

@@ -5,10 +5,11 @@ import pytest
 
 from repro.core.tensor_core import PhotonicTensorCore
 from repro.errors import ConfigurationError, MappingError
+from repro.ml.convolution import sobel_kernels
 from repro.ml.datasets import gaussian_blobs, procedural_digits, train_test_split
 from repro.ml.layers import PhotonicDense, relu
 from repro.ml.mapping import MatrixTiler
-from repro.ml.network import MLP, PhotonicMLP
+from repro.ml.network import MLP, PhotonicCNN, PhotonicMLP, cnn_float_features
 
 
 class TestDatasets:
@@ -164,6 +165,51 @@ class TestLayersAndNetwork:
         subset = X[:10]
         assert np.allclose(loop.forward(subset), fast.forward(subset))
 
+    def test_set_weights_invalidates_runtime_engines(self, tech):
+        """Regression: a weight update must not leave the compiled
+        runtime engines silently serving the old program."""
+        core = PhotonicTensorCore(rows=4, columns=6, technology=tech)
+        rng = np.random.default_rng(31)
+        first = rng.normal(0.0, 1.0, (4, 6))
+        second = rng.normal(0.0, 1.0, (4, 6))
+        batch = rng.uniform(0.0, 2.0, (5, 6))
+
+        layer = PhotonicDense(first, core, runtime=True)
+        before = layer.forward(batch)
+        assert layer._runtime_positive is not None  # engines compiled
+
+        layer.set_weights(second)
+        assert layer._runtime_positive is None and layer._runtime_negative is None
+        after = layer.forward(batch)
+        fresh = PhotonicDense(second, core, runtime=True)
+        assert not np.allclose(before, after)
+        assert np.allclose(after, fresh.forward(batch))
+        # ... and the runtime output still tracks the device loop.
+        loop = PhotonicDense(second, core)
+        assert np.allclose(after, loop.forward(batch))
+
+    def test_set_weights_bias_handling(self, tech):
+        core = PhotonicTensorCore(rows=2, columns=2, technology=tech)
+        layer = PhotonicDense(np.ones((2, 2)), core, bias=np.array([1.0, 2.0]))
+        layer.set_weights(2.0 * np.ones((2, 2)))
+        np.testing.assert_array_equal(layer.bias, [1.0, 2.0])  # shape fits: kept
+        layer.set_weights(np.ones((3, 2)))
+        np.testing.assert_array_equal(layer.bias, np.zeros(3))  # reshaped: reset
+        with pytest.raises(ConfigurationError):
+            layer.set_weights(np.ones((2, 2)), bias=np.ones(3))
+
+    def test_invalidate_runtime_after_inplace_mutation(self, tech):
+        core = PhotonicTensorCore(rows=2, columns=3, technology=tech)
+        rng = np.random.default_rng(33)
+        layer = PhotonicDense(rng.normal(0.0, 1.0, (2, 3)), core, runtime=True)
+        batch = rng.uniform(0.0, 1.0, (3, 3))
+        layer.forward(batch)
+        engines = layer._runtime_positive
+        layer.invalidate_runtime()
+        assert layer._runtime_positive is None
+        layer.forward(batch)
+        assert layer._runtime_positive is not engines  # recompiled
+
     def test_layer_validation(self, tech):
         core = PhotonicTensorCore(rows=2, columns=2, technology=tech)
         with pytest.raises(ConfigurationError):
@@ -173,3 +219,54 @@ class TestLayersAndNetwork:
             layer.forward_sample(np.ones(3))
         with pytest.raises(ConfigurationError):
             MLP(0, 1, 2)
+
+
+class TestPhotonicCNN:
+    @pytest.fixture(scope="class")
+    def digits(self):
+        X, y = procedural_digits(samples_per_class=6, noise=0.08, pooled=False)
+        return X.reshape(-1, 8, 8), y
+
+    @pytest.fixture(scope="class")
+    def trained(self, digits):
+        images, labels = digits
+        kernels = sobel_kernels()
+        features = cnn_float_features(kernels, images)
+        mlp = MLP(features.shape[1], 12, 10, seed=3)
+        mlp.train(features, labels, epochs=25)
+        return kernels, mlp
+
+    def test_float_features_shape_and_stage_equivalence(self, digits):
+        images, _ = digits
+        kernels = sobel_kernels()
+        features = cnn_float_features(kernels, images[:4])
+        # conv (6x6) -> 2x2 pool -> 3x3, times 2 kernels.
+        assert features.shape == (4, 2 * 3 * 3)
+        assert np.all(features >= 0.0)  # post-ReLU
+
+    def test_runtime_cnn_matches_device_loop(self, tech, digits, trained):
+        images, _ = digits
+        kernels, mlp = trained
+        core = PhotonicTensorCore(rows=4, columns=9, adc_bits=6, technology=tech)
+        loop = PhotonicCNN(kernels, mlp, core, calibration_images=images[:10])
+        fast = PhotonicCNN(kernels, mlp, core, calibration_images=images[:10],
+                           runtime=True)
+        subset = images[:3]
+        np.testing.assert_allclose(fast.forward(subset), loop.forward(subset))
+
+    def test_photonic_cnn_classifies_digits(self, tech, digits, trained):
+        images, labels = digits
+        kernels, mlp = trained
+        float_accuracy = mlp.accuracy(cnn_float_features(kernels, images), labels)
+        core = PhotonicTensorCore(rows=4, columns=9, adc_bits=6, technology=tech)
+        cnn = PhotonicCNN(kernels, mlp, core, calibration_images=images[:10],
+                          runtime=True)
+        subset = slice(0, 20)
+        assert cnn.accuracy(images[subset], labels[subset]) >= float_accuracy - 0.3
+
+    def test_head_feature_mismatch_raises(self, tech, digits, trained):
+        images, _ = digits
+        kernels, mlp = trained
+        core = PhotonicTensorCore(rows=4, columns=9, technology=tech)
+        with pytest.raises(ConfigurationError, match="features"):
+            PhotonicCNN(kernels, mlp, core, pool=1, calibration_images=images[:4])

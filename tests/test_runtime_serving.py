@@ -5,7 +5,13 @@ import pytest
 
 from repro.core.tensor_core import PhotonicTensorCore
 from repro.errors import ConfigurationError
-from repro.runtime.serving import InferenceServer, run_serve_bench, synthetic_trace
+from repro.ml.convolution import PhotonicConv2d
+from repro.runtime.serving import (
+    InferenceServer,
+    run_cnn_serve_bench,
+    run_serve_bench,
+    synthetic_trace,
+)
 
 
 @pytest.fixture()
@@ -151,6 +157,99 @@ def test_submit_validation(server):
         server.submit(np.ones(4, dtype=int), np.ones(4) * 0.5)
     with pytest.raises(ConfigurationError, match=r"\(3,\)"):
         server.submit(np.ones((4, 6), dtype=int), np.ones(3) * 0.5)
+
+
+class TestConvRoute:
+    @pytest.fixture()
+    def conv_server(self, tech):
+        return InferenceServer(rows=4, columns=9, technology=tech)
+
+    def test_conv_route_matches_runtime_conv_layer(self, conv_server, tech):
+        rng = np.random.default_rng(21)
+        kernels = rng.normal(0.0, 1.0, (3, 3, 3))
+        images = [rng.uniform(0.0, 1.0, (7, 7)) for _ in range(3)]
+        tickets = [conv_server.submit_conv(kernels, image) for image in images]
+        assert not tickets[0].done
+        conv_server.flush()
+        core = PhotonicTensorCore(rows=4, columns=9, technology=tech)
+        reference = PhotonicConv2d(kernels, core, runtime=True)
+        for ticket, image in zip(tickets, images):
+            assert ticket.shape == (3, 5, 5)
+            np.testing.assert_array_equal(ticket.feature_maps,
+                                          reference.forward(image))
+
+    def test_conv_route_stride_and_gain(self, conv_server, tech):
+        rng = np.random.default_rng(22)
+        kernels = rng.normal(0.0, 1.0, (2, 3, 3))
+        image = rng.uniform(0.0, 1.0, (8, 8))
+        ticket = conv_server.submit_conv(kernels, image, stride=2, gain=2.0)
+        conv_server.flush()
+        core = PhotonicTensorCore(rows=4, columns=9, technology=tech)
+        reference = PhotonicConv2d(kernels, core, stride=2, gain=2.0, runtime=True)
+        np.testing.assert_array_equal(ticket.feature_maps, reference.forward(image))
+
+    def test_repeated_kernel_programs_hit_the_cache(self, conv_server):
+        rng = np.random.default_rng(23)
+        kernels = rng.normal(0.0, 1.0, (2, 3, 3))
+        conv_server.submit_conv(kernels, rng.uniform(0.0, 1.0, (6, 6)))
+        conv_server.flush()
+        conv_server.submit_conv(kernels, rng.uniform(0.0, 1.0, (6, 6)))
+        conv_server.submit_conv(kernels, rng.uniform(0.0, 1.0, (6, 6)))
+        conv_server.flush()
+        stats = conv_server.stats()
+        assert stats.conv_requests == 3
+        assert stats.tiled_builds == 1 and stats.tiled_hits == 1
+        assert stats.weight_energy_saved > 0.0
+        assert stats.conv_patches == 3 * 16
+        # Signed kernels: two analog passes per patch column.
+        assert stats.tiled_samples == 2 * stats.conv_patches
+        assert stats.analog_time > 0.0 and stats.analog_energy > 0.0
+
+    def test_non_negative_bank_pays_single_pass(self, conv_server):
+        rng = np.random.default_rng(24)
+        kernels = rng.uniform(0.1, 1.0, (2, 3, 3))  # all positive taps
+        conv_server.submit_conv(kernels, rng.uniform(0.0, 1.0, (6, 6)))
+        conv_server.flush()
+        stats = conv_server.stats()
+        assert stats.tiled_samples == stats.conv_patches  # one pass each
+
+    def test_conv_requests_count_into_totals(self, conv_server):
+        rng = np.random.default_rng(25)
+        conv_server.submit(rng.integers(0, 8, (4, 9)), rng.uniform(0.0, 1.0, 9))
+        conv_server.submit_conv(rng.normal(0.0, 1.0, (2, 3, 3)),
+                                rng.uniform(0.0, 1.0, (5, 5)))
+        conv_server.flush()
+        assert conv_server.stats().requests == 2
+
+    def test_conv_validation(self, conv_server):
+        rng = np.random.default_rng(26)
+        kernels = rng.normal(0.0, 1.0, (2, 3, 3))
+        image = rng.uniform(0.0, 1.0, (6, 6))
+        with pytest.raises(ConfigurationError, match="kernels"):
+            conv_server.submit_conv(np.ones((2, 3, 4)), image)
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            conv_server.submit_conv(kernels, -image)
+        with pytest.raises(ConfigurationError, match="numeric gain"):
+            conv_server.submit_conv(kernels, image, gain="auto")
+        with pytest.raises(ConfigurationError, match="gain"):
+            conv_server.submit_conv(kernels, image, gain=0.0)
+        with pytest.raises(ConfigurationError, match=r"\(2, H, W\)"):
+            conv_server.submit_conv(np.ones((2, 2, 3, 3)), image)
+        ticket = conv_server.submit_conv(kernels, image)
+        with pytest.raises(ConfigurationError, match="not flushed"):
+            ticket.feature_maps
+        assert conv_server.flush() == 1 and ticket.done
+
+
+def test_run_cnn_serve_bench_smoke(tech, capsys):
+    summary = run_cnn_serve_bench(images=12, flush_every=4, seed=5)
+    output = capsys.readouterr().out
+    assert "images/s" in output and "hit rate" in output
+    assert summary["images"] == 12
+    assert summary["patches"] == 12 * 36  # 8x8 glyphs, 3x3 kernels
+    assert summary["cache_misses"] == 1 and summary["cache_hits"] == 2
+    assert summary["weight_energy_saved_pj"] > 0.0
+    assert summary["images_per_s"] > 0.0
 
 
 def test_synthetic_trace_is_deterministic():

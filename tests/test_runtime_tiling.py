@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.psram import PsramBitcell
 from repro.core.tensor_core import PhotonicTensorCore
 from repro.errors import MappingError
 from repro.ml.mapping import MatrixTiler
@@ -67,6 +68,37 @@ def test_plan_covers_matrix_with_ragged_edges(tech):
     assert last["columns"] == (8, 9)
     # Zero blocks fall back to unit gain.
     assert all(entry["gain"] == 1.0 for entry in plan)
+
+
+def test_weight_update_energy_is_order_invariant(tech):
+    """Regression: each block's load energy must be measured from a
+    cleared array, not from the previous block's residue on the shared
+    probe — swapping two tile bands must not change the grid energy."""
+    rng = np.random.default_rng(44)
+    block_a = rng.integers(0, 8, (4, 4))
+    block_b = rng.integers(0, 8, (4, 4))
+    # Ensure the blocks genuinely differ in set bits, so the old
+    # residue-dependent accounting would disagree between orders.
+    popcount = lambda block: sum(bin(int(v)).count("1") for v in block.ravel())
+    assert popcount(block_a) != popcount(block_b)
+
+    forward = TiledMatmul(
+        np.vstack([block_a, block_b]), tile_rows=4, tile_columns=4, technology=tech
+    )
+    swapped = TiledMatmul(
+        np.vstack([block_b, block_a]), tile_rows=4, tile_columns=4, technology=tech
+    )
+    assert forward.weight_update_energy == pytest.approx(swapped.weight_update_energy)
+
+    # From cleared arrays the grid energy is exactly one switch event
+    # per set weight bit, independent of the tiling geometry.
+    per_switch = PsramBitcell(tech).switching_energy_ledger(state_flipped=True).total
+    total_bits = popcount(block_a) + popcount(block_b)
+    assert forward.weight_update_energy == pytest.approx(total_bits * per_switch)
+    ragged = TiledMatmul(
+        np.vstack([block_a, block_b]), tile_rows=3, tile_columns=3, technology=tech
+    )
+    assert ragged.weight_update_energy == pytest.approx(total_bits * per_switch)
 
 
 def test_matvec_and_batch_shapes(tech):
