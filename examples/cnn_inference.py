@@ -7,16 +7,17 @@ photonic core, an MLP head trained in float on those features
 classifies them, and the whole stack — conv, hidden and output dense
 layers — runs through the compiled ``repro.runtime`` fast path
 (``runtime=True``: batched matmuls, code-for-code equal to the device
-loop).  The same convolution is then pushed through
-``InferenceServer.submit_conv`` to show the serving route with its
-conv program cache.
+loop).  The whole network is then deployed through the one front door
+— ``PhotonicSession.compile(Model.from_cnn(...))`` — and served with
+futures, and the raw convolution goes through the session's conv route
+to show the shared program cache.
 
 Run:  python examples/cnn_inference.py
 """
 
 import numpy as np
 
-from repro import PhotonicTensorCore
+from repro import Model, PhotonicSession, PhotonicTensorCore
 from repro.ml import (
     MLP,
     PhotonicCNN,
@@ -25,7 +26,6 @@ from repro.ml import (
     sobel_kernels,
     train_test_split,
 )
-from repro.runtime import InferenceServer
 
 
 def kernel_bank() -> np.ndarray:
@@ -62,18 +62,30 @@ def main() -> None:
     print(f"conv analog passes/patch : {cnn.conv.analog_passes} "
           f"({cnn.conv.patch_throughput() / 1e9:.0f} G patches/s modelled)")
 
-    # The same convolution through the serving front door.
-    server = InferenceServer(rows=8, columns=9, adc_bits=6)
-    tickets = [server.submit_conv(bank, glyph) for glyph in test_x[:8]]
-    server.flush()
-    stats = server.stats()
+    # The whole network through the one front door: a declarative graph
+    # compiled onto a session, served with futures.
+    session = PhotonicSession(grid=(8, 9), adc_bits=6)
+    endpoint = session.compile(
+        Model.from_cnn(bank, mlp), calibration=train_x[:20], label="digit-cnn"
+    )
+    future = endpoint.submit(test_x[subset])
+    logits = future.result()                      # auto-flushes the session
+    session_accuracy = float(np.mean(np.argmax(logits, axis=1) == test_y[subset]))
+    print(f"\nsession endpoint '{endpoint.label}' accuracy: "
+          f"{session_accuracy:.0%} (same stack, declarative graph)")
+    print(f"flush report             : {future.report.lines()[0]}")
+
+    # The raw convolution through the session's conv route: repeated
+    # banks hit the shared differential program cache.
+    futures = [session.submit_conv(bank, glyph) for glyph in test_x[:8]]
+    session.flush()
+    report = session.report()
     direct = cnn.conv.forward(test_x[0])
-    print(f"\nserved {stats.conv_requests} images "
-          f"({stats.conv_patches} im2col patches) through InferenceServer")
-    print(f"conv program cache       : {stats.tiled_hits} hits / "
-          f"{stats.tiled_builds} builds")
+    print(f"\nserved {len(futures)} images through session.submit_conv")
+    print(f"program cache            : {report.cache_hits} hits / "
+          f"{report.cache_misses} misses")
     print(f"served == direct conv    : "
-          f"{np.allclose(tickets[0].feature_maps, direct)}")
+          f"{np.allclose(futures[0].value, direct)}")
 
 
 if __name__ == "__main__":

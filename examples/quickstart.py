@@ -1,48 +1,67 @@
-"""Quickstart: build a photonic tensor core and multiply matrices.
+"""Quickstart: one front door onto the photonic tensor core.
 
-Builds a small core (8x8, 3-bit weights), streams a weight matrix into
-the pSRAM arrays, runs analog matrix-vector products through the WDM
-compute rows and the 1-hot eoADCs, and compares the digital estimates
-against the exact result.  Finishes with the paper's 16x16 performance
-summary (4.10 TOPS, 3.02 TOPS/W).
+Opens a :class:`repro.api.PhotonicSession` (the single object owning
+the 8x8 core, 3-bit pSRAM weights, program caches and flush policy),
+serves raw W @ x requests through futures, deploys a tiny declarative
+model graph, and shows the unified RunReport accounting.  The session
+codes are checked bit-for-bit against the underlying device loop.
+Finishes with the paper's 16x16 performance summary (4.10 TOPS,
+3.02 TOPS/W).
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import PerformanceModel, PhotonicTensorCore
+from repro import (
+    Dense,
+    FlushPolicy,
+    Model,
+    PerformanceModel,
+    PhotonicSession,
+    PhotonicTensorCore,
+    ReLU,
+)
 
 
 def main() -> None:
     rng = np.random.default_rng(0)
 
-    print("=== building an 8x8 photonic tensor core (3-bit weights) ===")
-    core = PhotonicTensorCore(rows=8, columns=8, weight_bits=3)
-    weights = rng.integers(0, core.max_weight + 1, (8, 8))
-    core.load_weight_matrix(weights)
-    print(f"weights streamed into {8 * 8 * 3} pSRAM bitcells "
-          f"in {core.weight_update_time() * 1e9:.2f} ns "
-          f"({core.weight_update_energy() * 1e12:.1f} pJ)")
-
-    print("\n=== photonic matrix-vector multiplication ===")
+    print("=== opening a PhotonicSession (8x8 tile, 3-bit weights) ===")
+    session = PhotonicSession(grid=(8, 8), flush_policy=FlushPolicy.max_batch(16))
+    weights = rng.integers(0, session.core.max_weight + 1, (8, 8))
     x = rng.uniform(0.0, 1.0, 8)
-    result = core.matvec(x)
-    ideal = core.ideal_matvec(x)
-    print(f"{'row':>3}  {'ADC code':>8}  {'estimate':>9}  {'exact W@x':>9}")
-    for row in range(8):
-        print(
-            f"{row:>3}  {result.codes[row]:>8}  "
-            f"{result.estimates[row]:>9.2f}  {ideal[row]:>9.2f}"
-        )
-    lsb = 8 * core.max_weight / core.row_adcs[0].levels
-    print(f"(outputs quantized to 3-bit codes; 1 LSB = {lsb:.1f} dot-product units)")
 
-    print("\n=== batched matmul ===")
-    batch = rng.uniform(0.0, 1.0, (8, 4))
-    product = core.matmul(batch)
-    print(f"photonic W @ X for X of shape {batch.shape} -> {product.shape}")
-    print(np.round(product, 1))
+    print("\n=== submit -> future -> result (auto-flush) ===")
+    future = session.submit(weights, x)
+    estimates = future.result()      # pending requests flush here
+    codes = future.codes
+
+    # The compiled serving path must match the device loop bit for bit.
+    reference = PhotonicTensorCore(rows=8, columns=8)
+    reference.load_weight_matrix(weights)
+    loop = reference.matvec(x)
+    print(f"{'row':>3}  {'ADC code':>8}  {'estimate':>9}  {'exact W@x':>9}")
+    ideal = reference.ideal_matvec(x)
+    for row in range(8):
+        print(f"{row:>3}  {codes[row]:>8}  {estimates[row]:>9.2f}  {ideal[row]:>9.2f}")
+    print(f"codes match device loop : {bool(np.array_equal(codes, loop.codes))}")
+
+    print("\n=== a declarative model graph, compiled to an endpoint ===")
+    hidden = rng.normal(0.0, 0.5, (6, 8))
+    output = rng.normal(0.0, 0.5, (4, 6))
+    model = Model.sequential(Dense(hidden), ReLU(), Dense(output))
+    endpoint = session.compile(model, calibration=rng.uniform(0.0, 1.0, (16, 8)),
+                               label="demo-mlp")
+    batch = rng.uniform(0.0, 1.0, (8, 8))
+    logits = endpoint.predict(batch)     # submit + result in one call
+    print("model layers:")
+    for line in model.describe().splitlines():
+        print(f"  {line}")
+    print(f"endpoint '{endpoint.label}': {batch.shape} -> {logits.shape}")
+
+    print("\n=== the unified RunReport ===")
+    print(session.report())
 
     print("\n=== the paper's 16x16 system (Section IV-D) ===")
     print(PerformanceModel().summary())

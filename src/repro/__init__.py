@@ -17,19 +17,35 @@ The package rebuilds the paper's full stack in Python:
 * :mod:`repro.runtime` — batched/tiled/cached inference serving on top
   of the device models (compiled fast path, sharding, batching queue,
   weight-program cache, traffic bench).
+* :mod:`repro.api` — the one front door: :class:`PhotonicSession`,
+  declarative :class:`Model` graphs, futures-based auto-flush serving
+  with pluggable :class:`FlushPolicy` and unified :class:`RunReport`.
 * :mod:`repro.analysis` — linearity fits and bench reporting.
 
 Quickstart::
 
     import numpy as np
-    from repro import PhotonicTensorCore
+    from repro import Model, Dense, PhotonicSession
 
-    core = PhotonicTensorCore(rows=4, columns=8)
-    core.load_weight_matrix(np.random.default_rng(0).integers(0, 8, (4, 8)))
-    result = core.matvec(np.random.default_rng(1).uniform(0, 1, 8))
-    print(result.codes, result.estimates)
+    session = PhotonicSession(grid=(4, 8))
+    rng = np.random.default_rng(0)
+    future = session.submit(rng.integers(0, 8, (4, 8)), rng.uniform(0, 1, 8))
+    print(future.result(), future.codes)    # result() auto-flushes
 """
 
+from .api import (
+    AvgPool,
+    Conv2d,
+    Dense,
+    DeployedModel,
+    Flatten,
+    FlushPolicy,
+    Future,
+    Model,
+    PhotonicSession,
+    ReLU,
+    RunReport,
+)
 from .config import Technology, default_technology
 from .core import (
     EoAdc,
@@ -41,7 +57,7 @@ from .core import (
     TimeInterleavedEoAdc,
     VectorComputeCore,
 )
-from .errors import ReproError
+from .errors import PendingFlushError, ReproError
 from .runtime import (
     BatchScheduler,
     CompiledCore,
@@ -50,19 +66,31 @@ from .runtime import (
     WeightProgramCache,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AvgPool",
     "BatchScheduler",
     "CompiledCore",
+    "Conv2d",
     "default_technology",
+    "Dense",
+    "DeployedModel",
     "EoAdc",
+    "Flatten",
+    "FlushPolicy",
+    "Future",
     "InferenceServer",
+    "Model",
+    "PendingFlushError",
     "PerformanceModel",
+    "PhotonicSession",
     "PhotonicTensorCore",
     "PsramArray",
     "PsramBitcell",
+    "ReLU",
     "ReproError",
+    "RunReport",
     "ShiftAddEoAdc",
     "Technology",
     "TiledMatmul",

@@ -8,11 +8,14 @@ Commands:
   photonic path.
 * ``adc`` — static eoADC conversions across the full-scale range.
 * ``serve-bench [requests]`` — replay a synthetic multi-tenant trace
-  through the batched/cached inference runtime and print throughput,
-  batch-fill and cache statistics.
+  through a :class:`repro.api.PhotonicSession` (max_batch flush
+  policy, no hand-called flushes) and print throughput, batch-fill and
+  cache statistics.
 * ``serve-bench cnn [images]`` — replay a CNN feature-extraction
   stream (im2col convolutions of digit glyphs against a shared kernel
-  bank) through the server's conv route.
+  bank) through the session's conv route.
+
+Also installed as the ``repro`` console script (``repro serve-bench``).
 """
 
 from __future__ import annotations

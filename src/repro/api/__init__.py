@@ -1,0 +1,50 @@
+"""The one front door onto the photonic serving stack.
+
+Everything a caller needs lives behind one object graph:
+
+* :class:`PhotonicSession` — owns the tensor core, the batching
+  scheduler, the shared weight-program cache, the ADC ladder memo and
+  the flush policy.  Raw requests go through ``submit`` /
+  ``submit_conv``; declarative models deploy through ``compile``.
+* :class:`Model` + layer specs (:class:`Dense`, :class:`Conv2d`,
+  :class:`ReLU`, :class:`AvgPool`, :class:`Flatten`) — a pure
+  description of a feed-forward network, with :meth:`Model.from_mlp` /
+  :meth:`Model.from_cnn` adapters for existing trained models.
+* :class:`Future` — every submit returns one; ``result()`` blocks
+  (auto-flushing), the non-blocking accessors raise
+  :class:`~repro.errors.PendingFlushError` while pending.
+* :class:`FlushPolicy` — max_batch / max_delay / explicit; replaces
+  hand-called ``flush()``.
+* :class:`RunReport` — the unified per-flush accounting record
+  (requests, batches, cache behaviour, analog energy/latency).
+
+Quickstart::
+
+    from repro.api import Dense, FlushPolicy, Model, PhotonicSession
+
+    session = PhotonicSession(grid=(8, 8), flush_policy=FlushPolicy.max_batch(32))
+    endpoint = session.compile(Model.from_mlp(trained_mlp), calibration=x_train)
+    future = endpoint.submit(x_test)
+    logits = future.result()          # auto-flushes
+    print(future.report)              # unified RunReport of that flush
+"""
+
+from .futures import Future, RunReport
+from .graph import AvgPool, Conv2d, Dense, Flatten, Model, ReLU
+from .policy import FlushPolicy
+from .session import CompiledStage, DeployedModel, PhotonicSession
+
+__all__ = [
+    "AvgPool",
+    "CompiledStage",
+    "Conv2d",
+    "Dense",
+    "DeployedModel",
+    "Flatten",
+    "FlushPolicy",
+    "Future",
+    "Model",
+    "PhotonicSession",
+    "ReLU",
+    "RunReport",
+]

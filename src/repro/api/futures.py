@@ -1,0 +1,209 @@
+"""Futures and the unified per-flush report.
+
+Every ``submit`` on the session (raw dense, conv, or a deployed model
+endpoint) returns a :class:`Future` — a handle that resolves at the
+flush evaluating its request.  ``result()`` is the blocking read: if
+the request is still pending it triggers the session flush itself, so
+callers never hand-place ``flush()`` calls.  The non-blocking
+accessors (``value``, ``codes``, ``report``) raise
+:class:`~repro.errors.PendingFlushError` naming the pending flush
+instead of returning ``None``.
+
+Each flush also produces one :class:`RunReport` — the unified
+accounting record (requests, batches, cache behaviour, modelled analog
+energy/latency) every future of that flush carries, replacing the
+scattered per-path stats objects of the legacy server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PendingFlushError
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Unified accounting of one flush (or of a whole session).
+
+    Counters are deltas over the covered window: the per-flush report a
+    :class:`Future` carries covers exactly the requests resolved by
+    that flush; :meth:`repro.api.PhotonicSession.report` returns the
+    cumulative session totals in the same shape.
+    """
+
+    #: 1-based index of the flush this report covers (or the flush
+    #: count so far, for a cumulative session report).
+    flush_index: int
+    requests: int
+    batches: int
+    #: Sequential ADC sample slots consumed (per-pass, all paths).
+    samples: int
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+    #: pSRAM weight-streaming energy [J] spent on compiles / avoided by hits.
+    weight_energy_spent: float
+    weight_energy_saved: float
+    #: Weight streaming time actually spent [s].
+    weight_time_spent: float
+    #: Modelled analog compute time [s] and wall-plug energy [J].
+    analog_time: float
+    analog_energy: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def total_latency(self) -> float:
+        """Modelled serving time [s]: weight streaming + analog compute."""
+        return self.weight_time_spent + self.analog_time
+
+    @property
+    def total_energy(self) -> float:
+        """Modelled serving energy [J]: weight streaming + analog compute."""
+        return self.weight_energy_spent + self.analog_energy
+
+    def lines(self) -> list[str]:
+        return [
+            f"flush #{self.flush_index}: {self.requests} requests "
+            f"in {self.batches} batches ({self.samples} ADC sample slots)",
+            f"program cache     : {self.cache_hits} hits / "
+            f"{self.cache_misses} misses ({self.cache_hit_rate:.0%} hit rate, "
+            f"{self.cache_evictions} evictions)",
+            f"weight energy     : {self.weight_energy_spent * 1e12:.1f} pJ spent, "
+            f"{self.weight_energy_saved * 1e12:.1f} pJ saved by caching",
+            f"analog latency    : {self.analog_time * 1e6:.3f} us modelled "
+            f"({self.analog_energy * 1e9:.2f} nJ)",
+        ]
+
+    def __str__(self) -> str:
+        return "\n".join(self.lines())
+
+
+class Future:
+    """Handle for one submitted request; resolved by a session flush.
+
+    ``result()`` blocks (flushing the session if needed) and returns
+    the payload: dequantized W @ x estimates for dense requests,
+    (num_kernels, out_rows, out_cols) feature maps for conv requests,
+    model outputs for endpoint submits.  ``codes`` additionally carries
+    the raw ADC codes where the path produces a single tile's worth
+    (the native dense route); tiled and conv paths accumulate partial
+    sums digitally, so only dequantized estimates exist there.
+    """
+
+    __slots__ = (
+        "_session",
+        "label",
+        "flush_index",
+        "shape",
+        "_value",
+        "_codes",
+        "_report",
+        "_done",
+        "_abandoned",
+    )
+
+    def __init__(
+        self,
+        session,
+        label: str,
+        flush_index: int,
+        shape: tuple | None = None,
+    ) -> None:
+        self._session = session
+        #: Human-readable request label, used in pending-read errors.
+        self.label = label
+        #: The 1-based flush that will resolve this future.
+        self.flush_index = flush_index
+        #: Expected payload shape where known ahead of time (conv route).
+        self.shape = shape
+        self._value: np.ndarray | None = None
+        self._codes: np.ndarray | None = None
+        self._report: RunReport | None = None
+        self._done = False
+        self._abandoned = False
+
+    # -- resolution (session-internal) ---------------------------------------
+    def _resolve(self, value, codes=None) -> None:
+        self._value = np.asarray(value, dtype=float)
+        if self.shape is not None:
+            self._value = self._value.reshape(self.shape)
+        if codes is not None:
+            self._codes = np.asarray(codes, dtype=int)
+        self._done = True
+
+    def _attach_report(self, report: RunReport) -> None:
+        self._report = report
+
+    def _abandon(self) -> None:
+        """Mark this future dropped by a failed flush, so later reads
+        say 're-submit' instead of suggesting a retry that cannot
+        succeed (the queues were cleared)."""
+        self._abandoned = True
+
+    # -- the caller surface --------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def abandoned(self) -> bool:
+        """True when a failed flush dropped this request unresolved."""
+        return self._abandoned
+
+    def _pending_error(self, what: str) -> PendingFlushError:
+        if self._abandoned:
+            return PendingFlushError(
+                f"{what} of {self.label} was dropped: flush "
+                f"#{self.flush_index} failed before resolving it and its "
+                "queue was cleared; re-submit the request"
+            )
+        return PendingFlushError(
+            f"{what} of {self.label} is not flushed yet — it is queued for "
+            f"flush #{self.flush_index}; call result() or "
+            "PhotonicSession.flush() to resolve it"
+        )
+
+    def result(self, flush: bool = True) -> np.ndarray:
+        """The resolved payload, flushing the session first if needed.
+
+        ``flush=False`` turns off the auto-flush and raises
+        :class:`~repro.errors.PendingFlushError` when still pending.
+        """
+        if not self._done and flush and not self._abandoned:
+            self._session.flush()
+        if not self._done:
+            raise self._pending_error("result")
+        return self._value
+
+    @property
+    def value(self) -> np.ndarray:
+        """Non-blocking payload read; raises
+        :class:`~repro.errors.PendingFlushError` while pending."""
+        if not self._done:
+            raise self._pending_error("value")
+        return self._value
+
+    @property
+    def codes(self) -> np.ndarray | None:
+        """Raw ADC codes (native dense route only; None elsewhere)."""
+        if not self._done:
+            raise self._pending_error("codes")
+        return self._codes
+
+    @property
+    def report(self) -> RunReport:
+        """The :class:`RunReport` of the flush that resolved this future."""
+        if self._report is None:
+            raise self._pending_error("report")
+        return self._report
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else f"pending flush #{self.flush_index}"
+        return f"<Future {self.label}: {state}>"

@@ -1,0 +1,279 @@
+"""Declarative model graphs for the one-front-door API.
+
+A :class:`Model` is a pure description of a feed-forward network — a
+sequence of layer *specs* (:class:`Dense`, :class:`Conv2d`,
+:class:`ReLU`, :class:`AvgPool`, :class:`Flatten`) holding float
+weights and hyper-parameters, with no device state attached.  It is
+what callers hand to :meth:`repro.api.PhotonicSession.compile`, which
+turns it into a deployed endpoint on the session's tensor core.
+
+Specs validate eagerly (weight shapes, positive gains/strides) and the
+model validates the chain at construction: feature counts must agree
+across consecutive dense layers, image-domain layers cannot follow
+vector-domain ones without the shapes working out, and a
+:class:`Flatten` must bridge conv features into a dense head.
+
+Adapters bridge the existing trained-model classes:
+:meth:`Model.from_mlp` wraps a :class:`repro.ml.network.MLP` and
+:meth:`Model.from_cnn` wraps a kernel bank plus MLP head — the same
+composition :class:`repro.ml.network.PhotonicCNN` deploys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..ml.convolution import normalize_kernel_bank
+
+
+@dataclass(frozen=True)
+class Dense:
+    """A dense (fully connected) layer spec: float ``weights`` of shape
+    (out_features, in_features), optional ``bias``.  ``signed=False``
+    maps the weights onto a single unsigned pSRAM array instead of the
+    differential pair; ``gain=None`` leaves the row-TIA range to the
+    session's calibration (or native 1.0 without one)."""
+
+    weights: np.ndarray
+    bias: np.ndarray | None = None
+    signed: bool = True
+    gain: float | None = None
+
+    def __post_init__(self) -> None:
+        weights = np.asarray(self.weights, dtype=float)
+        if weights.ndim != 2:
+            raise ConfigurationError(
+                f"Dense weights must be 2-D (out, in), got shape {weights.shape}"
+            )
+        object.__setattr__(self, "weights", weights)
+        if self.bias is not None:
+            bias = np.asarray(self.bias, dtype=float)
+            if bias.shape != (weights.shape[0],):
+                raise ConfigurationError(
+                    f"Dense bias must have shape ({weights.shape[0]},), "
+                    f"got {bias.shape}"
+                )
+            object.__setattr__(self, "bias", bias)
+        if self.gain is not None and self.gain <= 0.0:
+            raise ConfigurationError(f"Dense gain must be positive, got {self.gain}")
+
+    @property
+    def out_features(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def in_features(self) -> int:
+        return self.weights.shape[1]
+
+
+@dataclass(frozen=True)
+class Conv2d:
+    """A valid-convolution layer spec: float ``kernels`` of shape
+    (num_kernels, k, k) or (num_kernels, in_channels, k, k).  The gain
+    is a fixed numeric TIA range — differential halves must digitize at
+    one common gain to subtract exactly, so there is no per-tile auto
+    calibration here."""
+
+    kernels: np.ndarray
+    stride: int = 1
+    gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kernels", normalize_kernel_bank(self.kernels))
+        if self.stride < 1:
+            raise ConfigurationError(f"Conv2d stride must be >= 1, got {self.stride}")
+        if self.gain <= 0.0:
+            raise ConfigurationError(f"Conv2d gain must be positive, got {self.gain}")
+
+    @property
+    def num_kernels(self) -> int:
+        return self.kernels.shape[0]
+
+    @property
+    def in_channels(self) -> int:
+        return self.kernels.shape[1]
+
+    @property
+    def kernel_size(self) -> int:
+        return self.kernels.shape[2]
+
+
+@dataclass(frozen=True)
+class ReLU:
+    """Digital rectified-linear activation between photonic layers."""
+
+
+@dataclass(frozen=True)
+class AvgPool:
+    """Digital non-overlapping average pooling over feature maps."""
+
+    size: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ConfigurationError(f"AvgPool size must be >= 1, got {self.size}")
+
+
+@dataclass(frozen=True)
+class Flatten:
+    """Flatten (batch, ...) feature maps into (batch, features)."""
+
+
+#: Layer specs carrying weights that compile onto the photonic core.
+COMPUTE_SPECS = (Dense, Conv2d)
+#: Digital glue specs executed between photonic layers.
+DIGITAL_SPECS = (ReLU, AvgPool, Flatten)
+
+
+@dataclass(frozen=True)
+class Model:
+    """An immutable, validated sequence of layer specs.
+
+    Build with :meth:`sequential` (or the :meth:`from_mlp` /
+    :meth:`from_cnn` adapters) and deploy with
+    :meth:`repro.api.PhotonicSession.compile`.
+    """
+
+    layers: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        layers = tuple(self.layers)
+        object.__setattr__(self, "layers", layers)
+        self._validate(layers)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def sequential(cls, *layers) -> "Model":
+        """A feed-forward model running ``layers`` in order."""
+        return cls(layers=layers)
+
+    @classmethod
+    def from_mlp(cls, mlp) -> "Model":
+        """Adapt a trained :class:`repro.ml.network.MLP`: two dense
+        layers with a ReLU between, sharing the MLP's float arrays."""
+        for attribute in ("w1", "b1", "w2", "b2"):
+            if not hasattr(mlp, attribute):
+                raise ConfigurationError(
+                    f"from_mlp needs an MLP-like object with .{attribute}"
+                )
+        return cls.sequential(
+            Dense(mlp.w1, bias=mlp.b1),
+            ReLU(),
+            Dense(mlp.w2, bias=mlp.b2),
+        )
+
+    @classmethod
+    def from_cnn(
+        cls,
+        kernels,
+        mlp,
+        pool: int = 2,
+        stride: int = 1,
+        conv_gain: float = 1.0,
+    ) -> "Model":
+        """Adapt the conv + ReLU + avg-pool + MLP-head composition of
+        :class:`repro.ml.network.PhotonicCNN` into a declarative graph."""
+        head = cls.from_mlp(mlp)
+        return cls.sequential(
+            Conv2d(kernels, stride=stride, gain=conv_gain),
+            ReLU(),
+            AvgPool(pool),
+            Flatten(),
+            *head.layers,
+        )
+
+    # -- validation ----------------------------------------------------------
+    @staticmethod
+    def _validate(layers: tuple) -> None:
+        if not layers:
+            raise ConfigurationError("a model needs at least one layer")
+        known = COMPUTE_SPECS + DIGITAL_SPECS
+        domain = None  # None (unset) | "vector" | "image"
+        features: int | None = None
+        channels: int | None = None
+        for index, layer in enumerate(layers):
+            where = f"layer {index} ({type(layer).__name__})"
+            if not isinstance(layer, known):
+                raise ConfigurationError(
+                    f"{where}: not a layer spec; use Dense/Conv2d/ReLU/"
+                    "AvgPool/Flatten"
+                )
+            if isinstance(layer, Dense):
+                if domain == "image":
+                    raise ConfigurationError(
+                        f"{where}: Dense cannot consume feature maps; "
+                        "insert Flatten() first"
+                    )
+                if features is not None and layer.in_features != features:
+                    raise ConfigurationError(
+                        f"{where}: expects {layer.in_features} input "
+                        f"features but the previous layer produces {features}"
+                    )
+                domain, features = "vector", layer.out_features
+            elif isinstance(layer, Conv2d):
+                if domain == "vector":
+                    raise ConfigurationError(
+                        f"{where}: Conv2d cannot follow a vector-domain layer"
+                    )
+                if channels is not None and layer.in_channels != channels:
+                    raise ConfigurationError(
+                        f"{where}: expects {layer.in_channels} input channels "
+                        f"but the previous layer produces {channels}"
+                    )
+                domain, channels = "image", layer.num_kernels
+            elif isinstance(layer, AvgPool):
+                if domain == "vector":
+                    raise ConfigurationError(
+                        f"{where}: AvgPool operates on feature maps, not vectors"
+                    )
+            elif isinstance(layer, Flatten):
+                if domain == "vector":
+                    raise ConfigurationError(
+                        f"{where}: Flatten is redundant after a vector-domain layer"
+                    )
+                # Flattened width depends on the runtime image size.
+                domain, features, channels = "vector", None, None
+        if not any(isinstance(layer, COMPUTE_SPECS) for layer in layers):
+            raise ConfigurationError(
+                "a model needs at least one Dense or Conv2d compute layer"
+            )
+
+    # -- inspection ----------------------------------------------------------
+    @property
+    def compute_layers(self) -> tuple:
+        """The Dense/Conv2d specs, in order."""
+        return tuple(
+            layer for layer in self.layers if isinstance(layer, COMPUTE_SPECS)
+        )
+
+    @property
+    def input_domain(self) -> str:
+        """``"image"`` if the first compute layer convolves, else
+        ``"vector"``."""
+        first = self.compute_layers[0]
+        return "image" if isinstance(first, Conv2d) else "vector"
+
+    def describe(self) -> str:
+        """One line per layer, for logs and examples."""
+        lines = []
+        for index, layer in enumerate(self.layers):
+            if isinstance(layer, Dense):
+                detail = (
+                    f"Dense {layer.out_features}x{layer.in_features}"
+                    f"{'' if layer.signed else ' (unsigned)'}"
+                )
+            elif isinstance(layer, Conv2d):
+                detail = (
+                    f"Conv2d {layer.num_kernels} kernels "
+                    f"{layer.kernel_size}x{layer.kernel_size}"
+                    f"{f' stride {layer.stride}' if layer.stride != 1 else ''}"
+                )
+            elif isinstance(layer, AvgPool):
+                detail = f"AvgPool {layer.size}x{layer.size}"
+            else:
+                detail = type(layer).__name__
+            lines.append(f"{index}: {detail}")
+        return "\n".join(lines)

@@ -1,0 +1,745 @@
+"""The one front door: :class:`PhotonicSession` and deployed models.
+
+A session owns everything the serving stack used to scatter across
+three surfaces: the physical tensor core and its batching scheduler,
+the shared LRU weight-program cache, the cross-engine ADC ladder memo,
+the gain policy, and the flush policy.  Every request route hangs off
+it and returns a :class:`~repro.api.futures.Future`:
+
+* ``session.submit(weights, x)`` — raw dense W @ x (any shape; padded
+  onto one tile or sharded onto a tiled grid automatically);
+* ``session.submit_conv(kernels, image)`` — im2col convolution against
+  a cached differential conv program;
+* ``session.compile(model)`` — turn a declarative
+  :class:`~repro.api.graph.Model` into a :class:`DeployedModel`
+  endpoint whose ``submit(batch)`` serves whole network forwards.
+
+A pluggable :class:`~repro.api.policy.FlushPolicy` replaces hand-called
+``flush()``: requests queue until the policy trips (max_batch /
+max_delay) or a blocking ``Future.result()`` forces the evaluation.
+Each flush produces one unified :class:`~repro.api.futures.RunReport`
+carried by every future it resolves.
+
+The legacy :class:`repro.runtime.serving.InferenceServer` is a thin
+deprecation shim over this class — the engine room moved here.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import Technology, default_technology
+from ..core.quantization import quantize_weights_differential
+from ..errors import ConfigurationError
+from ..ml.convolution import (
+    PhotonicConv2d,
+    avg_pool2d,
+    encode_patch_batch,
+    im2col_channels,
+    normalize_image,
+    normalize_kernel_bank,
+    output_shape,
+)
+from ..ml.layers import PhotonicDense, compile_differential_engines, relu
+from ..runtime.engine import weight_key
+from ..runtime.scheduler import BatchScheduler, WeightProgramCache
+from ..runtime.tiling import DifferentialProgram, TiledMatmul, auto_range_gain
+from .futures import Future, RunReport
+from .graph import AvgPool, Conv2d, Dense, Flatten, Model, ReLU
+from .policy import FlushPolicy
+
+
+@dataclass
+class CompiledStage:
+    """One model layer bound to the session core: the declarative
+    ``spec`` plus, for compute layers, the photonic ``layer`` executing
+    it (None for digital ReLU/AvgPool/Flatten glue)."""
+
+    spec: object
+    layer: PhotonicDense | PhotonicConv2d | None = None
+
+
+class DeployedModel:
+    """A compiled model graph serving as a session endpoint.
+
+    ``submit(batch)`` queues a whole-network forward and returns a
+    :class:`~repro.api.futures.Future`; pending batches coalesce at the
+    next flush into one dense evaluation per input shape.  ``predict``
+    (also ``__call__``) is the blocking convenience: submit + result.
+    """
+
+    def __init__(
+        self,
+        session: "PhotonicSession",
+        model: Model,
+        stages: list[CompiledStage],
+        label: str,
+    ) -> None:
+        self._session = session
+        self.model = model
+        self.stages = stages
+        self.label = label
+        self._queue: list[tuple[np.ndarray, Future]] = []
+        self._submitted = 0
+
+    @property
+    def session(self) -> "PhotonicSession":
+        return self._session
+
+    @property
+    def layers(self) -> list:
+        """The compiled photonic layers (Dense/Conv2d stages), in order."""
+        return [stage.layer for stage in self.stages if stage.layer is not None]
+
+    # -- request path --------------------------------------------------------
+    def _validated_batch(self, batch) -> np.ndarray:
+        batch = np.asarray(batch, dtype=float)
+        if self.model.input_domain == "vector":
+            if batch.ndim != 2 or len(batch) == 0:
+                raise ConfigurationError(
+                    f"model '{self.label}' expects a non-empty "
+                    f"(samples, features) batch, got shape {batch.shape}"
+                )
+        elif batch.ndim not in (3, 4) or len(batch) == 0:
+            raise ConfigurationError(
+                f"model '{self.label}' expects a non-empty image batch "
+                f"(batch, H, W) or (batch, channels, H, W), got shape {batch.shape}"
+            )
+        return batch
+
+    def submit(self, batch) -> Future:
+        """Queue one forward pass over ``batch``; resolved at the next
+        flush (or immediately if the session flush policy trips)."""
+        batch = self._validated_batch(batch)
+        self._submitted += 1
+        future = Future(
+            self._session,
+            f"model '{self.label}' batch #{self._submitted}",
+            self._session.flushes + 1,
+        )
+        self._queue.append((batch, future))
+        self._session._model_requests += 1
+        self._session._after_submit()
+        return future
+
+    def predict(self, batch) -> np.ndarray:
+        """Blocking forward: submit + :meth:`Future.result`."""
+        return self.submit(batch).result()
+
+    __call__ = predict
+
+    # -- evaluation (session flush internals) --------------------------------
+    def _drain(self, resolved_futures: list[Future]) -> int:
+        if not self._queue:
+            return 0
+        queue, self._queue = self._queue, []
+        groups: dict[tuple, list[tuple[np.ndarray, Future]]] = {}
+        for batch, future in queue:
+            groups.setdefault(batch.shape[1:], []).append((batch, future))
+        resolved = 0
+        for entries in groups.values():
+            stack = np.concatenate([batch for batch, _ in entries], axis=0)
+            outputs = self._forward(stack)
+            self._session._model_batches += 1
+            offset = 0
+            for batch, future in entries:
+                future._resolve(outputs[offset : offset + len(batch)])
+                resolved_futures.append(future)
+                offset += len(batch)
+                resolved += 1
+        return resolved
+
+    def _forward(self, batch: np.ndarray) -> np.ndarray:
+        """Run the stage chain, accounting analog time/energy into the
+        session ledger as the compiled engines evaluate."""
+        session = self._session
+        current = batch
+        for stage in self.stages:
+            spec, layer = stage.spec, stage.layer
+            if isinstance(spec, Dense):
+                samples = len(current)
+                current = layer.forward(current)
+                session._account_model_stage(layer, samples)
+            elif isinstance(spec, Conv2d):
+                current = layer.forward_batch(current)
+                patches = len(current) * current.shape[2] * current.shape[3]
+                session._account_model_stage(layer, patches)
+            elif isinstance(spec, ReLU):
+                current = relu(current)
+            elif isinstance(spec, AvgPool):
+                current = avg_pool2d(current, spec.size)
+            elif isinstance(spec, Flatten):
+                current = current.reshape(len(current), -1)
+            else:  # a spec added to graph.py but not wired up here
+                raise ConfigurationError(
+                    f"no forward rule for layer spec {type(spec).__name__}"
+                )
+        return current
+
+    def __repr__(self) -> str:
+        return (
+            f"<DeployedModel '{self.label}': "
+            f"{len(self.model.compute_layers)} compute layers, "
+            f"{len(self._queue)} pending>"
+        )
+
+
+class PhotonicSession:
+    """A serving session owning one tile-sized core and all its state.
+
+    ``grid=(rows, columns)`` sets the physical tile; any (out, in)
+    unsigned weight matrix is served — smaller shapes are zero-padded
+    onto the tile and share the scheduler's batching/caching, larger
+    shapes compile onto cached :class:`~repro.runtime.tiling.TiledMatmul`
+    grids.  Declarative models deploy through :meth:`compile`.
+    """
+
+    def __init__(
+        self,
+        technology: Technology | None = None,
+        grid: tuple[int, int] | None = None,
+        rows: int | None = None,
+        columns: int | None = None,
+        weight_bits: int | None = None,
+        adc_bits: int | None = None,
+        cache_capacity: int = 8,
+        tiled_cache_capacity: int = 4,
+        max_batch: int = 256,
+        flush_policy: FlushPolicy | None = None,
+    ) -> None:
+        if grid is not None:
+            if rows is not None or columns is not None:
+                raise ConfigurationError(
+                    "pass either grid=(rows, columns) or rows=/columns=, not both"
+                )
+            try:
+                rows, columns = (int(dim) for dim in grid)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"grid must be a (rows, columns) pair, got {grid!r}"
+                ) from None
+        self.technology = technology if technology is not None else default_technology()
+        self.flush_policy = (
+            flush_policy if flush_policy is not None else FlushPolicy.explicit()
+        )
+        self.scheduler = BatchScheduler(
+            rows=rows,
+            columns=columns,
+            weight_bits=weight_bits,
+            adc_bits=adc_bits,
+            technology=self.technology,
+            cache_capacity=cache_capacity,
+            max_batch=max_batch,
+            label="session",
+        )
+        #: Shared LRU of tiled/conv/model weight programs.
+        self.tiled_cache = WeightProgramCache(tiled_cache_capacity)
+        self._native_pending: list[tuple[Future, object, int]] = []
+        self._tiled_pending: dict[tuple[bytes, float | str], dict] = {}
+        self._conv_pending: dict[tuple[bytes, float], dict] = {}
+        self._endpoints: list[DeployedModel] = []
+        self._oldest_pending: float | None = None
+        self._flushes = 0
+        self._submit_count = 0
+        self._tiled_requests = 0
+        self._tiled_batches = 0
+        self._tiled_samples = 0
+        self._tiled_analog_time = 0.0
+        self._tiled_analog_energy = 0.0
+        self._tiled_energy_spent = 0.0
+        self._tiled_energy_saved = 0.0
+        self._tiled_weight_time = 0.0
+        self._conv_requests = 0
+        self._conv_patches = 0
+        self._model_requests = 0
+        self._model_batches = 0
+        self._model_samples = 0
+        self._model_analog_time = 0.0
+        self._model_analog_energy = 0.0
+        self._last_totals = self._totals()
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def core(self):
+        """The physical tensor core backing every route."""
+        return self.scheduler.core
+
+    @property
+    def performance(self):
+        return self.scheduler.performance
+
+    @property
+    def rows(self) -> int:
+        return self.scheduler.rows
+
+    @property
+    def columns(self) -> int:
+        return self.scheduler.columns
+
+    @property
+    def flushes(self) -> int:
+        """Completed flush count (futures name flush ``flushes + 1``)."""
+        return self._flushes
+
+    @property
+    def pending(self) -> int:
+        """Requests submitted but not yet flushed, across all routes."""
+        return (
+            self.scheduler.pending
+            + sum(len(group["futures"]) for group in self._tiled_pending.values())
+            + sum(len(group["futures"]) for group in self._conv_pending.values())
+            + sum(len(endpoint._queue) for endpoint in self._endpoints)
+        )
+
+    @property
+    def endpoints(self) -> tuple:
+        """Deployed model endpoints, in compile order."""
+        return tuple(self._endpoints)
+
+    # -- gain policy ---------------------------------------------------------
+    @staticmethod
+    def _validated_gain(gain) -> float | str | None:
+        """Normalize the shared gain semantics of every request path:
+        None = native TIA gain 1.0, "auto" = calibrate the range from
+        the weights, a positive float = explicit setting."""
+        if gain is None or gain == "auto":
+            return gain
+        if not isinstance(gain, (int, float)):
+            raise ConfigurationError(f"gain must be a number, 'auto' or None, got {gain!r}")
+        if gain <= 0.0:
+            raise ConfigurationError(f"TIA gain must be positive, got {gain}")
+        return float(gain)
+
+    def _auto_gain(self, weights: np.ndarray) -> float:
+        """The shared range-calibration rule applied to one padded tile."""
+        return auto_range_gain(weights, self.columns * self.core.max_weight)
+
+    # -- raw dense route -----------------------------------------------------
+    def submit(self, weights, x, gain: float | str | None = None) -> Future:
+        """Queue one W @ x request; returns its :class:`Future`.
+
+        ``gain`` sets the row-TIA range on every tile the request
+        touches: None runs at the native gain 1.0, ``"auto"``
+        calibrates the range from the weights (the same rule on both
+        the single-tile and the tiled path), and a positive float is
+        applied as-is.
+        """
+        weights = np.asarray(weights, dtype=int)
+        if weights.ndim != 2:
+            raise ConfigurationError(
+                f"weight matrix must be 2-D, got shape {weights.shape}"
+            )
+        x = np.asarray(x, dtype=float)
+        out_features, in_features = weights.shape
+        if x.shape != (in_features,):
+            raise ConfigurationError(
+                f"input must have shape ({in_features},), got {x.shape}"
+            )
+        gain = self._validated_gain(gain)
+        self._submit_count += 1
+        label = f"dense {out_features}x{in_features} request #{self._submit_count}"
+        if out_features <= self.rows and in_features <= self.columns:
+            padded_w = np.zeros((self.rows, self.columns), dtype=int)
+            padded_w[:out_features, :in_features] = weights
+            padded_x = np.zeros(self.columns)
+            padded_x[:in_features] = x
+            if gain is None:
+                gain = 1.0
+            elif gain == "auto":
+                gain = self._auto_gain(padded_w)
+            ticket = self.scheduler.submit(padded_w, padded_x, gain=gain)
+            future = Future(self, label, self._flushes + 1)
+            self._native_pending.append((future, ticket, out_features))
+        else:
+            future = self._submit_tiled(weights, x, gain, label)
+        self._after_submit()
+        return future
+
+    def _submit_tiled(self, weights, x, gain, label: str) -> Future:
+        max_weight = self.core.max_weight
+        if np.any(weights < 0) or np.any(weights > max_weight):
+            raise ConfigurationError(
+                f"weights must lie in [0, {max_weight}], got range "
+                f"[{weights.min()}, {weights.max()}]"
+            )
+        if x.size and (x.min() < 0.0 or x.max() > 1.0):
+            raise ConfigurationError(
+                f"analog inputs must lie in [0, 1], got range "
+                f"[{x.min():.6g}, {x.max():.6g}]"
+            )
+        # Requests batch per (program, gain): mixed gains against the
+        # same weights must not share an evaluation.  None means native
+        # gain 1.0 (matching the single-tile path); "auto" defers to
+        # the grid's per-tile calibrated gains.
+        gain = 1.0 if gain is None else gain
+        key = (weight_key(weights), gain)
+        group = self._tiled_pending.get(key)
+        if group is None:
+            group = {"weights": weights.copy(), "inputs": [], "futures": [], "gain": gain}
+            self._tiled_pending[key] = group
+        future = Future(self, label, self._flushes + 1)
+        group["inputs"].append(x.copy())
+        group["futures"].append(future)
+        self._tiled_requests += 1
+        return future
+
+    # -- conv route ----------------------------------------------------------
+    def submit_conv(
+        self, kernels, image, stride: int = 1, gain: float | None = None
+    ) -> Future:
+        """Queue one im2col convolution; returns its :class:`Future`.
+
+        ``kernels`` is a float bank of shape (n, k, k) — or
+        (n, channels, k, k) — quantized here into a differential conv
+        program keyed on the quantized integers, so repeated banks hit
+        the shared program cache; ``image`` is a non-negative (H, W) or
+        (channels, H, W) intensity map.  ``gain`` is the row-TIA range
+        setting applied to every tile (None = native 1.0); the per-tile
+        ``"auto"`` calibration is not offered here because differential
+        halves must digitize at one common gain to subtract exactly.
+        """
+        kernels = normalize_kernel_bank(kernels)
+        gain = self._validated_gain(gain)
+        if gain == "auto":
+            raise ConfigurationError(
+                "the conv route takes a numeric gain (or None for native 1.0)"
+            )
+        gain = 1.0 if gain is None else float(gain)
+        kernel_size = kernels.shape[2]
+        image = normalize_image(image, kernels.shape[1])
+
+        flattened = kernels.reshape(kernels.shape[0], -1)
+        q_positive, q_negative, weight_scale = quantize_weights_differential(
+            flattened, self.core.weight_bits
+        )
+        patches = im2col_channels(image, kernel_size, stride)
+        out_rows, out_cols = output_shape(image.shape[1:], kernel_size, stride)
+        encoded, scales = encode_patch_batch(patches)
+
+        # Conv programs share the tiled LRU; the prefix keeps a kernel
+        # bank from colliding with a plain weight matrix of equal bytes.
+        key = b"conv:" + weight_key(np.concatenate([q_positive, q_negative]))
+        group = self._conv_pending.get((key, gain))
+        if group is None:
+            group = {
+                "q_positive": q_positive,
+                "q_negative": q_negative,
+                "segments": [],
+                "futures": [],
+            }
+            self._conv_pending[(key, gain)] = group
+        self._submit_count += 1
+        future = Future(
+            self,
+            f"conv {kernels.shape[0]}-kernel request #{self._submit_count}",
+            self._flushes + 1,
+            shape=(kernels.shape[0], out_rows, out_cols),
+        )
+        group["segments"].append((encoded, scales, weight_scale))
+        group["futures"].append(future)
+        self._conv_requests += 1
+        self._after_submit()
+        return future
+
+    def _differential_program(
+        self, key: bytes, q_positive: np.ndarray, q_negative: np.ndarray
+    ) -> DifferentialProgram:
+        """Fetch-or-compile a differential program in the shared cache,
+        charging the pSRAM streaming ledger on misses and crediting the
+        avoided reload on hits."""
+        program = self.tiled_cache.get(key)
+        if program is None:
+            positive, negative = compile_differential_engines(
+                q_positive, q_negative, self.core
+            )
+            program = DifferentialProgram(positive=positive, negative=negative)
+            self._tiled_energy_spent += program.weight_update_energy
+            self._tiled_weight_time += program.weight_update_time
+            self.tiled_cache.put(key, program)
+        else:
+            self._tiled_energy_saved += program.weight_update_energy
+        return program
+
+    # -- model endpoints -----------------------------------------------------
+    def compile(
+        self,
+        model: Model,
+        calibration: np.ndarray | None = None,
+        label: str | None = None,
+    ) -> DeployedModel:
+        """Deploy a declarative :class:`Model` onto this session's core.
+
+        Compute layers quantize onto the core's pSRAM format and bind
+        to compiled tile engines from the shared program cache (a model
+        recompiled with the same quantized weights hits the cache and
+        skips the pSRAM re-streaming).  ``calibration`` — a float batch
+        of model inputs — range-calibrates every Dense layer whose spec
+        leaves ``gain=None``, exactly as
+        :class:`~repro.ml.network.PhotonicMLP` does per layer.
+        """
+        if not isinstance(model, Model):
+            raise ConfigurationError(
+                f"compile() takes a repro.api.Model, got {type(model).__name__}"
+            )
+        label = label if label is not None else f"model-{len(self._endpoints)}"
+        stages: list[CompiledStage] = []
+        for spec in model.layers:
+            if isinstance(spec, Dense):
+                layer = PhotonicDense(
+                    spec.weights,
+                    self.core,
+                    bias=spec.bias,
+                    signed=spec.signed,
+                    runtime=True,
+                )
+                if spec.gain is not None:
+                    layer.gain = float(spec.gain)
+                self._bind_program(layer, prefix=b"dense:")
+                stages.append(CompiledStage(spec=spec, layer=layer))
+            elif isinstance(spec, Conv2d):
+                layer = PhotonicConv2d(
+                    spec.kernels,
+                    self.core,
+                    stride=spec.stride,
+                    gain=spec.gain,
+                    runtime=True,
+                )
+                self._bind_program(layer, prefix=b"conv:")
+                stages.append(CompiledStage(spec=spec, layer=layer))
+            else:
+                stages.append(CompiledStage(spec=spec))
+        if calibration is not None:
+            self._calibrate(stages, calibration)
+        endpoint = DeployedModel(self, model, stages, label)
+        self._endpoints.append(endpoint)
+        return endpoint
+
+    def _bind_program(self, layer, prefix: bytes) -> None:
+        """Bind a quantized layer to cached compiled engines (the same
+        key scheme as the conv route, so a served kernel bank and a
+        compiled model layer share one program)."""
+        key = prefix + weight_key(
+            np.concatenate([layer.q_positive, layer.q_negative])
+        )
+        program = self._differential_program(key, layer.q_positive, layer.q_negative)
+        layer.attach_engines(program.positive, program.negative)
+
+    def _calibrate(self, stages: list[CompiledStage], batch) -> None:
+        """Propagate a float calibration batch through the stage chain,
+        range-calibrating each uncommitted Dense layer on the float
+        activations reaching it (the per-layer ADC range calibration
+        standard in analog IMC deployments)."""
+        current = np.asarray(batch, dtype=float)
+        for stage in stages:
+            spec, layer = stage.spec, stage.layer
+            if isinstance(spec, Dense):
+                if current.ndim != 2 or current.shape[1] != layer.in_features:
+                    raise ConfigurationError(
+                        f"dense layer expects {layer.in_features} features, "
+                        f"but the calibration batch reaches it with shape "
+                        f"{current.shape}"
+                    )
+                if spec.gain is None:
+                    layer.calibrate_gain(current)
+                current = layer.forward_float(current)
+            elif isinstance(spec, Conv2d):
+                current = np.stack([layer.forward_float(image) for image in current])
+            elif isinstance(spec, ReLU):
+                current = relu(current)
+            elif isinstance(spec, AvgPool):
+                current = avg_pool2d(current, spec.size)
+            elif isinstance(spec, Flatten):
+                current = current.reshape(len(current), -1)
+            else:  # a spec added to graph.py but not wired up here
+                raise ConfigurationError(
+                    f"no calibration rule for layer spec {type(spec).__name__}"
+                )
+
+    def _account_model_stage(self, layer, samples: int) -> None:
+        """Charge one compute stage's analog passes to the ledger: one
+        ADC sample period per analog pass per input column, the active
+        grid burning tile_count times one tile's power (the same model
+        as the conv serving route)."""
+        positive, negative = layer.runtime_engines()
+        passes = 2 if negative is not None else 1
+        tiles = positive.tile_count + (negative.tile_count if negative else 0)
+        period = 1.0 / self.performance.sample_rate
+        self._model_samples += samples * passes
+        self._model_analog_time += samples * period * passes
+        self._model_analog_energy += samples * period * self.performance.total_power * tiles
+
+    # -- flush ---------------------------------------------------------------
+    def _after_submit(self) -> None:
+        now = time.monotonic()
+        if self._oldest_pending is None:
+            self._oldest_pending = now
+        if self.flush_policy.should_flush(self.pending, now - self._oldest_pending):
+            self.flush()
+
+    def flush(self) -> int:
+        """Evaluate every pending request; returns resolved count."""
+        resolved_futures: list[Future] = []
+        resolved = 0
+        try:
+            resolved += self.scheduler.flush()
+            for future, ticket, out_features in self._native_pending:
+                if ticket.result is not None:
+                    future._resolve(
+                        ticket.result.estimates[:out_features],
+                        codes=ticket.result.codes[:out_features],
+                    )
+                    resolved_futures.append(future)
+            for (key, _), group in self._tiled_pending.items():
+                engine = self.tiled_cache.get(key)
+                if engine is None:
+                    engine = TiledMatmul(
+                        group["weights"],
+                        tile_rows=self.rows,
+                        tile_columns=self.columns,
+                        weight_bits=self.core.weight_bits,
+                        adc_bits=self.core.row_adcs[0].bits,
+                        technology=self.technology,
+                        ladder_cache=self.core.runtime_ladder_cache,
+                    )
+                    self._tiled_energy_spent += engine.weight_update_energy
+                    self._tiled_weight_time += engine.weight_update_time
+                    self.tiled_cache.put(key, engine)
+                else:
+                    self._tiled_energy_saved += engine.weight_update_energy
+                batch = np.stack(group["inputs"], axis=1)
+                gain = None if group["gain"] == "auto" else group["gain"]
+                estimates = engine.matmul(batch, gain=gain)
+                for index, future in enumerate(group["futures"]):
+                    future._resolve(estimates[:, index])
+                    resolved_futures.append(future)
+                resolved += len(group["futures"])
+                # Tiles digitize concurrently: one ADC sample period per
+                # input column, at tile_count times one tile's power.
+                samples = batch.shape[1]
+                period = 1.0 / self.performance.sample_rate
+                power = self.performance.total_power * engine.tile_count
+                self._tiled_batches += 1
+                self._tiled_samples += samples
+                self._tiled_analog_time += samples * period
+                self._tiled_analog_energy += samples * period * power
+            for (key, gain), group in self._conv_pending.items():
+                program = self._differential_program(
+                    key, group["q_positive"], group["q_negative"]
+                )
+                batch = np.concatenate(
+                    [encoded for encoded, _, _ in group["segments"]], axis=1
+                )
+                raw = program.matmul(batch, gain=gain)
+                offset = 0
+                for (encoded, scales, weight_scale), future in zip(
+                    group["segments"], group["futures"]
+                ):
+                    count = encoded.shape[1]
+                    maps = raw[:, offset : offset + count] * weight_scale * scales
+                    future._resolve(maps)
+                    resolved_futures.append(future)
+                    offset += count
+                resolved += len(group["futures"])
+                # Each patch column costs one ADC sample period per
+                # analog pass (two passes for differential banks); the
+                # active grid burns tile_count times one tile's power.
+                patches = batch.shape[1]
+                period = 1.0 / self.performance.sample_rate
+                power = self.performance.total_power
+                self._conv_patches += patches
+                self._tiled_batches += 1
+                self._tiled_samples += patches * program.passes
+                self._tiled_analog_time += patches * period * program.passes
+                self._tiled_analog_energy += (
+                    patches * period * power * program.tile_count
+                )
+            for endpoint in self._endpoints:
+                resolved += endpoint._drain(resolved_futures)
+        finally:
+            # Never leave a stale group behind: a failed evaluation must
+            # not wedge every subsequent flush.  Futures the failure
+            # left unresolved are marked abandoned so their reads say
+            # "re-submit" instead of suggesting a futile re-flush.
+            for future, _, _ in self._native_pending:
+                if not future.done:
+                    future._abandon()
+            for pending in (self._tiled_pending, self._conv_pending):
+                for group in pending.values():
+                    for future in group["futures"]:
+                        if not future.done:
+                            future._abandon()
+            for endpoint in self._endpoints:
+                for _, future in endpoint._queue:
+                    if not future.done:
+                        future._abandon()
+            self._native_pending.clear()
+            self._tiled_pending.clear()
+            self._conv_pending.clear()
+            for endpoint in self._endpoints:
+                endpoint._queue.clear()
+            self._oldest_pending = None
+            self._flushes += 1
+            report = self._delta_report()
+            for future in resolved_futures:
+                future._attach_report(report)
+        return resolved
+
+    # -- reporting -----------------------------------------------------------
+    def _totals(self) -> dict:
+        stats = self.scheduler.stats()
+        return {
+            "requests": stats.requests
+            + self._tiled_requests
+            + self._conv_requests
+            + self._model_requests,
+            "batches": stats.batches + self._tiled_batches + self._model_batches,
+            "samples": stats.samples + self._tiled_samples + self._model_samples,
+            "cache_hits": stats.cache_hits + self.tiled_cache.hits,
+            "cache_misses": stats.cache_misses + self.tiled_cache.misses,
+            "cache_evictions": stats.cache_evictions + self.tiled_cache.evictions,
+            "weight_energy_spent": stats.weight_energy_spent + self._tiled_energy_spent,
+            "weight_energy_saved": stats.weight_energy_saved + self._tiled_energy_saved,
+            "weight_time_spent": stats.weight_time_spent + self._tiled_weight_time,
+            "analog_time": stats.analog_time
+            + self._tiled_analog_time
+            + self._model_analog_time,
+            "analog_energy": stats.analog_energy
+            + self._tiled_analog_energy
+            + self._model_analog_energy,
+        }
+
+    def _delta_report(self) -> RunReport:
+        totals = self._totals()
+        delta = {
+            key: totals[key] - self._last_totals[key] for key in totals
+        }
+        self._last_totals = totals
+        return RunReport(flush_index=self._flushes, **delta)
+
+    def report(self) -> RunReport:
+        """Cumulative session accounting as one unified RunReport."""
+        return RunReport(flush_index=self._flushes, **self._totals())
+
+    def server_stats(self):
+        """The legacy :class:`~repro.runtime.serving.ServerStats` view
+        (scheduler + tiled/conv route counters; model endpoint traffic
+        is reported only by :meth:`report`)."""
+        from ..runtime.serving import ServerStats
+
+        return ServerStats(
+            scheduler=self.scheduler.stats(),
+            tiled_requests=self._tiled_requests,
+            tiled_builds=self.tiled_cache.misses,
+            tiled_hits=self.tiled_cache.hits,
+            tiled_batches=self._tiled_batches,
+            tiled_samples=self._tiled_samples,
+            tiled_analog_time=self._tiled_analog_time,
+            tiled_analog_energy=self._tiled_analog_energy,
+            tiled_weight_energy_spent=self._tiled_energy_spent,
+            tiled_weight_energy_saved=self._tiled_energy_saved,
+            conv_requests=self._conv_requests,
+            conv_patches=self._conv_patches,
+        )

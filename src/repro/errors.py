@@ -16,6 +16,18 @@ class ConfigurationError(ReproError):
     """A device or system was constructed with inconsistent parameters."""
 
 
+class PendingFlushError(ConfigurationError, RuntimeError):
+    """A serving result was read before the flush that resolves it ran.
+
+    Doubles as a :class:`RuntimeError` (reading an unresolved future is
+    a sequencing mistake, not a configuration one) while staying inside
+    the :class:`ReproError` hierarchy via :class:`ConfigurationError`,
+    so both ``except RuntimeError`` and the package-wide handler catch
+    it.  The message names the pending flush and the call that
+    resolves it.
+    """
+
+
 class PhotonicsError(ReproError):
     """A photonic component or network was used incorrectly."""
 

@@ -278,15 +278,17 @@ class PhotonicConv2d:
         return outputs
 
     def _forward_patches_runtime(self, patches: np.ndarray) -> np.ndarray:
-        positive_engine, negative_engine = self._runtime_engines()
+        positive_engine, negative_engine = self.runtime_engines()
         encoded, scales = encode_patch_batch(patches)
         raw = positive_engine.matmul(encoded, gain=self.gain)
         if negative_engine is not None:
             raw = raw - negative_engine.matmul(encoded, gain=self.gain)
         return raw * self.weight_scale * scales
 
-    def _runtime_engines(self):
-        """Compiled tile grids for the quantized kernel arrays (lazy)."""
+    def runtime_engines(self):
+        """Compiled (positive, negative) tile grids for the quantized
+        kernel arrays, compiling lazily on first use.  Session compiles
+        pre-bind cached engines via :meth:`attach_engines`."""
         from .layers import compile_differential_engines
 
         if self._runtime_positive is None:
@@ -294,6 +296,13 @@ class PhotonicConv2d:
                 compile_differential_engines(self.q_positive, self.q_negative, self.core)
             )
         return self._runtime_positive, self._runtime_negative
+
+    def attach_engines(self, positive, negative) -> None:
+        """Bind pre-compiled tile engines (e.g. a cached conv program
+        from a :class:`~repro.api.PhotonicSession` cache) so the
+        runtime forward skips its lazy compile."""
+        self._runtime_positive = positive
+        self._runtime_negative = negative
 
     def invalidate_runtime(self) -> None:
         """Drop compiled runtime engines so the next runtime forward

@@ -181,17 +181,28 @@ class PhotonicDense:
         raw = positive - negative
         return raw * self.weight_scale * input_scale + self.bias
 
-    def _runtime_engines(self):
-        """Compiled tile grids for the quantized weight arrays (lazy)."""
+    def runtime_engines(self):
+        """Compiled (positive, negative) tile grids for the quantized
+        weight arrays, compiling lazily on first use.  The negative
+        engine is None for an all-non-negative program.  Session
+        compiles pre-bind cached engines via :meth:`attach_engines`."""
         if self._runtime_positive is None:
             self._runtime_positive, self._runtime_negative = (
                 compile_differential_engines(self.q_positive, self.q_negative, self.core)
             )
         return self._runtime_positive, self._runtime_negative
 
+    def attach_engines(self, positive, negative) -> None:
+        """Bind pre-compiled tile engines (e.g. a cached
+        :class:`~repro.runtime.tiling.DifferentialProgram` pair from a
+        :class:`~repro.api.PhotonicSession` program cache) so the
+        runtime forward skips its lazy compile."""
+        self._runtime_positive = positive
+        self._runtime_negative = negative
+
     def _forward_runtime(self, batch: np.ndarray) -> np.ndarray:
         """Batched compiled-engine forward (one matmul per weight array)."""
-        positive_engine, negative_engine = self._runtime_engines()
+        positive_engine, negative_engine = self.runtime_engines()
         samples = batch.shape[0]
         encoded = np.empty((self.in_features, samples))
         input_scales = np.empty(samples)

@@ -8,6 +8,14 @@ every convolution via :class:`~repro.ml.convolution.PhotonicConv2d`.
 + an MLP head — the im2col CNN workload the photonic-tensor-core
 literature targets — with ``runtime=True`` serving every stage through
 the compiled batched fast path.
+
+These classes are the compile targets of the declarative front door:
+:meth:`repro.api.Model.from_mlp` / :meth:`~repro.api.Model.from_cnn`
+lift a trained model into a graph that
+:meth:`repro.api.PhotonicSession.compile` deploys, and each class here
+offers ``to_model()`` for the reverse trip — including any calibrated
+per-layer TIA gains, so a tuned deployment moves onto a session
+without recalibrating.
 """
 
 from __future__ import annotations
@@ -110,6 +118,14 @@ class MLP:
         predictions = np.argmax(self.forward(np.asarray(features, dtype=float)), axis=1)
         return float(np.mean(predictions == np.asarray(labels)))
 
+    def to_model(self):
+        """This network as a declarative :class:`repro.api.Model`
+        (Dense + ReLU + Dense), ready for
+        :meth:`repro.api.PhotonicSession.compile`."""
+        from ..api.graph import Model
+
+        return Model.from_mlp(self)
+
 
 class PhotonicMLP:
     """The trained MLP deployed on a photonic tensor core.
@@ -146,6 +162,20 @@ class PhotonicMLP:
         """Photonic-inference accuracy."""
         predictions = np.argmax(self.forward(np.asarray(features, dtype=float)), axis=1)
         return float(np.mean(predictions == np.asarray(labels)))
+
+    def to_model(self):
+        """This deployment as a declarative :class:`repro.api.Model`,
+        carrying each dense layer's calibrated TIA gain so a session
+        compile reproduces this exact configuration."""
+        from ..api.graph import Dense, Model, ReLU
+
+        return Model.sequential(
+            Dense(self.layer1.float_weights, bias=self.layer1.bias,
+                  gain=self.layer1.gain),
+            ReLU(),
+            Dense(self.layer2.float_weights, bias=self.layer2.bias,
+                  gain=self.layer2.gain),
+        )
 
 
 def cnn_float_features(
@@ -237,3 +267,19 @@ class PhotonicCNN:
         """Photonic-inference accuracy."""
         predictions = np.argmax(self.forward(images), axis=1)
         return float(np.mean(predictions == np.asarray(labels)))
+
+    def to_model(self):
+        """This deployment as a declarative :class:`repro.api.Model`
+        (conv + ReLU + pool + flatten + dense head), carrying the conv
+        gain and each head layer's calibrated TIA gain."""
+        from ..api.graph import AvgPool, Conv2d, Flatten, Model, ReLU
+
+        head = self.head.to_model()
+        return Model.sequential(
+            Conv2d(self.conv.kernels, stride=self.conv.stride,
+                   gain=self.conv.gain),
+            ReLU(),
+            AvgPool(self.pool),
+            Flatten(),
+            *head.layers,
+        )

@@ -17,10 +17,11 @@ it into one, in four layers:
   and an LRU of compiled programs so repeated weights skip the 20 GHz
   pSRAM re-streaming, with energy/latency accounting riding on the
   device ledgers and :class:`~repro.core.performance.PerformanceModel`.
-* :mod:`~repro.runtime.serving` — :class:`InferenceServer` facade
-  (dense requests plus the ``submit_conv`` im2col CNN route with
-  cached differential :class:`ConvProgram` grids) and the ``python -m
-  repro serve-bench`` / ``serve-bench cnn`` traffic replays.
+* :mod:`~repro.runtime.serving` — legacy :class:`InferenceServer`
+  facade, now a thin deprecation shim over the single front door,
+  :class:`repro.api.PhotonicSession`, plus the ``python -m repro
+  serve-bench`` / ``serve-bench cnn`` traffic replays (both driven
+  through the session).
 """
 
 from .engine import BatchResult, CompiledCore, weight_key
@@ -41,7 +42,7 @@ from .serving import (
     run_serve_bench,
     synthetic_trace,
 )
-from .tiling import TiledMatmul
+from .tiling import DifferentialProgram, TiledMatmul
 
 __all__ = [
     "BatchResult",
@@ -50,6 +51,7 @@ __all__ = [
     "CompiledCore",
     "ConvProgram",
     "ConvTicket",
+    "DifferentialProgram",
     "InferenceServer",
     "run_cnn_serve_bench",
     "run_serve_bench",

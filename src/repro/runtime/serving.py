@@ -1,141 +1,107 @@
-"""The serving facade and the multi-tenant traffic benchmark.
+"""Legacy serving shims and the multi-tenant traffic benchmarks.
 
-:class:`InferenceServer` is the synchronous front door of the runtime:
-``submit`` takes any unsigned weight matrix and input vector, routes it
-to the batching scheduler (weights that fit one physical tile, zero-
-padded if smaller) or to an LRU-cached :class:`TiledMatmul` grid
-(weights larger than a tile), ``submit_conv`` serves im2col CNN
-convolutions (float kernel banks quantized into cached differential
-:class:`ConvProgram` grids, every patch a batched matmul column),
-``flush`` drains every queue as dense batched evaluations, and
-``stats`` reports throughput, batch fill, cache behaviour and the
-modelled energy/latency.
+The serving engine room moved to :class:`repro.api.PhotonicSession` —
+the single front door owning the core, the scheduler, the shared
+program cache and the flush policy, returning
+:class:`~repro.api.futures.Future` handles.  This module keeps the
+seed-era surface alive as thin deprecation shims:
+
+* :class:`InferenceServer` — constructs a session with an explicit
+  flush policy and forwards ``submit`` / ``submit_conv`` / ``flush`` /
+  ``stats`` to it; tickets wrap the session's futures.
+* :class:`ServerTicket` / :class:`ConvTicket` — future wrappers with
+  the historical ``estimates`` / ``feature_maps`` accessors.
+* ``ConvProgram`` — alias of
+  :class:`~repro.runtime.tiling.DifferentialProgram`, which now lives
+  with the tiling engines.
 
 :func:`synthetic_trace` builds the repeatable multi-tenant workload the
-``python -m repro serve-bench`` command replays: a handful of tenants
-with mixed matrix shapes, Zipf-skewed request popularity, and
-occasional weight churn so the program caches see both hits and fresh
-compiles.  :func:`run_cnn_serve_bench` is the CNN counterpart
-(``python -m repro serve-bench cnn``): a stream of digit glyphs
-convolved against a shared kernel bank, exercising the conv program
-cache.
+``python -m repro serve-bench`` command replays — both
+:func:`run_serve_bench` and :func:`run_cnn_serve_bench` now drive a
+:class:`~repro.api.PhotonicSession` directly, with a ``max_batch``
+flush policy standing in for the old hand-placed ``flush()`` calls.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..config import Technology, default_technology
-from ..core.quantization import quantize_weights_differential
+from ..config import Technology
 from ..errors import ConfigurationError
-from ..ml.convolution import (
-    encode_patch_batch,
-    im2col_channels,
-    normalize_image,
-    normalize_kernel_bank,
-    output_shape,
-)
-from ..ml.layers import compile_differential_engines
-from .engine import weight_key
-from .scheduler import BatchScheduler, SchedulerStats, Ticket, WeightProgramCache
-from .tiling import TiledMatmul, auto_range_gain
+from .scheduler import SchedulerStats
+from .tiling import DifferentialProgram
+
+# repro.api.session imports this package's scheduler/tiling modules, so
+# the session and policy are imported lazily inside the shims/benches
+# to keep the package import order cycle-free.
+
+#: Historical name of the cached differential conv program.
+ConvProgram = DifferentialProgram
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class ServerTicket:
-    """Handle for one server request; resolved by the next flush."""
+    """Deprecated handle for one dense request; wraps a session Future."""
 
-    __slots__ = ("_ticket", "_out_features", "_estimates")
+    __slots__ = ("_future",)
 
-    def __init__(self, out_features: int, ticket: Ticket | None = None) -> None:
-        self._ticket = ticket
-        self._out_features = out_features
-        self._estimates: np.ndarray | None = None
+    def __init__(self, future) -> None:
+        self._future = future
 
-    def _resolve(self, estimates: np.ndarray) -> None:
-        self._estimates = np.asarray(estimates, dtype=float)
+    @property
+    def future(self):
+        """The underlying :class:`repro.api.Future`."""
+        return self._future
 
     @property
     def done(self) -> bool:
-        if self._ticket is not None:
-            return self._ticket.done
-        return self._estimates is not None
+        return self._future.done
 
     @property
     def estimates(self) -> np.ndarray:
-        """Dequantized W @ x estimates (length out_features)."""
-        if self._ticket is not None:
-            if self._ticket.result is None:
-                raise ConfigurationError("request not flushed yet")
-            return self._ticket.result.estimates[: self._out_features]
-        if self._estimates is None:
-            raise ConfigurationError("request not flushed yet")
-        return self._estimates
+        """Dequantized W @ x estimates (length out_features).  Raises
+        :class:`~repro.errors.PendingFlushError` before the flush."""
+        return self._future.value
 
 
 class ConvTicket:
-    """Handle for one conv request; resolved by the next flush."""
+    """Deprecated handle for one conv request; wraps a session Future."""
 
-    __slots__ = ("shape", "_feature_maps")
+    __slots__ = ("_future",)
 
-    def __init__(self, num_kernels: int, rows: int, cols: int) -> None:
-        self.shape = (num_kernels, rows, cols)
-        self._feature_maps: np.ndarray | None = None
+    def __init__(self, future) -> None:
+        self._future = future
 
-    def _resolve(self, feature_maps: np.ndarray) -> None:
-        self._feature_maps = np.asarray(feature_maps, dtype=float).reshape(self.shape)
+    @property
+    def future(self):
+        """The underlying :class:`repro.api.Future`."""
+        return self._future
+
+    @property
+    def shape(self) -> tuple:
+        return self._future.shape
 
     @property
     def done(self) -> bool:
-        return self._feature_maps is not None
+        return self._future.done
 
     @property
     def feature_maps(self) -> np.ndarray:
-        """Dequantized (num_kernels, out_rows, out_cols) feature maps."""
-        if self._feature_maps is None:
-            raise ConfigurationError("request not flushed yet")
-        return self._feature_maps
-
-
-@dataclass
-class ConvProgram:
-    """A cached differential conv weight program on tiled grids.
-
-    The positive/negative engines hold the quantized kernel magnitudes
-    (the negative grid is None for an all-non-negative bank, saving the
-    second analog pass); the float dequantization scale stays with each
-    request, so kernel banks that quantize to the same integers share
-    one program.
-    """
-
-    positive: TiledMatmul
-    negative: TiledMatmul | None
-
-    @property
-    def passes(self) -> int:
-        """Sequential analog passes per patch column."""
-        return 2 if self.negative is not None else 1
-
-    @property
-    def tile_count(self) -> int:
-        return self.positive.tile_count + (
-            self.negative.tile_count if self.negative is not None else 0
-        )
-
-    @property
-    def weight_update_energy(self) -> float:
-        return self.positive.weight_update_energy + (
-            self.negative.weight_update_energy if self.negative is not None else 0.0
-        )
-
-    def matmul(self, batch: np.ndarray, gain: float) -> np.ndarray:
-        """Differential W @ X in quantized dot units."""
-        raw = self.positive.matmul(batch, gain=gain)
-        if self.negative is not None:
-            raw = raw - self.negative.matmul(batch, gain=gain)
-        return raw
+        """Dequantized (num_kernels, out_rows, out_cols) feature maps.
+        Raises :class:`~repro.errors.PendingFlushError` before the
+        flush."""
+        return self._future.value
 
 
 @dataclass
@@ -205,12 +171,13 @@ class ServerStats:
 
 
 class InferenceServer:
-    """Synchronous batched inference over one tile size.
+    """Deprecated synchronous facade; thin shim over
+    :class:`repro.api.PhotonicSession`.
 
-    ``rows x columns`` is the physical tile; any (out, in) unsigned
-    weight matrix is served — smaller shapes are zero-padded onto the
-    tile and share the scheduler's batching/caching, larger shapes
-    compile onto a cached :class:`TiledMatmul` grid.
+    The historical surface is preserved — ``submit`` / ``submit_conv``
+    return tickets resolved by a hand-called :meth:`flush` — but every
+    request now flows through a session with an explicit flush policy.
+    New code should construct the session directly and use futures.
     """
 
     def __init__(
@@ -224,267 +191,61 @@ class InferenceServer:
         tiled_cache_capacity: int = 4,
         max_batch: int = 256,
     ) -> None:
-        self.technology = technology if technology is not None else default_technology()
-        self.scheduler = BatchScheduler(
+        from ..api.policy import FlushPolicy
+        from ..api.session import PhotonicSession
+
+        _deprecated("InferenceServer", "repro.api.PhotonicSession")
+        self.session = PhotonicSession(
+            technology=technology,
             rows=rows,
             columns=columns,
             weight_bits=weight_bits,
             adc_bits=adc_bits,
-            technology=self.technology,
             cache_capacity=cache_capacity,
+            tiled_cache_capacity=tiled_cache_capacity,
             max_batch=max_batch,
+            flush_policy=FlushPolicy.explicit(),
         )
-        self.tiled_cache = WeightProgramCache(tiled_cache_capacity)
-        self._tiled_pending: dict[tuple[bytes, float | str], dict] = {}
-        self._conv_pending: dict[tuple[bytes, float], dict] = {}
-        self._tiled_requests = 0
-        self._tiled_batches = 0
-        self._tiled_samples = 0
-        self._tiled_analog_time = 0.0
-        self._tiled_analog_energy = 0.0
-        self._tiled_energy_spent = 0.0
-        self._tiled_energy_saved = 0.0
-        self._conv_requests = 0
-        self._conv_patches = 0
+
+    @property
+    def technology(self) -> Technology:
+        return self.session.technology
+
+    @property
+    def scheduler(self):
+        return self.session.scheduler
+
+    @property
+    def tiled_cache(self):
+        return self.session.tiled_cache
 
     @property
     def rows(self) -> int:
-        return self.scheduler.rows
+        return self.session.rows
 
     @property
     def columns(self) -> int:
-        return self.scheduler.columns
+        return self.session.columns
 
-    @staticmethod
-    def _validated_gain(gain) -> float | str | None:
-        """Normalize the shared gain semantics of both request paths:
-        None = native TIA gain 1.0, "auto" = calibrate the range from
-        the weights, a positive float = explicit setting."""
-        if gain is None or gain == "auto":
-            return gain
-        if not isinstance(gain, (int, float)):
-            raise ConfigurationError(f"gain must be a number, 'auto' or None, got {gain!r}")
-        if gain <= 0.0:
-            raise ConfigurationError(f"TIA gain must be positive, got {gain}")
-        return float(gain)
-
-    def _auto_gain(self, weights: np.ndarray) -> float:
-        """The shared range-calibration rule applied to one padded tile."""
-        return auto_range_gain(weights, self.columns * self.scheduler.core.max_weight)
-
-    # -- request path --------------------------------------------------------
     def submit(self, weights, x, gain: float | str | None = None) -> ServerTicket:
-        """Queue one W @ x request for the next :meth:`flush`.
+        """Queue one W @ x request for the next :meth:`flush`."""
+        return ServerTicket(self.session.submit(weights, x, gain=gain))
 
-        ``gain`` sets the row-TIA range on every tile the request
-        touches: None runs at the native gain 1.0, ``"auto"``
-        calibrates the range from the weights (the same rule on both
-        the single-tile and the tiled path), and a positive float is
-        applied as-is.
-        """
-        weights = np.asarray(weights, dtype=int)
-        if weights.ndim != 2:
-            raise ConfigurationError(
-                f"weight matrix must be 2-D, got shape {weights.shape}"
-            )
-        x = np.asarray(x, dtype=float)
-        out_features, in_features = weights.shape
-        if x.shape != (in_features,):
-            raise ConfigurationError(
-                f"input must have shape ({in_features},), got {x.shape}"
-            )
-        gain = self._validated_gain(gain)
-        if out_features <= self.rows and in_features <= self.columns:
-            padded_w = np.zeros((self.rows, self.columns), dtype=int)
-            padded_w[:out_features, :in_features] = weights
-            padded_x = np.zeros(self.columns)
-            padded_x[:in_features] = x
-            if gain is None:
-                gain = 1.0
-            elif gain == "auto":
-                gain = self._auto_gain(padded_w)
-            ticket = self.scheduler.submit(padded_w, padded_x, gain=gain)
-            return ServerTicket(out_features, ticket=ticket)
-        return self._submit_tiled(weights, x, gain)
-
-    def _submit_tiled(self, weights, x, gain: float | str | None) -> ServerTicket:
-        max_weight = self.scheduler.core.max_weight
-        if np.any(weights < 0) or np.any(weights > max_weight):
-            raise ConfigurationError(
-                f"weights must lie in [0, {max_weight}], got range "
-                f"[{weights.min()}, {weights.max()}]"
-            )
-        if x.size and (x.min() < 0.0 or x.max() > 1.0):
-            raise ConfigurationError(
-                f"analog inputs must lie in [0, 1], got range "
-                f"[{x.min():.6g}, {x.max():.6g}]"
-            )
-        # Requests batch per (program, gain): mixed gains against the
-        # same weights must not share an evaluation.  None means native
-        # gain 1.0 (matching the single-tile path); "auto" defers to
-        # the grid's per-tile calibrated gains.
-        gain = 1.0 if gain is None else gain
-        key = (weight_key(weights), gain)
-        group = self._tiled_pending.get(key)
-        if group is None:
-            group = {"weights": weights.copy(), "inputs": [], "tickets": [], "gain": gain}
-            self._tiled_pending[key] = group
-        ticket = ServerTicket(weights.shape[0])
-        group["inputs"].append(x.copy())
-        group["tickets"].append(ticket)
-        self._tiled_requests += 1
-        return ticket
-
-    # -- conv route ----------------------------------------------------------
     def submit_conv(
         self, kernels, image, stride: int = 1, gain: float | None = None
     ) -> ConvTicket:
-        """Queue one im2col convolution for the next :meth:`flush`.
-
-        ``kernels`` is a float bank of shape (n, k, k) — or
-        (n, channels, k, k) — quantized here into a differential conv
-        program keyed on the quantized integers, so repeated banks hit
-        the shared program cache; ``image`` is a non-negative (H, W) or
-        (channels, H, W) intensity map.  ``gain`` is the row-TIA range
-        setting applied to every tile (None = native 1.0); the per-tile
-        ``"auto"`` calibration is not offered here because differential
-        halves must digitize at one common gain to subtract exactly.
-        """
-        kernels = normalize_kernel_bank(kernels)
-        gain = self._validated_gain(gain)
-        if gain == "auto":
-            raise ConfigurationError(
-                "the conv route takes a numeric gain (or None for native 1.0)"
-            )
-        gain = 1.0 if gain is None else float(gain)
-        kernel_size = kernels.shape[2]
-        image = normalize_image(image, kernels.shape[1])
-
-        flattened = kernels.reshape(kernels.shape[0], -1)
-        q_positive, q_negative, weight_scale = quantize_weights_differential(
-            flattened, self.scheduler.core.weight_bits
+        """Queue one im2col convolution for the next :meth:`flush`."""
+        return ConvTicket(
+            self.session.submit_conv(kernels, image, stride=stride, gain=gain)
         )
-        patches = im2col_channels(image, kernel_size, stride)
-        out_rows, out_cols = output_shape(image.shape[1:], kernel_size, stride)
-        encoded, scales = encode_patch_batch(patches)
-
-        # Conv programs share the tiled LRU; the prefix keeps a kernel
-        # bank from colliding with a plain weight matrix of equal bytes.
-        key = b"conv:" + weight_key(np.concatenate([q_positive, q_negative]))
-        group = self._conv_pending.get((key, gain))
-        if group is None:
-            group = {
-                "q_positive": q_positive,
-                "q_negative": q_negative,
-                "segments": [],
-                "tickets": [],
-            }
-            self._conv_pending[(key, gain)] = group
-        ticket = ConvTicket(kernels.shape[0], out_rows, out_cols)
-        group["segments"].append((encoded, scales, weight_scale))
-        group["tickets"].append(ticket)
-        self._conv_requests += 1
-        return ticket
-
-    def _conv_program(self, key: bytes, group: dict) -> ConvProgram:
-        program = self.tiled_cache.get(key)
-        if program is None:
-            positive, negative = compile_differential_engines(
-                group["q_positive"], group["q_negative"], self.scheduler.core
-            )
-            program = ConvProgram(positive=positive, negative=negative)
-            self._tiled_energy_spent += program.weight_update_energy
-            self.tiled_cache.put(key, program)
-        else:
-            self._tiled_energy_saved += program.weight_update_energy
-        return program
 
     def flush(self) -> int:
         """Evaluate every pending request; returns resolved count."""
-        resolved = self.scheduler.flush()
-        try:
-            for (key, _), group in self._tiled_pending.items():
-                engine = self.tiled_cache.get(key)
-                if engine is None:
-                    engine = TiledMatmul(
-                        group["weights"],
-                        tile_rows=self.rows,
-                        tile_columns=self.columns,
-                        weight_bits=self.scheduler.core.weight_bits,
-                        adc_bits=self.scheduler.core.row_adcs[0].bits,
-                        technology=self.technology,
-                        ladder_cache=self.scheduler.core.runtime_ladder_cache,
-                    )
-                    self._tiled_energy_spent += engine.weight_update_energy
-                    self.tiled_cache.put(key, engine)
-                else:
-                    self._tiled_energy_saved += engine.weight_update_energy
-                batch = np.stack(group["inputs"], axis=1)
-                gain = None if group["gain"] == "auto" else group["gain"]
-                estimates = engine.matmul(batch, gain=gain)
-                for index, ticket in enumerate(group["tickets"]):
-                    ticket._resolve(estimates[:, index])
-                resolved += len(group["tickets"])
-                # Tiles digitize concurrently: one ADC sample period per
-                # input column, at tile_count times one tile's power.
-                samples = batch.shape[1]
-                period = 1.0 / self.scheduler.performance.sample_rate
-                power = self.scheduler.performance.total_power * engine.tile_count
-                self._tiled_batches += 1
-                self._tiled_samples += samples
-                self._tiled_analog_time += samples * period
-                self._tiled_analog_energy += samples * period * power
-            for (key, gain), group in self._conv_pending.items():
-                program = self._conv_program(key, group)
-                batch = np.concatenate(
-                    [encoded for encoded, _, _ in group["segments"]], axis=1
-                )
-                raw = program.matmul(batch, gain=gain)
-                offset = 0
-                for (encoded, scales, weight_scale), ticket in zip(
-                    group["segments"], group["tickets"]
-                ):
-                    count = encoded.shape[1]
-                    maps = raw[:, offset : offset + count] * weight_scale * scales
-                    ticket._resolve(maps)
-                    offset += count
-                resolved += len(group["tickets"])
-                # Each patch column costs one ADC sample period per
-                # analog pass (two passes for differential banks); the
-                # active grid burns tile_count times one tile's power.
-                patches = batch.shape[1]
-                period = 1.0 / self.scheduler.performance.sample_rate
-                power = self.scheduler.performance.total_power
-                self._conv_patches += patches
-                self._tiled_batches += 1
-                self._tiled_samples += patches * program.passes
-                self._tiled_analog_time += patches * period * program.passes
-                self._tiled_analog_energy += (
-                    patches * period * power * program.tile_count
-                )
-        finally:
-            # Never leave a stale group behind: a failed evaluation must
-            # not wedge every subsequent flush.
-            self._tiled_pending.clear()
-            self._conv_pending.clear()
-        return resolved
+        return self.session.flush()
 
     def stats(self) -> ServerStats:
         """Combined scheduler + tiled-path accounting."""
-        return ServerStats(
-            scheduler=self.scheduler.stats(),
-            tiled_requests=self._tiled_requests,
-            tiled_builds=self.tiled_cache.misses,
-            tiled_hits=self.tiled_cache.hits,
-            tiled_batches=self._tiled_batches,
-            tiled_samples=self._tiled_samples,
-            tiled_analog_time=self._tiled_analog_time,
-            tiled_analog_energy=self._tiled_analog_energy,
-            tiled_weight_energy_spent=self._tiled_energy_spent,
-            tiled_weight_energy_saved=self._tiled_energy_saved,
-            conv_requests=self._conv_requests,
-            conv_patches=self._conv_patches,
-        )
+        return self.session.server_stats()
 
 
 def synthetic_trace(
@@ -537,36 +298,37 @@ def run_serve_bench(
     seed: int = 2025,
     print_fn=print,
 ) -> dict:
-    """Replay a synthetic trace through an :class:`InferenceServer`.
+    """Replay a synthetic trace through a :class:`PhotonicSession`.
 
-    Prints throughput (inferences/s of the compiled serving path),
-    batch-fill and cache statistics; returns them as a dict so tests
-    and benches can assert on the numbers.
+    The session's ``max_batch`` flush policy drains the queues every
+    ``flush_every`` requests — no hand-called ``flush()`` in the
+    submit loop.  Prints throughput (inferences/s of the compiled
+    serving path), batch-fill and cache statistics; returns them as a
+    dict so tests and benches can assert on the numbers.
     """
+    from ..api.policy import FlushPolicy
+    from ..api.session import PhotonicSession
+
     if flush_every < 1:
         raise ConfigurationError(f"flush interval must be >= 1, got {flush_every}")
-    server = InferenceServer(
-        rows=rows,
-        columns=columns,
+    session = PhotonicSession(
+        grid=(rows, columns),
         cache_capacity=cache_capacity,
         max_batch=flush_every,
+        flush_policy=FlushPolicy.max_batch(flush_every),
     )
-    tickets = []
+    futures = []
     started = time.perf_counter()
-    submitted = 0
     for _, weights, x in synthetic_trace(
         requests=requests, rows=rows, columns=columns, seed=seed
     ):
-        tickets.append(server.submit(weights, x))
-        submitted += 1
-        if submitted % flush_every == 0:
-            server.flush()
-    server.flush()
+        futures.append(session.submit(weights, x))
+    session.flush()
     elapsed = time.perf_counter() - started
 
-    if not all(ticket.done for ticket in tickets):
-        raise ConfigurationError("serve bench left unresolved tickets")
-    stats = server.stats()
+    if not all(future.done for future in futures):
+        raise ConfigurationError("serve bench left unresolved futures")
+    stats = session.server_stats()
     throughput = requests / elapsed if elapsed > 0 else float("inf")
     summary = {
         "requests": stats.requests,
@@ -574,6 +336,7 @@ def run_serve_bench(
         "throughput_per_s": throughput,
         "batch_fill": stats.scheduler.batch_fill,
         "batches": stats.batches,
+        "flushes": session.flushes,
         "cache_hit_rate": stats.cache_hit_rate,
         "cache_hits": stats.scheduler.cache_hits + stats.tiled_hits,
         "cache_misses": stats.scheduler.cache_misses + stats.tiled_builds,
@@ -584,7 +347,8 @@ def run_serve_bench(
     }
     lines = [
         f"tile              : {rows} x {columns} "
-        f"(cache {cache_capacity} programs, flush every {flush_every})",
+        f"(cache {cache_capacity} programs, flush policy "
+        f"{session.flush_policy.describe()})",
         f"requests          : {summary['requests']} "
         f"({stats.scheduler.requests} single-tile, {stats.tiled_requests} tiled)",
         f"wall-clock        : {elapsed * 1e3:.1f} ms "
@@ -616,12 +380,15 @@ def run_cnn_serve_bench(
     """Replay a CNN feature-extraction stream through the conv route.
 
     A stream of 8x8 procedural digit glyphs is convolved against one
-    shared signed kernel bank via :meth:`InferenceServer.submit_conv`
-    (im2col patches batched into compiled differential matmuls); the
-    repeated bank exercises the conv program cache — one build, hits
-    thereafter.  Prints image/patch throughput and cache/energy
+    shared signed kernel bank via :meth:`PhotonicSession.submit_conv`
+    (im2col patches batched into compiled differential matmuls) with a
+    ``max_batch`` flush policy draining every ``flush_every`` images;
+    the repeated bank exercises the conv program cache — one build,
+    hits thereafter.  Prints image/patch throughput and cache/energy
     statistics; returns them as a dict for tests and benches.
     """
+    from ..api.policy import FlushPolicy
+    from ..api.session import PhotonicSession
     from ..ml.datasets import procedural_digits
 
     if images < 1:
@@ -635,19 +402,19 @@ def run_cnn_serve_bench(
     )
     glyphs = data[:images].reshape(-1, 8, 8)
 
-    server = InferenceServer(rows=rows, columns=columns)
-    tickets = []
+    session = PhotonicSession(
+        grid=(rows, columns), flush_policy=FlushPolicy.max_batch(flush_every)
+    )
+    futures = []
     started = time.perf_counter()
-    for index, glyph in enumerate(glyphs):
-        tickets.append(server.submit_conv(bank, glyph))
-        if (index + 1) % flush_every == 0:
-            server.flush()
-    server.flush()
+    for glyph in glyphs:
+        futures.append(session.submit_conv(bank, glyph))
+    session.flush()
     elapsed = time.perf_counter() - started
 
-    if not all(ticket.done for ticket in tickets):
-        raise ConfigurationError("cnn serve bench left unresolved tickets")
-    stats = server.stats()
+    if not all(future.done for future in futures):
+        raise ConfigurationError("cnn serve bench left unresolved futures")
+    stats = session.server_stats()
     out_side = glyphs.shape[1] - kernel_size + 1
     summary = {
         "images": stats.conv_requests,
@@ -667,7 +434,8 @@ def run_cnn_serve_bench(
     }
     lines = [
         f"conv program      : {kernels} kernels {kernel_size}x{kernel_size} "
-        f"on {rows} x {columns} tiles (flush every {flush_every})",
+        f"on {rows} x {columns} tiles (flush policy "
+        f"{session.flush_policy.describe()})",
         f"images            : {summary['images']} "
         f"({summary['patches']} im2col patches)",
         f"wall-clock        : {elapsed * 1e3:.1f} ms "

@@ -25,6 +25,8 @@ end-to-end error against the exact float product.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..config import Technology, default_technology
@@ -32,6 +34,58 @@ from ..core.tensor_core import PhotonicTensorCore
 from ..errors import MappingError
 from ..ml.mapping import iter_tile_blocks, tile_grid
 from .engine import CompiledCore
+
+
+@dataclass
+class DifferentialProgram:
+    """A cached differential weight program on tiled grids.
+
+    The positive/negative engines hold the quantized weight magnitudes
+    of a signed program, W = (W+ - W-); the negative grid is None for
+    an all-non-negative program, saving the second analog pass.  Float
+    dequantization scales stay with each request, so programs that
+    quantize to the same integers share one compiled pair.  This is the
+    unit the session/server program caches store for both the conv
+    route and compiled model layers (``ConvProgram`` is its historical
+    alias in :mod:`repro.runtime.serving`).
+    """
+
+    positive: TiledMatmul
+    negative: TiledMatmul | None
+
+    @property
+    def passes(self) -> int:
+        """Sequential analog passes per input column."""
+        return 2 if self.negative is not None else 1
+
+    @property
+    def tile_count(self) -> int:
+        return self.positive.tile_count + (
+            self.negative.tile_count if self.negative is not None else 0
+        )
+
+    @property
+    def weight_update_energy(self) -> float:
+        return self.positive.weight_update_energy + (
+            self.negative.weight_update_energy if self.negative is not None else 0.0
+        )
+
+    @property
+    def weight_update_time(self) -> float:
+        """Streaming time [s]: the two differential arrays load their
+        columns concurrently (independent pSRAM drivers), so the pair
+        costs the slower grid, not the sum."""
+        return max(
+            self.positive.weight_update_time,
+            self.negative.weight_update_time if self.negative is not None else 0.0,
+        )
+
+    def matmul(self, batch: np.ndarray, gain: float) -> np.ndarray:
+        """Differential W @ X in quantized dot units."""
+        raw = self.positive.matmul(batch, gain=gain)
+        if self.negative is not None:
+            raw = raw - self.negative.matmul(batch, gain=gain)
+        return raw
 
 
 def auto_range_gain(block: np.ndarray, full_scale_dot: int) -> float:

@@ -1,0 +1,119 @@
+"""Tests for the declarative model graphs (repro.api.graph)."""
+
+import numpy as np
+import pytest
+
+from repro.api.graph import AvgPool, Conv2d, Dense, Flatten, Model, ReLU
+from repro.errors import ConfigurationError
+from repro.ml.network import MLP
+
+
+class TestLayerSpecs:
+    def test_dense_normalizes_and_validates(self):
+        layer = Dense(np.ones((3, 4)), bias=[1, 2, 3])
+        assert layer.out_features == 3 and layer.in_features == 4
+        assert layer.bias.dtype == float
+        with pytest.raises(ConfigurationError, match="2-D"):
+            Dense(np.ones(4))
+        with pytest.raises(ConfigurationError, match="bias"):
+            Dense(np.ones((3, 4)), bias=np.ones(2))
+        with pytest.raises(ConfigurationError, match="gain"):
+            Dense(np.ones((3, 4)), gain=0.0)
+
+    def test_conv_normalizes_and_validates(self):
+        layer = Conv2d(np.ones((2, 3, 3)))
+        assert layer.kernels.shape == (2, 1, 3, 3)  # channel promoted
+        assert layer.num_kernels == 2 and layer.kernel_size == 3
+        with pytest.raises(ConfigurationError, match="kernels"):
+            Conv2d(np.ones((2, 3, 4)))
+        with pytest.raises(ConfigurationError, match="stride"):
+            Conv2d(np.ones((2, 3, 3)), stride=0)
+        with pytest.raises(ConfigurationError, match="gain"):
+            Conv2d(np.ones((2, 3, 3)), gain=-1.0)
+
+    def test_avg_pool_validation(self):
+        with pytest.raises(ConfigurationError, match="size"):
+            AvgPool(0)
+
+
+class TestModelValidation:
+    def test_sequential_builds_and_describes(self):
+        model = Model.sequential(Dense(np.ones((4, 6))), ReLU(), Dense(np.ones((2, 4))))
+        assert len(model.layers) == 3
+        assert model.input_domain == "vector"
+        assert "Dense 4x6" in model.describe()
+
+    def test_empty_or_compute_free_models_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one layer"):
+            Model.sequential()
+        with pytest.raises(ConfigurationError, match="compute layer"):
+            Model.sequential(ReLU())
+
+    def test_non_spec_layers_rejected(self):
+        with pytest.raises(ConfigurationError, match="not a layer spec"):
+            Model.sequential(Dense(np.ones((2, 2))), "relu")
+
+    def test_dense_feature_chain_checked(self):
+        with pytest.raises(ConfigurationError, match="features"):
+            Model.sequential(Dense(np.ones((4, 6))), Dense(np.ones((2, 5))))
+
+    def test_dense_cannot_consume_feature_maps(self):
+        with pytest.raises(ConfigurationError, match="Flatten"):
+            Model.sequential(Conv2d(np.ones((2, 3, 3))), Dense(np.ones((2, 8))))
+
+    def test_conv_cannot_follow_vector_layer(self):
+        with pytest.raises(ConfigurationError, match="vector-domain"):
+            Model.sequential(Dense(np.ones((4, 6))), Conv2d(np.ones((2, 3, 3))))
+
+    def test_conv_channel_chain_checked(self):
+        with pytest.raises(ConfigurationError, match="channels"):
+            Model.sequential(
+                Conv2d(np.ones((2, 3, 3))), Conv2d(np.ones((2, 3, 3, 3)))
+            )
+        # Matching channels chain fine.
+        Model.sequential(Conv2d(np.ones((3, 2, 2))), Conv2d(np.ones((2, 3, 2, 2))))
+
+    def test_cnn_shape_bridges(self):
+        model = Model.sequential(
+            Conv2d(np.ones((2, 3, 3))), ReLU(), AvgPool(2), Flatten(),
+            Dense(np.ones((4, 8))),
+        )
+        assert model.input_domain == "image"
+        assert len(model.compute_layers) == 2
+
+
+class TestAdapters:
+    def test_from_mlp_shares_float_arrays(self):
+        mlp = MLP(6, 4, 3)
+        model = Model.from_mlp(mlp)
+        first, activation, second = model.layers
+        assert isinstance(activation, ReLU)
+        assert first.weights is mlp.w1 and second.weights is mlp.w2
+        np.testing.assert_array_equal(first.bias, mlp.b1)
+
+    def test_from_mlp_rejects_non_mlp(self):
+        with pytest.raises(ConfigurationError, match="MLP-like"):
+            Model.from_mlp(object())
+
+    def test_from_cnn_composition(self):
+        mlp = MLP(8, 4, 3)
+        kernels = np.random.default_rng(0).normal(size=(2, 3, 3))
+        model = Model.from_cnn(kernels, mlp, pool=2, stride=1, conv_gain=2.0)
+        kinds = [type(layer).__name__ for layer in model.layers]
+        assert kinds == ["Conv2d", "ReLU", "AvgPool", "Flatten", "Dense", "ReLU", "Dense"]
+        assert model.layers[0].gain == 2.0
+
+    def test_to_model_roundtrip_carries_gains(self, tech):
+        from repro.core.tensor_core import PhotonicTensorCore
+        from repro.ml.network import PhotonicMLP
+
+        rng = np.random.default_rng(5)
+        mlp = MLP(6, 4, 3)
+        core = PhotonicTensorCore(rows=4, columns=6, technology=tech)
+        batch = rng.uniform(0.0, 1.0, (8, 6))
+        photonic = PhotonicMLP(mlp, core, calibration_batch=batch)
+        model = photonic.to_model()
+        first, _, second = model.layers
+        assert first.gain == photonic.layer1.gain
+        assert second.gain == photonic.layer2.gain
+        assert mlp.to_model().layers[0].gain is None  # uncalibrated adapter

@@ -1,0 +1,322 @@
+"""Tests for the one front door (repro.api): session, futures,
+flush policies, deployed models and the unified RunReport."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    Conv2d,
+    Dense,
+    FlushPolicy,
+    Model,
+    PhotonicSession,
+    ReLU,
+    RunReport,
+)
+from repro.core.tensor_core import PhotonicTensorCore
+from repro.errors import ConfigurationError, PendingFlushError
+from repro.ml.convolution import PhotonicConv2d
+from repro.ml.datasets import gaussian_blobs
+from repro.ml.network import MLP, PhotonicMLP
+
+
+@pytest.fixture()
+def session(tech):
+    return PhotonicSession(technology=tech, grid=(4, 6), cache_capacity=4,
+                           max_batch=16)
+
+
+class TestSessionConstruction:
+    def test_grid_is_rows_columns(self, session):
+        assert session.rows == 4 and session.columns == 6
+        assert session.core.rows == 4
+
+    def test_grid_and_rows_are_exclusive(self, tech):
+        with pytest.raises(ConfigurationError, match="not both"):
+            PhotonicSession(technology=tech, grid=(4, 6), rows=4)
+        with pytest.raises(ConfigurationError, match="pair"):
+            PhotonicSession(technology=tech, grid=4)
+
+    def test_default_policy_is_explicit(self, session):
+        assert session.flush_policy.describe() == "explicit"
+
+
+class TestFutures:
+    def test_result_auto_flushes(self, session, tech):
+        rng = np.random.default_rng(1)
+        weights = rng.integers(0, 8, (4, 6))
+        x = rng.uniform(0.0, 1.0, 6)
+        future = session.submit(weights, x)
+        assert not future.done and session.pending == 1
+        estimates = future.result()          # no hand-called flush
+        assert future.done and session.pending == 0
+        reference = PhotonicTensorCore(rows=4, columns=6, technology=tech)
+        reference.load_weight_matrix(weights)
+        expected = reference.matvec(x)
+        assert np.allclose(estimates, expected.estimates)
+        np.testing.assert_array_equal(future.codes, expected.codes)
+
+    def test_pending_reads_raise_pending_flush_error(self, session):
+        rng = np.random.default_rng(2)
+        future = session.submit(rng.integers(0, 8, (4, 6)), rng.uniform(0.0, 1.0, 6))
+        # A RuntimeError naming the pending flush — not None, and still
+        # a ConfigurationError for seed-era except clauses.
+        for read in (lambda: future.value, lambda: future.codes,
+                     lambda: future.report, lambda: future.result(flush=False)):
+            with pytest.raises(RuntimeError, match="flush #1"):
+                read()
+            with pytest.raises(ConfigurationError, match="not flushed"):
+                read()
+        with pytest.raises(PendingFlushError, match="result\\(\\)"):
+            future.result(flush=False)
+        session.flush()
+        assert future.value.shape == (4,)
+
+    def test_tiled_and_conv_futures(self, session):
+        rng = np.random.default_rng(3)
+        tiled = session.submit(rng.integers(0, 8, (7, 9)), rng.uniform(0.0, 1.0, 9))
+        conv = session.submit_conv(rng.normal(0.0, 1.0, (2, 3, 3)),
+                                   rng.uniform(0.0, 1.0, (5, 5)))
+        assert conv.shape == (2, 3, 3)
+        session.flush()
+        assert tiled.value.shape == (7,)
+        assert tiled.codes is None           # digital partial sums: no single code
+        assert conv.value.shape == (2, 3, 3)
+
+    def test_flush_report_attached_and_shared(self, session):
+        rng = np.random.default_rng(4)
+        first = session.submit(rng.integers(0, 8, (4, 6)), rng.uniform(0.0, 1.0, 6))
+        second = session.submit(rng.integers(0, 8, (7, 9)), rng.uniform(0.0, 1.0, 9))
+        session.flush()
+        assert isinstance(first.report, RunReport)
+        assert first.report is second.report          # one report per flush
+        report = first.report
+        assert report.flush_index == 1
+        assert report.requests == 2
+        assert report.cache_misses == 2 and report.cache_hits == 0
+        assert report.analog_time > 0.0 and report.analog_energy > 0.0
+        assert report.total_energy >= report.analog_energy
+        # The next flush reports only its own delta.
+        session.submit(rng.integers(0, 8, (4, 6)), rng.uniform(0.0, 1.0, 6))
+        third = session.submit(rng.integers(0, 8, (4, 6)), rng.uniform(0.0, 1.0, 6))
+        session.flush()
+        assert third.report.flush_index == 2
+        assert third.report.requests == 2
+        cumulative = session.report()
+        assert cumulative.requests == 4
+        assert cumulative.flush_index == 2
+
+
+class TestFlushPolicies:
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError, match="batch limit"):
+            FlushPolicy.max_batch(0)
+        with pytest.raises(ConfigurationError, match="delay limit"):
+            FlushPolicy.max_delay(-1.0)
+
+    def test_max_batch_auto_flushes(self, tech):
+        session = PhotonicSession(technology=tech, grid=(4, 6),
+                                  flush_policy=FlushPolicy.max_batch(3))
+        rng = np.random.default_rng(5)
+        weights = rng.integers(0, 8, (4, 6))
+        futures = [session.submit(weights, rng.uniform(0.0, 1.0, 6))
+                   for _ in range(3)]
+        # The third submit tripped the policy: everything resolved.
+        assert all(future.done for future in futures)
+        assert session.pending == 0 and session.flushes == 1
+
+    def test_max_delay_flushes_on_next_submit(self, tech):
+        session = PhotonicSession(technology=tech, grid=(4, 6),
+                                  flush_policy=FlushPolicy.max_delay(0.005))
+        rng = np.random.default_rng(6)
+        weights = rng.integers(0, 8, (4, 6))
+        first = session.submit(weights, rng.uniform(0.0, 1.0, 6))
+        assert not first.done                 # deadline not reached yet
+        time.sleep(0.01)
+        second = session.submit(weights, rng.uniform(0.0, 1.0, 6))
+        assert first.done and second.done     # deadline tripped the flush
+
+    def test_explicit_policy_never_auto_flushes(self, session):
+        rng = np.random.default_rng(7)
+        weights = rng.integers(0, 8, (4, 6))
+        futures = [session.submit(weights, rng.uniform(0.0, 1.0, 6))
+                   for _ in range(20)]
+        assert not any(future.done for future in futures)
+        assert session.flush() == 20
+
+
+class TestLegacyEquivalence:
+    """The session must serve codes bit-for-bit equal to the legacy
+    InferenceServer paths (which now shim onto it)."""
+
+    def test_dense_routes_match_legacy_server(self, tech):
+        from repro.runtime.serving import InferenceServer
+
+        rng = np.random.default_rng(8)
+        session = PhotonicSession(technology=tech, grid=(4, 6))
+        with pytest.deprecated_call():
+            server = InferenceServer(rows=4, columns=6, technology=tech)
+        native_w = rng.integers(0, 8, (4, 6))
+        tiled_w = rng.integers(0, 8, (7, 9))
+        native_x = rng.uniform(0.0, 1.0, 6)
+        tiled_x = rng.uniform(0.0, 1.0, 9)
+
+        session_native = session.submit(native_w, native_x)
+        session_tiled = session.submit(tiled_w, tiled_x, gain="auto")
+        server_native = server.submit(native_w, native_x)
+        server_tiled = server.submit(tiled_w, tiled_x, gain="auto")
+        session.flush()
+        server.flush()
+        np.testing.assert_array_equal(session_native.value, server_native.estimates)
+        np.testing.assert_array_equal(session_tiled.value, server_tiled.estimates)
+
+    def test_conv_route_matches_legacy_server(self, tech):
+        from repro.runtime.serving import InferenceServer
+
+        rng = np.random.default_rng(9)
+        session = PhotonicSession(technology=tech, grid=(4, 9))
+        with pytest.deprecated_call():
+            server = InferenceServer(rows=4, columns=9, technology=tech)
+        kernels = rng.normal(0.0, 1.0, (3, 3, 3))
+        image = rng.uniform(0.0, 1.0, (7, 7))
+        session_future = session.submit_conv(kernels, image)
+        server_ticket = server.submit_conv(kernels, image)
+        session.flush()
+        server.flush()
+        np.testing.assert_array_equal(session_future.value,
+                                      server_ticket.feature_maps)
+
+
+class TestDeployedModels:
+    def test_compile_rejects_non_models(self, session):
+        with pytest.raises(ConfigurationError, match="Model"):
+            session.compile(np.ones((2, 2)))
+
+    def test_mlp_endpoint_matches_photonic_mlp(self, tech):
+        X, y = gaussian_blobs(samples_per_class=10, classes=3, features=6,
+                              spread=0.5)
+        mlp = MLP(6, 4, 3)
+        mlp.train(X, y, epochs=5)
+        session = PhotonicSession(technology=tech, grid=(4, 6))
+        endpoint = session.compile(Model.from_mlp(mlp), calibration=X[:8],
+                                   label="blobs")
+        core = PhotonicTensorCore(rows=4, columns=6, technology=tech)
+        reference = PhotonicMLP(mlp, core, calibration_batch=X[:8], runtime=True)
+        outputs = endpoint.predict(X[:10])
+        np.testing.assert_allclose(outputs, reference.forward(X[:10]))
+
+    def test_conv_endpoint_matches_conv_layer(self, session, tech):
+        rng = np.random.default_rng(11)
+        kernels = rng.normal(0.0, 1.0, (2, 3, 3))
+        images = rng.uniform(0.0, 1.0, (3, 6, 6))
+        endpoint = session.compile(Model.sequential(Conv2d(kernels)))
+        core = PhotonicTensorCore(rows=4, columns=6, technology=tech)
+        reference = PhotonicConv2d(kernels, core, runtime=True)
+        np.testing.assert_allclose(endpoint.predict(images),
+                                   reference.forward_batch(images))
+
+    def test_submits_coalesce_and_futures_split(self, session):
+        rng = np.random.default_rng(12)
+        weights = rng.normal(0.0, 1.0, (3, 6))
+        endpoint = session.compile(Model.sequential(Dense(weights)))
+        first = endpoint.submit(rng.uniform(0.0, 1.0, (2, 6)))
+        second = endpoint.submit(rng.uniform(0.0, 1.0, (5, 6)))
+        assert session.pending == 2
+        session.flush()
+        assert first.value.shape == (2, 3)
+        assert second.value.shape == (5, 3)
+        assert first.report is second.report
+        assert first.report.requests == 2
+        # One coalesced evaluation, not one per submit.
+        assert first.report.batches == 1
+
+    def test_endpoint_input_validation(self, session):
+        rng = np.random.default_rng(13)
+        vector_model = session.compile(
+            Model.sequential(Dense(rng.normal(0.0, 1.0, (3, 6)))))
+        with pytest.raises(ConfigurationError, match="samples, features"):
+            vector_model.submit(np.ones(6))
+        image_model = session.compile(
+            Model.sequential(Conv2d(rng.normal(0.0, 1.0, (2, 3, 3)))))
+        with pytest.raises(ConfigurationError, match="image batch"):
+            image_model.submit(np.ones((6, 6)))
+
+    def test_calibration_feature_mismatch_raises(self, session):
+        rng = np.random.default_rng(14)
+        model = Model.sequential(Dense(rng.normal(0.0, 1.0, (3, 6))))
+        with pytest.raises(ConfigurationError, match="features"):
+            session.compile(model, calibration=np.ones((4, 5)))
+
+    def test_recompiled_model_hits_program_cache(self, session):
+        rng = np.random.default_rng(15)
+        model = Model.sequential(Dense(rng.normal(0.0, 1.0, (3, 6))))
+        session.compile(model)
+        spent_once = session.report().weight_energy_spent
+        assert spent_once > 0.0
+        session.compile(model)               # same quantized program
+        report = session.report()
+        assert report.weight_energy_spent == spent_once
+        assert report.weight_energy_saved == pytest.approx(spent_once)
+        assert report.cache_hits == 1
+
+    def test_model_conv_program_shared_with_conv_route(self, session):
+        """A compiled Conv2d layer and submit_conv of the same bank
+        share one cached differential program."""
+        rng = np.random.default_rng(16)
+        kernels = rng.normal(0.0, 1.0, (2, 3, 3))
+        session.compile(Model.sequential(Conv2d(kernels)))
+        assert session.tiled_cache.misses == 1
+        future = session.submit_conv(kernels, rng.uniform(0.0, 1.0, (5, 5)))
+        session.flush()
+        assert future.done
+        assert session.tiled_cache.hits == 1   # reused the model's program
+
+    def test_program_compiles_count_weight_streaming_time(self, session):
+        rng = np.random.default_rng(18)
+        session.submit(rng.integers(0, 8, (7, 9)), rng.uniform(0.0, 1.0, 9))
+        session.flush()
+        report = session.report()
+        # The tiled grid compile streamed weights: both the energy and
+        # the time ledgers move, and latency covers more than analog.
+        assert report.weight_energy_spent > 0.0
+        assert report.weight_time_spent > 0.0
+        assert report.total_latency > report.analog_time
+
+    def test_failed_flush_abandons_futures(self, session, monkeypatch):
+        rng = np.random.default_rng(19)
+        future = session.submit(rng.integers(0, 8, (7, 9)),
+                                rng.uniform(0.0, 1.0, 9))
+
+        def boom():
+            raise ValueError("injected flush failure")
+
+        monkeypatch.setattr(session.scheduler, "flush", boom)
+        with pytest.raises(ValueError, match="injected"):
+            session.flush()
+        monkeypatch.undo()
+        # The queue was cleared; the future must say so instead of
+        # suggesting a re-flush that can never resolve it.
+        assert future.abandoned and not future.done
+        with pytest.raises(PendingFlushError, match="re-submit"):
+            future.value
+        with pytest.raises(PendingFlushError, match="dropped"):
+            future.result()          # must not loop on a futile flush
+        # The session itself is not wedged: fresh requests still serve.
+        fresh = session.submit(rng.integers(0, 8, (4, 6)),
+                               rng.uniform(0.0, 1.0, 6))
+        assert len(fresh.result()) == 4
+
+    def test_model_accounting_reaches_report(self, session):
+        rng = np.random.default_rng(17)
+        endpoint = session.compile(
+            Model.sequential(Dense(rng.normal(0.0, 1.0, (3, 6))), ReLU(),
+                             Dense(rng.normal(0.0, 1.0, (2, 3)))))
+        endpoint.predict(rng.uniform(0.0, 1.0, (4, 6)))
+        report = session.report()
+        # Two differential dense layers: 2 passes x 4 samples each.
+        assert report.samples == 16
+        assert report.analog_time > 0.0 and report.analog_energy > 0.0
+        period = 1.0 / session.performance.sample_rate
+        assert report.analog_time == pytest.approx(16 * period)

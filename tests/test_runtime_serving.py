@@ -1,10 +1,10 @@
-"""Tests for the serving facade and traffic bench (repro.runtime.serving)."""
+"""Tests for the serving shims and traffic bench (repro.runtime.serving)."""
 
 import numpy as np
 import pytest
 
 from repro.core.tensor_core import PhotonicTensorCore
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PendingFlushError
 from repro.ml.convolution import PhotonicConv2d
 from repro.runtime.serving import (
     InferenceServer,
@@ -16,8 +16,9 @@ from repro.runtime.serving import (
 
 @pytest.fixture()
 def server(tech):
-    return InferenceServer(rows=4, columns=6, technology=tech,
-                           cache_capacity=4, max_batch=16)
+    with pytest.deprecated_call():
+        return InferenceServer(rows=4, columns=6, technology=tech,
+                               cache_capacity=4, max_batch=16)
 
 
 def test_native_shape_roundtrip(server, tech):
@@ -150,6 +151,12 @@ def test_unflushed_ticket_raises(server):
     for ticket in (native, tiled):
         with pytest.raises(ConfigurationError, match="not flushed"):
             ticket.estimates
+        # ... and it is a RuntimeError naming the pending flush, not a
+        # silent None (PendingFlushError subclasses both).
+        with pytest.raises(RuntimeError, match="flush #1"):
+            ticket.estimates
+        with pytest.raises(PendingFlushError, match="result\\(\\)"):
+            ticket.estimates
 
 
 def test_submit_validation(server):
@@ -162,7 +169,8 @@ def test_submit_validation(server):
 class TestConvRoute:
     @pytest.fixture()
     def conv_server(self, tech):
-        return InferenceServer(rows=4, columns=9, technology=tech)
+        with pytest.deprecated_call():
+            return InferenceServer(rows=4, columns=9, technology=tech)
 
     def test_conv_route_matches_runtime_conv_layer(self, conv_server, tech):
         rng = np.random.default_rng(21)
@@ -239,6 +247,57 @@ class TestConvRoute:
         with pytest.raises(ConfigurationError, match="not flushed"):
             ticket.feature_maps
         assert conv_server.flush() == 1 and ticket.done
+
+
+class TestSessionShims:
+    """The legacy surface must stay alive as thin shims over the one
+    front door (repro.api.PhotonicSession)."""
+
+    def test_inference_server_shims_onto_a_session(self, tech):
+        from repro.api import FlushPolicy, PhotonicSession
+
+        with pytest.deprecated_call():
+            server = InferenceServer(rows=4, columns=6, technology=tech)
+        assert isinstance(server.session, PhotonicSession)
+        # Delegated surfaces are the session's own objects, not copies.
+        assert server.scheduler is server.session.scheduler
+        assert server.tiled_cache is server.session.tiled_cache
+        assert server.technology is server.session.technology
+        assert (server.rows, server.columns) == (4, 6)
+        # Legacy semantics: nothing flushes until flush() is called.
+        assert server.session.flush_policy == FlushPolicy.explicit()
+
+    def test_server_ticket_wraps_a_future(self, server):
+        from repro.api import Future
+
+        rng = np.random.default_rng(51)
+        ticket = server.submit(rng.integers(0, 8, (4, 6)),
+                               rng.uniform(0.0, 1.0, 6))
+        assert isinstance(ticket.future, Future)
+        server.flush()
+        np.testing.assert_array_equal(ticket.estimates, ticket.future.value)
+
+    def test_conv_ticket_wraps_a_future(self, server, tech):
+        from repro.api import Future
+
+        rng = np.random.default_rng(52)
+        ticket = server.submit_conv(rng.normal(0.0, 1.0, (2, 3, 3)),
+                                    rng.uniform(0.0, 1.0, (5, 5)))
+        assert isinstance(ticket.future, Future)
+        assert ticket.shape == (2, 3, 3)
+        server.flush()
+        assert ticket.done
+        np.testing.assert_array_equal(ticket.feature_maps, ticket.future.value)
+
+    def test_shim_stats_equal_session_stats(self, server):
+        rng = np.random.default_rng(53)
+        server.submit(rng.integers(0, 8, (4, 6)), rng.uniform(0.0, 1.0, 6))
+        server.submit(rng.integers(0, 8, (7, 9)), rng.uniform(0.0, 1.0, 9))
+        server.flush()
+        shim = server.stats()
+        direct = server.session.server_stats()
+        assert shim.requests == direct.requests == 2
+        assert shim.total_energy == direct.total_energy
 
 
 def test_run_cnn_serve_bench_smoke(tech, capsys):
