@@ -19,7 +19,10 @@ The package rebuilds the paper's full stack in Python:
   weight-program cache, traffic bench).
 * :mod:`repro.api` — the one front door: :class:`PhotonicSession`,
   declarative :class:`Model` graphs, futures-based auto-flush serving
-  with pluggable :class:`FlushPolicy` and unified :class:`RunReport`.
+  with pluggable :class:`FlushPolicy` and unified :class:`RunReport`;
+  :class:`PhotonicCluster` scales it out over N core slots with routed
+  schedulers (:class:`RoutingPolicy`), per-request QoS and replicated
+  model endpoints rolled up in a :class:`ClusterReport`.
 * :mod:`repro.analysis` — linearity fits and bench reporting.
 
 Quickstart::
@@ -35,6 +38,7 @@ Quickstart::
 
 from .api import (
     AvgPool,
+    ClusterReport,
     Conv2d,
     Dense,
     DeployedModel,
@@ -42,8 +46,11 @@ from .api import (
     FlushPolicy,
     Future,
     Model,
+    PhotonicCluster,
     PhotonicSession,
     ReLU,
+    ReplicatedModel,
+    RoutingPolicy,
     RunReport,
 )
 from .config import Technology, default_technology
@@ -57,7 +64,7 @@ from .core import (
     TimeInterleavedEoAdc,
     VectorComputeCore,
 )
-from .errors import PendingFlushError, ReproError
+from .errors import ClusterSaturatedError, PendingFlushError, ReproError
 from .runtime import (
     BatchScheduler,
     CompiledCore,
@@ -71,6 +78,8 @@ __version__ = "1.1.0"
 __all__ = [
     "AvgPool",
     "BatchScheduler",
+    "ClusterReport",
+    "ClusterSaturatedError",
     "CompiledCore",
     "Conv2d",
     "default_technology",
@@ -84,12 +93,15 @@ __all__ = [
     "Model",
     "PendingFlushError",
     "PerformanceModel",
+    "PhotonicCluster",
     "PhotonicSession",
     "PhotonicTensorCore",
     "PsramArray",
     "PsramBitcell",
     "ReLU",
+    "ReplicatedModel",
     "ReproError",
+    "RoutingPolicy",
     "RunReport",
     "ShiftAddEoAdc",
     "Technology",

@@ -14,6 +14,13 @@ Commands:
 * ``serve-bench cnn [images]`` — replay a CNN feature-extraction
   stream (im2col convolutions of digit glyphs against a shared kernel
   bank) through the session's conv route.
+* ``serve-bench cluster [requests]`` — replay the multi-tenant trace
+  through :class:`repro.api.PhotonicCluster` fleets of 1/2/4 cores
+  under every routing policy and write ``BENCH_cluster.json`` to the
+  working directory.
+
+Every serve-bench scenario takes ``--seed N`` for a reproducible trace
+and ``--smoke`` for a fast CI-sized run.
 
 Also installed as the ``repro`` console script (``repro serve-bench``).
 """
@@ -21,6 +28,7 @@ Also installed as the ``repro`` console script (``repro serve-bench``).
 from __future__ import annotations
 
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -60,28 +68,67 @@ def _adc(argv: list[str]) -> None:
 
 
 def _serve_bench(argv: list[str]) -> int:
-    from .runtime.serving import run_cnn_serve_bench, run_serve_bench
+    from .runtime.serving import (
+        run_cluster_serve_bench,
+        run_cnn_serve_bench,
+        run_serve_bench,
+    )
 
-    if argv and argv[0] == "cnn":
+    args = list(argv)
+    smoke = "--smoke" in args
+    if smoke:
+        args.remove("--smoke")
+    seed = 2025
+    if "--seed" in args:
+        at = args.index("--seed")
+        if at + 1 >= len(args):
+            print("serve-bench --seed expects an integer value")
+            return 2
         try:
-            images = int(argv[1]) if len(argv) > 1 else 48
+            seed = int(args[at + 1])
         except ValueError:
-            print(f"serve-bench cnn expects an image count, got {argv[1]!r}")
+            print(f"serve-bench --seed expects an integer, got {args[at + 1]!r}")
+            return 2
+        if seed < 0:
+            print(f"serve-bench --seed must be >= 0, got {seed}")
+            return 2
+        del args[at : at + 2]
+
+    if args and args[0] == "cnn":
+        try:
+            images = int(args[1]) if len(args) > 1 else (8 if smoke else 48)
+        except ValueError:
+            print(f"serve-bench cnn expects an image count, got {args[1]!r}")
             return 2
         if images < 1:
             print(f"serve-bench cnn image count must be >= 1, got {images}")
             return 2
-        run_cnn_serve_bench(images=images)
+        run_cnn_serve_bench(images=images, seed=seed)
+        return 0
+    if args and args[0] == "cluster":
+        try:
+            requests = int(args[1]) if len(args) > 1 else (24 if smoke else 240)
+        except ValueError:
+            print(f"serve-bench cluster expects a request count, got {args[1]!r}")
+            return 2
+        if requests < 1:
+            print(f"serve-bench cluster request count must be >= 1, got {requests}")
+            return 2
+        run_cluster_serve_bench(
+            requests=requests,
+            seed=seed,
+            json_path=Path.cwd() / "BENCH_cluster.json",
+        )
         return 0
     try:
-        requests = int(argv[0]) if argv else 240
+        requests = int(args[0]) if args else (24 if smoke else 240)
     except ValueError:
-        print(f"serve-bench expects a request count, got {argv[0]!r}")
+        print(f"serve-bench expects a request count, got {args[0]!r}")
         return 2
     if requests < 0:
         print(f"serve-bench request count must be >= 0, got {requests}")
         return 2
-    run_serve_bench(requests=requests)
+    run_serve_bench(requests=requests, seed=seed)
     return 0
 
 

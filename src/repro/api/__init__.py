@@ -6,6 +6,12 @@ Everything a caller needs lives behind one object graph:
   scheduler, the shared weight-program cache, the ADC ladder memo and
   the flush policy.  Raw requests go through ``submit`` /
   ``submit_conv``; declarative models deploy through ``compile``.
+* :class:`PhotonicCluster` — the scale-out front door: N session
+  core slots behind the same surface, a pluggable
+  :class:`RoutingPolicy` (round-robin / least-loaded / cache-affinity),
+  per-request QoS (``priority=``, ``max_pending`` admission shedding),
+  model replication (``compile(..., replicas=k)`` →
+  :class:`ReplicatedModel`) and an aggregated :class:`ClusterReport`.
 * :class:`Model` + layer specs (:class:`Dense`, :class:`Conv2d`,
   :class:`ReLU`, :class:`AvgPool`, :class:`Flatten`) — a pure
   description of a feed-forward network, with :meth:`Model.from_mlp` /
@@ -29,13 +35,16 @@ Quickstart::
     print(future.report)              # unified RunReport of that flush
 """
 
+from .cluster import ClusterReport, PhotonicCluster, ReplicatedModel
 from .futures import Future, RunReport
 from .graph import AvgPool, Conv2d, Dense, Flatten, Model, ReLU
 from .policy import FlushPolicy
+from .routing import RoutingPolicy
 from .session import CompiledStage, DeployedModel, PhotonicSession
 
 __all__ = [
     "AvgPool",
+    "ClusterReport",
     "CompiledStage",
     "Conv2d",
     "Dense",
@@ -44,7 +53,10 @@ __all__ = [
     "FlushPolicy",
     "Future",
     "Model",
+    "PhotonicCluster",
     "PhotonicSession",
     "ReLU",
+    "ReplicatedModel",
+    "RoutingPolicy",
     "RunReport",
 ]

@@ -1,0 +1,492 @@
+"""Scaling the front door: a fleet of core slots behind one API.
+
+The paper pitches the pSRAM tensor core as a tileable building block —
+throughput scales by instantiating more cores, not by pushing one core
+harder.  :class:`PhotonicCluster` is that scale-out step for the
+serving API: it owns **N** :class:`~repro.api.PhotonicSession` core
+slots (each a full session — its own
+:class:`~repro.runtime.scheduler.BatchScheduler`, LRU program caches
+and ADC ladder memo) behind the same ``submit`` / ``submit_conv`` /
+``compile`` → :class:`~repro.api.futures.Future` surface, so
+single-core code is just ``PhotonicCluster(cores=1)`` and the existing
+:class:`PhotonicSession` remains the 1-core specialization.
+
+On top of the per-core sessions the cluster adds:
+
+* a pluggable :class:`~repro.api.routing.RoutingPolicy` (round-robin /
+  least-loaded / cache-affinity consistent hashing of weight-program
+  keys) deciding which slot each routed request lands on;
+* per-request QoS — ``priority=`` on every submit route orders which
+  cores flush first, and admission control (``max_pending``) sheds
+  best-effort traffic with a typed
+  :class:`~repro.errors.ClusterSaturatedError` once the fleet backlog
+  hits the cap (positive-priority requests bypass the shed gate);
+* :meth:`compile` with ``replicas=k`` — one model deployed onto k
+  distinct cores, batches fanned out round-robin across the replicas
+  with each session's per-stage analog accounting intact;
+* :meth:`report` — a :class:`ClusterReport` rolling the per-core
+  :class:`~repro.api.futures.RunReport` records into fleet totals plus
+  per-core utilization and imbalance statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import Technology
+from ..errors import ClusterSaturatedError, ConfigurationError
+from ..runtime.engine import weight_key
+from .futures import Future, RunReport
+from .graph import Model
+from .policy import FlushPolicy
+from .routing import RoutingPolicy
+from .session import DeployedModel, PhotonicSession
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Fleet-level accounting: per-core reports rolled into totals.
+
+    ``total`` is the element-wise sum of ``per_core`` (see
+    :meth:`RunReport.combined`); ``routed`` counts the requests the
+    cluster steered to each core and ``shed`` the requests admission
+    control rejected.  On a one-core cluster ``total`` equals that
+    core's session report bit for bit.
+    """
+
+    cores: int
+    routing: str
+    total: RunReport
+    per_core: tuple[RunReport, ...]
+    #: Requests routed through the cluster to each core, in core order.
+    routed: tuple[int, ...]
+    #: Requests rejected by admission control (ClusterSaturatedError).
+    shed: int
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Aggregate program-cache hit rate across the fleet."""
+        return self.total.cache_hit_rate
+
+    @property
+    def utilization(self) -> tuple[float, ...]:
+        """Each core's share of the fleet's ADC sample slots (sums to
+        1.0 when any analog work ran; all zeros otherwise)."""
+        if self.total.samples == 0:
+            return tuple(0.0 for _ in self.per_core)
+        return tuple(
+            report.samples / self.total.samples for report in self.per_core
+        )
+
+    @property
+    def fleet_latency(self) -> float:
+        """Modelled serving time [s] of the whole fleet: cores run
+        concurrently, so the slowest core's weight-streaming + analog
+        total is the makespan (one core in → that core's latency)."""
+        return max(report.total_latency for report in self.per_core)
+
+    @property
+    def imbalance(self) -> float:
+        """Hottest core over the fleet mean, in ADC samples (1.0 =
+        perfectly balanced; ``cores`` = everything on one core)."""
+        if self.total.samples == 0:
+            return 1.0
+        mean = self.total.samples / self.cores
+        return max(report.samples for report in self.per_core) / mean
+
+    def lines(self) -> list[str]:
+        lines = [
+            f"cluster of {self.cores} cores, routing {self.routing}: "
+            f"{self.total.requests} requests "
+            f"({self.shed} shed by admission control)"
+        ]
+        lines.extend(self.total.lines()[1:])
+        for index, (report, share) in enumerate(
+            zip(self.per_core, self.utilization)
+        ):
+            lines.append(
+                f"core {index}            : {self.routed[index]} routed, "
+                f"{report.samples} samples ({share:.0%} of fleet), "
+                f"{report.cache_hits}/{report.cache_hits + report.cache_misses} "
+                f"cache hits"
+            )
+        lines.append(f"imbalance         : {self.imbalance:.2f}x fleet mean")
+        return lines
+
+    def __str__(self) -> str:
+        return "\n".join(self.lines())
+
+
+class ReplicatedModel:
+    """One model deployed onto ``k`` distinct cores of a cluster.
+
+    ``submit(batch)`` fans whole batches out round-robin across the
+    replica endpoints (a batch stays on one replica so it coalesces
+    into that core's dense evaluation and its per-stage analog
+    accounting lands on that core's ledger); ``predict`` (also
+    ``__call__``) is the blocking convenience.
+    """
+
+    def __init__(
+        self,
+        cluster: "PhotonicCluster",
+        endpoints: tuple[DeployedModel, ...],
+        core_indices: tuple[int, ...],
+        label: str,
+    ) -> None:
+        self._cluster = cluster
+        self._endpoints = endpoints
+        self._core_indices = core_indices
+        self.label = label
+        self._cursor = 0
+
+    @property
+    def model(self) -> Model:
+        return self._endpoints[0].model
+
+    @property
+    def replicas(self) -> int:
+        return len(self._endpoints)
+
+    @property
+    def endpoints(self) -> tuple[DeployedModel, ...]:
+        """The per-core :class:`DeployedModel` endpoints, in placement
+        order (their ``session`` attributes name the backing cores)."""
+        return self._endpoints
+
+    @property
+    def core_indices(self) -> tuple[int, ...]:
+        """Which cluster core each replica endpoint lives on."""
+        return self._core_indices
+
+    def submit(self, batch, priority: int = 0) -> Future:
+        """Queue one forward pass on the next replica in rotation."""
+        priority = self._cluster._admit(priority)
+        slot = self._cursor % len(self._endpoints)
+        future = self._endpoints[slot].submit(batch)
+        # Only a successfully queued batch advances the rotation and
+        # the cluster bookkeeping — a rejected batch routes nowhere.
+        self._cursor += 1
+        self._cluster._note_routed(self._core_indices[slot], priority)
+        return future
+
+    def predict(self, batch, priority: int = 0) -> np.ndarray:
+        """Blocking forward: submit + :meth:`Future.result`."""
+        return self.submit(batch, priority=priority).result()
+
+    __call__ = predict
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReplicatedModel '{self.label}': {self.replicas} replicas "
+            f"on cores {list(self._core_indices)}>"
+        )
+
+
+class PhotonicCluster:
+    """N session-backed core slots behind the single-session surface.
+
+    Construction mirrors :class:`~repro.api.PhotonicSession` (every
+    per-core knob passes straight through to the slots) plus the fleet
+    knobs: ``cores``, ``routing`` (a
+    :class:`~repro.api.routing.RoutingPolicy`; default round-robin) and
+    ``max_pending`` (fleet-wide admission cap; None = never shed).
+    """
+
+    def __init__(
+        self,
+        cores: int = 1,
+        technology: Technology | None = None,
+        grid: tuple[int, int] | None = None,
+        rows: int | None = None,
+        columns: int | None = None,
+        weight_bits: int | None = None,
+        adc_bits: int | None = None,
+        cache_capacity: int = 8,
+        tiled_cache_capacity: int = 4,
+        max_batch: int = 256,
+        flush_policy: FlushPolicy | None = None,
+        routing: RoutingPolicy | None = None,
+        max_pending: int | None = None,
+    ) -> None:
+        if not isinstance(cores, (int, np.integer)) or cores < 1:
+            raise ConfigurationError(f"a cluster needs cores >= 1, got {cores!r}")
+        if max_pending is not None and max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1 (or None to never shed), "
+                f"got {max_pending}"
+            )
+        if routing is not None and not isinstance(routing, RoutingPolicy):
+            raise ConfigurationError(
+                f"routing must be a RoutingPolicy, got {type(routing).__name__}"
+            )
+        self.routing = routing if routing is not None else RoutingPolicy.round_robin()
+        self.max_pending = max_pending
+        self._sessions = tuple(
+            PhotonicSession(
+                technology=technology,
+                grid=grid,
+                rows=rows,
+                columns=columns,
+                weight_bits=weight_bits,
+                adc_bits=adc_bits,
+                cache_capacity=cache_capacity,
+                tiled_cache_capacity=tiled_cache_capacity,
+                max_batch=max_batch,
+                flush_policy=flush_policy,
+            )
+            for _ in range(int(cores))
+        )
+        self._cursor = 0
+        self._routed = [0] * int(cores)
+        self._shed = 0
+        #: Highest priority admitted per core since its last fleet flush
+        #: (None = only default traffic); orders flush() across cores.
+        self._pending_priority: list[int | None] = [None] * int(cores)
+        self._replicated: list[ReplicatedModel] = []
+
+    # -- fleet geometry ------------------------------------------------------
+    @property
+    def cores(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def sessions(self) -> tuple[PhotonicSession, ...]:
+        """The per-core sessions, in core-index order."""
+        return self._sessions
+
+    @property
+    def technology(self):
+        return self._sessions[0].technology
+
+    @property
+    def flush_policy(self) -> FlushPolicy:
+        """The per-core flush policy (every slot shares one)."""
+        return self._sessions[0].flush_policy
+
+    @property
+    def rows(self) -> int:
+        return self._sessions[0].rows
+
+    @property
+    def columns(self) -> int:
+        return self._sessions[0].columns
+
+    @property
+    def pending(self) -> int:
+        """Fleet-wide requests submitted but not yet flushed."""
+        return sum(session.pending for session in self._sessions)
+
+    @property
+    def flushes(self) -> int:
+        """Total completed flushes across the fleet."""
+        return sum(session.flushes for session in self._sessions)
+
+    @property
+    def models(self) -> tuple[ReplicatedModel, ...]:
+        """Deployed replicated models, in compile order."""
+        return tuple(self._replicated)
+
+    # -- QoS -----------------------------------------------------------------
+    @staticmethod
+    def _validated_priority(priority) -> int:
+        if not isinstance(priority, (int, np.integer)) or isinstance(priority, bool):
+            raise ConfigurationError(
+                f"priority must be an integer (0 = best-effort, higher "
+                f"flushes first and bypasses shedding), got {priority!r}"
+            )
+        return int(priority)
+
+    def _admit(self, priority: int) -> int:
+        """Admission control: once ``max_pending`` requests are queued
+        fleet-wide, best-effort traffic (priority <= 0) is shed with a
+        :class:`ClusterSaturatedError`; positive priority bypasses."""
+        priority = self._validated_priority(priority)
+        if (
+            self.max_pending is not None
+            and priority <= 0
+            and self.pending >= self.max_pending
+        ):
+            self._shed += 1
+            raise ClusterSaturatedError(
+                f"cluster saturated: {self.pending} requests pending >= "
+                f"max_pending={self.max_pending}; flush()/poll() to drain, "
+                "raise max_pending, or submit with priority > 0 to bypass"
+            )
+        return priority
+
+    def _note_routed(self, core: int, priority: int) -> None:
+        """Bookkeeping for one *successfully queued* request (call
+        after the session accepted it, so a rejected submit neither
+        counts as routed nor pins a phantom priority)."""
+        self._routed[core] += 1
+        if self._sessions[core].pending == 0:
+            # The submit tripped the core's own flush policy and the
+            # request already resolved: nothing pending to prioritize.
+            self._pending_priority[core] = None
+            return
+        current = self._pending_priority[core]
+        if current is None or priority > current:
+            self._pending_priority[core] = priority
+
+    # -- routed request paths ------------------------------------------------
+    def _route(self, key_factory) -> int:
+        """Pick the core for one request.  ``key_factory`` builds the
+        weight-program routing key; it is only invoked when the policy
+        actually hashes keys, so round-robin/least-loaded never pay the
+        program serialization."""
+        if self.cores == 1:
+            index = 0
+        else:
+            if self.routing.needs_loads:
+                loads = [session.pending for session in self._sessions]
+            else:
+                loads = [0] * self.cores      # only the length is read
+            key = key_factory() if self.routing.needs_key else None
+            index = self.routing.select(key, loads, self._cursor)
+        self._cursor += 1
+        return index
+
+    def submit(
+        self, weights, x, gain: float | str | None = None, priority: int = 0
+    ) -> Future:
+        """Queue one W @ x request on the core the routing policy
+        picks; returns that core's :class:`Future`.  ``gain`` follows
+        the session semantics; ``priority`` orders the fleet flush and
+        (if positive) bypasses admission shedding."""
+        priority = self._admit(priority)
+        index = self._route(
+            lambda: b"dense-route:" + weight_key(np.asarray(weights))
+        )
+        future = self._sessions[index].submit(weights, x, gain=gain)
+        self._note_routed(index, priority)
+        return future
+
+    def _conv_route_key(self, kernels) -> bytes:
+        """Routing key of a conv program: the *quantized* differential
+        rows, matching what the session caches on — float banks that
+        quantize to one program must land on one core."""
+        from ..core.quantization import quantize_weights_differential
+        from ..ml.convolution import normalize_kernel_bank
+
+        bank = normalize_kernel_bank(kernels)
+        q_positive, q_negative, _ = quantize_weights_differential(
+            bank.reshape(bank.shape[0], -1),
+            self._sessions[0].core.weight_bits,
+        )
+        return b"conv-route:" + weight_key(
+            np.concatenate([q_positive, q_negative])
+        )
+
+    def submit_conv(
+        self,
+        kernels,
+        image,
+        stride: int = 1,
+        gain: float | None = None,
+        priority: int = 0,
+    ) -> Future:
+        """Queue one im2col convolution on the routed core; the routing
+        key is the quantized differential program, so one program's
+        traffic shares one core's cache under cache-affinity."""
+        priority = self._admit(priority)
+        index = self._route(lambda: self._conv_route_key(kernels))
+        future = self._sessions[index].submit_conv(
+            kernels, image, stride=stride, gain=gain
+        )
+        self._note_routed(index, priority)
+        return future
+
+    # -- replicated model endpoints ------------------------------------------
+    def compile(
+        self,
+        model: Model,
+        calibration: np.ndarray | None = None,
+        label: str | None = None,
+        replicas: int = 1,
+    ) -> ReplicatedModel:
+        """Deploy a declarative :class:`Model` onto ``replicas``
+        distinct cores (least-populated cores first) and fan submitted
+        batches across them; see :class:`ReplicatedModel`."""
+        if not isinstance(replicas, (int, np.integer)) or replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {replicas!r}")
+        if replicas > self.cores:
+            raise ConfigurationError(
+                f"cannot place {replicas} replicas on {self.cores} cores; "
+                "each replica needs its own core"
+            )
+        label = label if label is not None else f"model-{len(self._replicated)}"
+        placement = sorted(
+            range(self.cores),
+            key=lambda index: (
+                len(self._sessions[index].endpoints),
+                self._sessions[index].pending,
+                index,
+            ),
+        )[: int(replicas)]
+        endpoints = tuple(
+            self._sessions[index].compile(
+                model, calibration=calibration, label=f"{label}@core{index}"
+            )
+            for index in placement
+        )
+        replicated = ReplicatedModel(self, endpoints, tuple(placement), label)
+        self._replicated.append(replicated)
+        return replicated
+
+    # -- flush / poll --------------------------------------------------------
+    def _flush_order(self) -> list[int]:
+        """Cores ordered for flushing: highest admitted priority first,
+        core index breaking ties (best-effort-only cores last)."""
+        return sorted(
+            range(self.cores),
+            key=lambda index: (
+                -(
+                    self._pending_priority[index]
+                    if self._pending_priority[index] is not None
+                    else float("-inf")
+                ),
+                index,
+            ),
+        )
+
+    def flush(self) -> int:
+        """Flush every core (priority order); returns resolved count."""
+        resolved = 0
+        for index in self._flush_order():
+            resolved += self._sessions[index].flush()
+            self._pending_priority[index] = None
+        return resolved
+
+    def poll(self) -> int:
+        """Re-check every core's flush-policy deadline (the cluster
+        twin of :meth:`PhotonicSession.poll`); returns resolved count."""
+        resolved = 0
+        for index in self._flush_order():
+            resolved += self._sessions[index].poll()
+            if self._sessions[index].pending == 0:
+                self._pending_priority[index] = None
+        return resolved
+
+    # -- reporting -----------------------------------------------------------
+    def report(self) -> ClusterReport:
+        """Cumulative fleet accounting: per-core RunReports plus their
+        rolled-up totals, routing spread and shed count."""
+        per_core = tuple(session.report() for session in self._sessions)
+        return ClusterReport(
+            cores=self.cores,
+            routing=self.routing.describe(),
+            total=RunReport.combined(per_core),
+            per_core=per_core,
+            routed=tuple(self._routed),
+            shed=self._shed,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<PhotonicCluster {self.cores} x {self.rows}x{self.columns} "
+            f"cores, routing {self.routing.describe()}, "
+            f"{self.pending} pending>"
+        )

@@ -53,6 +53,30 @@ class RunReport:
     analog_time: float
     analog_energy: float
 
+    @classmethod
+    def combined(cls, reports) -> "RunReport":
+        """Sum a sequence of reports into one fleet-level record.
+
+        Every counter and ledger is additive across independent cores;
+        ``flush_index`` sums too, becoming the total flush count of the
+        covered fleet (one core in → that core's report back out).
+        """
+        reports = list(reports)
+        return cls(
+            flush_index=sum(report.flush_index for report in reports),
+            requests=sum(report.requests for report in reports),
+            batches=sum(report.batches for report in reports),
+            samples=sum(report.samples for report in reports),
+            cache_hits=sum(report.cache_hits for report in reports),
+            cache_misses=sum(report.cache_misses for report in reports),
+            cache_evictions=sum(report.cache_evictions for report in reports),
+            weight_energy_spent=sum(r.weight_energy_spent for r in reports),
+            weight_energy_saved=sum(r.weight_energy_saved for r in reports),
+            weight_time_spent=sum(r.weight_time_spent for r in reports),
+            analog_time=sum(report.analog_time for report in reports),
+            analog_energy=sum(report.analog_energy for report in reports),
+        )
+
     @property
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses

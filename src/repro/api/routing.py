@@ -1,0 +1,113 @@
+"""Pluggable routing policies: which core slot serves a request?
+
+A :class:`~repro.api.cluster.PhotonicCluster` owns N core slots, each a
+full :class:`~repro.api.PhotonicSession` (its own scheduler, program
+caches and ladder memo).  A :class:`RoutingPolicy` decides which slot a
+routed request lands on — the cluster-level twin of
+:class:`~repro.api.policy.FlushPolicy`:
+
+* :meth:`RoutingPolicy.round_robin` — cycle through the cores in
+  submit order; perfectly even request spread, blind to weight reuse.
+* :meth:`RoutingPolicy.least_loaded` — send each request to the core
+  with the fewest pending requests (ties break to the lowest index),
+  reading the same load signal
+  :class:`~repro.runtime.scheduler.SchedulerStats` snapshots as
+  ``pending``.
+* :meth:`RoutingPolicy.cache_affinity` — consistent-hash the request's
+  weight-program key onto the fleet, so every request for one weight
+  program lands on one core: hot programs stay resident in that core's
+  LRU caches and the pSRAM streaming energy is paid once per program
+  instead of once per (program, core).
+
+Policies are pure deciders: :meth:`select` maps (routing key, per-core
+loads, round-robin cursor) to a core index and keeps no state — the
+cluster owns the cursor, so one policy object can be shared.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+#: The recognised policy kinds, in documentation order.
+ROUTING_KINDS = ("round_robin", "least_loaded", "cache_affinity")
+
+
+@dataclass(frozen=True)
+class RoutingPolicy:
+    """How a cluster spreads requests over its cores; see the module
+    docstring.  Build with the named constructors."""
+
+    kind: str = "round_robin"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ROUTING_KINDS:
+            raise ConfigurationError(
+                f"unknown routing policy {self.kind!r}; "
+                f"choose from {list(ROUTING_KINDS)}"
+            )
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def round_robin(cls) -> "RoutingPolicy":
+        """Cycle through the cores in submit order."""
+        return cls(kind="round_robin")
+
+    @classmethod
+    def least_loaded(cls) -> "RoutingPolicy":
+        """Route to the core with the fewest pending requests."""
+        return cls(kind="least_loaded")
+
+    @classmethod
+    def cache_affinity(cls) -> "RoutingPolicy":
+        """Consistent-hash weight-program keys onto cores so hot
+        programs stay cache-resident on one core."""
+        return cls(kind="cache_affinity")
+
+    # -- decision ------------------------------------------------------------
+    @property
+    def needs_key(self) -> bool:
+        """Whether :meth:`select` reads the routing key — lets callers
+        skip serializing a weight program the policy would ignore."""
+        return self.kind == "cache_affinity"
+
+    @property
+    def needs_loads(self) -> bool:
+        """Whether :meth:`select` reads the load values (every policy
+        still needs the list's *length* for the fleet size)."""
+        return self.kind == "least_loaded"
+
+    @staticmethod
+    def _hash_slot(key: bytes, cores: int) -> int:
+        """Stable hash of a program key onto ``cores`` slots.  blake2b
+        rather than ``hash()``: Python string hashing is salted per
+        process, and affinity must survive restarts so a replayed trace
+        lands on the same cores."""
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return int.from_bytes(digest, "big") % cores
+
+    def select(self, key: bytes | None, loads: Sequence[int], cursor: int) -> int:
+        """The core index for one request.
+
+        ``key`` is the request's weight-program routing key (None for
+        traffic with no program identity, which falls back to the
+        round-robin cursor under every policy), ``loads`` the per-core
+        pending request counts, ``cursor`` the cluster's monotonically
+        increasing submit counter.
+        """
+        cores = len(loads)
+        if cores < 1:
+            raise ConfigurationError("routing needs at least one core")
+        if cores == 1:
+            return 0
+        if self.kind == "least_loaded":
+            return min(range(cores), key=lambda index: (loads[index], index))
+        if self.kind == "cache_affinity" and key is not None:
+            return self._hash_slot(key, cores)
+        return cursor % cores
+
+    def describe(self) -> str:
+        return self.kind

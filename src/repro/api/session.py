@@ -579,6 +579,22 @@ class PhotonicSession:
         if self.flush_policy.should_flush(self.pending, now - self._oldest_pending):
             self.flush()
 
+    def poll(self) -> int:
+        """Re-check the flush policy's deadline without submitting.
+
+        ``max_delay`` deadlines are otherwise only evaluated inside
+        submit/result calls, so a lone queued request could sit past
+        its deadline until the next API call arrives.  Event loops call
+        this periodically; it flushes if the policy has tripped and
+        returns the resolved count (0 when nothing was due).
+        """
+        if self._oldest_pending is None:
+            return 0
+        age = time.monotonic() - self._oldest_pending
+        if self.flush_policy.should_flush(self.pending, age):
+            return self.flush()
+        return 0
+
     def flush(self) -> int:
         """Evaluate every pending request; returns resolved count."""
         resolved_futures: list[Future] = []

@@ -28,6 +28,19 @@ class PendingFlushError(ConfigurationError, RuntimeError):
     """
 
 
+class ClusterSaturatedError(ReproError, RuntimeError):
+    """A cluster shed a request at admission control.
+
+    Raised by :class:`repro.api.PhotonicCluster` when ``max_pending``
+    requests are already queued across the fleet and the new request's
+    priority does not grant it bypass.  Doubles as a
+    :class:`RuntimeError` (saturation is a load condition, not a
+    configuration one) while staying catchable via the package-wide
+    :class:`ReproError` handler.  The message names the limit and the
+    calls that drain the backlog.
+    """
+
+
 class PhotonicsError(ReproError):
     """A photonic component or network was used incorrectly."""
 

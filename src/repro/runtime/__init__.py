@@ -38,6 +38,7 @@ from .serving import (
     InferenceServer,
     ServerStats,
     ServerTicket,
+    run_cluster_serve_bench,
     run_cnn_serve_bench,
     run_serve_bench,
     synthetic_trace,
@@ -53,6 +54,7 @@ __all__ = [
     "ConvTicket",
     "DifferentialProgram",
     "InferenceServer",
+    "run_cluster_serve_bench",
     "run_cnn_serve_bench",
     "run_serve_bench",
     "SchedulerStats",

@@ -124,6 +124,9 @@ class SchedulerStats:
     flushed: int = 0
     batches: int = 0
     max_batch: int = 0
+    #: Requests queued but not yet flushed at snapshot time — the
+    #: per-core load signal least-loaded cluster routing reads.
+    pending: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
@@ -316,4 +319,4 @@ class BatchScheduler:
 
     def stats(self) -> SchedulerStats:
         """Detached snapshot of the accounting so far."""
-        return dataclasses.replace(self._stats)
+        return dataclasses.replace(self._stats, pending=self.pending)

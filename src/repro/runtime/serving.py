@@ -20,6 +20,9 @@ seed-era surface alive as thin deprecation shims:
 :func:`run_serve_bench` and :func:`run_cnn_serve_bench` now drive a
 :class:`~repro.api.PhotonicSession` directly, with a ``max_batch``
 flush policy standing in for the old hand-placed ``flush()`` calls.
+:func:`run_cluster_serve_bench` replays the same trace through
+:class:`~repro.api.PhotonicCluster` fleets of 1/2/4 cores under every
+routing policy and emits ``BENCH_cluster.json``.
 """
 
 from __future__ import annotations
@@ -43,7 +46,16 @@ from .tiling import DifferentialProgram
 ConvProgram = DifferentialProgram
 
 
+#: Shim names that already announced their deprecation this process.
+#: Each legacy surface warns exactly once — traffic through a shim must
+#: not drown the log in one warning per request.
+_WARNED: set[str] = set()
+
+
 def _deprecated(old: str, new: str) -> None:
+    if old in _WARNED:
+        return
+    _WARNED.add(old)
     warnings.warn(
         f"{old} is deprecated; use {new} instead",
         DeprecationWarning,
@@ -57,6 +69,7 @@ class ServerTicket:
     __slots__ = ("_future",)
 
     def __init__(self, future) -> None:
+        _deprecated("ServerTicket", "repro.api.Future")
         self._future = future
 
     @property
@@ -81,6 +94,7 @@ class ConvTicket:
     __slots__ = ("_future",)
 
     def __init__(self, future) -> None:
+        _deprecated("ConvTicket", "repro.api.Future")
         self._future = future
 
     @property
@@ -363,6 +377,137 @@ def run_serve_bench(
         f"analog latency    : {summary['analog_latency_us']:.3f} us modelled "
         f"({summary['analog_energy_nj']:.2f} nJ, both paths)",
     ]
+    print_fn("\n".join(lines))
+    return summary
+
+
+#: Routing policies the cluster bench sweeps, in report order.
+CLUSTER_BENCH_POLICIES = ("round_robin", "least_loaded", "cache_affinity")
+
+
+def run_cluster_serve_bench(
+    requests: int = 240,
+    cores_sweep: tuple[int, ...] = (1, 2, 4),
+    rows: int = 8,
+    columns: int = 8,
+    flush_every: int = 32,
+    cache_capacity: int = 4,
+    seed: int = 2025,
+    json_path=None,
+    print_fn=print,
+) -> dict:
+    """Replay the multi-tenant trace through clusters of 1/2/4 cores.
+
+    Every (core count, routing policy) pair replays the *same*
+    Zipf-skewed :func:`synthetic_trace` through a
+    :class:`~repro.api.PhotonicCluster`, so the sweep isolates what
+    routing does to the fleet: ``cache_affinity`` pins each tenant's
+    weight program to one core (misses stay ~one per program),
+    ``round_robin`` recompiles every hot program on every core.
+    Prints a per-configuration table and returns the summary dict;
+    ``json_path`` additionally writes it (the ``serve-bench cluster``
+    CLI and ``benchmarks/bench_cluster_scaling.py`` both point it at
+    ``BENCH_cluster.json``).
+    """
+    from ..api.cluster import PhotonicCluster
+    from ..api.policy import FlushPolicy
+    from ..api.routing import RoutingPolicy
+
+    if flush_every < 1:
+        raise ConfigurationError(f"flush interval must be >= 1, got {flush_every}")
+    if not cores_sweep or any(cores < 1 for cores in cores_sweep):
+        raise ConfigurationError(
+            f"cores_sweep needs positive core counts, got {cores_sweep!r}"
+        )
+    trace = list(
+        synthetic_trace(requests=requests, rows=rows, columns=columns, seed=seed)
+    )
+    sweep = []
+    table_rows = []
+    for cores in cores_sweep:
+        policies = {}
+        for policy_name in CLUSTER_BENCH_POLICIES:
+            cluster = PhotonicCluster(
+                cores=cores,
+                grid=(rows, columns),
+                cache_capacity=cache_capacity,
+                max_batch=flush_every,
+                flush_policy=FlushPolicy.max_batch(flush_every),
+                routing=RoutingPolicy(kind=policy_name),
+            )
+            futures = []
+            started = time.perf_counter()
+            for _, weights, x in trace:
+                futures.append(cluster.submit(weights, x))
+            cluster.flush()
+            elapsed = time.perf_counter() - started
+            if not all(future.done for future in futures):
+                raise ConfigurationError(
+                    "cluster serve bench left unresolved futures"
+                )
+            report = cluster.report()
+            fleet_latency = report.fleet_latency
+            policies[policy_name] = {
+                "elapsed_s": elapsed,
+                "throughput_per_s": requests / elapsed if elapsed > 0 else float("inf"),
+                # Cores digitize concurrently: the modelled fleet
+                # makespan is the slowest core's latency, so this is
+                # the number that scales with the core count.
+                "modeled_throughput_per_s": (
+                    requests / fleet_latency if fleet_latency > 0 else float("inf")
+                ),
+                "fleet_latency_us": fleet_latency * 1e6,
+                "flushes": cluster.flushes,
+                "cache_hits": report.total.cache_hits,
+                "cache_misses": report.total.cache_misses,
+                "cache_hit_rate": report.cache_hit_rate,
+                "cache_evictions": report.total.cache_evictions,
+                "weight_energy_spent_pj": report.total.weight_energy_spent * 1e12,
+                "weight_energy_saved_pj": report.total.weight_energy_saved * 1e12,
+                "routed": list(report.routed),
+                "utilization": list(report.utilization),
+                "imbalance": report.imbalance,
+            }
+            table_rows.append(
+                f"{cores:>5}  {policy_name:<15} "
+                f"{policies[policy_name]['throughput_per_s']:>12,.0f}  "
+                f"{policies[policy_name]['modeled_throughput_per_s']:>14,.3g}  "
+                f"{policies[policy_name]['cache_hit_rate']:>7.0%}  "
+                f"{policies[policy_name]['cache_evictions']:>9}  "
+                f"{policies[policy_name]['imbalance']:>8.2f}x"
+            )
+        sweep.append(
+            {
+                "cores": cores,
+                # The headline scaling number rides the affinity policy
+                # (the recommended default for skewed tenant traffic).
+                "throughput_per_s": policies["cache_affinity"]["throughput_per_s"],
+                "policies": policies,
+            }
+        )
+    summary = {
+        "requests": requests,
+        "grid": [rows, columns],
+        "flush_every": flush_every,
+        "seed": seed,
+        "cores_sweep": list(cores_sweep),
+        "sweep": sweep,
+    }
+    if json_path is not None:
+        import json
+        from pathlib import Path
+
+        Path(json_path).write_text(json.dumps(summary, indent=2) + "\n")
+    lines = [
+        f"cluster serve-bench: {requests} requests on {rows} x {columns} "
+        f"tiles (flush policy max_batch={flush_every}, seed {seed})",
+        f"{'cores':>5}  {'routing':<15} {'inferences/s':>12}  "
+        f"{'modelled inf/s':>14}  {'hit rate':>8}  {'evictions':>9}  "
+        f"{'imbalance':>9}",
+        *table_rows,
+    ]
+    if json_path is not None:
+        lines.append(f"summary written to: {json_path}")
     print_fn("\n".join(lines))
     return summary
 

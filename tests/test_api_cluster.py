@@ -1,0 +1,488 @@
+"""Tests for the scale-out front door (repro.api.cluster): routed
+multi-core clusters, QoS admission control, replicated model
+endpoints and the aggregated ClusterReport."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ClusterReport,
+    Conv2d,
+    Dense,
+    FlushPolicy,
+    Model,
+    PhotonicCluster,
+    PhotonicSession,
+    ReLU,
+    ReplicatedModel,
+    RoutingPolicy,
+    RunReport,
+)
+from repro.errors import ClusterSaturatedError, ConfigurationError
+from repro.runtime.serving import synthetic_trace
+
+
+@pytest.fixture()
+def pair(tech):
+    """A 2-core round-robin cluster on small tiles."""
+    return PhotonicCluster(cores=2, technology=tech, grid=(4, 6),
+                           cache_capacity=4, max_batch=16)
+
+
+def replay(front_door, trace):
+    """Push a synthetic trace through any submit()-shaped front door."""
+    futures = [front_door.submit(weights, x) for _, weights, x in trace]
+    front_door.flush()
+    return futures
+
+
+class TestConstruction:
+    def test_fleet_geometry(self, pair):
+        assert pair.cores == 2
+        assert len(pair.sessions) == 2
+        assert pair.rows == 4 and pair.columns == 6
+        assert all(isinstance(s, PhotonicSession) for s in pair.sessions)
+        # Every slot is a full core: distinct schedulers and caches.
+        assert pair.sessions[0].scheduler is not pair.sessions[1].scheduler
+        assert pair.sessions[0].tiled_cache is not pair.sessions[1].tiled_cache
+
+    def test_validation(self, tech):
+        with pytest.raises(ConfigurationError, match="cores"):
+            PhotonicCluster(cores=0, technology=tech, grid=(4, 6))
+        with pytest.raises(ConfigurationError, match="max_pending"):
+            PhotonicCluster(cores=1, technology=tech, grid=(4, 6), max_pending=0)
+        with pytest.raises(ConfigurationError, match="RoutingPolicy"):
+            PhotonicCluster(cores=1, technology=tech, grid=(4, 6),
+                            routing="round_robin")
+
+    def test_default_routing_is_round_robin(self, pair):
+        assert pair.routing == RoutingPolicy.round_robin()
+        assert pair.routing.describe() == "round_robin"
+
+    def test_flush_policy_shared_by_all_slots(self, tech):
+        cluster = PhotonicCluster(cores=2, technology=tech, grid=(4, 6),
+                                  flush_policy=FlushPolicy.max_batch(3))
+        assert all(s.flush_policy == FlushPolicy.max_batch(3)
+                   for s in cluster.sessions)
+        assert cluster.flush_policy == FlushPolicy.max_batch(3)
+
+
+class TestRoutingPolicies:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown routing"):
+            RoutingPolicy(kind="random")
+
+    def test_single_core_short_circuits(self):
+        for policy in (RoutingPolicy.round_robin(), RoutingPolicy.least_loaded(),
+                       RoutingPolicy.cache_affinity()):
+            assert policy.select(b"key", [5], cursor=9) == 0
+
+    def test_round_robin_cycles(self):
+        policy = RoutingPolicy.round_robin()
+        picks = [policy.select(None, [0, 0, 0], cursor) for cursor in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_least_loaded_picks_minimum_and_breaks_ties_low(self):
+        policy = RoutingPolicy.least_loaded()
+        assert policy.select(None, [3, 1, 2], cursor=0) == 1
+        assert policy.select(None, [2, 2, 2], cursor=5) == 0
+
+    def test_cache_affinity_is_deterministic_per_key(self):
+        policy = RoutingPolicy.cache_affinity()
+        first = policy.select(b"program-a", [0, 0, 0, 0], cursor=0)
+        assert all(policy.select(b"program-a", [9, 9, 9, 9], cursor=c) == first
+                   for c in range(5))
+        # Distinct keys spread over the fleet (not all on one slot).
+        keys = [f"program-{i}".encode() for i in range(32)]
+        slots = {policy.select(key, [0, 0, 0, 0], 0) for key in keys}
+        assert len(slots) > 1
+
+    def test_cache_affinity_keyless_falls_back_to_cursor(self):
+        policy = RoutingPolicy.cache_affinity()
+        assert policy.select(None, [0, 0, 0], cursor=4) == 1
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one core"):
+            RoutingPolicy.round_robin().select(None, [], 0)
+
+
+class TestRoutedSubmits:
+    def test_round_robin_spreads_requests(self, pair):
+        rng = np.random.default_rng(1)
+        weights = rng.integers(0, 8, (4, 6))
+        replay(pair, [(0, weights, rng.uniform(0.0, 1.0, 6))
+                      for _ in range(6)])
+        report = pair.report()
+        assert report.routed == (3, 3)
+
+    def test_least_loaded_balances_pending_work(self, tech):
+        cluster = PhotonicCluster(cores=2, technology=tech, grid=(4, 6),
+                                  routing=RoutingPolicy.least_loaded())
+        rng = np.random.default_rng(2)
+        weights = rng.integers(0, 8, (4, 6))
+        for _ in range(8):
+            cluster.submit(weights, rng.uniform(0.0, 1.0, 6))
+        assert [s.pending for s in cluster.sessions] == [4, 4]
+
+    def test_cache_affinity_pins_programs_to_cores(self, tech):
+        cluster = PhotonicCluster(cores=4, technology=tech, grid=(4, 6),
+                                  routing=RoutingPolicy.cache_affinity())
+        rng = np.random.default_rng(3)
+        tenants = [rng.integers(0, 8, (4, 6)) for _ in range(3)]
+        for turn in range(24):
+            weights = tenants[turn % 3]
+            cluster.submit(weights, rng.uniform(0.0, 1.0, 6))
+        cluster.flush()
+        # Each tenant's program compiled on exactly one core: fleet-wide
+        # misses equal the tenant count, not tenants x cores.
+        report = cluster.report()
+        assert report.total.cache_misses == 3
+
+    def test_conv_route_and_affinity(self, tech):
+        cluster = PhotonicCluster(cores=2, technology=tech, grid=(4, 9),
+                                  routing=RoutingPolicy.cache_affinity())
+        rng = np.random.default_rng(4)
+        bank = rng.normal(0.0, 1.0, (2, 3, 3))
+        futures = [cluster.submit_conv(bank, rng.uniform(0.0, 1.0, (5, 5)))
+                   for _ in range(4)]
+        cluster.flush()
+        assert all(future.value.shape == (2, 3, 3) for future in futures)
+        # One bank -> one core -> one differential program compile.
+        assert cluster.report().total.cache_misses == 1
+        homes = [s for s in cluster.sessions if s.tiled_cache.misses]
+        assert len(homes) == 1
+
+    def test_conv_affinity_keys_on_quantized_program(self, tech):
+        """Float banks that quantize to the same differential program
+        must route to the same core — the affinity key is the quantized
+        program (what the session caches on), not the float bytes."""
+        cluster = PhotonicCluster(cores=4, technology=tech, grid=(4, 9),
+                                  routing=RoutingPolicy.cache_affinity())
+        rng = np.random.default_rng(6)
+        bank = rng.normal(0.0, 1.0, (2, 3, 3))
+        cluster.submit_conv(bank, rng.uniform(0.0, 1.0, (5, 5)))
+        cluster.submit_conv(bank + 1e-12, rng.uniform(0.0, 1.0, (5, 5)))
+        cluster.flush()
+        report = cluster.report()
+        # One home core, one coalesced group, one program compile — a
+        # float-bytes key would have split this across two cores (two
+        # compiles of the same program).
+        assert report.total.cache_misses == 1
+        assert sum(1 for s in cluster.sessions if s.tiled_cache.misses) == 1
+
+    def test_gain_passes_through(self, pair, tech):
+        rng = np.random.default_rng(5)
+        weights = rng.integers(1, 4, (4, 6))
+        x = rng.uniform(0.1, 0.3, 6)
+        native = pair.submit(weights, x)
+        calibrated = pair.submit(weights, x, gain="auto")
+        pair.flush()
+        exact = weights @ x
+        # gain='auto' reached the routed core: the calibrated request
+        # resolves inside the scaled-down quantization bin, the native
+        # one only inside the full-range bin.
+        core = pair.sessions[0].core
+        native_bin = (pair.columns * core.max_weight) / core.row_adcs[0].levels
+        auto_gain = (pair.columns * core.max_weight) / int(weights.sum(axis=1).max())
+        assert auto_gain > 1.0
+        assert np.abs(native.value - exact).max() <= native_bin
+        assert np.abs(calibrated.value - exact).max() <= native_bin / auto_gain
+
+
+class TestSingleCoreEquivalence:
+    """PhotonicCluster(cores=1) must be the existing PhotonicSession,
+    bit for bit, on the serve-bench scenarios."""
+
+    def test_dense_trace_bit_for_bit(self, tech):
+        trace = list(synthetic_trace(requests=48, rows=4, columns=6, seed=11))
+        session = PhotonicSession(technology=tech, grid=(4, 6),
+                                  cache_capacity=4, max_batch=16,
+                                  flush_policy=FlushPolicy.max_batch(16))
+        cluster = PhotonicCluster(cores=1, technology=tech, grid=(4, 6),
+                                  cache_capacity=4, max_batch=16,
+                                  flush_policy=FlushPolicy.max_batch(16))
+        session_futures = replay(session, trace)
+        cluster_futures = replay(cluster, trace)
+        for ours, theirs in zip(cluster_futures, session_futures):
+            np.testing.assert_array_equal(ours.value, theirs.value)
+            if theirs.codes is None:
+                assert ours.codes is None
+            else:
+                np.testing.assert_array_equal(ours.codes, theirs.codes)
+        # RunReport numbers including flush counts are identical.
+        assert cluster.report().total == session.report()
+        assert cluster.flushes == session.flushes
+
+    def test_conv_trace_bit_for_bit(self, tech):
+        rng = np.random.default_rng(12)
+        bank = rng.normal(0.0, 1.0, (3, 3, 3))
+        images = [rng.uniform(0.0, 1.0, (7, 7)) for _ in range(5)]
+        session = PhotonicSession(technology=tech, grid=(4, 9))
+        cluster = PhotonicCluster(cores=1, technology=tech, grid=(4, 9))
+        session_futures = [session.submit_conv(bank, image) for image in images]
+        cluster_futures = [cluster.submit_conv(bank, image) for image in images]
+        session.flush()
+        cluster.flush()
+        for ours, theirs in zip(cluster_futures, session_futures):
+            np.testing.assert_array_equal(ours.value, theirs.value)
+        assert cluster.report().total == session.report()
+
+    def test_single_core_routing_policies_identical(self, tech):
+        trace = list(synthetic_trace(requests=24, rows=4, columns=6, seed=13))
+        reports = []
+        for routing in (RoutingPolicy.round_robin(), RoutingPolicy.least_loaded(),
+                        RoutingPolicy.cache_affinity()):
+            cluster = PhotonicCluster(cores=1, technology=tech, grid=(4, 6),
+                                      routing=routing)
+            replay(cluster, trace)
+            reports.append(cluster.report().total)
+        assert reports[0] == reports[1] == reports[2]
+
+
+class TestQoS:
+    def test_saturation_sheds_best_effort(self, tech):
+        cluster = PhotonicCluster(cores=2, technology=tech, grid=(4, 6),
+                                  max_pending=2)
+        rng = np.random.default_rng(21)
+        weights = rng.integers(0, 8, (4, 6))
+        cluster.submit(weights, rng.uniform(0.0, 1.0, 6))
+        cluster.submit(weights, rng.uniform(0.0, 1.0, 6))
+        with pytest.raises(ClusterSaturatedError, match="max_pending=2"):
+            cluster.submit(weights, rng.uniform(0.0, 1.0, 6))
+        # The typed error is also a RuntimeError, and the shed request
+        # is counted but never queued.
+        with pytest.raises(RuntimeError, match="saturated"):
+            cluster.submit(weights, rng.uniform(0.0, 1.0, 6))
+        assert cluster.pending == 2
+        assert cluster.report().shed == 2
+
+    def test_priority_bypasses_shedding(self, tech):
+        cluster = PhotonicCluster(cores=1, technology=tech, grid=(4, 6),
+                                  max_pending=1)
+        rng = np.random.default_rng(22)
+        weights = rng.integers(0, 8, (4, 6))
+        cluster.submit(weights, rng.uniform(0.0, 1.0, 6))
+        urgent = cluster.submit(weights, rng.uniform(0.0, 1.0, 6), priority=5)
+        assert cluster.pending == 2
+        cluster.flush()
+        assert urgent.done and cluster.report().shed == 0
+
+    def test_draining_reopens_admission(self, tech):
+        cluster = PhotonicCluster(cores=1, technology=tech, grid=(4, 6),
+                                  max_pending=1)
+        rng = np.random.default_rng(23)
+        weights = rng.integers(0, 8, (4, 6))
+        cluster.submit(weights, rng.uniform(0.0, 1.0, 6))
+        with pytest.raises(ClusterSaturatedError):
+            cluster.submit(weights, rng.uniform(0.0, 1.0, 6))
+        cluster.flush()
+        admitted = cluster.submit(weights, rng.uniform(0.0, 1.0, 6))
+        assert len(admitted.result()) == 4
+
+    def test_priority_orders_the_fleet_flush(self, tech):
+        cluster = PhotonicCluster(cores=2, technology=tech, grid=(4, 6))
+        rng = np.random.default_rng(24)
+        weights = rng.integers(0, 8, (4, 6))
+        # Core 0 gets best-effort traffic, core 1 a priority request.
+        cluster.submit(weights, rng.uniform(0.0, 1.0, 6))
+        cluster.submit(weights, rng.uniform(0.0, 1.0, 6), priority=3)
+        order = []
+        for index, session in enumerate(cluster.sessions):
+            original = session.flush
+            def tracked(index=index, original=original):
+                order.append(index)
+                return original()
+            session.flush = tracked
+        cluster.flush()
+        assert order == [1, 0]        # priority core drains first
+
+    def test_rejected_submit_leaves_no_bookkeeping(self, pair):
+        """A submit the session rejects must neither count as routed
+        nor pin a phantom priority on the core it would have used."""
+        rng = np.random.default_rng(26)
+        with pytest.raises(ConfigurationError, match="shape"):
+            pair.submit(rng.integers(0, 8, (4, 6)), rng.uniform(0.0, 1.0, 5),
+                        priority=9)
+        report = pair.report()
+        assert report.routed == (0, 0) and report.total.requests == 0
+        assert pair._pending_priority == [None, None]
+
+    def test_auto_flush_clears_priority_marker(self, tech):
+        """A priority request that its core's flush policy resolves
+        immediately leaves nothing pending to prioritize — the next
+        fleet flush must not keep ranking that idle core first."""
+        cluster = PhotonicCluster(cores=2, technology=tech, grid=(4, 6),
+                                  flush_policy=FlushPolicy.max_batch(1))
+        rng = np.random.default_rng(27)
+        future = cluster.submit(rng.integers(0, 8, (4, 6)),
+                                rng.uniform(0.0, 1.0, 6), priority=5)
+        assert future.done                     # max_batch(1) flushed inline
+        assert cluster._pending_priority == [None, None]
+
+    def test_priority_validation(self, pair):
+        rng = np.random.default_rng(25)
+        with pytest.raises(ConfigurationError, match="priority"):
+            pair.submit(rng.integers(0, 8, (4, 6)), rng.uniform(0.0, 1.0, 6),
+                        priority=1.5)
+
+
+class TestReplicatedModels:
+    def test_replicas_land_on_distinct_cores(self, tech):
+        cluster = PhotonicCluster(cores=3, technology=tech, grid=(4, 6))
+        rng = np.random.default_rng(31)
+        model = Model.sequential(Dense(rng.normal(0.0, 0.5, (3, 6))))
+        endpoint = cluster.compile(model, replicas=2)
+        assert isinstance(endpoint, ReplicatedModel)
+        assert endpoint.replicas == 2
+        assert len(set(endpoint.core_indices)) == 2
+        assert cluster.models == (endpoint,)
+
+    def test_replicas_cannot_exceed_cores(self, pair):
+        rng = np.random.default_rng(32)
+        model = Model.sequential(Dense(rng.normal(0.0, 0.5, (3, 6))))
+        with pytest.raises(ConfigurationError, match="replicas"):
+            pair.compile(model, replicas=3)
+        with pytest.raises(ConfigurationError, match="replicas"):
+            pair.compile(model, replicas=0)
+
+    def test_batches_fan_out_and_match_single_core(self, tech):
+        rng = np.random.default_rng(33)
+        model = Model.sequential(Dense(rng.normal(0.0, 0.5, (3, 6))), ReLU(),
+                                 Dense(rng.normal(0.0, 0.5, (2, 3))))
+        calibration = rng.uniform(0.0, 1.0, (8, 6))
+        batches = [rng.uniform(0.0, 1.0, (4, 6)) for _ in range(4)]
+
+        cluster = PhotonicCluster(cores=2, technology=tech, grid=(4, 6))
+        replicated = cluster.compile(model, calibration=calibration, replicas=2)
+        futures = [replicated.submit(batch) for batch in batches]
+        cluster.flush()
+
+        session = PhotonicSession(technology=tech, grid=(4, 6))
+        reference = session.compile(model, calibration=calibration)
+        for batch, future in zip(batches, futures):
+            np.testing.assert_array_equal(future.value, reference.predict(batch))
+        # Round-robin fan-out: both replicas served half the batches.
+        report = cluster.report()
+        assert report.routed == (2, 2)
+        assert all(r.requests == 2 for r in report.per_core)
+
+    def test_replica_stage_accounting_lands_per_core(self, tech):
+        rng = np.random.default_rng(34)
+        cluster = PhotonicCluster(cores=2, technology=tech, grid=(4, 6))
+        replicated = cluster.compile(
+            Model.sequential(Dense(rng.normal(0.0, 0.5, (3, 6)))), replicas=2)
+        for _ in range(2):
+            replicated.submit(rng.uniform(0.0, 1.0, (4, 6)))
+        cluster.flush()
+        report = cluster.report()
+        # Each core ran one 4-sample differential batch: 8 ADC slots.
+        assert tuple(r.samples for r in report.per_core) == (8, 8)
+        assert report.imbalance == 1.0
+        assert report.total.analog_energy > 0.0
+
+    def test_model_placement_spreads_across_models(self, tech):
+        cluster = PhotonicCluster(cores=2, technology=tech, grid=(4, 6))
+        rng = np.random.default_rng(35)
+        first = cluster.compile(
+            Model.sequential(Dense(rng.normal(0.0, 0.5, (3, 6)))))
+        second = cluster.compile(
+            Model.sequential(Dense(rng.normal(0.0, 0.5, (2, 6)))))
+        assert first.core_indices != second.core_indices
+
+    def test_replicated_submit_respects_admission(self, tech):
+        cluster = PhotonicCluster(cores=2, technology=tech, grid=(4, 6),
+                                  max_pending=1)
+        rng = np.random.default_rng(36)
+        replicated = cluster.compile(
+            Model.sequential(Dense(rng.normal(0.0, 0.5, (3, 6)))), replicas=2)
+        replicated.submit(rng.uniform(0.0, 1.0, (2, 6)))
+        with pytest.raises(ClusterSaturatedError):
+            replicated.submit(rng.uniform(0.0, 1.0, (2, 6)))
+        urgent = replicated.submit(rng.uniform(0.0, 1.0, (2, 6)), priority=1)
+        cluster.flush()
+        assert urgent.done
+
+
+class TestClusterReport:
+    def test_totals_are_per_core_sums(self, pair):
+        rng = np.random.default_rng(41)
+        replay(pair, [(0, rng.integers(0, 8, (4, 6)), rng.uniform(0.0, 1.0, 6))
+                      for _ in range(6)])
+        report = pair.report()
+        assert isinstance(report, ClusterReport)
+        assert report.cores == 2 and report.routing == "round_robin"
+        assert report.total == RunReport.combined(report.per_core)
+        assert report.total.requests == 6
+        assert sum(report.routed) == 6 and report.shed == 0
+        assert report.total.flush_index == sum(r.flush_index
+                                               for r in report.per_core)
+
+    def test_utilization_and_imbalance(self, pair):
+        rng = np.random.default_rng(42)
+        replay(pair, [(0, rng.integers(0, 8, (4, 6)), rng.uniform(0.0, 1.0, 6))
+                      for _ in range(8)])
+        report = pair.report()
+        assert sum(report.utilization) == pytest.approx(1.0)
+        assert report.imbalance == pytest.approx(1.0)   # even round-robin split
+        assert report.fleet_latency == max(r.total_latency
+                                           for r in report.per_core)
+
+    def test_idle_fleet_report(self, pair):
+        report = pair.report()
+        assert report.total.requests == 0
+        assert report.utilization == (0.0, 0.0)
+        assert report.imbalance == 1.0
+        assert report.fleet_latency == 0.0
+
+    def test_report_prints_fleet_and_cores(self, pair):
+        rng = np.random.default_rng(43)
+        replay(pair, [(0, rng.integers(0, 8, (4, 6)), rng.uniform(0.0, 1.0, 6))
+                      for _ in range(4)])
+        text = str(pair.report())
+        assert "cluster of 2 cores" in text
+        assert "core 0" in text and "core 1" in text
+        assert "imbalance" in text
+
+    def test_evictions_surface_in_cluster_report(self, tech):
+        """The WeightProgramCache eviction counter threads through
+        SchedulerStats -> RunReport -> ClusterReport."""
+        cluster = PhotonicCluster(cores=2, technology=tech, grid=(4, 6),
+                                  cache_capacity=2,
+                                  routing=RoutingPolicy.cache_affinity())
+        rng = np.random.default_rng(44)
+        tenants = [rng.integers(0, 8, (4, 6)) for _ in range(8)]
+        for weights in tenants:
+            cluster.submit(weights, rng.uniform(0.0, 1.0, 6))
+            cluster.flush()
+        report = cluster.report()
+        assert report.total.cache_evictions > 0
+        assert report.total.cache_evictions == sum(r.cache_evictions
+                                                   for r in report.per_core)
+        per_core_caches = sum(s.scheduler.cache.evictions
+                              for s in cluster.sessions)
+        assert report.total.cache_evictions == per_core_caches
+
+
+class TestClusterFlushAndPoll:
+    def test_flush_resolves_fleet_wide(self, pair):
+        rng = np.random.default_rng(51)
+        futures = [pair.submit(rng.integers(0, 8, (4, 6)),
+                               rng.uniform(0.0, 1.0, 6)) for _ in range(5)]
+        assert pair.pending == 5
+        assert pair.flush() == 5
+        assert pair.pending == 0
+        assert all(future.done for future in futures)
+
+    def test_poll_enforces_deadline_without_new_traffic(self, tech):
+        import time
+
+        cluster = PhotonicCluster(cores=2, technology=tech, grid=(4, 6),
+                                  flush_policy=FlushPolicy.max_delay(0.005))
+        rng = np.random.default_rng(52)
+        future = cluster.submit(rng.integers(0, 8, (4, 6)),
+                                rng.uniform(0.0, 1.0, 6))
+        assert cluster.poll() == 0            # deadline not reached
+        assert not future.done
+        time.sleep(0.01)
+        assert cluster.poll() == 1            # lone request now past deadline
+        assert future.done

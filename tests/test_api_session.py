@@ -138,6 +138,30 @@ class TestFlushPolicies:
         second = session.submit(weights, rng.uniform(0.0, 1.0, 6))
         assert first.done and second.done     # deadline tripped the flush
 
+    def test_poll_enforces_max_delay_without_new_traffic(self, tech):
+        """Regression: a lone request must not sit past its max_delay
+        deadline just because no further submit/result call arrives —
+        poll() re-checks the deadline on wall-clock time alone."""
+        session = PhotonicSession(technology=tech, grid=(4, 6),
+                                  flush_policy=FlushPolicy.max_delay(0.005))
+        rng = np.random.default_rng(8)
+        future = session.submit(rng.integers(0, 8, (4, 6)),
+                                rng.uniform(0.0, 1.0, 6))
+        assert session.poll() == 0            # deadline not reached yet
+        assert not future.done
+        time.sleep(0.01)
+        assert session.poll() == 1            # deadline tripped: flushed
+        assert future.done and session.pending == 0
+        assert session.poll() == 0            # idle poll is a no-op
+        assert session.flushes == 1
+
+    def test_poll_respects_explicit_policy(self, session):
+        rng = np.random.default_rng(9)
+        session.submit(rng.integers(0, 8, (4, 6)), rng.uniform(0.0, 1.0, 6))
+        time.sleep(0.002)
+        assert session.poll() == 0            # explicit never auto-flushes
+        assert session.pending == 1
+
     def test_explicit_policy_never_auto_flushes(self, session):
         rng = np.random.default_rng(7)
         weights = rng.integers(0, 8, (4, 6))

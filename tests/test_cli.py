@@ -40,6 +40,51 @@ def test_serve_bench_cnn(capsys):
     assert "hit rate" in output
 
 
+def test_serve_bench_cluster_smoke_writes_json(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["serve-bench", "cluster", "--smoke", "--seed", "3"]) == 0
+    output = capsys.readouterr().out
+    assert "cluster serve-bench" in output
+    assert "cache_affinity" in output and "round_robin" in output
+    assert "seed 3" in output
+    bench_json = tmp_path / "BENCH_cluster.json"
+    assert bench_json.exists()
+    import json
+
+    data = json.loads(bench_json.read_text())
+    assert data["cores_sweep"] == [1, 2, 4]
+    assert data["seed"] == 3
+    assert all(entry["throughput_per_s"] > 0.0 for entry in data["sweep"])
+
+
+def test_serve_bench_cluster_rejects_bad_count(capsys):
+    assert main(["serve-bench", "cluster", "zero"]) == 2
+    assert main(["serve-bench", "cluster", "0"]) == 2
+    output = capsys.readouterr().out
+    assert "request count" in output
+
+
+def test_serve_bench_seed_flag(capsys):
+    assert main(["serve-bench", "24", "--seed", "7"]) == 0
+    output = capsys.readouterr().out
+    assert "requests          : 24" in output
+
+
+def test_serve_bench_seed_flag_validation(capsys):
+    assert main(["serve-bench", "--seed"]) == 2
+    assert main(["serve-bench", "--seed", "many"]) == 2
+    assert main(["serve-bench", "--seed", "-1"]) == 2
+    output = capsys.readouterr().out
+    assert "--seed expects an integer" in output
+    assert "--seed must be >= 0" in output
+
+
+def test_serve_bench_smoke_shrinks_the_run(capsys):
+    assert main(["serve-bench", "--smoke"]) == 0
+    output = capsys.readouterr().out
+    assert "requests          : 24" in output
+
+
 def test_serve_bench_cnn_rejects_bad_count(capsys):
     assert main(["serve-bench", "cnn", "zero"]) == 2
     assert main(["serve-bench", "cnn", "0"]) == 2

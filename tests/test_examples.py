@@ -29,6 +29,7 @@ def test_examples_directory_complete():
     present = {path.name for path in EXAMPLES.glob("*.py")}
     expected = {
         "quickstart.py",
+        "cluster_serving.py",
         "psram_memory_array.py",
         "adc_characterization.py",
         "neural_inference.py",
@@ -43,6 +44,8 @@ def test_examples_directory_complete():
     "name, markers",
     [
         ("quickstart.py", ["TOPS", "3.02"]),
+        ("cluster_serving.py", ["routing cache_affinity", "shed", "replicas",
+                                "imbalance"]),
         ("psram_memory_array.py", ["500", "GHz"]),
         ("adc_characterization.py", ["001", "2.32"]),
     ],

@@ -8,6 +8,7 @@ from repro.errors import ConfigurationError, PendingFlushError
 from repro.ml.convolution import PhotonicConv2d
 from repro.runtime.serving import (
     InferenceServer,
+    run_cluster_serve_bench,
     run_cnn_serve_bench,
     run_serve_bench,
     synthetic_trace,
@@ -249,6 +250,48 @@ class TestConvRoute:
         assert conv_server.flush() == 1 and ticket.done
 
 
+class TestShimWarnOnce:
+    """Each deprecation shim announces itself exactly once per process
+    (module-level registry, not the warnings-module filters) while
+    still round-tripping every result through the session."""
+
+    def test_shims_warn_exactly_once_per_process(self, tech):
+        import warnings
+
+        rng = np.random.default_rng(61)
+        with warnings.catch_warnings(record=True) as records:
+            warnings.simplefilter("always")   # disarm filter-level dedup
+            first = InferenceServer(rows=4, columns=6, technology=tech)
+            InferenceServer(rows=4, columns=6, technology=tech)
+            weights = rng.integers(0, 8, (4, 6))
+            tickets = [first.submit(weights, rng.uniform(0.0, 1.0, 6))
+                       for _ in range(3)]
+            kernels = rng.normal(0.0, 1.0, (2, 3, 3))
+            conv_tickets = [
+                first.submit_conv(kernels, rng.uniform(0.0, 1.0, (5, 5)))
+                for _ in range(2)
+            ]
+            first.flush()
+        messages = [str(record.message) for record in records
+                    if issubclass(record.category, DeprecationWarning)]
+        for shim in ("InferenceServer", "ServerTicket", "ConvTicket"):
+            assert sum(shim in message for message in messages) == 1, shim
+        # ... and the shim traffic still resolves through the session.
+        for ticket in tickets:
+            np.testing.assert_array_equal(ticket.estimates,
+                                          ticket.future.value)
+        for ticket in conv_tickets:
+            assert ticket.feature_maps.shape == (2, 3, 3)
+            np.testing.assert_array_equal(ticket.feature_maps,
+                                          ticket.future.value)
+
+    def test_each_test_sees_a_fresh_registry(self, tech):
+        # The autouse fixture re-arms the once-per-process registry, so
+        # deprecated_call works in every test independently.
+        with pytest.deprecated_call():
+            InferenceServer(rows=4, columns=6, technology=tech)
+
+
 class TestSessionShims:
     """The legacy surface must stay alive as thin shims over the one
     front door (repro.api.PhotonicSession)."""
@@ -321,6 +364,37 @@ def test_synthetic_trace_is_deterministic():
         assert np.array_equal(xa, xb)
     shapes = {w.shape for _, w, _ in first}
     assert len(shapes) > 1  # mixed tenant shapes
+
+
+def test_run_cluster_serve_bench_smoke(tech, capsys, tmp_path):
+    import json
+
+    json_path = tmp_path / "BENCH_cluster.json"
+    summary = run_cluster_serve_bench(requests=60, cores_sweep=(1, 2),
+                                      rows=4, columns=6, flush_every=8,
+                                      seed=5, json_path=json_path)
+    output = capsys.readouterr().out
+    assert "cluster serve-bench" in output and "routing" in output
+    assert [entry["cores"] for entry in summary["sweep"]] == [1, 2]
+    for entry in summary["sweep"]:
+        assert entry["throughput_per_s"] > 0.0
+        assert set(entry["policies"]) == {"round_robin", "least_loaded",
+                                          "cache_affinity"}
+    # The acceptance property: on the skewed trace, affinity routing
+    # beats round-robin's aggregate hit rate on the 2-core fleet.
+    multi = summary["sweep"][1]["policies"]
+    assert (multi["cache_affinity"]["cache_hit_rate"]
+            > multi["round_robin"]["cache_hit_rate"])
+    assert json.loads(json_path.read_text())["requests"] == 60
+
+
+def test_run_cluster_serve_bench_validation(tech):
+    with pytest.raises(ConfigurationError, match="flush interval"):
+        run_cluster_serve_bench(requests=4, flush_every=0)
+    with pytest.raises(ConfigurationError, match="cores_sweep"):
+        run_cluster_serve_bench(requests=4, cores_sweep=())
+    with pytest.raises(ConfigurationError, match="cores_sweep"):
+        run_cluster_serve_bench(requests=4, cores_sweep=(1, 0))
 
 
 def test_run_serve_bench_smoke(tech, capsys):
