@@ -1,0 +1,105 @@
+"""Staying calibrated: drift injection, probe monitoring, recalibration.
+
+A compiled serving stack is only as good as its calibration constants:
+MRR resonances wander with temperature, the comb laser ages, TIA gains
+droop and the eoADC's comparators accumulate offset.  This example
+injects all four drift processes into live sessions and shows the
+three rungs of the `repro.health` ladder:
+
+1. an *unmonitored* session silently serving wrong codes,
+2. a session with a ``HealthPolicy`` probing itself and recalibrating
+   back to bit-for-bit agreement with its compile-time golden codes,
+3. a 2-core cluster draining a drifting core out of rotation while the
+   other core absorbs the traffic.
+"""
+
+import numpy as np
+
+from repro import (
+    ComparatorOffsetAging,
+    FlushPolicy,
+    HealthPolicy,
+    LaserPowerDecay,
+    PhotonicCluster,
+    PhotonicSession,
+    ThermalDetuning,
+    TiaGainDrift,
+)
+
+DRIFT = (
+    ThermalDetuning(amplitude_kelvin=0.35, period_s=45.0),
+    LaserPowerDecay(rate_per_s=1e-3),
+    TiaGainDrift(drift_per_s=-8e-4),
+    ComparatorOffsetAging(volts_per_inference=2e-4, saturation_volts=0.45),
+)
+
+rng = np.random.default_rng(7)
+weights = rng.integers(0, 8, (8, 8))
+
+
+def serve_minute(session):
+    """One modelled minute of traffic: requests 0.5 s apart."""
+    for _ in range(120):
+        session.age(0.5)
+        session.submit(weights, rng.uniform(0.0, 1.0, 8))
+    session.flush()
+
+
+# -- 1. unmonitored: the drift is invisible until you look ----------------
+unmonitored = PhotonicSession(
+    grid=(8, 8), flush_policy=FlushPolicy.max_batch(16), drift=DRIFT
+)
+serve_minute(unmonitored)
+after = unmonitored.check_health()
+print(f"unmonitored after 60 s: {after.code_error_rate:.0%} probe code-error "
+      f"rate, ENOB loss {after.enob_loss:.2f} bits")
+print(f"blame: {after.dominant_stage} "
+      f"({', '.join(f'{k} {v:.0%}' for k, v in after.attribution.items())})")
+
+# -- 2. monitored: probe every flush, recalibrate past 5% -----------------
+monitored = PhotonicSession(
+    grid=(8, 8),
+    flush_policy=FlushPolicy.max_batch(16),
+    drift=DRIFT,
+    health_policy=HealthPolicy.auto(threshold=0.05),
+)
+serve_minute(monitored)
+report = monitored.report()
+checks = monitored.health_history
+recovered = [c for c in checks if c.recalibrated]
+print(f"\nmonitored after 60 s : {report.recalibrations} recalibrations over "
+      f"{report.probe_runs} probe runs")
+print(f"post-trim checks bit-for-bit healthy: "
+      f"{all(c.healthy for c in recovered)}")
+print(f"calibration overhead : {report.calibration_time * 1e6:.2f} us, "
+      f"{report.calibration_energy * 1e9:.2f} nJ "
+      f"(serving: {report.total_latency * 1e6:.2f} us, "
+      f"{report.total_energy * 1e9:.2f} nJ)")
+
+# -- 3. fleet maintenance: drain, recalibrate, restore --------------------
+cluster = PhotonicCluster(
+    cores=2,
+    grid=(8, 8),
+    flush_policy=FlushPolicy.max_batch(16),
+    drift=DRIFT,
+    # Monitor-only: the fleet probes on demand but recalibration stays
+    # in our hands, so the drain/restore cycle below is visible.
+    health_policy=HealthPolicy.monitor_only(probe_every=1000),
+)
+for _ in range(32):
+    cluster.age(1.0)
+    cluster.submit(weights, rng.uniform(0.0, 1.0, 8))
+cluster.flush()
+
+cluster.drain(0)                      # core 0 leaves the rotation
+absorbed = [cluster.submit(weights, rng.uniform(0.0, 1.0, 8)) for _ in range(8)]
+cluster.flush()
+print(f"\ncore 0 drained; core 1 absorbed "
+      f"{sum(f.done for f in absorbed)}/8 requests while it was out")
+verification = cluster.recalibrate_core(0)   # re-trim the drained core
+cluster.restore(0)
+print(f"core 0 recalibrated (verification error rate "
+      f"{verification.code_error_rate:.0%}) and restored; "
+      f"active cores: {list(cluster.active_cores)}")
+print(f"fleet report: {cluster.report().drains} drain cycles, "
+      f"{cluster.report().total.recalibrations} recalibrations")

@@ -23,6 +23,11 @@ The package rebuilds the paper's full stack in Python:
   :class:`PhotonicCluster` scales it out over N core slots with routed
   schedulers (:class:`RoutingPolicy`), per-request QoS and replicated
   model endpoints rolled up in a :class:`ClusterReport`.
+* :mod:`repro.health` — the calibration loop: :class:`DriftModel`
+  processes aging a live core (:class:`DriftState`), probe-based
+  :class:`HealthMonitor` checks against compile-time golden codes, and
+  online recalibration driven by a :class:`HealthPolicy` (sessions
+  re-trim in place; clusters drain the core, re-trim, restore).
 * :mod:`repro.analysis` — linearity fits and bench reporting.
 
 Quickstart::
@@ -65,6 +70,18 @@ from .core import (
     VectorComputeCore,
 )
 from .errors import ClusterSaturatedError, PendingFlushError, ReproError
+from .health import (
+    ComparatorOffsetAging,
+    DriftModel,
+    DriftState,
+    HealthMonitor,
+    HealthPolicy,
+    HealthReport,
+    LaserPowerDecay,
+    Perturbation,
+    ThermalDetuning,
+    TiaGainDrift,
+)
 from .runtime import (
     BatchScheduler,
     CompiledCore,
@@ -80,19 +97,27 @@ __all__ = [
     "BatchScheduler",
     "ClusterReport",
     "ClusterSaturatedError",
+    "ComparatorOffsetAging",
     "CompiledCore",
     "Conv2d",
     "default_technology",
     "Dense",
     "DeployedModel",
+    "DriftModel",
+    "DriftState",
     "EoAdc",
     "Flatten",
     "FlushPolicy",
     "Future",
+    "HealthMonitor",
+    "HealthPolicy",
+    "HealthReport",
     "InferenceServer",
+    "LaserPowerDecay",
     "Model",
     "PendingFlushError",
     "PerformanceModel",
+    "Perturbation",
     "PhotonicCluster",
     "PhotonicSession",
     "PhotonicTensorCore",
@@ -105,6 +130,8 @@ __all__ = [
     "RunReport",
     "ShiftAddEoAdc",
     "Technology",
+    "ThermalDetuning",
+    "TiaGainDrift",
     "TiledMatmul",
     "TimeInterleavedEoAdc",
     "VectorComputeCore",

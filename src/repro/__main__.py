@@ -18,6 +18,10 @@ Commands:
   through :class:`repro.api.PhotonicCluster` fleets of 1/2/4 cores
   under every routing policy and write ``BENCH_cluster.json`` to the
   working directory.
+* ``serve-bench drift [requests]`` — replay the trace through sessions
+  whose analog stack drifts (thermal detuning, laser decay, TIA and
+  comparator aging), sweeping drift severity x probe cadence x
+  recalibration threshold, and write ``BENCH_drift.json``.
 
 Every serve-bench scenario takes ``--seed N`` for a reproducible trace
 and ``--smoke`` for a fast CI-sized run.
@@ -71,6 +75,7 @@ def _serve_bench(argv: list[str]) -> int:
     from .runtime.serving import (
         run_cluster_serve_bench,
         run_cnn_serve_bench,
+        run_drift_serve_bench,
         run_serve_bench,
     )
 
@@ -104,6 +109,33 @@ def _serve_bench(argv: list[str]) -> int:
             print(f"serve-bench cnn image count must be >= 1, got {images}")
             return 2
         run_cnn_serve_bench(images=images, seed=seed)
+        return 0
+    if args and args[0] == "drift":
+        try:
+            requests = int(args[1]) if len(args) > 1 else (24 if smoke else 240)
+        except ValueError:
+            print(f"serve-bench drift expects a request count, got {args[1]!r}")
+            return 2
+        if requests < 1:
+            print(f"serve-bench drift request count must be >= 1, got {requests}")
+            return 2
+        sweep_kwargs = {}
+        if smoke:
+            # One severity, unmonitored vs tight auto-recal, with the
+            # arrival spacing stretched so the short trace still spans
+            # the same ~minute of modelled aging.
+            sweep_kwargs = {
+                "severities": (1.5,),
+                "cadences": (0, 1),
+                "thresholds": (0.05,),
+                "arrival_period_s": 60.0 / requests,
+            }
+        run_drift_serve_bench(
+            requests=requests,
+            seed=seed,
+            json_path=Path.cwd() / "BENCH_drift.json",
+            **sweep_kwargs,
+        )
         return 0
     if args and args[0] == "cluster":
         try:

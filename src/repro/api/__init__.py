@@ -22,7 +22,12 @@ Everything a caller needs lives behind one object graph:
 * :class:`FlushPolicy` — max_batch / max_delay / explicit; replaces
   hand-called ``flush()``.
 * :class:`RunReport` — the unified per-flush accounting record
-  (requests, batches, cache behaviour, analog energy/latency).
+  (requests, batches, cache behaviour, analog energy/latency, probe
+  and recalibration counters).
+* :class:`HealthPolicy` (re-exported from :mod:`repro.health`) — probe
+  cadence + recalibration threshold for sessions/clusters constructed
+  with ``drift=[...DriftModel...]``; typed :class:`HealthReport` probe
+  checks against compile-time golden codes.
 
 Quickstart::
 
@@ -35,6 +40,7 @@ Quickstart::
     print(future.report)              # unified RunReport of that flush
 """
 
+from ..health import HealthPolicy, HealthReport
 from .cluster import ClusterReport, PhotonicCluster, ReplicatedModel
 from .futures import Future, RunReport
 from .graph import AvgPool, Conv2d, Dense, Flatten, Model, ReLU
@@ -52,6 +58,8 @@ __all__ = [
     "Flatten",
     "FlushPolicy",
     "Future",
+    "HealthPolicy",
+    "HealthReport",
     "Model",
     "PhotonicCluster",
     "PhotonicSession",

@@ -37,6 +37,8 @@ import numpy as np
 
 from ..config import Technology
 from ..errors import ClusterSaturatedError, ConfigurationError
+from ..health.drift import DriftModel, DriftState
+from ..health.monitor import HealthPolicy, HealthReport
 from ..runtime.engine import weight_key
 from .futures import Future, RunReport
 from .graph import Model
@@ -64,6 +66,10 @@ class ClusterReport:
     routed: tuple[int, ...]
     #: Requests rejected by admission control (ClusterSaturatedError).
     shed: int
+    #: Cores currently drained out of the routing rotation.
+    draining: tuple[int, ...] = ()
+    #: Drain cycles performed so far (maintenance drain → restore).
+    drains: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -84,14 +90,20 @@ class ClusterReport:
     def fleet_latency(self) -> float:
         """Modelled serving time [s] of the whole fleet: cores run
         concurrently, so the slowest core's weight-streaming + analog
-        total is the makespan (one core in → that core's latency)."""
-        return max(report.total_latency for report in self.per_core)
+        total is the makespan (one core in → that core's latency;
+        an empty fleet or zero-request window reports 0.0)."""
+        return max(
+            (report.total_latency for report in self.per_core), default=0.0
+        )
 
     @property
     def imbalance(self) -> float:
         """Hottest core over the fleet mean, in ADC samples (1.0 =
-        perfectly balanced; ``cores`` = everything on one core)."""
-        if self.total.samples == 0:
+        perfectly balanced; ``cores`` = everything on one core).  A
+        zero-request window — a flush firing with nothing queued, or
+        an empty fleet — is trivially balanced at 1.0 rather than a
+        division by zero."""
+        if not self.per_core or self.total.samples == 0:
             return 1.0
         mean = self.total.samples / self.cores
         return max(report.samples for report in self.per_core) / mean
@@ -113,6 +125,16 @@ class ClusterReport:
                 f"cache hits"
             )
         lines.append(f"imbalance         : {self.imbalance:.2f}x fleet mean")
+        if self.drains or self.draining:
+            drained = (
+                ", ".join(str(core) for core in self.draining)
+                if self.draining
+                else "none"
+            )
+            lines.append(
+                f"maintenance       : {self.drains} drain cycles, "
+                f"currently drained: {drained}"
+            )
         return lines
 
     def __str__(self) -> str:
@@ -162,9 +184,21 @@ class ReplicatedModel:
         return self._core_indices
 
     def submit(self, batch, priority: int = 0) -> Future:
-        """Queue one forward pass on the next replica in rotation."""
+        """Queue one forward pass on the next replica in rotation.
+
+        Replicas on drained cores sit the rotation out — the active
+        replicas absorb their traffic during maintenance (if every
+        replica is drained, the batch falls back to the full set so
+        the model never refuses traffic).
+        """
         priority = self._cluster._admit(priority)
-        slot = self._cursor % len(self._endpoints)
+        drained = self._cluster._drained
+        slots = [
+            slot
+            for slot in range(len(self._endpoints))
+            if self._core_indices[slot] not in drained
+        ] or list(range(len(self._endpoints)))
+        slot = slots[self._cursor % len(slots)]
         future = self._endpoints[slot].submit(batch)
         # Only a successfully queued batch advances the rotation and
         # the cluster bookkeeping — a rejected batch routes nowhere.
@@ -210,6 +244,8 @@ class PhotonicCluster:
         flush_policy: FlushPolicy | None = None,
         routing: RoutingPolicy | None = None,
         max_pending: int | None = None,
+        drift=None,
+        health_policy: HealthPolicy | None = None,
     ) -> None:
         if not isinstance(cores, (int, np.integer)) or cores < 1:
             raise ConfigurationError(f"a cluster needs cores >= 1, got {cores!r}")
@@ -222,8 +258,26 @@ class PhotonicCluster:
             raise ConfigurationError(
                 f"routing must be a RoutingPolicy, got {type(routing).__name__}"
             )
+        if isinstance(drift, DriftState) and cores > 1:
+            raise ConfigurationError(
+                "pass the DriftModel suite (not a DriftState) to a "
+                "multi-core cluster so every core gets its own "
+                "independent drift state"
+            )
+        if health_policy is not None and not isinstance(health_policy, HealthPolicy):
+            raise ConfigurationError(
+                f"health_policy must be a repro.health.HealthPolicy, "
+                f"got {type(health_policy).__name__}"
+            )
         self.routing = routing if routing is not None else RoutingPolicy.round_robin()
         self.max_pending = max_pending
+        #: Fleet maintenance policy; per-core sessions stay policy-free
+        #: so the cluster (which can drain cores) owns recalibration.
+        self.health_policy = health_policy
+        if drift is not None and not isinstance(drift, DriftState):
+            # Materialize the model suite once: each session wraps it
+            # into its own independent DriftState (cores age apart).
+            drift = (drift,) if isinstance(drift, DriftModel) else tuple(drift)
         self._sessions = tuple(
             PhotonicSession(
                 technology=technology,
@@ -236,9 +290,13 @@ class PhotonicCluster:
                 tiled_cache_capacity=tiled_cache_capacity,
                 max_batch=max_batch,
                 flush_policy=flush_policy,
+                drift=drift,
             )
             for _ in range(int(cores))
         )
+        if health_policy is not None:
+            for session in self._sessions:
+                session.ensure_monitor(health_policy)
         self._cursor = 0
         self._routed = [0] * int(cores)
         self._shed = 0
@@ -246,6 +304,11 @@ class PhotonicCluster:
         #: (None = only default traffic); orders flush() across cores.
         self._pending_priority: list[int | None] = [None] * int(cores)
         self._replicated: list[ReplicatedModel] = []
+        self._drained: set[int] = set()
+        self._drains = 0
+        #: Total core flush count the last health maintenance ran at.
+        self._health_watermark = 0
+        self._in_maintenance = False
 
     # -- fleet geometry ------------------------------------------------------
     @property
@@ -289,6 +352,18 @@ class PhotonicCluster:
         """Deployed replicated models, in compile order."""
         return tuple(self._replicated)
 
+    @property
+    def active_cores(self) -> tuple[int, ...]:
+        """Cores currently in the routing rotation (not drained)."""
+        return tuple(
+            index for index in range(self.cores) if index not in self._drained
+        )
+
+    @property
+    def draining(self) -> tuple[int, ...]:
+        """Cores currently drained out of rotation, ascending."""
+        return tuple(sorted(self._drained))
+
     # -- QoS -----------------------------------------------------------------
     @staticmethod
     def _validated_priority(priority) -> int:
@@ -326,28 +401,33 @@ class PhotonicCluster:
             # The submit tripped the core's own flush policy and the
             # request already resolved: nothing pending to prioritize.
             self._pending_priority[core] = None
-            return
-        current = self._pending_priority[core]
-        if current is None or priority > current:
-            self._pending_priority[core] = priority
+        else:
+            current = self._pending_priority[core]
+            if current is None or priority > current:
+                self._pending_priority[core] = priority
+        self._maybe_run_health()
 
     # -- routed request paths ------------------------------------------------
     def _route(self, key_factory) -> int:
         """Pick the core for one request.  ``key_factory`` builds the
         weight-program routing key; it is only invoked when the policy
         actually hashes keys, so round-robin/least-loaded never pay the
-        program serialization."""
-        if self.cores == 1:
-            index = 0
+        program serialization.  Drained cores are out of rotation: the
+        policy decides over the active sub-fleet (consistent hashing
+        re-spreads a drained core's programs over the survivors) and
+        the result maps back to the physical core index."""
+        active = self.active_cores
+        if len(active) == 1:
+            self._cursor += 1
+            return active[0]
+        if self.routing.needs_loads:
+            loads = [self._sessions[index].pending for index in active]
         else:
-            if self.routing.needs_loads:
-                loads = [session.pending for session in self._sessions]
-            else:
-                loads = [0] * self.cores      # only the length is read
-            key = key_factory() if self.routing.needs_key else None
-            index = self.routing.select(key, loads, self._cursor)
+            loads = [0] * len(active)         # only the length is read
+        key = key_factory() if self.routing.needs_key else None
+        slot = self.routing.select(key, loads, self._cursor)
         self._cursor += 1
-        return index
+        return active[slot]
 
     def submit(
         self, weights, x, gain: float | str | None = None, priority: int = 0
@@ -436,6 +516,94 @@ class PhotonicCluster:
         self._replicated.append(replicated)
         return replicated
 
+    # -- health: drain / recalibrate / restore -------------------------------
+    def _validated_core(self, core) -> int:
+        if not isinstance(core, (int, np.integer)) or not 0 <= core < self.cores:
+            raise ConfigurationError(
+                f"core must be an index in [0, {self.cores}), got {core!r}"
+            )
+        return int(core)
+
+    def drain(self, core: int) -> None:
+        """Take one core out of the routing rotation for maintenance.
+
+        Its pending requests flush first so nothing is stranded; new
+        traffic then routes to the remaining cores (the replicas absorb
+        it) until :meth:`restore`.  The last active core cannot drain —
+        the fleet must keep accepting traffic.
+        """
+        core = self._validated_core(core)
+        if core in self._drained:
+            return
+        active = self.active_cores
+        if active == (core,):
+            raise ConfigurationError(
+                f"cannot drain core {core}: it is the last active core; "
+                "restore another core first"
+            )
+        self._sessions[core].flush()
+        self._pending_priority[core] = None
+        self._drained.add(core)
+        self._drains += 1
+
+    def restore(self, core: int) -> None:
+        """Return a drained core to the routing rotation."""
+        self._drained.discard(self._validated_core(core))
+
+    def check_health(self) -> tuple[HealthReport, ...]:
+        """Probe every core (drained ones included) and return the
+        per-core reports, in core order."""
+        return tuple(session.check_health() for session in self._sessions)
+
+    def recalibrate_core(self, core: int) -> HealthReport | None:
+        """Drain → recalibrate → restore one core.
+
+        The core leaves the rotation (unless it is the last active
+        core, which recalibrates in place — a one-core fleet cannot
+        stop serving), its session re-trims and invalidates its stale
+        programs, and it rejoins the rotation.  Returns the session's
+        post-trim verification report.
+        """
+        core = self._validated_core(core)
+        was_drained = core in self._drained
+        solo = self.active_cores == (core,)
+        if not was_drained and not solo:
+            self.drain(core)
+        try:
+            return self._sessions[core].recalibrate()
+        finally:
+            if not was_drained and not solo:
+                self.restore(core)
+
+    def _maybe_run_health(self) -> None:
+        """Fleet maintenance on the policy cadence: probe every active
+        core, and drain/recalibrate/restore the ones past threshold
+        while the rest keep serving.
+
+        The cadence counts *core* flushes (wherever they came from —
+        an explicit :meth:`flush`, a blocking ``result()`` or a
+        session's own flush policy tripping mid-submit), so fleets
+        running entirely on auto-flush policies still get probed.
+        """
+        policy = self.health_policy
+        if policy is None or self._in_maintenance:
+            return
+        total = self.flushes
+        if total - self._health_watermark < policy.probe_every:
+            return
+        self._health_watermark = total
+        self._in_maintenance = True
+        try:
+            for index in self.active_cores:
+                report = self._sessions[index].check_health()
+                if (
+                    policy.recalibrate_threshold is not None
+                    and report.code_error_rate > policy.recalibrate_threshold
+                ):
+                    self.recalibrate_core(index)
+        finally:
+            self._in_maintenance = False
+
     # -- flush / poll --------------------------------------------------------
     def _flush_order(self) -> list[int]:
         """Cores ordered for flushing: highest admitted priority first,
@@ -458,7 +626,14 @@ class PhotonicCluster:
         for index in self._flush_order():
             resolved += self._sessions[index].flush()
             self._pending_priority[index] = None
+        self._maybe_run_health()
         return resolved
+
+    def age(self, seconds: float) -> None:
+        """Model idle wall-clock passing on every core (the fleet sits
+        in one machine room; see :meth:`PhotonicSession.age`)."""
+        for session in self._sessions:
+            session.age(seconds)
 
     def poll(self) -> int:
         """Re-check every core's flush-policy deadline (the cluster
@@ -468,6 +643,7 @@ class PhotonicCluster:
             resolved += self._sessions[index].poll()
             if self._sessions[index].pending == 0:
                 self._pending_priority[index] = None
+        self._maybe_run_health()
         return resolved
 
     # -- reporting -----------------------------------------------------------
@@ -482,6 +658,8 @@ class PhotonicCluster:
             per_core=per_core,
             routed=tuple(self._routed),
             shed=self._shed,
+            draining=self.draining,
+            drains=self._drains,
         )
 
     def __repr__(self) -> str:

@@ -52,6 +52,18 @@ class RunReport:
     #: Modelled analog compute time [s] and wall-plug energy [J].
     analog_time: float
     analog_energy: float
+    #: Health-loop traffic: probe checks run / probe vectors replayed
+    #: (see :class:`repro.health.HealthMonitor`).
+    probe_runs: int = 0
+    probe_vectors: int = 0
+    #: Online recalibrations performed (ladder re-bisection + re-trim).
+    recalibrations: int = 0
+    #: Modelled time [s] and wall-plug energy [J] spent keeping the
+    #: core calibrated (probe replays, ladder re-bisection, probe
+    #: program streaming) — kept apart from the serving ledger so the
+    #: calibration overhead stays attributable.
+    calibration_time: float = 0.0
+    calibration_energy: float = 0.0
 
     @classmethod
     def combined(cls, reports) -> "RunReport":
@@ -75,6 +87,11 @@ class RunReport:
             weight_time_spent=sum(r.weight_time_spent for r in reports),
             analog_time=sum(report.analog_time for report in reports),
             analog_energy=sum(report.analog_energy for report in reports),
+            probe_runs=sum(report.probe_runs for report in reports),
+            probe_vectors=sum(report.probe_vectors for report in reports),
+            recalibrations=sum(report.recalibrations for report in reports),
+            calibration_time=sum(r.calibration_time for r in reports),
+            calibration_energy=sum(r.calibration_energy for r in reports),
         )
 
     @property
@@ -93,7 +110,7 @@ class RunReport:
         return self.weight_energy_spent + self.analog_energy
 
     def lines(self) -> list[str]:
-        return [
+        lines = [
             f"flush #{self.flush_index}: {self.requests} requests "
             f"in {self.batches} batches ({self.samples} ADC sample slots)",
             f"program cache     : {self.cache_hits} hits / "
@@ -104,6 +121,15 @@ class RunReport:
             f"analog latency    : {self.analog_time * 1e6:.3f} us modelled "
             f"({self.analog_energy * 1e9:.2f} nJ)",
         ]
+        if self.probe_runs or self.recalibrations:
+            lines.append(
+                f"health            : {self.probe_runs} probe runs "
+                f"({self.probe_vectors} vectors), "
+                f"{self.recalibrations} recalibrations, "
+                f"{self.calibration_time * 1e6:.3f} us / "
+                f"{self.calibration_energy * 1e9:.2f} nJ calibration overhead"
+            )
+        return lines
 
     def __str__(self) -> str:
         return "\n".join(self.lines())

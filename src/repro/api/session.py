@@ -34,6 +34,8 @@ import numpy as np
 from ..config import Technology, default_technology
 from ..core.quantization import quantize_weights_differential
 from ..errors import ConfigurationError
+from ..health.drift import DriftModel, DriftState
+from ..health.monitor import HealthMonitor, HealthPolicy, HealthReport
 from ..ml.convolution import (
     PhotonicConv2d,
     avg_pool2d,
@@ -84,6 +86,9 @@ class DeployedModel:
         self.label = label
         self._queue: list[tuple[np.ndarray, Future]] = []
         self._submitted = 0
+        #: Set by a session recalibration: the compute layers must be
+        #: re-attached to fresh cached programs before the next drain.
+        self._needs_rebind = False
 
     @property
     def session(self) -> "PhotonicSession":
@@ -195,6 +200,13 @@ class PhotonicSession:
     onto the tile and share the scheduler's batching/caching, larger
     shapes compile onto cached :class:`~repro.runtime.tiling.TiledMatmul`
     grids.  Declarative models deploy through :meth:`compile`.
+
+    ``drift=[...DriftModel...]`` attaches a live
+    :class:`~repro.health.DriftState` — the analog stack then ages
+    with modelled serving time and conversions (and :meth:`age`) — and
+    ``health_policy=HealthPolicy(...)`` closes the loop: probe checks
+    on a flush cadence, automatic :meth:`recalibrate` past the
+    code-error threshold (see :mod:`repro.health`).
     """
 
     def __init__(
@@ -209,6 +221,8 @@ class PhotonicSession:
         tiled_cache_capacity: int = 4,
         max_batch: int = 256,
         flush_policy: FlushPolicy | None = None,
+        drift=None,
+        health_policy: HealthPolicy | None = None,
     ) -> None:
         if grid is not None:
             if rows is not None or columns is not None:
@@ -259,6 +273,30 @@ class PhotonicSession:
         self._model_samples = 0
         self._model_analog_time = 0.0
         self._model_analog_energy = 0.0
+
+        # -- health loop (repro.health) ----------------------------------
+        #: Live degradation state of the core (None = ageless hardware).
+        self.drift = self._coerce_drift(drift)
+        if self.drift is not None:
+            self.core.drift_state = self.drift
+        if health_policy is not None and not isinstance(health_policy, HealthPolicy):
+            raise ConfigurationError(
+                f"health_policy must be a repro.health.HealthPolicy, "
+                f"got {type(health_policy).__name__}"
+            )
+        self.health_policy = health_policy
+        #: Probe monitor (built at construction when a policy is set,
+        #: lazily by :meth:`check_health` otherwise).
+        self.health: HealthMonitor | None = None
+        self._health_history: list[HealthReport] = []
+        self._probe_runs = 0
+        self._probe_vectors = 0
+        self._recalibrations = 0
+        self._calibration_time = 0.0
+        self._calibration_energy = 0.0
+        self._in_maintenance = False
+        if self.health_policy is not None:
+            self.ensure_monitor(self.health_policy)
         self._last_totals = self._totals()
 
     # -- geometry ------------------------------------------------------------
@@ -571,6 +609,145 @@ class PhotonicSession:
         self._model_analog_time += samples * period * passes
         self._model_analog_energy += samples * period * self.performance.total_power * tiles
 
+    # -- health: drift, probes, recalibration --------------------------------
+    @staticmethod
+    def _coerce_drift(drift) -> DriftState | None:
+        """Accept None, a ready DriftState, one DriftModel or an
+        iterable of models (wrapped into a fresh state)."""
+        if drift is None:
+            return None
+        if isinstance(drift, DriftState):
+            return drift
+        if isinstance(drift, DriftModel):
+            return DriftState((drift,), label="session")
+        try:
+            models = tuple(drift)
+        except TypeError:
+            raise ConfigurationError(
+                f"drift must be a DriftState, DriftModel(s) or None, "
+                f"got {type(drift).__name__}"
+            ) from None
+        # An empty suite models nothing: same as no drift at all (and
+        # keeps recalibration from ever chasing an inactive state).
+        if not models:
+            return None
+        return DriftState(models, label="session")
+
+    #: Bisection probes per ADC code boundary during a ladder re-trim
+    #: (full-scale range down to ~uV resolution).
+    _LADDER_BISECTION_STEPS = 40
+
+    @property
+    def health_history(self) -> tuple[HealthReport, ...]:
+        """Every probe check this session ran, in order."""
+        return tuple(self._health_history)
+
+    def ensure_monitor(self, policy: HealthPolicy | None = None) -> HealthMonitor:
+        """The session's probe monitor, built on first use (golden
+        codes freeze at that point; they are pristine regardless of the
+        core's age, so a late monitor still measures true drift)."""
+        if self.health is None:
+            policy = policy if policy is not None else (self.health_policy or HealthPolicy())
+            self.health = HealthMonitor(
+                self, probes=policy.probes, seed=policy.probe_seed
+            )
+        return self.health
+
+    def check_health(self, recalibrated: bool = False) -> HealthReport:
+        """Replay the probe vectors through the live core and report
+        the code walk against the compile-time golden codes."""
+        report = self.ensure_monitor().check(recalibrated=recalibrated)
+        self._health_history.append(report)
+        return report
+
+    def age(self, seconds: float) -> None:
+        """Model idle wall-clock passing (traffic gaps age the analog
+        stack too); a no-op on a session without drift."""
+        if seconds < 0.0:
+            raise ConfigurationError(f"age must be non-negative, got {seconds}")
+        if self.drift is not None:
+            self.drift.advance(seconds=seconds)
+
+    def recalibrate(self) -> HealthReport | None:
+        """Re-trim the core online and invalidate exactly the stale
+        programs.
+
+        The re-trim re-bisects every row ADC's code ladder
+        (:meth:`~repro.core.eoadc.EoAdc.code_boundaries` probes charged
+        to the calibration ledger, the shared
+        ``runtime_ladder_cache`` dropped via
+        :meth:`~repro.core.tensor_core.PhotonicTensorCore.
+        invalidate_ladders`) and programs the measured drift into the
+        TIA gain trims — :meth:`DriftState.recalibrate` bumps the
+        calibration epoch.  Cached weight programs compiled under an
+        older epoch are evicted so hot programs recompile lazily on
+        their next request; deployed model endpoints rebind at their
+        next flush.  Returns the post-trim verification probe check
+        (bit-for-bit against golden on a healthy trim) when a monitor
+        exists.
+        """
+        if self.drift is None or not self.drift.active:
+            raise ConfigurationError(
+                "this session models no drift; construct it with "
+                "drift=[...DriftModel...] to enable recalibration"
+            )
+        if self.pending:
+            self.flush()
+        # Modelled re-trim cost: one bisection ladder per row ADC, each
+        # boundary probed down the full-scale range, at the converter's
+        # own sample rate and energy per conversion.
+        adc = self.core.row_adcs[0]
+        conversions = (
+            self.core.rows * (adc.levels - 1) * self._LADDER_BISECTION_STEPS
+        )
+        self._calibration_time += conversions / adc.sample_rate
+        self._calibration_energy += conversions * adc.energy_per_conversion
+        self.drift.recalibrate()
+        self.core.invalidate_ladders()
+        epoch = self.drift.epoch
+        self.scheduler.cache.evict_where(
+            lambda program: program.engine.calibration_epoch != epoch
+        )
+        self.tiled_cache.evict_where(
+            lambda program: program.calibration_epoch != epoch
+        )
+        for endpoint in self._endpoints:
+            endpoint._needs_rebind = True
+        self._recalibrations += 1
+        if self.health is not None:
+            self.health.recompile()
+            return self.check_health(recalibrated=True)
+        return None
+
+    def _maybe_run_health(self) -> None:
+        """The flush-time health hook: probe on the policy cadence and
+        recalibrate past its threshold."""
+        policy = self.health_policy
+        if policy is None or self._in_maintenance:
+            return
+        if self._flushes % policy.probe_every:
+            return
+        self._in_maintenance = True
+        try:
+            report = self.check_health()
+            if (
+                policy.recalibrate_threshold is not None
+                and report.code_error_rate > policy.recalibrate_threshold
+            ):
+                self.recalibrate()
+        finally:
+            self._in_maintenance = False
+
+    def _rebind_endpoint(self, endpoint: DeployedModel) -> None:
+        """Re-attach a recalibrated endpoint's compute layers to fresh
+        cached programs (misses recompile and are charged as usual)."""
+        for stage in endpoint.stages:
+            if stage.layer is None:
+                continue
+            prefix = b"dense:" if isinstance(stage.spec, Dense) else b"conv:"
+            self._bind_program(stage.layer, prefix=prefix)
+        endpoint._needs_rebind = False
+
     # -- flush ---------------------------------------------------------------
     def _after_submit(self) -> None:
         now = time.monotonic()
@@ -619,6 +796,7 @@ class PhotonicSession:
                         adc_bits=self.core.row_adcs[0].bits,
                         technology=self.technology,
                         ladder_cache=self.core.runtime_ladder_cache,
+                        drift_state=self.core.drift_state,
                     )
                     self._tiled_energy_spent += engine.weight_update_energy
                     self._tiled_weight_time += engine.weight_update_time
@@ -673,6 +851,8 @@ class PhotonicSession:
                     patches * period * power * program.tile_count
                 )
             for endpoint in self._endpoints:
+                if endpoint._queue and endpoint._needs_rebind:
+                    self._rebind_endpoint(endpoint)
                 resolved += endpoint._drain(resolved_futures)
         finally:
             # Never leave a stale group behind: a failed evaluation must
@@ -701,6 +881,15 @@ class PhotonicSession:
             report = self._delta_report()
             for future in resolved_futures:
                 future._attach_report(report)
+        # The flush's modelled serving time and conversions age the
+        # core; the policy then probes (and maybe recalibrates) on its
+        # cadence.  Skipped when the evaluation raised — a failed flush
+        # serves nothing, so it ages nothing.
+        if self.drift is not None and self.drift.active:
+            self.drift.advance(
+                seconds=report.total_latency, inferences=report.samples
+            )
+        self._maybe_run_health()
         return resolved
 
     # -- reporting -----------------------------------------------------------
@@ -725,6 +914,11 @@ class PhotonicSession:
             "analog_energy": stats.analog_energy
             + self._tiled_analog_energy
             + self._model_analog_energy,
+            "probe_runs": self._probe_runs,
+            "probe_vectors": self._probe_vectors,
+            "recalibrations": self._recalibrations,
+            "calibration_time": self._calibration_time,
+            "calibration_energy": self._calibration_energy,
         }
 
     def _delta_report(self) -> RunReport:

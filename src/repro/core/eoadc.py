@@ -265,6 +265,19 @@ class EoAdc:
         self._code_boundaries = boundaries
         return boundaries
 
+    def invalidate_boundaries(self) -> None:
+        """Drop the memoized code ladder so the next
+        :meth:`code_boundaries` call re-bisects the converter.
+
+        The memo assumes ring trims never change after construction;
+        mutating ``trim_errors`` or ``spec`` in place (variation
+        studies, recalibration re-trims) silently breaks that
+        assumption — call this (or
+        :meth:`~repro.core.tensor_core.PhotonicTensorCore.
+        invalidate_ladders` on the owning core) afterwards.
+        """
+        self._code_boundaries = None
+
     def convert_clamped(self, v_in: float) -> int:
         """Conversion with the input clipped into the full-scale range."""
         margin = 1e-9

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..config import Technology, default_technology
 from ..errors import ConfigurationError
+from ..health.drift import apply_read_out
 from .compute_core import VectorComputeCore
 from .eoadc import EoAdc
 from .performance import PerformanceModel
@@ -88,6 +89,12 @@ class PhotonicTensorCore:
         #: distinct ADC trim is bisected once per core, not once per
         #: compile.
         self.runtime_ladder_cache: list = []
+        #: Live degradation state of this core (a
+        #: :class:`repro.health.DriftState`, attached by
+        #: :class:`~repro.api.PhotonicSession` when drift is modelled;
+        #: None = ideal ageless hardware).  The device loop and every
+        #: engine compiled from this core read it at evaluation time.
+        self.drift_state = None
 
     # -- weights -------------------------------------------------------------
     @property
@@ -133,6 +140,23 @@ class PhotonicTensorCore:
         """Row photocurrent [A] with all inputs at 1, all weights max."""
         return self._full_scale_current
 
+    def invalidate_ladders(self) -> None:
+        """Drop every cached ADC code ladder of this core.
+
+        The cross-compiler ladder memo (and each row ADC's own
+        boundary memo) assumes the converters never change after
+        construction.  Changing ADC parameters in place afterwards —
+        re-trimming during recalibration, mutating ``trim_errors`` or
+        ``spec`` for a variation study — leaves engines compiling
+        against stale ladders; call this first so the next compile
+        re-bisects.  Engines compiled *before* the call keep their
+        detached snapshots: recompile them (the serving caches do this
+        lazily after :meth:`repro.api.PhotonicSession.recalibrate`).
+        """
+        self.runtime_ladder_cache.clear()
+        for adc in self.row_adcs:
+            adc.invalidate_boundaries()
+
     # -- compute -------------------------------------------------------------
     def _validated_vector(self, x) -> np.ndarray:
         x = np.asarray(x, dtype=float)
@@ -160,10 +184,18 @@ class PhotonicTensorCore:
             raise ConfigurationError(f"TIA gain must be positive, got {gain}")
         x = self._validated_vector(x)
         currents = np.array([core.compute(x) for core in self.row_cores])
-        voltages = np.clip(
-            gain * self._tia_gain * currents,
-            0.0,
-            self.row_adcs[0].spec.full_scale_voltage - 1e-9,
+        # The live hardware suffers whatever drift survives the current
+        # trims; the read-out arithmetic is the same apply_read_out the
+        # compiled fast path evaluates, so both agree code-for-code at
+        # every age.
+        residual = None
+        if self.drift_state is not None and self.drift_state.active:
+            residual = self.drift_state.residual()
+        currents, voltages = apply_read_out(
+            residual,
+            currents,
+            gain * self._tia_gain,
+            self.row_adcs[0].spec.full_scale_voltage,
         )
         codes = np.array(
             [adc.convert(float(v)) for adc, v in zip(self.row_adcs, voltages)]

@@ -54,6 +54,7 @@ def compile_differential_engines(q_positive, q_negative, core: PhotonicTensorCor
         "technology": core.technology,
         "gain": 1.0,
         "ladder_cache": core.runtime_ladder_cache,
+        "drift_state": core.drift_state,
     }
     positive = TiledMatmul(q_positive, **tile_settings)
     negative = (

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core.tensor_core import MatvecResult, PhotonicTensorCore
 from ..errors import ConfigurationError
+from ..health.drift import apply_read_out
 
 
 @dataclass
@@ -128,6 +129,23 @@ class CompiledCore:
         self._full_scale_current = core.full_scale_current
         self.sample_rate = adc.sample_rate
 
+        # Drift-aware compilation: the engine keeps a *live* reference
+        # to the core's DriftState (hardware truth evolves under it)
+        # but snapshots the compensation trims — like the ladder, the
+        # trims are part of the compiled program.  A recalibration
+        # bumps the state's epoch; programs compiled under an older
+        # epoch keep serving with stale trims until the caches
+        # recompile them (repro.api.PhotonicSession.recalibrate).
+        drift = core.drift_state
+        if drift is not None and drift.active:
+            self._drift = drift
+            self._calibration = drift.compensation
+            self.calibration_epoch = drift.epoch
+        else:
+            self._drift = None
+            self._calibration = None
+            self.calibration_epoch = 0
+
     # -- bookkeeping ---------------------------------------------------------
     @property
     def weight_key(self) -> bytes:
@@ -173,34 +191,42 @@ class CompiledCore:
         )
         return current / unit * 2.0**self.weight_bits
 
-    def matmul(self, batch, gain: float = 1.0) -> BatchResult:
+    def matmul(self, batch, gain: float = 1.0, residual=None) -> BatchResult:
         """Batched photonic W @ X for X of shape (columns, batch).
 
         One dense matrix product plus vectorized ADC binning; column b
         of the result carries the codes the device loop would emit for
         ``matvec(X[:, b], gain)``.
+
+        ``residual`` overrides the drift the evaluation suffers: None
+        reads the live :class:`~repro.health.DriftState` relative to
+        this program's compile-time trims (the default serving
+        behaviour; a no-op on drift-free cores), an explicit
+        :class:`~repro.health.Perturbation` is applied as-is (the
+        identity yields the pristine evaluation — how the health
+        monitor freezes golden codes and attributes errors per stage).
         """
         if gain <= 0.0:
             raise ConfigurationError(f"TIA gain must be positive, got {gain}")
         batch = self._validated_batch(batch)
+        if residual is None and self._drift is not None:
+            residual = self._drift.truth().relative_to(self._calibration)
         currents = self.response @ batch
-        voltages = np.clip(
-            gain * self._tia_gain * currents,
-            0.0,
-            self._full_scale_voltage - 1e-9,
+        currents, voltages = apply_read_out(
+            residual, currents, gain * self._tia_gain, self._full_scale_voltage
         )
         codes = self.quantize_voltages(voltages)
         estimates = self.dequantize_codes(codes) / gain
         return BatchResult(codes=codes, estimates=estimates, currents=currents)
 
-    def matvec(self, x, gain: float = 1.0) -> MatvecResult:
+    def matvec(self, x, gain: float = 1.0, residual=None) -> MatvecResult:
         """Single-vector evaluation with the batched fast path."""
         x = np.asarray(x, dtype=float)
         if x.shape != (self.columns,):
             raise ConfigurationError(
                 f"input must have shape ({self.columns},), got {x.shape}"
             )
-        return self.matmul(x[:, np.newaxis], gain=gain).column(0)
+        return self.matmul(x[:, np.newaxis], gain=gain, residual=residual).column(0)
 
 
 def weight_key(matrix) -> bytes:

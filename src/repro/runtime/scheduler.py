@@ -64,6 +64,9 @@ class WeightProgramCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Programs dropped by :meth:`evict_where` (recalibration),
+        #: not by LRU capacity pressure.
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._programs)
@@ -85,6 +88,23 @@ class WeightProgramCache:
         self._programs.move_to_end(key)
         self.hits += 1
         return program
+
+    def evict_where(self, predicate) -> int:
+        """Drop every cached program ``predicate(program)`` selects;
+        returns the dropped count.
+
+        This is the *invalidation* path (recalibration dropping
+        programs compiled under stale trims), tallied separately from
+        capacity ``evictions`` so the LRU pressure statistics stay
+        meaningful.
+        """
+        stale = [
+            key for key, program in self._programs.items() if predicate(program)
+        ]
+        for key in stale:
+            del self._programs[key]
+        self.invalidations += len(stale)
+        return len(stale)
 
     def put(self, key: bytes, program) -> object | None:
         """Insert a program, evicting the least recently used entry

@@ -23,6 +23,10 @@ flush policy standing in for the old hand-placed ``flush()`` calls.
 :func:`run_cluster_serve_bench` replays the same trace through
 :class:`~repro.api.PhotonicCluster` fleets of 1/2/4 cores under every
 routing policy and emits ``BENCH_cluster.json``.
+:func:`run_drift_serve_bench` replays it through sessions degrading
+under :func:`drift_suite`, sweeping drift severity x probe cadence x
+recalibration threshold, and emits ``BENCH_drift.json`` (recovery
+curves included).
 """
 
 from __future__ import annotations
@@ -504,6 +508,215 @@ def run_cluster_serve_bench(
         f"{'cores':>5}  {'routing':<15} {'inferences/s':>12}  "
         f"{'modelled inf/s':>14}  {'hit rate':>8}  {'evictions':>9}  "
         f"{'imbalance':>9}",
+        *table_rows,
+    ]
+    if json_path is not None:
+        lines.append(f"summary written to: {json_path}")
+    print_fn("\n".join(lines))
+    return summary
+
+
+#: The drift sweep axes of ``serve-bench drift``, in report order.
+DRIFT_BENCH_SEVERITIES = (0.5, 1.5)
+DRIFT_BENCH_CADENCES = (0, 1, 4)       # probe_every; 0 = unmonitored
+DRIFT_BENCH_THRESHOLDS = (0.02, 0.2)   # code-error rate triggering recal
+
+
+def drift_suite(severity: float = 1.0):
+    """The serve-bench degradation suite, scaled by ``severity``.
+
+    One of each modelled process: slow thermal wander of the ring
+    resonances, exponential laser aging, TIA gain droop and
+    comparator-offset aging — rates chosen so a ~minute of modelled
+    traffic at severity 1 walks a visible fraction of the 3-bit probe
+    codes.
+    """
+    from ..health import (
+        ComparatorOffsetAging,
+        LaserPowerDecay,
+        ThermalDetuning,
+        TiaGainDrift,
+    )
+
+    if severity <= 0.0:
+        raise ConfigurationError(f"drift severity must be positive, got {severity}")
+    return (
+        ThermalDetuning(amplitude_kelvin=0.35 * severity, period_s=45.0),
+        LaserPowerDecay(rate_per_s=1e-3 * severity),
+        TiaGainDrift(drift_per_s=-8e-4 * severity),
+        ComparatorOffsetAging(
+            volts_per_inference=2e-4 * severity, saturation_volts=0.45
+        ),
+    )
+
+
+def run_drift_serve_bench(
+    requests: int = 240,
+    rows: int = 8,
+    columns: int = 8,
+    flush_every: int = 32,
+    cache_capacity: int = 4,
+    seed: int = 2025,
+    severities: tuple[float, ...] = DRIFT_BENCH_SEVERITIES,
+    cadences: tuple[int, ...] = DRIFT_BENCH_CADENCES,
+    thresholds: tuple[float, ...] = DRIFT_BENCH_THRESHOLDS,
+    arrival_period_s: float = 0.25,
+    probes: int = 8,
+    json_path=None,
+    print_fn=print,
+) -> dict:
+    """Sweep drift severity x probe cadence x recalibration threshold.
+
+    Every configuration replays the *same* Zipf-skewed
+    :func:`synthetic_trace` through a :class:`~repro.api.PhotonicSession`
+    whose core degrades under :func:`drift_suite`; requests arrive
+    ``arrival_period_s`` of modelled wall-clock apart, so the trace
+    spans ``requests * arrival_period_s`` seconds of aging.  Cadence 0
+    is the unmonitored control (no :class:`~repro.health.HealthPolicy`
+    — the drift is only measured once, after the fact); positive
+    cadences probe every N flushes and recalibrate past the threshold.
+    Each record carries the final probe code-error rate, the
+    recalibration count, the calibration energy/latency overhead and
+    the per-probe recovery curve; ``json_path`` writes the summary
+    (the CLI and ``benchmarks/bench_drift_recovery.py`` point it at
+    ``BENCH_drift.json``).
+    """
+    from ..api.policy import FlushPolicy
+    from ..api.session import PhotonicSession
+    from ..health import HealthPolicy
+
+    if flush_every < 1:
+        raise ConfigurationError(f"flush interval must be >= 1, got {flush_every}")
+    if arrival_period_s < 0.0:
+        raise ConfigurationError(
+            f"arrival period must be non-negative, got {arrival_period_s}"
+        )
+    if not severities or not cadences:
+        raise ConfigurationError("need at least one severity and one cadence")
+    if any(cadence < 0 for cadence in cadences):
+        raise ConfigurationError(f"cadences must be >= 0, got {cadences!r}")
+    if any(cadence > 0 for cadence in cadences) and not thresholds:
+        raise ConfigurationError(
+            "monitored cadences need at least one recalibration threshold"
+        )
+    trace = list(
+        synthetic_trace(requests=requests, rows=rows, columns=columns, seed=seed)
+    )
+
+    def replay(severity: float, policy) -> dict:
+        session = PhotonicSession(
+            grid=(rows, columns),
+            cache_capacity=cache_capacity,
+            max_batch=flush_every,
+            flush_policy=FlushPolicy.max_batch(flush_every),
+            drift=drift_suite(severity),
+            health_policy=policy,
+        )
+        # The unmonitored control still gets its monitor now, sized
+        # like the monitored configs, so every final_code_error_rate
+        # in the sweep is measured on the same probe program.
+        session.ensure_monitor(HealthPolicy.monitor_only(probes=probes))
+        started = time.perf_counter()
+        futures = []
+        for _, weights, x in trace:
+            session.age(arrival_period_s)
+            futures.append(session.submit(weights, x))
+        session.flush()
+        elapsed = time.perf_counter() - started
+        if not all(future.done for future in futures):
+            raise ConfigurationError("drift serve bench left unresolved futures")
+        final = session.check_health()
+        report = session.report()
+        checks = session.health_history
+        post_recal = [check for check in checks if check.recalibrated]
+        return {
+            "final_code_error_rate": final.code_error_rate,
+            "final_enob_loss": final.enob_loss,
+            "attribution": dict(final.attribution),
+            "recalibrations": report.recalibrations,
+            "probe_runs": report.probe_runs,
+            "recovered_bit_for_bit": bool(post_recal)
+            and all(check.healthy for check in post_recal),
+            "calibration_time_us": report.calibration_time * 1e6,
+            "calibration_energy_nj": report.calibration_energy * 1e9,
+            "analog_latency_us": report.total_latency * 1e6,
+            "analog_energy_nj": report.total_energy * 1e9,
+            "elapsed_s": elapsed,
+            "recovery": [
+                {
+                    "flush": check.flush_index,
+                    "code_error_rate": check.code_error_rate,
+                    "recalibrated": check.recalibrated,
+                }
+                for check in checks
+            ],
+        }
+
+    sweep = []
+    table_rows = []
+    for severity in severities:
+        configs = []
+        for cadence in cadences:
+            if cadence == 0:
+                policies = [("unmonitored", None, None)]
+            else:
+                policies = [
+                    (
+                        f"probe_every={cadence}, recal>{threshold:g}",
+                        cadence,
+                        threshold,
+                    )
+                    for threshold in thresholds
+                ]
+            for label, probe_every, threshold in policies:
+                policy = (
+                    None
+                    if probe_every is None
+                    else HealthPolicy(
+                        probe_every=probe_every,
+                        probes=probes,
+                        recalibrate_threshold=threshold,
+                    )
+                )
+                result = replay(severity, policy)
+                configs.append(
+                    {
+                        "label": label,
+                        "cadence": probe_every or 0,
+                        "threshold": threshold,
+                        **result,
+                    }
+                )
+                table_rows.append(
+                    f"{severity:>8.2g}  {label:<28} "
+                    f"{result['final_code_error_rate']:>9.0%}  "
+                    f"{result['recalibrations']:>6}  "
+                    f"{result['calibration_energy_nj']:>10.2f}  "
+                    f"{'yes' if result['recovered_bit_for_bit'] else 'no':>9}"
+                )
+        sweep.append({"severity": severity, "configs": configs})
+    summary = {
+        "requests": requests,
+        "grid": [rows, columns],
+        "flush_every": flush_every,
+        "seed": seed,
+        "arrival_period_s": arrival_period_s,
+        "probes": probes,
+        "severities": list(severities),
+        "cadences": list(cadences),
+        "thresholds": list(thresholds),
+        "sweep": sweep,
+    }
+    if json_path is not None:
+        import json
+        from pathlib import Path
+
+        Path(json_path).write_text(json.dumps(summary, indent=2) + "\n")
+    lines = [
+        f"drift serve-bench: {requests} requests on {rows} x {columns} tiles, "
+        f"{arrival_period_s:g} s modelled arrival spacing (seed {seed})",
+        f"{'severity':>8}  {'health policy':<28} {'final err':>9}  "
+        f"{'recals':>6}  {'cal nJ':>10}  {'recovered':>9}",
         *table_rows,
     ]
     if json_path is not None:

@@ -54,6 +54,14 @@ class DifferentialProgram:
     negative: TiledMatmul | None
 
     @property
+    def calibration_epoch(self) -> int:
+        """Drift-calibration epoch the grids were compiled under (both
+        halves compile together, so the positive grid speaks for the
+        pair); the serving caches evict programs whose epoch trails the
+        core's after a recalibration."""
+        return self.positive.calibration_epoch
+
+    @property
     def passes(self) -> int:
         """Sequential analog passes per input column."""
         return 2 if self.negative is not None else 1
@@ -111,6 +119,7 @@ class TiledMatmul:
         gain: float | str = "auto",
         label: str = "tiled",
         ladder_cache: list | None = None,
+        drift_state=None,
     ) -> None:
         self.technology = technology if technology is not None else default_technology()
         tensor = self.technology.tensor
@@ -134,6 +143,20 @@ class TiledMatmul:
             adc_bits=adc_bits,
             technology=self.technology,
             label=f"{label}.probe",
+        )
+        # Callers serving a drifting core (repro.api / repro.health)
+        # thread its live DriftState in: every tile of the grid is a
+        # core in the same package, so the whole grid shares one
+        # degradation trajectory.  The compiled tiles snapshot the
+        # state's trims exactly as CompiledCore does.
+        probe.drift_state = drift_state
+        # Same stamping rule as CompiledCore: an inactive state (no
+        # models) never distinguishes epochs, so both caches agree on
+        # which programs a recalibration invalidates.
+        self.calibration_epoch = (
+            drift_state.epoch
+            if drift_state is not None and drift_state.active
+            else 0
         )
         if np.any(weight_matrix < 0) or np.any(weight_matrix > probe.max_weight):
             raise MappingError(

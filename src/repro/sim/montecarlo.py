@@ -57,25 +57,39 @@ class MonteCarlo:
     def rng(self) -> np.random.Generator:
         return self._rng
 
-    def normal(self, sigma: float, size=None):
-        """Zero-mean normal perturbation samples."""
+    def normal(self, sigma: float, size=None, rng: np.random.Generator | None = None):
+        """Zero-mean normal perturbation samples.
+
+        ``rng`` draws from an explicit generator instead of this
+        runner's evolving stream, so a call site can be replayed
+        bit-for-bit regardless of draws made before it.
+        """
         if sigma < 0.0:
             raise ConfigurationError(f"sigma must be non-negative, got {sigma}")
-        return self._rng.normal(0.0, sigma, size=size)
+        source = self._rng if rng is None else rng
+        return source.normal(0.0, sigma, size=size)
 
     def run(
         self,
         build_and_measure: Callable[[np.random.Generator], float],
         trials: int,
+        seed: int | None = None,
     ) -> list[float]:
         """Run ``trials`` independent builds; returns the metric samples.
 
         ``build_and_measure`` receives a per-trial child generator so
-        each trial's randomness is independent yet reproducible.
+        each trial's randomness is independent yet reproducible.  By
+        default the children spawn from this runner's evolving stream
+        (two same-seed runners replay identically call for call);
+        ``seed`` instead derives them from a fresh generator, pinning
+        *this* call's draws bit-for-bit no matter what ran before it —
+        the same explicit-``--seed`` convention the serve-bench CLI
+        uses.
         """
         if trials < 1:
             raise ConfigurationError(f"need at least one trial, got {trials}")
-        children = self._rng.spawn(trials)
+        source = self._rng if seed is None else np.random.default_rng(seed)
+        children = source.spawn(trials)
         return [float(build_and_measure(child)) for child in children]
 
     def yield_fraction(

@@ -443,6 +443,35 @@ class TestClusterReport:
         assert "core 0" in text and "core 1" in text
         assert "imbalance" in text
 
+    def test_zero_request_flush_keeps_ratios_safe(self, pair):
+        """A flush firing with nothing queued must not divide by zero
+        anywhere in the report (regression)."""
+        assert pair.flush() == 0
+        report = pair.report()
+        assert report.utilization == (0.0, 0.0)
+        assert report.imbalance == 1.0
+        assert report.fleet_latency == 0.0
+        assert report.cache_hit_rate == 0.0
+        assert "imbalance" in str(report)
+
+    def test_empty_fleet_report_guards(self):
+        """ClusterReport over an empty per-core tuple (no fleet) stays
+        total-function: no max() over an empty sequence, no division
+        by a zero fleet (regression)."""
+        report = ClusterReport(
+            cores=0,
+            routing="round_robin",
+            total=RunReport.combined(()),
+            per_core=(),
+            routed=(),
+            shed=0,
+        )
+        assert report.fleet_latency == 0.0
+        assert report.imbalance == 1.0
+        assert report.utilization == ()
+        assert report.cache_hit_rate == 0.0
+        assert "cluster of 0 cores" in str(report)
+
     def test_evictions_surface_in_cluster_report(self, tech):
         """The WeightProgramCache eviction counter threads through
         SchedulerStats -> RunReport -> ClusterReport."""

@@ -97,3 +97,33 @@ def test_unknown_command(capsys):
     output = capsys.readouterr().out
     assert "unknown command" in output
     assert "serve-bench" in output
+
+
+def test_serve_bench_drift_smoke_writes_json(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["serve-bench", "drift", "--smoke", "--seed", "7"]) == 0
+    output = capsys.readouterr().out
+    assert "drift serve-bench" in output
+    assert "unmonitored" in output and "probe_every" in output
+    assert "(seed 7)" in output
+    bench_json = tmp_path / "BENCH_drift.json"
+    assert bench_json.exists()
+    import json
+
+    data = json.loads(bench_json.read_text())
+    assert data["seed"] == 7
+    configs = data["sweep"][0]["configs"]
+    unmonitored = next(c for c in configs if c["cadence"] == 0)
+    monitored = next(c for c in configs if c["cadence"] > 0)
+    # Drift bites the unmonitored control; the policy recovers from it.
+    assert unmonitored["final_code_error_rate"] > 0.0
+    assert monitored["recalibrations"] >= 1
+    assert monitored["recovered_bit_for_bit"]
+    assert monitored["calibration_energy_nj"] > 0.0
+
+
+def test_serve_bench_drift_rejects_bad_count(capsys):
+    assert main(["serve-bench", "drift", "zero"]) == 2
+    assert main(["serve-bench", "drift", "0"]) == 2
+    output = capsys.readouterr().out
+    assert "request count" in output

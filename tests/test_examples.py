@@ -30,6 +30,7 @@ def test_examples_directory_complete():
     expected = {
         "quickstart.py",
         "cluster_serving.py",
+        "drift_recovery.py",
         "psram_memory_array.py",
         "adc_characterization.py",
         "neural_inference.py",
@@ -46,6 +47,9 @@ def test_examples_directory_complete():
         ("quickstart.py", ["TOPS", "3.02"]),
         ("cluster_serving.py", ["routing cache_affinity", "shed", "replicas",
                                 "imbalance"]),
+        ("drift_recovery.py", ["code-error rate", "recalibrations",
+                               "bit-for-bit healthy: True", "drained",
+                               "restored"]),
         ("psram_memory_array.py", ["500", "GHz"]),
         ("adc_characterization.py", ["001", "2.32"]),
     ],

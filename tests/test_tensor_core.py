@@ -129,3 +129,42 @@ def test_weight_matrix_validation(tech):
         core.load_weight_matrix(np.ones((3, 2), dtype=int))
     with pytest.raises(ConfigurationError):
         PhotonicTensorCore(rows=0, columns=2, technology=tech)
+
+
+def test_invalidate_ladders_after_inplace_adc_retune(tech):
+    """Regression: the ladder memos assume the converters never change
+    after construction.  Re-tuning an ADC in place (here: halving the
+    full-scale range, as a recalibration re-trim would) must not keep
+    serving the old bisected ladder once ``invalidate_ladders`` ran."""
+    import dataclasses
+
+    core = PhotonicTensorCore(rows=2, columns=4, technology=tech)
+    core.load_weight_matrix(np.full((2, 4), 3, dtype=int))
+    first = core.compile()
+    assert len(core.runtime_ladder_cache) == 1  # one shared trim/spec
+
+    # In-place parameter change: both memo layers (the ADC's own
+    # boundary cache and the core's cross-compiler ladder memo) go
+    # stale — a fresh compile still serves the 4 V ladder.
+    for adc in core.row_adcs:
+        adc.spec = dataclasses.replace(adc.spec, full_scale_voltage=2.0)
+        adc.reference_voltages = np.asarray(adc.spec.reference_voltages())
+    stale = core.compile()
+    assert np.array_equal(stale.boundaries, first.boundaries)
+
+    core.invalidate_ladders()
+    assert len(core.runtime_ladder_cache) == 0
+    fresh = core.compile()
+    assert not np.array_equal(fresh.boundaries, first.boundaries)
+    assert fresh.boundaries.max() <= 2.0  # re-bisected on the new range
+    assert len(core.runtime_ladder_cache) == 1
+
+
+def test_invalidate_ladders_clears_every_row_adc_memo(tech):
+    core = PhotonicTensorCore(rows=2, columns=4, technology=tech)
+    for adc in core.row_adcs:
+        adc.code_boundaries()
+        assert adc._code_boundaries is not None
+    core.invalidate_ladders()
+    for adc in core.row_adcs:
+        assert adc._code_boundaries is None
