@@ -1,0 +1,85 @@
+"""Observing the serving stack: traces, quantiles and exports.
+
+Every claim this repo reproduces is a latency/energy number, so the
+serving stack can narrate everything it models.  This tour attaches a
+``TraceRecorder`` to a 2-core cluster, replays a skewed request mix,
+reads the modelled latency quantiles off the reports, and dumps a
+Chrome trace-event JSON that opens directly in Perfetto
+(https://ui.perfetto.dev).  All timestamps are on the *modelled*
+clock — ADC sample periods and pSRAM weight streaming — not wall time.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    FlushPolicy,
+    PhotonicCluster,
+    PhotonicSession,
+    RoutingPolicy,
+    TraceRecorder,
+)
+
+rng = np.random.default_rng(7)
+
+# -- a traced single session ----------------------------------------------
+recorder = TraceRecorder(label="telemetry tour")
+session = PhotonicSession(
+    grid=(4, 6),
+    flush_policy=FlushPolicy.max_batch(8),
+    trace=recorder,
+    label="session",
+)
+tenants = [rng.integers(0, 8, (4, 6)) for _ in range(3)]
+futures = [
+    session.submit(tenants[turn % 3 if turn % 4 else 0], rng.uniform(0.0, 1.0, 6))
+    for turn in range(24)
+]
+session.flush()
+
+# Per-flush reports carry the exact window quantiles; the cumulative
+# session report derives them from log-spaced-bin histograms.
+report = session.report()
+e2e = report.latency_quantiles["end_to_end"]
+print(f"session end-to-end: p50 {e2e['p50'] * 1e9:.2f} ns, "
+      f"p99 {e2e['p99'] * 1e9:.2f} ns, p999 {e2e['p999'] * 1e9:.2f} ns "
+      f"over {e2e['count']} requests")
+print(f"queue wait        : p99 "
+      f"{report.latency_quantiles['queue_wait']['p99'] * 1e9:.2f} ns")
+
+# -- a traced fleet: per-core tracks plus fleet-level instants ------------
+cluster = PhotonicCluster(
+    cores=2,
+    grid=(4, 6),
+    routing=RoutingPolicy.cache_affinity(),
+    flush_policy=FlushPolicy.max_batch(8),
+    trace=recorder,
+    label="fleet",
+)
+for turn in range(32):
+    cluster.submit(tenants[turn % 3 if turn % 4 else 0],
+                   rng.uniform(0.0, 1.0, 6))
+cluster.flush()
+
+fleet = cluster.report()
+fe2e = fleet.latency_quantiles["end_to_end"]
+print(f"fleet end-to-end  : p50 {fe2e['p50'] * 1e9:.2f} ns, "
+      f"p999 {fe2e['p999'] * 1e9:.2f} ns over {fe2e['count']} requests "
+      f"(merged bin-for-bin across {fleet.cores} cores)")
+
+# Every report exports JSON-ready via the shared ReportExport mixin.
+exported = fleet.to_dict()
+print(f"ClusterReport.to_dict keys: {sorted(exported)[:5]} ...")
+
+# -- the Chrome trace -----------------------------------------------------
+out = Path(tempfile.gettempdir()) / "telemetry_tour_trace.json"
+recorder.save(out)
+payload = json.loads(out.read_text())
+categories = sorted({event.get("cat") for event in payload["traceEvents"]
+                     if event.get("cat")})
+print(f"{len(recorder.events)} trace events "
+      f"(categories: {', '.join(categories)})")
+print(f"trace written to {out} — open it in Perfetto")

@@ -28,6 +28,10 @@ The package rebuilds the paper's full stack in Python:
   :class:`HealthMonitor` checks against compile-time golden codes, and
   online recalibration driven by a :class:`HealthPolicy` (sessions
   re-trim in place; clusters drain the core, re-trim, restore).
+* :mod:`repro.telemetry` — observability: modelled-clock Chrome
+  tracing (:class:`TraceRecorder`), counters/gauges/latency-quantile
+  histograms (:class:`MetricsRegistry`), cProfile hooks behind
+  ``serve-bench --profile`` and the shared report export mixin.
 * :mod:`repro.analysis` — linearity fits and bench reporting.
 
 Quickstart::
@@ -89,6 +93,13 @@ from .runtime import (
     TiledMatmul,
     WeightProgramCache,
 )
+from .telemetry import (
+    Histogram,
+    MetricsRegistry,
+    ModelClock,
+    Telemetry,
+    TraceRecorder,
+)
 
 __version__ = "1.1.0"
 
@@ -112,9 +123,12 @@ __all__ = [
     "HealthMonitor",
     "HealthPolicy",
     "HealthReport",
+    "Histogram",
     "InferenceServer",
     "LaserPowerDecay",
+    "MetricsRegistry",
     "Model",
+    "ModelClock",
     "PendingFlushError",
     "PerformanceModel",
     "Perturbation",
@@ -130,10 +144,12 @@ __all__ = [
     "RunReport",
     "ShiftAddEoAdc",
     "Technology",
+    "Telemetry",
     "ThermalDetuning",
     "TiaGainDrift",
     "TiledMatmul",
     "TimeInterleavedEoAdc",
+    "TraceRecorder",
     "VectorComputeCore",
     "WeightProgramCache",
     "__version__",

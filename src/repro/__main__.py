@@ -23,8 +23,13 @@ Commands:
   comparator aging), sweeping drift severity x probe cadence x
   recalibration threshold, and write ``BENCH_drift.json``.
 
-Every serve-bench scenario takes ``--seed N`` for a reproducible trace
-and ``--smoke`` for a fast CI-sized run.
+Every serve-bench scenario shares one option parser
+(:func:`_parse_serve_bench_options`): ``--seed N`` for a reproducible
+trace, ``--smoke`` for a fast CI-sized run, ``--profile`` to wrap the
+run in cProfile and print the hottest functions (also merged into the
+scenario's ``BENCH_*.json`` where one is written), and
+``--trace out.json`` to dump the modelled-clock span timeline as
+Chrome trace-event JSON (open it in Perfetto or ``chrome://tracing``).
 
 Also installed as the ``repro`` console script (``repro serve-bench``).
 """
@@ -32,6 +37,7 @@ Also installed as the ``repro`` console script (``repro serve-bench``).
 from __future__ import annotations
 
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -71,6 +77,95 @@ def _adc(argv: list[str]) -> None:
         print(f"{v_in:>8.2f}  {code:>4}  {code:03b}")
 
 
+@dataclass
+class _ServeBenchOptions:
+    """The options every serve-bench scenario shares."""
+
+    smoke: bool = False
+    seed: int = 2025
+    profile: bool = False
+    trace_path: Path | None = None
+
+
+def _parse_serve_bench_options(argv: list[str]):
+    """Parse the shared ``--seed`` / ``--smoke`` / ``--profile`` /
+    ``--trace`` options out of a serve-bench argument list.
+
+    One parser for every scenario, so a new shared option lands once
+    instead of once per scenario.  Returns ``(options, remaining)``
+    with the scenario-specific positionals left in ``remaining``, or
+    ``(None, remaining)`` after printing the validation error (the
+    caller exits 2).
+    """
+    args = list(argv)
+    opts = _ServeBenchOptions()
+    opts.smoke = "--smoke" in args
+    if opts.smoke:
+        args.remove("--smoke")
+    opts.profile = "--profile" in args
+    if opts.profile:
+        args.remove("--profile")
+    if "--seed" in args:
+        at = args.index("--seed")
+        if at + 1 >= len(args):
+            print("serve-bench --seed expects an integer value")
+            return None, args
+        try:
+            opts.seed = int(args[at + 1])
+        except ValueError:
+            print(f"serve-bench --seed expects an integer, got {args[at + 1]!r}")
+            return None, args
+        if opts.seed < 0:
+            print(f"serve-bench --seed must be >= 0, got {opts.seed}")
+            return None, args
+        del args[at : at + 2]
+    if "--trace" in args:
+        at = args.index("--trace")
+        if at + 1 >= len(args) or args[at + 1].startswith("--"):
+            print("serve-bench --trace expects an output path")
+            return None, args
+        opts.trace_path = Path(args[at + 1])
+        del args[at : at + 2]
+    return opts, args
+
+
+def _run_scenario(opts: _ServeBenchOptions, runner, json_path=None, **kwargs) -> int:
+    """Run one serve-bench scenario under the shared observability
+    options: attach a :class:`~repro.telemetry.TraceRecorder` for
+    ``--trace``, wrap the run in cProfile for ``--profile`` (printing
+    the hot-function ranking and merging it into the scenario's
+    ``BENCH_*.json`` when one is written)."""
+    recorder = None
+    if opts.trace_path is not None:
+        from .telemetry import TraceRecorder
+
+        recorder = TraceRecorder(label="serve-bench")
+    if json_path is not None:
+        kwargs = {**kwargs, "json_path": json_path}
+
+    def call():
+        return runner(trace=recorder, **kwargs)
+
+    if opts.profile:
+        from .telemetry import format_profile, profile_call
+
+        _, hot = profile_call(call)
+        print(format_profile(hot))
+        if json_path is not None:
+            import json
+
+            data = json.loads(Path(json_path).read_text())
+            data["profile"] = hot
+            Path(json_path).write_text(json.dumps(data, indent=2) + "\n")
+            print(f"profile merged into: {json_path}")
+    else:
+        call()
+    if recorder is not None:
+        recorder.save(opts.trace_path)
+        print(f"trace written to: {opts.trace_path}")
+    return 0
+
+
 def _serve_bench(argv: list[str]) -> int:
     from .runtime.serving import (
         run_cluster_serve_bench,
@@ -79,25 +174,10 @@ def _serve_bench(argv: list[str]) -> int:
         run_serve_bench,
     )
 
-    args = list(argv)
-    smoke = "--smoke" in args
-    if smoke:
-        args.remove("--smoke")
-    seed = 2025
-    if "--seed" in args:
-        at = args.index("--seed")
-        if at + 1 >= len(args):
-            print("serve-bench --seed expects an integer value")
-            return 2
-        try:
-            seed = int(args[at + 1])
-        except ValueError:
-            print(f"serve-bench --seed expects an integer, got {args[at + 1]!r}")
-            return 2
-        if seed < 0:
-            print(f"serve-bench --seed must be >= 0, got {seed}")
-            return 2
-        del args[at : at + 2]
+    opts, args = _parse_serve_bench_options(argv)
+    if opts is None:
+        return 2
+    smoke = opts.smoke
 
     if args and args[0] == "cnn":
         try:
@@ -108,8 +188,9 @@ def _serve_bench(argv: list[str]) -> int:
         if images < 1:
             print(f"serve-bench cnn image count must be >= 1, got {images}")
             return 2
-        run_cnn_serve_bench(images=images, seed=seed)
-        return 0
+        return _run_scenario(
+            opts, run_cnn_serve_bench, images=images, seed=opts.seed
+        )
     if args and args[0] == "drift":
         try:
             requests = int(args[1]) if len(args) > 1 else (24 if smoke else 240)
@@ -130,13 +211,14 @@ def _serve_bench(argv: list[str]) -> int:
                 "thresholds": (0.05,),
                 "arrival_period_s": 60.0 / requests,
             }
-        run_drift_serve_bench(
-            requests=requests,
-            seed=seed,
+        return _run_scenario(
+            opts,
+            run_drift_serve_bench,
             json_path=Path.cwd() / "BENCH_drift.json",
+            requests=requests,
+            seed=opts.seed,
             **sweep_kwargs,
         )
-        return 0
     if args and args[0] == "cluster":
         try:
             requests = int(args[1]) if len(args) > 1 else (24 if smoke else 240)
@@ -146,12 +228,13 @@ def _serve_bench(argv: list[str]) -> int:
         if requests < 1:
             print(f"serve-bench cluster request count must be >= 1, got {requests}")
             return 2
-        run_cluster_serve_bench(
-            requests=requests,
-            seed=seed,
+        return _run_scenario(
+            opts,
+            run_cluster_serve_bench,
             json_path=Path.cwd() / "BENCH_cluster.json",
+            requests=requests,
+            seed=opts.seed,
         )
-        return 0
     try:
         requests = int(args[0]) if args else (24 if smoke else 240)
     except ValueError:
@@ -160,8 +243,7 @@ def _serve_bench(argv: list[str]) -> int:
     if requests < 0:
         print(f"serve-bench request count must be >= 0, got {requests}")
         return 2
-    run_serve_bench(requests=requests, seed=seed)
-    return 0
+    return _run_scenario(opts, run_serve_bench, requests=requests, seed=opts.seed)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -28,6 +28,11 @@ Everything a caller needs lives behind one object graph:
   cadence + recalibration threshold for sessions/clusters constructed
   with ``drift=[...DriftModel...]``; typed :class:`HealthReport` probe
   checks against compile-time golden codes.
+* :class:`TraceRecorder` / :class:`MetricsRegistry` (re-exported from
+  :mod:`repro.telemetry`) — pass ``trace=`` / ``metrics=`` at
+  construction for modelled-clock Chrome tracing and
+  ``latency_quantiles`` on the reports; without them the serving path
+  makes zero telemetry calls.
 
 Quickstart::
 
@@ -41,6 +46,7 @@ Quickstart::
 """
 
 from ..health import HealthPolicy, HealthReport
+from ..telemetry import MetricsRegistry, Telemetry, TraceRecorder
 from .cluster import ClusterReport, PhotonicCluster, ReplicatedModel
 from .futures import Future, RunReport
 from .graph import AvgPool, Conv2d, Dense, Flatten, Model, ReLU
@@ -60,6 +66,7 @@ __all__ = [
     "Future",
     "HealthPolicy",
     "HealthReport",
+    "MetricsRegistry",
     "Model",
     "PhotonicCluster",
     "PhotonicSession",
@@ -67,4 +74,6 @@ __all__ = [
     "ReplicatedModel",
     "RoutingPolicy",
     "RunReport",
+    "Telemetry",
+    "TraceRecorder",
 ]

@@ -40,6 +40,15 @@ from ..errors import ClusterSaturatedError, ConfigurationError
 from ..health.drift import DriftModel, DriftState
 from ..health.monitor import HealthPolicy, HealthReport
 from ..runtime.engine import weight_key
+from ..telemetry import (
+    END_TO_END_HISTOGRAM,
+    QUEUE_WAIT_HISTOGRAM,
+    Histogram,
+    MetricsRegistry,
+    ReportExport,
+    Telemetry,
+    TraceRecorder,
+)
 from .futures import Future, RunReport
 from .graph import Model
 from .policy import FlushPolicy
@@ -48,14 +57,15 @@ from .session import DeployedModel, PhotonicSession
 
 
 @dataclass(frozen=True)
-class ClusterReport:
+class ClusterReport(ReportExport):
     """Fleet-level accounting: per-core reports rolled into totals.
 
     ``total`` is the element-wise sum of ``per_core`` (see
     :meth:`RunReport.combined`); ``routed`` counts the requests the
     cluster steered to each core and ``shed`` the requests admission
     control rejected.  On a one-core cluster ``total`` equals that
-    core's session report bit for bit.
+    core's session report bit for bit.  ``to_dict()`` / ``to_json()``
+    export the whole record (per-core reports included) JSON-ready.
     """
 
     cores: int
@@ -70,6 +80,12 @@ class ClusterReport:
     draining: tuple[int, ...] = ()
     #: Drain cycles performed so far (maintenance drain → restore).
     drains: int = 0
+    #: Fleet-wide modelled latency distributions, merged bin-for-bin
+    #: from the per-core telemetry histograms (quantiles are not
+    #: additive, so the merge happens at the histogram level — see
+    #: :meth:`repro.telemetry.Histogram.merged`).  None on a cluster
+    #: without telemetry or before any request resolved.
+    latency_quantiles: dict | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -125,6 +141,14 @@ class ClusterReport:
                 f"cache hits"
             )
         lines.append(f"imbalance         : {self.imbalance:.2f}x fleet mean")
+        if self.latency_quantiles is not None:
+            e2e = self.latency_quantiles["end_to_end"]
+            lines.append(
+                f"fleet end-to-end  : p50 {e2e['p50'] * 1e6:.3f} us, "
+                f"p99 {e2e['p99'] * 1e6:.3f} us, "
+                f"p999 {e2e['p999'] * 1e6:.3f} us modelled "
+                f"({e2e['count']} requests)"
+            )
         if self.drains or self.draining:
             drained = (
                 ", ".join(str(core) for core in self.draining)
@@ -246,6 +270,9 @@ class PhotonicCluster:
         max_pending: int | None = None,
         drift=None,
         health_policy: HealthPolicy | None = None,
+        trace: TraceRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
+        label: str = "cluster",
     ) -> None:
         if not isinstance(cores, (int, np.integer)) or cores < 1:
             raise ConfigurationError(f"a cluster needs cores >= 1, got {cores!r}")
@@ -278,6 +305,48 @@ class PhotonicCluster:
             # Materialize the model suite once: each session wraps it
             # into its own independent DriftState (cores age apart).
             drift = (drift,) if isinstance(drift, DriftModel) else tuple(drift)
+        self.label = str(label)
+        # -- telemetry (repro.telemetry) --------------------------------
+        #: Optional fleet-level :class:`~repro.telemetry.Telemetry`
+        #: binding: holds the fleet registry (routed/shed/drain
+        #: counters) and the "fleet" trace track carrying shed / drain /
+        #: restore instants.  Each core session gets its *own* binding
+        #: (own modelled clock and registry — cores digitize
+        #: concurrently on independent timelines) sharing the recorder
+        #: and the cluster's trace process.  None without
+        #: ``trace=``/``metrics=``, and then the fleet makes zero
+        #: telemetry calls.
+        if trace is not None and not isinstance(trace, TraceRecorder):
+            raise ConfigurationError(
+                f"trace must be a repro.telemetry.TraceRecorder, "
+                f"got {type(trace).__name__}"
+            )
+        if metrics is not None and not isinstance(metrics, MetricsRegistry):
+            raise ConfigurationError(
+                f"metrics must be a repro.telemetry.MetricsRegistry, "
+                f"got {type(metrics).__name__}"
+            )
+        if trace is not None or metrics is not None:
+            pid = trace.process(self.label) if trace is not None else None
+            self.telemetry = Telemetry(
+                trace=trace,
+                metrics=metrics,
+                process=self.label,
+                track="fleet",
+                pid=pid,
+            )
+            core_bindings = tuple(
+                Telemetry(
+                    trace=trace,
+                    process=self.label,
+                    track=f"core {index}",
+                    pid=pid,
+                )
+                for index in range(int(cores))
+            )
+        else:
+            self.telemetry = None
+            core_bindings = (None,) * int(cores)
         self._sessions = tuple(
             PhotonicSession(
                 technology=technology,
@@ -291,8 +360,10 @@ class PhotonicCluster:
                 max_batch=max_batch,
                 flush_policy=flush_policy,
                 drift=drift,
+                telemetry=core_bindings[index],
+                label=f"{self.label}/core{index}",
             )
-            for _ in range(int(cores))
+            for index in range(int(cores))
         )
         if health_policy is not None:
             for session in self._sessions:
@@ -364,6 +435,28 @@ class PhotonicCluster:
         """Cores currently drained out of rotation, ascending."""
         return tuple(sorted(self._drained))
 
+    # -- telemetry -----------------------------------------------------------
+    def _fleet_now(self) -> float:
+        """The fleet's modelled 'now': cores run concurrently on
+        independent clocks, so fleet-scope events (sheds, drains)
+        timestamp at the furthest-along core."""
+        return max(
+            (
+                session.telemetry.clock.now
+                for session in self._sessions
+                if session.telemetry is not None
+            ),
+            default=0.0,
+        )
+
+    def _fleet_instant(self, name: str, args: dict | None = None) -> None:
+        """Emit one instant event on the fleet trace track (no-op
+        without telemetry)."""
+        tel = self.telemetry
+        if tel is not None:
+            tel.clock.now = self._fleet_now()
+            tel.instant(name, "fleet", args)
+
     # -- QoS -----------------------------------------------------------------
     @staticmethod
     def _validated_priority(priority) -> int:
@@ -385,6 +478,15 @@ class PhotonicCluster:
             and self.pending >= self.max_pending
         ):
             self._shed += 1
+            if self.telemetry is not None:
+                self.telemetry.metrics.counter("shed").inc()
+                self._fleet_instant(
+                    "shed",
+                    args={
+                        "pending": self.pending,
+                        "max_pending": self.max_pending,
+                    },
+                )
             raise ClusterSaturatedError(
                 f"cluster saturated: {self.pending} requests pending >= "
                 f"max_pending={self.max_pending}; flush()/poll() to drain, "
@@ -397,6 +499,8 @@ class PhotonicCluster:
         after the session accepted it, so a rejected submit neither
         counts as routed nor pins a phantom priority)."""
         self._routed[core] += 1
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("routed").inc()
         if self._sessions[core].pending == 0:
             # The submit tripped the core's own flush policy and the
             # request already resolved: nothing pending to prioritize.
@@ -545,10 +649,16 @@ class PhotonicCluster:
         self._pending_priority[core] = None
         self._drained.add(core)
         self._drains += 1
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("drains").inc()
+            self._fleet_instant(f"drain core {core}", args={"core": core})
 
     def restore(self, core: int) -> None:
         """Return a drained core to the routing rotation."""
-        self._drained.discard(self._validated_core(core))
+        core = self._validated_core(core)
+        if core in self._drained:
+            self._fleet_instant(f"restore core {core}", args={"core": core})
+        self._drained.discard(core)
 
     def check_health(self) -> tuple[HealthReport, ...]:
         """Probe every core (drained ones included) and return the
@@ -647,9 +757,37 @@ class PhotonicCluster:
         return resolved
 
     # -- reporting -----------------------------------------------------------
+    def _merged_latency_quantiles(self) -> dict | None:
+        """Fleet latency distributions: per-core telemetry histograms
+        merged bin-for-bin (quantiles are not additive, so the merge
+        happens at the histogram level).  None without telemetry or
+        before any request resolved — :meth:`Histogram.merged` of an
+        empty sequence is None, so a telemetry-less fleet never fakes a
+        distribution."""
+        bindings = [
+            session.telemetry
+            for session in self._sessions
+            if session.telemetry is not None
+        ]
+        e2e = Histogram.merged(
+            [b.metrics.histogram(END_TO_END_HISTOGRAM) for b in bindings],
+            name=END_TO_END_HISTOGRAM,
+        )
+        if e2e is None:
+            return None
+        summary = e2e.summary()
+        if summary is None:
+            return None
+        wait = Histogram.merged(
+            [b.metrics.histogram(QUEUE_WAIT_HISTOGRAM) for b in bindings],
+            name=QUEUE_WAIT_HISTOGRAM,
+        )
+        return {"queue_wait": wait.summary(), "end_to_end": summary}
+
     def report(self) -> ClusterReport:
         """Cumulative fleet accounting: per-core RunReports plus their
-        rolled-up totals, routing spread and shed count."""
+        rolled-up totals, routing spread, shed count and (with
+        telemetry) the merged fleet latency distributions."""
         per_core = tuple(session.report() for session in self._sessions)
         return ClusterReport(
             cores=self.cores,
@@ -660,6 +798,7 @@ class PhotonicCluster:
             shed=self._shed,
             draining=self.draining,
             drains=self._drains,
+            latency_quantiles=self._merged_latency_quantiles(),
         )
 
     def __repr__(self) -> str:

@@ -22,16 +22,19 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import PendingFlushError
+from ..telemetry.export import ReportExport
 
 
 @dataclass(frozen=True)
-class RunReport:
+class RunReport(ReportExport):
     """Unified accounting of one flush (or of a whole session).
 
     Counters are deltas over the covered window: the per-flush report a
     :class:`Future` carries covers exactly the requests resolved by
     that flush; :meth:`repro.api.PhotonicSession.report` returns the
-    cumulative session totals in the same shape.
+    cumulative session totals in the same shape.  ``to_dict()`` /
+    ``to_json()`` (shared by every report type, see
+    :class:`repro.telemetry.ReportExport`) export it JSON-ready.
     """
 
     #: 1-based index of the flush this report covers (or the flush
@@ -64,6 +67,13 @@ class RunReport:
     #: calibration overhead stays attributable.
     calibration_time: float = 0.0
     calibration_energy: float = 0.0
+    #: Modelled per-request latency distributions of the covered
+    #: window — ``{"queue_wait": {...}, "end_to_end": {...}}``, each a
+    #: ``{"count", "mean", "max", "p50", "p95", "p99", "p999"}``
+    #: summary in seconds — populated only when the session carries a
+    #: :class:`repro.telemetry.Telemetry` binding (None otherwise, so
+    #: uninstrumented reports stay bit-for-bit identical).
+    latency_quantiles: dict | None = None
 
     @classmethod
     def combined(cls, reports) -> "RunReport":
@@ -71,7 +81,11 @@ class RunReport:
 
         Every counter and ledger is additive across independent cores;
         ``flush_index`` sums too, becoming the total flush count of the
-        covered fleet (one core in → that core's report back out).
+        covered fleet (one core in → that core's report back out; an
+        empty sequence combines to an all-zero report).  Quantile
+        summaries are *not* additive, so ``latency_quantiles`` stays
+        None here — fleet quantiles merge at the histogram level in
+        :attr:`repro.api.ClusterReport.latency_quantiles`.
         """
         reports = list(reports)
         return cls(
@@ -129,6 +143,14 @@ class RunReport:
                 f"{self.calibration_time * 1e6:.3f} us / "
                 f"{self.calibration_energy * 1e9:.2f} nJ calibration overhead"
             )
+        if self.latency_quantiles is not None:
+            e2e = self.latency_quantiles["end_to_end"]
+            lines.append(
+                f"end-to-end        : p50 {e2e['p50'] * 1e6:.3f} us, "
+                f"p99 {e2e['p99'] * 1e6:.3f} us, "
+                f"p999 {e2e['p999'] * 1e6:.3f} us modelled "
+                f"({e2e['count']} requests)"
+            )
         return lines
 
     def __str__(self) -> str:
@@ -157,6 +179,9 @@ class Future:
         "_report",
         "_done",
         "_abandoned",
+        "_submitted_at",
+        "_resolved_at",
+        "_route",
     )
 
     def __init__(
@@ -178,6 +203,12 @@ class Future:
         self._report: RunReport | None = None
         self._done = False
         self._abandoned = False
+        #: Modelled-clock submit/resolve timestamps [s] and the request
+        #: route — stamped only when the session carries a telemetry
+        #: binding, read back for request lifecycle spans.
+        self._submitted_at: float | None = None
+        self._resolved_at: float | None = None
+        self._route: str | None = None
 
     # -- resolution (session-internal) ---------------------------------------
     def _resolve(self, value, codes=None) -> None:

@@ -49,6 +49,7 @@ from ..ml.layers import PhotonicDense, compile_differential_engines, relu
 from ..runtime.engine import weight_key
 from ..runtime.scheduler import BatchScheduler, WeightProgramCache
 from ..runtime.tiling import DifferentialProgram, TiledMatmul, auto_range_gain
+from ..telemetry import MetricsRegistry, Telemetry, TraceRecorder
 from .futures import Future, RunReport
 from .graph import AvgPool, Conv2d, Dense, Flatten, Model, ReLU
 from .policy import FlushPolicy
@@ -127,6 +128,7 @@ class DeployedModel:
         )
         self._queue.append((batch, future))
         self._session._model_requests += 1
+        self._session._note_submit(future, "model")
         self._session._after_submit()
         return future
 
@@ -223,6 +225,10 @@ class PhotonicSession:
         flush_policy: FlushPolicy | None = None,
         drift=None,
         health_policy: HealthPolicy | None = None,
+        trace: TraceRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
+        telemetry: Telemetry | None = None,
+        label: str = "session",
     ) -> None:
         if grid is not None:
             if rows is not None or columns is not None:
@@ -239,6 +245,30 @@ class PhotonicSession:
         self.flush_policy = (
             flush_policy if flush_policy is not None else FlushPolicy.explicit()
         )
+        self.label = str(label)
+        # -- telemetry (repro.telemetry) --------------------------------
+        #: Optional :class:`~repro.telemetry.Telemetry` binding: the
+        #: modelled clock, trace recorder and metrics registry of this
+        #: core's timeline.  None (the default) = the serving path
+        #: makes zero telemetry calls.
+        if telemetry is not None:
+            if not isinstance(telemetry, Telemetry):
+                raise ConfigurationError(
+                    f"telemetry must be a repro.telemetry.Telemetry, "
+                    f"got {type(telemetry).__name__}"
+                )
+            self.telemetry = telemetry
+        elif trace is not None or metrics is not None:
+            if trace is not None and not isinstance(trace, TraceRecorder):
+                raise ConfigurationError(
+                    f"trace must be a repro.telemetry.TraceRecorder, "
+                    f"got {type(trace).__name__}"
+                )
+            self.telemetry = Telemetry(
+                trace=trace, metrics=metrics, process=self.label
+            )
+        else:
+            self.telemetry = None
         self.scheduler = BatchScheduler(
             rows=rows,
             columns=columns,
@@ -249,6 +279,7 @@ class PhotonicSession:
             max_batch=max_batch,
             label="session",
         )
+        self.scheduler.telemetry = self.telemetry
         #: Shared LRU of tiled/conv/model weight programs.
         self.tiled_cache = WeightProgramCache(tiled_cache_capacity)
         self._native_pending: list[tuple[Future, object, int]] = []
@@ -257,6 +288,9 @@ class PhotonicSession:
         self._endpoints: list[DeployedModel] = []
         self._oldest_pending: float | None = None
         self._flushes = 0
+        #: Modelled-clock timestamp the current flush started at
+        #: (telemetry only; queue-wait = flush start - submit time).
+        self._flush_started = 0.0
         self._submit_count = 0
         self._tiled_requests = 0
         self._tiled_batches = 0
@@ -391,6 +425,7 @@ class PhotonicSession:
             ticket = self.scheduler.submit(padded_w, padded_x, gain=gain)
             future = Future(self, label, self._flushes + 1)
             self._native_pending.append((future, ticket, out_features))
+            self._note_submit(future, "native")
         else:
             future = self._submit_tiled(weights, x, gain, label)
         self._after_submit()
@@ -422,6 +457,7 @@ class PhotonicSession:
         group["inputs"].append(x.copy())
         group["futures"].append(future)
         self._tiled_requests += 1
+        self._note_submit(future, "tiled")
         return future
 
     # -- conv route ----------------------------------------------------------
@@ -479,6 +515,7 @@ class PhotonicSession:
         group["segments"].append((encoded, scales, weight_scale))
         group["futures"].append(future)
         self._conv_requests += 1
+        self._note_submit(future, "conv")
         self._after_submit()
         return future
 
@@ -488,6 +525,7 @@ class PhotonicSession:
         """Fetch-or-compile a differential program in the shared cache,
         charging the pSRAM streaming ledger on misses and crediting the
         avoided reload on hits."""
+        tel = self.telemetry
         program = self.tiled_cache.get(key)
         if program is None:
             positive, negative = compile_differential_engines(
@@ -497,8 +535,24 @@ class PhotonicSession:
             self._tiled_energy_spent += program.weight_update_energy
             self._tiled_weight_time += program.weight_update_time
             self.tiled_cache.put(key, program)
+            if tel is not None:
+                compile_start = tel.clock.now
+                tel.clock.advance(program.weight_update_time)
+                tel.metrics.counter("cache_misses").inc()
+                tel.span(
+                    "compile differential",
+                    "compile",
+                    compile_start,
+                    program.weight_update_time,
+                    args={"program": key[:12].hex(), "tiles": program.tile_count},
+                )
         else:
             self._tiled_energy_saved += program.weight_update_energy
+            if tel is not None:
+                tel.metrics.counter("cache_hits").inc()
+                tel.instant(
+                    "cache_hit", "cache", args={"program": key[:12].hex()}
+                )
         return program
 
     # -- model endpoints -----------------------------------------------------
@@ -608,6 +662,8 @@ class PhotonicSession:
         self._model_samples += samples * passes
         self._model_analog_time += samples * period * passes
         self._model_analog_energy += samples * period * self.performance.total_power * tiles
+        if self.telemetry is not None:
+            self.telemetry.clock.advance(samples * period * passes)
 
     # -- health: drift, probes, recalibration --------------------------------
     @staticmethod
@@ -667,6 +723,8 @@ class PhotonicSession:
             raise ConfigurationError(f"age must be non-negative, got {seconds}")
         if self.drift is not None:
             self.drift.advance(seconds=seconds)
+        if self.telemetry is not None:
+            self.telemetry.clock.advance(seconds)
 
     def recalibrate(self) -> HealthReport | None:
         """Re-trim the core online and invalidate exactly the stale
@@ -700,8 +758,24 @@ class PhotonicSession:
         conversions = (
             self.core.rows * (adc.levels - 1) * self._LADDER_BISECTION_STEPS
         )
-        self._calibration_time += conversions / adc.sample_rate
+        retrim_time = conversions / adc.sample_rate
+        self._calibration_time += retrim_time
         self._calibration_energy += conversions * adc.energy_per_conversion
+        tel = self.telemetry
+        if tel is not None:
+            retrim_start = tel.clock.now
+            tel.clock.advance(retrim_time)
+            tel.metrics.counter("recalibrations").inc()
+            tel.span(
+                "recalibrate",
+                "health",
+                retrim_start,
+                retrim_time,
+                args={
+                    "epoch": self.drift.epoch + 1,
+                    "ladder_conversions": conversions,
+                },
+            )
         self.drift.recalibrate()
         self.core.invalidate_ladders()
         epoch = self.drift.epoch
@@ -748,6 +822,29 @@ class PhotonicSession:
             self._bind_program(stage.layer, prefix=prefix)
         endpoint._needs_rebind = False
 
+    # -- telemetry -----------------------------------------------------------
+    def _note_submit(self, future: Future, route: str) -> None:
+        """Stamp one queued request's modelled submit time (telemetry
+        only; the uninstrumented path never calls into telemetry)."""
+        tel = self.telemetry
+        if tel is not None:
+            future._submitted_at = tel.clock.now
+            future._route = route
+            tel.metrics.counter("requests").inc()
+
+    def _note_resolved(self, future: Future, resolved_at: float | None) -> None:
+        """Stamp one resolved request and add its modelled queue-wait
+        and end-to-end latency to the open flush window."""
+        tel = self.telemetry
+        future._resolved_at = (
+            resolved_at if resolved_at is not None else tel.clock.now
+        )
+        if future._submitted_at is not None:
+            tel.record_request(
+                self._flush_started - future._submitted_at,
+                future._resolved_at - future._submitted_at,
+            )
+
     # -- flush ---------------------------------------------------------------
     def _after_submit(self) -> None:
         now = time.monotonic()
@@ -776,6 +873,9 @@ class PhotonicSession:
         """Evaluate every pending request; returns resolved count."""
         resolved_futures: list[Future] = []
         resolved = 0
+        tel = self.telemetry
+        if tel is not None:
+            self._flush_started = tel.clock.now
         try:
             resolved += self.scheduler.flush()
             for future, ticket, out_features in self._native_pending:
@@ -785,6 +885,8 @@ class PhotonicSession:
                         codes=ticket.result.codes[:out_features],
                     )
                     resolved_futures.append(future)
+                    if tel is not None:
+                        self._note_resolved(future, ticket.resolved_at)
             for (key, _), group in self._tiled_pending.items():
                 engine = self.tiled_cache.get(key)
                 if engine is None:
@@ -801,10 +903,26 @@ class PhotonicSession:
                     self._tiled_energy_spent += engine.weight_update_energy
                     self._tiled_weight_time += engine.weight_update_time
                     self.tiled_cache.put(key, engine)
+                    if tel is not None:
+                        compile_start = tel.clock.now
+                        tel.clock.advance(engine.weight_update_time)
+                        tel.metrics.counter("cache_misses").inc()
+                        tel.span(
+                            "compile tiled",
+                            "compile",
+                            compile_start,
+                            engine.weight_update_time,
+                            args={"tiles": engine.tile_count},
+                        )
                 else:
                     self._tiled_energy_saved += engine.weight_update_energy
+                    if tel is not None:
+                        tel.metrics.counter("cache_hits").inc()
+                        tel.instant("cache_hit", "cache")
                 batch = np.stack(group["inputs"], axis=1)
                 gain = None if group["gain"] == "auto" else group["gain"]
+                if tel is not None:
+                    batch_start = tel.clock.now
                 estimates = engine.matmul(batch, gain=gain)
                 for index, future in enumerate(group["futures"]):
                     future._resolve(estimates[:, index])
@@ -819,6 +937,18 @@ class PhotonicSession:
                 self._tiled_samples += samples
                 self._tiled_analog_time += samples * period
                 self._tiled_analog_energy += samples * period * power
+                if tel is not None:
+                    tel.clock.advance(samples * period)
+                    for future in group["futures"]:
+                        self._note_resolved(future, tel.clock.now)
+                    tel.metrics.counter("batches").inc()
+                    tel.span(
+                        f"tiled batch x{samples}",
+                        "batch",
+                        batch_start,
+                        tel.clock.now - batch_start,
+                        args={"tiles": engine.tile_count, "columns": samples},
+                    )
             for (key, gain), group in self._conv_pending.items():
                 program = self._differential_program(
                     key, group["q_positive"], group["q_negative"]
@@ -826,6 +956,8 @@ class PhotonicSession:
                 batch = np.concatenate(
                     [encoded for encoded, _, _ in group["segments"]], axis=1
                 )
+                if tel is not None:
+                    batch_start = tel.clock.now
                 raw = program.matmul(batch, gain=gain)
                 offset = 0
                 for (encoded, scales, weight_scale), future in zip(
@@ -850,10 +982,28 @@ class PhotonicSession:
                 self._tiled_analog_energy += (
                     patches * period * power * program.tile_count
                 )
+                if tel is not None:
+                    tel.clock.advance(patches * period * program.passes)
+                    for future in group["futures"]:
+                        self._note_resolved(future, tel.clock.now)
+                    tel.metrics.counter("batches").inc()
+                    tel.span(
+                        f"conv batch x{patches}",
+                        "batch",
+                        batch_start,
+                        tel.clock.now - batch_start,
+                        args={"patches": patches, "passes": program.passes},
+                    )
             for endpoint in self._endpoints:
                 if endpoint._queue and endpoint._needs_rebind:
                     self._rebind_endpoint(endpoint)
-                resolved += endpoint._drain(resolved_futures)
+                if tel is not None:
+                    drained_from = len(resolved_futures)
+                    resolved += endpoint._drain(resolved_futures)
+                    for future in resolved_futures[drained_from:]:
+                        self._note_resolved(future, tel.clock.now)
+                else:
+                    resolved += endpoint._drain(resolved_futures)
         finally:
             # Never leave a stale group behind: a failed evaluation must
             # not wedge every subsequent flush.  Futures the failure
@@ -881,6 +1031,8 @@ class PhotonicSession:
             report = self._delta_report()
             for future in resolved_futures:
                 future._attach_report(report)
+        if tel is not None:
+            self._emit_flush_telemetry(report, resolved_futures)
         # The flush's modelled serving time and conversions age the
         # core; the policy then probes (and maybe recalibrates) on its
         # cadence.  Skipped when the evaluation raised — a failed flush
@@ -891,6 +1043,40 @@ class PhotonicSession:
             )
         self._maybe_run_health()
         return resolved
+
+    def _emit_flush_telemetry(
+        self, report: RunReport, resolved_futures: list[Future]
+    ) -> None:
+        """Close the flush on the telemetry side: counters, the flush
+        span on the core track, and one lifecycle span per resolved
+        request on the requests track."""
+        tel = self.telemetry
+        tel.metrics.counter("flushes").inc()
+        tel.metrics.gauge("pending").set(self.pending)
+        if tel.trace is None:
+            return
+        tel.span(
+            f"flush #{self._flushes}",
+            "flush",
+            self._flush_started,
+            tel.clock.now - self._flush_started,
+            args={
+                "requests": report.requests,
+                "batches": report.batches,
+                "cache_hits": report.cache_hits,
+                "cache_misses": report.cache_misses,
+                "latency_us": report.total_latency * 1e6,
+            },
+        )
+        for future in resolved_futures:
+            if future._submitted_at is None or future._resolved_at is None:
+                continue
+            tel.request_span(
+                future.label,
+                future._submitted_at,
+                future._resolved_at - future._submitted_at,
+                args={"route": future._route, "flush": self._flushes},
+            )
 
     # -- reporting -----------------------------------------------------------
     def _totals(self) -> dict:
@@ -927,11 +1113,32 @@ class PhotonicSession:
             key: totals[key] - self._last_totals[key] for key in totals
         }
         self._last_totals = totals
-        return RunReport(flush_index=self._flushes, **delta)
+        quantiles = (
+            self.telemetry.drain_window() if self.telemetry is not None else None
+        )
+        return RunReport(
+            flush_index=self._flushes, latency_quantiles=quantiles, **delta
+        )
 
     def report(self) -> RunReport:
-        """Cumulative session accounting as one unified RunReport."""
-        return RunReport(flush_index=self._flushes, **self._totals())
+        """Cumulative session accounting as one unified RunReport.
+
+        With a telemetry binding attached, ``latency_quantiles``
+        carries the cumulative per-request queue-wait and end-to-end
+        modelled latency distributions (histogram-derived quantiles);
+        without one it is None and every other field is bit-for-bit
+        what the uninstrumented session reports.
+        """
+        quantiles = (
+            self.telemetry.latency_quantiles()
+            if self.telemetry is not None
+            else None
+        )
+        return RunReport(
+            flush_index=self._flushes,
+            latency_quantiles=quantiles,
+            **self._totals(),
+        )
 
     def server_stats(self):
         """The legacy :class:`~repro.runtime.serving.ServerStats` view

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..telemetry.export import ReportExport
 from .drift import DRIFT_STAGES, Perturbation
 
 
@@ -103,8 +104,12 @@ class HealthPolicy:
 
 
 @dataclass(frozen=True)
-class HealthReport:
-    """One probe check of a core against its golden codes."""
+class HealthReport(ReportExport):
+    """One probe check of a core against its golden codes.
+
+    ``to_dict()`` / ``to_json()`` export it JSON-ready alongside every
+    other report type (see :class:`repro.telemetry.ReportExport`).
+    """
 
     #: Session flush count when the check ran.
     flush_index: int
@@ -209,6 +214,18 @@ class HealthMonitor:
         core.load_weight_matrix(self.probe_weights)
         session._calibration_energy += core.weight_update_energy() - energy_before
         session._calibration_time += core.weight_update_time()
+        tel = session.telemetry
+        if tel is not None:
+            stream_time = core.weight_update_time()
+            stream_start = tel.clock.now
+            tel.clock.advance(stream_time)
+            tel.span(
+                "compile probes",
+                "health",
+                stream_start,
+                stream_time,
+                args={"probes": self.probes},
+            )
         self._engine = core.compile()
         if self._golden is None:
             self._golden = self._engine.matmul(
@@ -247,10 +264,32 @@ class HealthMonitor:
         # (not the serving ledger) so the overhead stays attributable.
         performance = session.performance
         period = 1.0 / performance.sample_rate
+        probe_time = self.probes * period
         session._probe_runs += 1
         session._probe_vectors += self.probes
-        session._calibration_time += self.probes * period
-        session._calibration_energy += self.probes * period * performance.total_power
+        session._calibration_time += probe_time
+        session._calibration_energy += probe_time * performance.total_power
+
+        tel = session.telemetry
+        if tel is not None:
+            probe_start = tel.clock.now
+            tel.clock.advance(probe_time)
+            tel.metrics.counter("probe_runs").inc()
+            blame = (
+                max(attribution, key=attribution.get) if errors else None
+            )
+            tel.span(
+                "probe check",
+                "health",
+                probe_start,
+                probe_time,
+                args={
+                    "probes": self.probes,
+                    "code_errors": errors,
+                    "code_error_rate": errors / total,
+                    "blame": blame,
+                },
+            )
 
         return HealthReport(
             flush_index=session.flushes,

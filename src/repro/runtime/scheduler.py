@@ -126,10 +126,13 @@ class WeightProgramCache:
 class Ticket:
     """Handle for one submitted request; resolved by the next flush."""
 
-    __slots__ = ("result",)
+    __slots__ = ("result", "resolved_at")
 
     def __init__(self) -> None:
         self.result: MatvecResult | None = None
+        #: Modelled-clock resolution timestamp [s]; stamped only when a
+        #: telemetry binding is attached to the scheduler.
+        self.resolved_at: float | None = None
 
     @property
     def done(self) -> bool:
@@ -228,6 +231,10 @@ class BatchScheduler:
         self.max_batch = max_batch
         self._pending: OrderedDict[tuple[bytes, float], dict] = OrderedDict()
         self._stats = SchedulerStats(max_batch=max_batch)
+        #: Optional :class:`repro.telemetry.Telemetry` binding (set by
+        #: the owning session).  None = zero telemetry calls on the
+        #: flush path.
+        self.telemetry = None
 
     @property
     def rows(self) -> int:
@@ -285,6 +292,7 @@ class BatchScheduler:
         return ticket
 
     def _program_for(self, key: bytes, weights: np.ndarray) -> CachedProgram:
+        tel = self.telemetry
         program = self.cache.get(key)
         if program is not None:
             # Hit: the pSRAM streaming this program originally paid is
@@ -292,6 +300,11 @@ class BatchScheduler:
             self._stats.cache_hits += 1
             self._stats.weight_energy_saved += program.load_energy
             self._stats.weight_time_saved += program.load_time
+            if tel is not None:
+                tel.metrics.counter("cache_hits").inc()
+                tel.instant(
+                    "cache_hit", "cache", args={"program": key[:8].hex()}
+                )
             return program
         self._stats.cache_misses += 1
         energy_before = self.core.weight_update_energy()
@@ -307,6 +320,22 @@ class BatchScheduler:
         self._stats.weight_time_spent += load_time
         if self.cache.put(key, program) is not None:
             self._stats.cache_evictions += 1
+        if tel is not None:
+            # The pSRAM streaming occupies the core for load_time on
+            # the modelled clock before the batch can evaluate.
+            start = tel.clock.now
+            tel.clock.advance(load_time)
+            tel.metrics.counter("cache_misses").inc()
+            tel.span(
+                "compile",
+                "compile",
+                start,
+                load_time,
+                args={
+                    "program": key[:8].hex(),
+                    "load_energy_pj": load_energy * 1e12,
+                },
+            )
         return program
 
     def flush(self) -> int:
@@ -314,6 +343,7 @@ class BatchScheduler:
         resolved = 0
         sample_period = 1.0 / self.performance.sample_rate
         power = self.performance.total_power
+        tel = self.telemetry
         try:
             for (key, gain), group in self._pending.items():
                 program = self._program_for(key, group["weights"])
@@ -330,6 +360,30 @@ class BatchScheduler:
                     self._stats.analog_time += len(chunk) * sample_period
                     self._stats.analog_energy += len(chunk) * sample_period * power
                     resolved += len(chunk)
+                    if tel is not None:
+                        # One ADC sample period per batched column on
+                        # the modelled clock; requests of this batch
+                        # resolve when its last conversion lands.
+                        batch_start = tel.clock.now
+                        batch_time = len(chunk) * sample_period
+                        tel.clock.advance(batch_time)
+                        for ticket in tickets[start : start + len(chunk)]:
+                            ticket.resolved_at = tel.clock.now
+                        tel.metrics.counter("batches").inc()
+                        tel.metrics.histogram(
+                            "batch_size", lo=1.0, hi=1e6, per_decade=16
+                        ).observe(float(len(chunk)))
+                        tel.span(
+                            f"batch x{len(chunk)}",
+                            "batch",
+                            batch_start,
+                            batch_time,
+                            args={
+                                "program": key[:8].hex(),
+                                "columns": len(chunk),
+                                "gain": gain,
+                            },
+                        )
         finally:
             # Never leave a stale group behind: a failed compile or
             # evaluation must not wedge every subsequent flush.

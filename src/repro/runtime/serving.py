@@ -314,6 +314,7 @@ def run_serve_bench(
     flush_every: int = 32,
     cache_capacity: int = 4,
     seed: int = 2025,
+    trace=None,
     print_fn=print,
 ) -> dict:
     """Replay a synthetic trace through a :class:`PhotonicSession`.
@@ -322,7 +323,10 @@ def run_serve_bench(
     ``flush_every`` requests — no hand-called ``flush()`` in the
     submit loop.  Prints throughput (inferences/s of the compiled
     serving path), batch-fill and cache statistics; returns them as a
-    dict so tests and benches can assert on the numbers.
+    dict so tests and benches can assert on the numbers.  ``trace``
+    (a :class:`~repro.telemetry.TraceRecorder`) additionally records
+    the modelled-clock span timeline and adds the end-to-end latency
+    quantiles to the summary.
     """
     from ..api.policy import FlushPolicy
     from ..api.session import PhotonicSession
@@ -334,6 +338,8 @@ def run_serve_bench(
         cache_capacity=cache_capacity,
         max_batch=flush_every,
         flush_policy=FlushPolicy.max_batch(flush_every),
+        trace=trace,
+        label="serve-bench",
     )
     futures = []
     started = time.perf_counter()
@@ -363,6 +369,8 @@ def run_serve_bench(
         "analog_latency_us": stats.total_latency * 1e6,
         "analog_energy_nj": stats.total_energy * 1e9,
     }
+    if trace is not None:
+        summary["latency_quantiles"] = session.report().latency_quantiles
     lines = [
         f"tile              : {rows} x {columns} "
         f"(cache {cache_capacity} programs, flush policy "
@@ -397,6 +405,7 @@ def run_cluster_serve_bench(
     flush_every: int = 32,
     cache_capacity: int = 4,
     seed: int = 2025,
+    trace=None,
     json_path=None,
     print_fn=print,
 ) -> dict:
@@ -411,7 +420,10 @@ def run_cluster_serve_bench(
     Prints a per-configuration table and returns the summary dict;
     ``json_path`` additionally writes it (the ``serve-bench cluster``
     CLI and ``benchmarks/bench_cluster_scaling.py`` both point it at
-    ``BENCH_cluster.json``).
+    ``BENCH_cluster.json``).  ``trace`` (a
+    :class:`~repro.telemetry.TraceRecorder`) records every
+    configuration's modelled span timeline as its own trace process
+    and adds the fleet latency quantiles to each policy record.
     """
     from ..api.cluster import PhotonicCluster
     from ..api.policy import FlushPolicy
@@ -423,7 +435,7 @@ def run_cluster_serve_bench(
         raise ConfigurationError(
             f"cores_sweep needs positive core counts, got {cores_sweep!r}"
         )
-    trace = list(
+    workload = list(
         synthetic_trace(requests=requests, rows=rows, columns=columns, seed=seed)
     )
     sweep = []
@@ -438,10 +450,12 @@ def run_cluster_serve_bench(
                 max_batch=flush_every,
                 flush_policy=FlushPolicy.max_batch(flush_every),
                 routing=RoutingPolicy(kind=policy_name),
+                trace=trace,
+                label=f"{cores} cores / {policy_name}",
             )
             futures = []
             started = time.perf_counter()
-            for _, weights, x in trace:
+            for _, weights, x in workload:
                 futures.append(cluster.submit(weights, x))
             cluster.flush()
             elapsed = time.perf_counter() - started
@@ -472,6 +486,10 @@ def run_cluster_serve_bench(
                 "utilization": list(report.utilization),
                 "imbalance": report.imbalance,
             }
+            if trace is not None:
+                policies[policy_name]["latency_quantiles"] = (
+                    report.latency_quantiles
+                )
             table_rows.append(
                 f"{cores:>5}  {policy_name:<15} "
                 f"{policies[policy_name]['throughput_per_s']:>12,.0f}  "
@@ -562,6 +580,7 @@ def run_drift_serve_bench(
     thresholds: tuple[float, ...] = DRIFT_BENCH_THRESHOLDS,
     arrival_period_s: float = 0.25,
     probes: int = 8,
+    trace=None,
     json_path=None,
     print_fn=print,
 ) -> dict:
@@ -599,11 +618,11 @@ def run_drift_serve_bench(
         raise ConfigurationError(
             "monitored cadences need at least one recalibration threshold"
         )
-    trace = list(
+    workload = list(
         synthetic_trace(requests=requests, rows=rows, columns=columns, seed=seed)
     )
 
-    def replay(severity: float, policy) -> dict:
+    def replay(severity: float, policy, config_label: str) -> dict:
         session = PhotonicSession(
             grid=(rows, columns),
             cache_capacity=cache_capacity,
@@ -611,6 +630,8 @@ def run_drift_serve_bench(
             flush_policy=FlushPolicy.max_batch(flush_every),
             drift=drift_suite(severity),
             health_policy=policy,
+            trace=trace,
+            label=f"severity {severity:g} / {config_label}",
         )
         # The unmonitored control still gets its monitor now, sized
         # like the monitored configs, so every final_code_error_rate
@@ -618,7 +639,7 @@ def run_drift_serve_bench(
         session.ensure_monitor(HealthPolicy.monitor_only(probes=probes))
         started = time.perf_counter()
         futures = []
-        for _, weights, x in trace:
+        for _, weights, x in workload:
             session.age(arrival_period_s)
             futures.append(session.submit(weights, x))
         session.flush()
@@ -629,7 +650,7 @@ def run_drift_serve_bench(
         report = session.report()
         checks = session.health_history
         post_recal = [check for check in checks if check.recalibrated]
-        return {
+        result = {
             "final_code_error_rate": final.code_error_rate,
             "final_enob_loss": final.enob_loss,
             "attribution": dict(final.attribution),
@@ -651,6 +672,9 @@ def run_drift_serve_bench(
                 for check in checks
             ],
         }
+        if trace is not None:
+            result["latency_quantiles"] = report.latency_quantiles
+        return result
 
     sweep = []
     table_rows = []
@@ -678,7 +702,7 @@ def run_drift_serve_bench(
                         recalibrate_threshold=threshold,
                     )
                 )
-                result = replay(severity, policy)
+                result = replay(severity, policy, label)
                 configs.append(
                     {
                         "label": label,
@@ -733,6 +757,7 @@ def run_cnn_serve_bench(
     kernel_size: int = 3,
     flush_every: int = 16,
     seed: int = 2025,
+    trace=None,
     print_fn=print,
 ) -> dict:
     """Replay a CNN feature-extraction stream through the conv route.
@@ -761,7 +786,10 @@ def run_cnn_serve_bench(
     glyphs = data[:images].reshape(-1, 8, 8)
 
     session = PhotonicSession(
-        grid=(rows, columns), flush_policy=FlushPolicy.max_batch(flush_every)
+        grid=(rows, columns),
+        flush_policy=FlushPolicy.max_batch(flush_every),
+        trace=trace,
+        label="cnn-bench",
     )
     futures = []
     started = time.perf_counter()
@@ -790,6 +818,8 @@ def run_cnn_serve_bench(
         "analog_latency_us": stats.analog_time * 1e6,
         "analog_energy_nj": stats.analog_energy * 1e9,
     }
+    if trace is not None:
+        summary["latency_quantiles"] = session.report().latency_quantiles
     lines = [
         f"conv program      : {kernels} kernels {kernel_size}x{kernel_size} "
         f"on {rows} x {columns} tiles (flush policy "

@@ -1,0 +1,57 @@
+"""Observability for the serving stack: tracing, metrics, profiling.
+
+Photonic-accelerator claims live and die on measured
+throughput/energy/latency comparisons; ``repro.telemetry`` turns the
+serving benches from point estimates into auditable distributions:
+
+* :class:`TraceRecorder` — typed spans on the **modelled** clock
+  (:class:`ModelClock`): per-request lifecycle, per-flush and per-batch
+  core spans, compile-vs-cache-hit, health probes, recalibrations,
+  drains and sheds.  ``to_chrome()`` / ``save(path)`` emit Chrome
+  trace-event JSON that opens directly in Perfetto.  Attach via
+  ``PhotonicSession(trace=recorder)`` / ``PhotonicCluster(trace=...)``
+  — with no recorder attached the serving path makes zero telemetry
+  calls.
+* :class:`MetricsRegistry` — named :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` families; histograms use fixed log-spaced bins
+  with p50/p95/p99/p999 quantile queries and merge bin-for-bin across
+  cores.  :attr:`repro.api.RunReport.latency_quantiles` and
+  :attr:`repro.api.ClusterReport.latency_quantiles` are fed from here.
+* :func:`profile_call` / :func:`top_hot_functions` — cProfile hooks
+  behind ``serve-bench <scenario> --profile``, ranking the hottest
+  Python functions into the scenario's ``BENCH_*.json``.
+* :class:`ReportExport` — the shared ``to_dict()`` / ``to_json()``
+  mixin of every report dataclass.
+"""
+
+from .binding import END_TO_END_HISTOGRAM, QUEUE_WAIT_HISTOGRAM, Telemetry
+from .clock import ModelClock
+from .export import ReportExport, to_serializable
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantiles_from_samples,
+)
+from .profiling import format_profile, profile_call, top_hot_functions
+from .trace import CATEGORIES, TraceEvent, TraceRecorder
+
+__all__ = [
+    "CATEGORIES",
+    "Counter",
+    "END_TO_END_HISTOGRAM",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ModelClock",
+    "QUEUE_WAIT_HISTOGRAM",
+    "ReportExport",
+    "Telemetry",
+    "TraceEvent",
+    "TraceRecorder",
+    "format_profile",
+    "profile_call",
+    "quantiles_from_samples",
+    "to_serializable",
+]

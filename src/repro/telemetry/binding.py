@@ -1,0 +1,150 @@
+"""The per-core telemetry binding the serving stack instruments against.
+
+A :class:`Telemetry` ties together one core timeline's observability
+state: the :class:`~repro.telemetry.ModelClock` its timestamps read,
+the (optional, shared) :class:`~repro.telemetry.TraceRecorder` its
+spans land in, the :class:`~repro.telemetry.MetricsRegistry` its
+counters and latency histograms feed, and the per-flush latency window
+behind :attr:`~repro.api.futures.RunReport.latency_quantiles`.
+
+The binding is the *only* telemetry object the hot path ever touches,
+and only behind a single ``is not None`` check — a session constructed
+without ``trace=``/``metrics=`` holds ``telemetry = None`` and makes
+zero telemetry calls, keeping the uninstrumented flush path bit-for-bit
+identical to the pre-telemetry stack.
+"""
+
+from __future__ import annotations
+
+from .clock import ModelClock
+from .metrics import MetricsRegistry, quantiles_from_samples
+from .trace import TraceRecorder
+
+#: Histogram names of the two per-request latency distributions.
+QUEUE_WAIT_HISTOGRAM = "queue_wait_s"
+END_TO_END_HISTOGRAM = "end_to_end_s"
+
+
+class Telemetry:
+    """One core timeline's telemetry state.
+
+    ``trace`` may be None (metrics without spans); ``metrics`` and
+    ``clock`` default to fresh instances.  ``process``/``track`` name
+    the Chrome trace tracks this binding emits onto — a cluster builds
+    one binding per core, all sharing the recorder and process but each
+    with its own clock and registry (cores digitize concurrently on
+    independent modelled timelines).
+    """
+
+    def __init__(
+        self,
+        trace: TraceRecorder | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock: ModelClock | None = None,
+        process: str = "session",
+        track: str = "core 0",
+        pid: int | None = None,
+    ) -> None:
+        self.trace = trace
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.clock = clock if clock is not None else ModelClock()
+        self.pid = 0
+        self.tid = 0
+        self.tid_requests = 0
+        if trace is not None:
+            self.pid = pid if pid is not None else trace.process(process)
+            self.tid = trace.thread(self.pid, track)
+            # Requests live on a sibling track: their spans start at
+            # submit time (before the flush span opens), so stacking
+            # them on the core track would render as malformed nesting.
+            self.tid_requests = trace.thread(self.pid, f"{track} requests")
+        #: Per-flush latency window [s]; drained into the histograms
+        #: and the flush's ``latency_quantiles`` by :meth:`drain_window`.
+        self._window_wait: list[float] = []
+        self._window_e2e: list[float] = []
+
+    # -- span / instant emission (no-ops without a recorder) -----------------
+    def span(
+        self,
+        name: str,
+        category: str,
+        start_s: float,
+        duration_s: float,
+        args: dict | None = None,
+    ) -> None:
+        if self.trace is not None:
+            self.trace.complete(
+                name, category, self.pid, self.tid, start_s, duration_s, args
+            )
+
+    def instant(
+        self, name: str, category: str, args: dict | None = None
+    ) -> None:
+        if self.trace is not None:
+            self.trace.instant(
+                name, category, self.pid, self.tid, self.clock.now, args
+            )
+
+    def request_span(
+        self,
+        name: str,
+        start_s: float,
+        duration_s: float,
+        args: dict | None = None,
+    ) -> None:
+        """One request's submit → resolved lifecycle span, on the
+        requests track."""
+        if self.trace is not None:
+            self.trace.complete(
+                name,
+                "request",
+                self.pid,
+                self.tid_requests,
+                start_s,
+                duration_s,
+                args,
+            )
+
+    # -- per-request latency window ------------------------------------------
+    def record_request(self, queue_wait_s: float, end_to_end_s: float) -> None:
+        """Add one resolved request's modelled latencies to the current
+        flush window (negative-clamped: a request submitted mid-flush
+        never waited)."""
+        self._window_wait.append(max(queue_wait_s, 0.0))
+        self._window_e2e.append(max(end_to_end_s, 0.0))
+
+    def drain_window(self) -> dict | None:
+        """Close the flush window: feed the cumulative histograms and
+        return the window's exact quantile summary (None for an empty
+        window — a flush that resolved nothing reports no quantiles)."""
+        if not self._window_e2e:
+            return None
+        waits, e2es = self._window_wait, self._window_e2e
+        self._window_wait, self._window_e2e = [], []
+        self.metrics.histogram(QUEUE_WAIT_HISTOGRAM).observe_many(waits)
+        self.metrics.histogram(END_TO_END_HISTOGRAM).observe_many(e2es)
+        return {
+            "queue_wait": quantiles_from_samples(waits),
+            "end_to_end": quantiles_from_samples(e2es),
+        }
+
+    def latency_quantiles(self) -> dict | None:
+        """The cumulative latency quantile summary (histogram-derived),
+        in the same shape as a flush window's; None before any request
+        resolved."""
+        e2e = self.metrics.histogram(END_TO_END_HISTOGRAM).summary()
+        if e2e is None:
+            return None
+        return {
+            "queue_wait": self.metrics.histogram(
+                QUEUE_WAIT_HISTOGRAM
+            ).summary(),
+            "end_to_end": e2e,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Telemetry t={self.clock.now:.3g} s, "
+            f"trace={'on' if self.trace is not None else 'off'}, "
+            f"{len(self._window_e2e)} window samples>"
+        )

@@ -1,0 +1,219 @@
+"""Typed span recording, exportable as Chrome trace-event JSON.
+
+A :class:`TraceRecorder` collects the modelled-clock timeline of a
+serving run: per-request lifecycle spans, per-flush and per-batch core
+spans, weight-program compiles vs cache hits, and instant events for
+health probes, recalibrations, drains/restores and admission sheds.
+``to_chrome()`` emits the Chrome trace-event format (a dict with a
+``traceEvents`` list), so ``recorder.save("trace.json")`` opens
+directly in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``
+— processes are serving surfaces (a session, or one bench
+configuration of a cluster sweep), threads are core timelines.
+
+Timestamps are modelled seconds from the owning
+:class:`~repro.telemetry.ModelClock`, exported in microseconds (the
+Chrome format's native unit) — a trace of a Zipf replay therefore
+shows *modelled* microseconds of ADC/pSRAM activity, not host
+wall-clock.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ConfigurationError
+
+#: Event categories the serving stack emits, for Perfetto filtering.
+CATEGORIES = (
+    "request",    # one submitted request, submit -> resolved
+    "flush",      # one session flush draining every route
+    "batch",      # one coalesced compiled evaluation
+    "compile",    # weight-program pSRAM streaming (a cache miss)
+    "cache",      # cache hits (instant)
+    "health",     # probe checks and recalibrations
+    "fleet",      # cluster-level events: sheds, drains, restores
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One typed trace event on the modelled clock.
+
+    ``phase`` follows the Chrome trace-event phases this recorder
+    emits: ``"X"`` (complete span with a duration) and ``"i"``
+    (instant).  ``start_s``/``duration_s`` are modelled seconds.
+    """
+
+    name: str
+    category: str
+    phase: str
+    pid: int
+    tid: int
+    start_s: float
+    duration_s: float = 0.0
+    args: dict = field(default_factory=dict)
+
+    def to_chrome(self) -> dict:
+        event = {
+            "name": self.name,
+            "cat": self.category,
+            "ph": self.phase,
+            "pid": self.pid,
+            "tid": self.tid,
+            "ts": self.start_s * 1e6,
+        }
+        if self.phase == "X":
+            event["dur"] = self.duration_s * 1e6
+        elif self.phase == "i":
+            event["s"] = "t"          # instant scoped to its thread
+        if self.args:
+            event["args"] = dict(self.args)
+        return event
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records from instrumented serving
+    surfaces.
+
+    One recorder can watch many surfaces at once: each
+    :meth:`process` call allocates a Chrome ``pid`` (a session, or one
+    cluster configuration of a bench sweep) and each :meth:`thread` a
+    ``tid`` within it (one core's timeline, or the fleet control
+    track).  The recorder is passive — surfaces with no recorder
+    attached make zero telemetry calls.
+    """
+
+    def __init__(self, label: str = "repro") -> None:
+        self.label = label
+        self._events: list[TraceEvent] = []
+        self._processes: dict[str, int] = {}
+        self._threads: dict[tuple[int, str], int] = {}
+
+    # -- track allocation ----------------------------------------------------
+    def process(self, label: str) -> int:
+        """The pid of a named process track, allocated on first use."""
+        pid = self._processes.get(label)
+        if pid is None:
+            pid = self._processes[label] = len(self._processes) + 1
+        return pid
+
+    def thread(self, pid: int, label: str) -> int:
+        """The tid of a named thread track within ``pid``."""
+        key = (pid, label)
+        tid = self._threads.get(key)
+        if tid is None:
+            tid = self._threads[key] = (
+                sum(1 for existing, _ in self._threads if existing == pid) + 1
+            )
+        return tid
+
+    # -- event emission ------------------------------------------------------
+    def complete(
+        self,
+        name: str,
+        category: str,
+        pid: int,
+        tid: int,
+        start_s: float,
+        duration_s: float,
+        args: dict | None = None,
+    ) -> None:
+        """Record one complete span [start_s, start_s + duration_s]."""
+        if duration_s < 0.0:
+            raise ConfigurationError(
+                f"span '{name}' needs a non-negative duration, "
+                f"got {duration_s}"
+            )
+        self._events.append(
+            TraceEvent(
+                name=name,
+                category=category,
+                phase="X",
+                pid=pid,
+                tid=tid,
+                start_s=start_s,
+                duration_s=duration_s,
+                args=args if args is not None else {},
+            )
+        )
+
+    def instant(
+        self,
+        name: str,
+        category: str,
+        pid: int,
+        tid: int,
+        ts_s: float,
+        args: dict | None = None,
+    ) -> None:
+        """Record one instant event at ``ts_s``."""
+        self._events.append(
+            TraceEvent(
+                name=name,
+                category=category,
+                phase="i",
+                pid=pid,
+                tid=tid,
+                start_s=ts_s,
+                args=args if args is not None else {},
+            )
+        )
+
+    # -- reading / exporting -------------------------------------------------
+    @property
+    def events(self) -> tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events_in(self, category: str) -> tuple[TraceEvent, ...]:
+        """The recorded events of one category, in emission order."""
+        return tuple(
+            event for event in self._events if event.category == category
+        )
+
+    def to_chrome(self) -> dict:
+        """The Chrome trace-event JSON object: metadata naming every
+        process/thread track, then the events in emission order."""
+        events: list[dict] = []
+        for label, pid in self._processes.items():
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": label},
+                }
+            )
+        for (pid, label), tid in self._threads.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": label},
+                }
+            )
+        events.extend(event.to_chrome() for event in self._events)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"recorder": self.label, "clock": "modelled"},
+        }
+
+    def save(self, path) -> Path:
+        """Write the Chrome trace JSON to ``path``; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome()) + "\n")
+        return path
+
+    def __repr__(self) -> str:
+        return (
+            f"<TraceRecorder '{self.label}': {len(self._events)} events, "
+            f"{len(self._processes)} processes>"
+        )

@@ -127,3 +127,44 @@ def test_serve_bench_drift_rejects_bad_count(capsys):
     assert main(["serve-bench", "drift", "0"]) == 2
     output = capsys.readouterr().out
     assert "request count" in output
+
+
+def test_serve_bench_profile_prints_hot_functions(capsys):
+    assert main(["serve-bench", "--smoke", "--profile"]) == 0
+    output = capsys.readouterr().out
+    assert "profile (top" in output
+    assert "cumtime s" in output
+
+
+def test_serve_bench_trace_writes_chrome_json(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    trace_path = tmp_path / "trace.json"
+    assert main(
+        ["serve-bench", "cluster", "--smoke", "--seed", "3",
+         "--profile", "--trace", str(trace_path)]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "profile (top" in output
+    assert f"trace written to: {trace_path}" in output
+    assert trace_path.exists()
+    import json
+
+    payload = json.loads(trace_path.read_text())
+    assert payload["otherData"]["clock"] == "modelled"
+    assert any(event.get("ph") == "X" for event in payload["traceEvents"])
+    # The profile rows are merged into the benchmark JSON alongside the
+    # sweep, and the traced run records latency quantiles per policy.
+    data = json.loads((tmp_path / "BENCH_cluster.json").read_text())
+    assert data["profile"][0]["cumtime_s"] >= data["profile"][-1]["cumtime_s"]
+    assert all(
+        policy["latency_quantiles"]["end_to_end"]["count"] > 0
+        for entry in data["sweep"]
+        for policy in entry["policies"].values()
+    )
+
+
+def test_serve_bench_trace_flag_validation(capsys):
+    assert main(["serve-bench", "--trace"]) == 2
+    assert main(["serve-bench", "--trace", "--smoke"]) == 2
+    output = capsys.readouterr().out
+    assert "expects an output path" in output

@@ -37,6 +37,7 @@ def test_examples_directory_complete():
         "convolution_wdm.py",
         "cnn_inference.py",
         "insitu_training.py",
+        "telemetry_tour.py",
     }
     assert expected <= present
 
@@ -52,6 +53,8 @@ def test_examples_directory_complete():
                                "restored"]),
         ("psram_memory_array.py", ["500", "GHz"]),
         ("adc_characterization.py", ["001", "2.32"]),
+        ("telemetry_tour.py", ["p999", "end-to-end", "merged bin-for-bin",
+                               "trace events", "Perfetto"]),
     ],
 )
 def test_fast_examples_run(name, markers):
