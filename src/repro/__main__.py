@@ -22,6 +22,11 @@ Commands:
   whose analog stack drifts (thermal detuning, laser decay, TIA and
   comparator aging), sweeping drift severity x probe cadence x
   recalibration threshold, and write ``BENCH_drift.json``.
+* ``lint [paths...]`` — run the :mod:`repro.lint` contract checker
+  over ``src/`` (or explicit paths); ``--format json`` for the
+  machine-readable findings, ``--baseline FILE`` to grandfather,
+  ``--write-baseline`` to regenerate it, ``--catalog`` to print the
+  rule catalog.  Exits 1 on any new finding.
 
 Every serve-bench scenario shares one option parser
 (:func:`_parse_serve_bench_options`): ``--seed N`` for a reproducible
@@ -246,6 +251,59 @@ def _serve_bench(argv: list[str]) -> int:
     return _run_scenario(opts, run_serve_bench, requests=requests, seed=opts.seed)
 
 
+def _lint(argv: list[str]) -> int:
+    from .errors import ConfigurationError
+    from .lint import BASELINE_FILE, all_rules, run_lint, write_baseline
+
+    args = list(argv)
+    output_format = "text"
+    if "--format" in args:
+        at = args.index("--format")
+        if at + 1 >= len(args) or args[at + 1] not in ("text", "json"):
+            print("lint --format expects 'text' or 'json'")
+            return 2
+        output_format = args[at + 1]
+        del args[at : at + 2]
+    if "--catalog" in args:
+        for rule in all_rules():
+            print(f"{rule.name} ({rule.severity})")
+            print(f"  enforces : {rule.contract}")
+            print(f"  why      : {rule.rationale}")
+        return 0
+    root = Path.cwd()
+    baseline = root / BASELINE_FILE
+    if "--baseline" in args:
+        at = args.index("--baseline")
+        if at + 1 >= len(args) or args[at + 1].startswith("--"):
+            print("lint --baseline expects a file path")
+            return 2
+        baseline = Path(args[at + 1])
+        del args[at : at + 2]
+    regenerate = "--write-baseline" in args
+    if regenerate:
+        args.remove("--write-baseline")
+    unknown = [arg for arg in args if arg.startswith("--")]
+    if unknown:
+        print(f"lint: unknown option(s) {unknown}")
+        return 2
+    try:
+        run = run_lint(root, paths=args or None, baseline_path=baseline)
+    except ConfigurationError as error:
+        print(f"lint: {error}")
+        return 2
+    if regenerate:
+        count = write_baseline(baseline, run)
+        print(f"baseline written to {baseline} ({count} grandfathered findings)")
+        return 0
+    if output_format == "json":
+        import json
+
+        print(json.dumps(run.to_dict(), indent=2))
+    else:
+        print(run.render())
+    return 1 if run.failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     command = argv[0] if argv else "summary"
@@ -254,6 +312,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _demo,
         "adc": _adc,
         "serve-bench": _serve_bench,
+        "lint": _lint,
     }
     if command not in commands:
         print(f"unknown command {command!r}; choose from {sorted(commands)}")

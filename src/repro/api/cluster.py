@@ -31,7 +31,9 @@ On top of the per-core sessions the cluster adds:
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -53,7 +55,10 @@ from .futures import Future, RunReport
 from .graph import Model
 from .policy import FlushPolicy
 from .routing import RoutingPolicy
-from .session import DeployedModel, PhotonicSession
+from .session import DeployedModel, DriftLike, PhotonicSession
+
+if TYPE_CHECKING:
+    from numpy.typing import ArrayLike
 
 
 @dataclass(frozen=True)
@@ -207,7 +212,7 @@ class ReplicatedModel:
         """Which cluster core each replica endpoint lives on."""
         return self._core_indices
 
-    def submit(self, batch, priority: int = 0) -> Future:
+    def submit(self, batch: ArrayLike, priority: int = 0) -> Future:
         """Queue one forward pass on the next replica in rotation.
 
         Replicas on drained cores sit the rotation out — the active
@@ -230,7 +235,7 @@ class ReplicatedModel:
         self._cluster._note_routed(self._core_indices[slot], priority)
         return future
 
-    def predict(self, batch, priority: int = 0) -> np.ndarray:
+    def predict(self, batch: ArrayLike, priority: int = 0) -> np.ndarray:
         """Blocking forward: submit + :meth:`Future.result`."""
         return self.submit(batch, priority=priority).result()
 
@@ -268,7 +273,7 @@ class PhotonicCluster:
         flush_policy: FlushPolicy | None = None,
         routing: RoutingPolicy | None = None,
         max_pending: int | None = None,
-        drift=None,
+        drift: DriftLike = None,
         health_policy: HealthPolicy | None = None,
         trace: TraceRecorder | None = None,
         metrics: MetricsRegistry | None = None,
@@ -326,6 +331,7 @@ class PhotonicCluster:
                 f"metrics must be a repro.telemetry.MetricsRegistry, "
                 f"got {type(metrics).__name__}"
             )
+        self.telemetry: Telemetry | None
         if trace is not None or metrics is not None:
             pid = trace.process(self.label) if trace is not None else None
             self.telemetry = Telemetry(
@@ -392,7 +398,7 @@ class PhotonicCluster:
         return self._sessions
 
     @property
-    def technology(self):
+    def technology(self) -> Technology:
         return self._sessions[0].technology
 
     @property
@@ -459,7 +465,7 @@ class PhotonicCluster:
 
     # -- QoS -----------------------------------------------------------------
     @staticmethod
-    def _validated_priority(priority) -> int:
+    def _validated_priority(priority: int) -> int:
         if not isinstance(priority, (int, np.integer)) or isinstance(priority, bool):
             raise ConfigurationError(
                 f"priority must be an integer (0 = best-effort, higher "
@@ -512,7 +518,7 @@ class PhotonicCluster:
         self._maybe_run_health()
 
     # -- routed request paths ------------------------------------------------
-    def _route(self, key_factory) -> int:
+    def _route(self, key_factory: Callable[[], bytes]) -> int:
         """Pick the core for one request.  ``key_factory`` builds the
         weight-program routing key; it is only invoked when the policy
         actually hashes keys, so round-robin/least-loaded never pay the
@@ -534,7 +540,11 @@ class PhotonicCluster:
         return active[slot]
 
     def submit(
-        self, weights, x, gain: float | str | None = None, priority: int = 0
+        self,
+        weights: ArrayLike,
+        x: ArrayLike,
+        gain: float | str | None = None,
+        priority: int = 0,
     ) -> Future:
         """Queue one W @ x request on the core the routing policy
         picks; returns that core's :class:`Future`.  ``gain`` follows
@@ -548,7 +558,7 @@ class PhotonicCluster:
         self._note_routed(index, priority)
         return future
 
-    def _conv_route_key(self, kernels) -> bytes:
+    def _conv_route_key(self, kernels: ArrayLike) -> bytes:
         """Routing key of a conv program: the *quantized* differential
         rows, matching what the session caches on — float banks that
         quantize to one program must land on one core."""
@@ -566,8 +576,8 @@ class PhotonicCluster:
 
     def submit_conv(
         self,
-        kernels,
-        image,
+        kernels: ArrayLike,
+        image: ArrayLike,
         stride: int = 1,
         gain: float | None = None,
         priority: int = 0,
@@ -621,7 +631,7 @@ class PhotonicCluster:
         return replicated
 
     # -- health: drain / recalibrate / restore -------------------------------
-    def _validated_core(self, core) -> int:
+    def _validated_core(self, core: int) -> int:
         if not isinstance(core, (int, np.integer)) or not 0 <= core < self.cores:
             raise ConfigurationError(
                 f"core must be an index in [0, {self.cores}), got {core!r}"

@@ -17,12 +17,19 @@ scattered per-path stats objects of the legacy server.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import PendingFlushError
 from ..telemetry.export import ReportExport
+
+if TYPE_CHECKING:
+    from numpy.typing import ArrayLike
+
+    from .session import PhotonicSession
 
 
 @dataclass(frozen=True)
@@ -76,7 +83,7 @@ class RunReport(ReportExport):
     latency_quantiles: dict | None = None
 
     @classmethod
-    def combined(cls, reports) -> "RunReport":
+    def combined(cls, reports: Iterable[RunReport]) -> "RunReport":
         """Sum a sequence of reports into one fleet-level record.
 
         Every counter and ledger is additive across independent cores;
@@ -186,7 +193,7 @@ class Future:
 
     def __init__(
         self,
-        session,
+        session: PhotonicSession,
         label: str,
         flush_index: int,
         shape: tuple | None = None,
@@ -211,7 +218,7 @@ class Future:
         self._route: str | None = None
 
     # -- resolution (session-internal) ---------------------------------------
-    def _resolve(self, value, codes=None) -> None:
+    def _resolve(self, value: ArrayLike, codes: ArrayLike | None = None) -> None:
         self._value = np.asarray(value, dtype=float)
         if self.shape is not None:
             self._value = self._value.reshape(self.shape)

@@ -22,11 +22,15 @@ composition :class:`repro.ml.network.PhotonicCNN` deploys.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from ..ml.convolution import normalize_kernel_bank
+
+if TYPE_CHECKING:
+    from numpy.typing import ArrayLike
 
 
 @dataclass(frozen=True)
@@ -127,6 +131,9 @@ COMPUTE_SPECS = (Dense, Conv2d)
 #: Digital glue specs executed between photonic layers.
 DIGITAL_SPECS = (ReLU, AvgPool, Flatten)
 
+#: Any layer spec a :class:`Model` may carry.
+LayerSpec = Dense | Conv2d | ReLU | AvgPool | Flatten
+
 
 @dataclass(frozen=True)
 class Model:
@@ -137,7 +144,7 @@ class Model:
     :meth:`repro.api.PhotonicSession.compile`.
     """
 
-    layers: tuple = field(default_factory=tuple)
+    layers: tuple[LayerSpec, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         layers = tuple(self.layers)
@@ -146,12 +153,12 @@ class Model:
 
     # -- construction --------------------------------------------------------
     @classmethod
-    def sequential(cls, *layers) -> "Model":
+    def sequential(cls, *layers: LayerSpec) -> "Model":
         """A feed-forward model running ``layers`` in order."""
         return cls(layers=layers)
 
     @classmethod
-    def from_mlp(cls, mlp) -> "Model":
+    def from_mlp(cls, mlp: Any) -> "Model":
         """Adapt a trained :class:`repro.ml.network.MLP`: two dense
         layers with a ReLU between, sharing the MLP's float arrays."""
         for attribute in ("w1", "b1", "w2", "b2"):
@@ -168,8 +175,8 @@ class Model:
     @classmethod
     def from_cnn(
         cls,
-        kernels,
-        mlp,
+        kernels: ArrayLike,
+        mlp: Any,
         pool: int = 2,
         stride: int = 1,
         conv_gain: float = 1.0,

@@ -26,8 +26,9 @@ deprecation shim over this class — the engine room moved here.
 
 from __future__ import annotations
 
-import time
+from collections.abc import Iterable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -50,9 +51,21 @@ from ..runtime.engine import weight_key
 from ..runtime.scheduler import BatchScheduler, WeightProgramCache
 from ..runtime.tiling import DifferentialProgram, TiledMatmul, auto_range_gain
 from ..telemetry import MetricsRegistry, Telemetry, TraceRecorder
+from ..telemetry.profiling import wall_clock
 from .futures import Future, RunReport
 from .graph import AvgPool, Conv2d, Dense, Flatten, Model, ReLU
 from .policy import FlushPolicy
+
+if TYPE_CHECKING:
+    from numpy.typing import ArrayLike
+
+    from ..core.performance import PerformanceModel
+    from ..core.tensor_core import PhotonicTensorCore
+    from ..runtime.serving import ServerStats
+
+#: Everything the ``drift`` knob accepts: a ready state, one model, an
+#: iterable of models (wrapped into a fresh state), or None.
+DriftLike = DriftState | DriftModel | Iterable[DriftModel] | None
 
 
 @dataclass
@@ -101,7 +114,7 @@ class DeployedModel:
         return [stage.layer for stage in self.stages if stage.layer is not None]
 
     # -- request path --------------------------------------------------------
-    def _validated_batch(self, batch) -> np.ndarray:
+    def _validated_batch(self, batch: ArrayLike) -> np.ndarray:
         batch = np.asarray(batch, dtype=float)
         if self.model.input_domain == "vector":
             if batch.ndim != 2 or len(batch) == 0:
@@ -116,7 +129,7 @@ class DeployedModel:
             )
         return batch
 
-    def submit(self, batch) -> Future:
+    def submit(self, batch: ArrayLike) -> Future:
         """Queue one forward pass over ``batch``; resolved at the next
         flush (or immediately if the session flush policy trips)."""
         batch = self._validated_batch(batch)
@@ -132,7 +145,7 @@ class DeployedModel:
         self._session._after_submit()
         return future
 
-    def predict(self, batch) -> np.ndarray:
+    def predict(self, batch: ArrayLike) -> np.ndarray:
         """Blocking forward: submit + :meth:`Future.result`."""
         return self.submit(batch).result()
 
@@ -223,7 +236,7 @@ class PhotonicSession:
         tiled_cache_capacity: int = 4,
         max_batch: int = 256,
         flush_policy: FlushPolicy | None = None,
-        drift=None,
+        drift: DriftLike = None,
         health_policy: HealthPolicy | None = None,
         trace: TraceRecorder | None = None,
         metrics: MetricsRegistry | None = None,
@@ -251,6 +264,7 @@ class PhotonicSession:
         #: modelled clock, trace recorder and metrics registry of this
         #: core's timeline.  None (the default) = the serving path
         #: makes zero telemetry calls.
+        self.telemetry: Telemetry | None
         if telemetry is not None:
             if not isinstance(telemetry, Telemetry):
                 raise ConfigurationError(
@@ -335,12 +349,12 @@ class PhotonicSession:
 
     # -- geometry ------------------------------------------------------------
     @property
-    def core(self):
+    def core(self) -> PhotonicTensorCore:
         """The physical tensor core backing every route."""
         return self.scheduler.core
 
     @property
-    def performance(self):
+    def performance(self) -> PerformanceModel:
         return self.scheduler.performance
 
     @property
@@ -373,7 +387,7 @@ class PhotonicSession:
 
     # -- gain policy ---------------------------------------------------------
     @staticmethod
-    def _validated_gain(gain) -> float | str | None:
+    def _validated_gain(gain: float | str | None) -> float | str | None:
         """Normalize the shared gain semantics of every request path:
         None = native TIA gain 1.0, "auto" = calibrate the range from
         the weights, a positive float = explicit setting."""
@@ -390,7 +404,9 @@ class PhotonicSession:
         return auto_range_gain(weights, self.columns * self.core.max_weight)
 
     # -- raw dense route -----------------------------------------------------
-    def submit(self, weights, x, gain: float | str | None = None) -> Future:
+    def submit(
+        self, weights: ArrayLike, x: ArrayLike, gain: float | str | None = None
+    ) -> Future:
         """Queue one W @ x request; returns its :class:`Future`.
 
         ``gain`` sets the row-TIA range on every tile the request
@@ -431,7 +447,9 @@ class PhotonicSession:
         self._after_submit()
         return future
 
-    def _submit_tiled(self, weights, x, gain, label: str) -> Future:
+    def _submit_tiled(
+        self, weights: np.ndarray, x: np.ndarray, gain: float | str, label: str
+    ) -> Future:
         max_weight = self.core.max_weight
         if np.any(weights < 0) or np.any(weights > max_weight):
             raise ConfigurationError(
@@ -462,7 +480,11 @@ class PhotonicSession:
 
     # -- conv route ----------------------------------------------------------
     def submit_conv(
-        self, kernels, image, stride: int = 1, gain: float | None = None
+        self,
+        kernels: ArrayLike,
+        image: ArrayLike,
+        stride: int = 1,
+        gain: float | None = None,
     ) -> Future:
         """Queue one im2col convolution; returns its :class:`Future`.
 
@@ -609,7 +631,9 @@ class PhotonicSession:
         self._endpoints.append(endpoint)
         return endpoint
 
-    def _bind_program(self, layer, prefix: bytes) -> None:
+    def _bind_program(
+        self, layer: PhotonicDense | PhotonicConv2d, prefix: bytes
+    ) -> None:
         """Bind a quantized layer to cached compiled engines (the same
         key scheme as the conv route, so a served kernel bank and a
         compiled model layer share one program)."""
@@ -619,7 +643,7 @@ class PhotonicSession:
         program = self._differential_program(key, layer.q_positive, layer.q_negative)
         layer.attach_engines(program.positive, program.negative)
 
-    def _calibrate(self, stages: list[CompiledStage], batch) -> None:
+    def _calibrate(self, stages: list[CompiledStage], batch: ArrayLike) -> None:
         """Propagate a float calibration batch through the stage chain,
         range-calibrating each uncommitted Dense layer on the float
         activations reaching it (the per-layer ADC range calibration
@@ -650,7 +674,9 @@ class PhotonicSession:
                     f"no calibration rule for layer spec {type(spec).__name__}"
                 )
 
-    def _account_model_stage(self, layer, samples: int) -> None:
+    def _account_model_stage(
+        self, layer: PhotonicDense | PhotonicConv2d, samples: int
+    ) -> None:
         """Charge one compute stage's analog passes to the ledger: one
         ADC sample period per analog pass per input column, the active
         grid burning tile_count times one tile's power (the same model
@@ -667,7 +693,7 @@ class PhotonicSession:
 
     # -- health: drift, probes, recalibration --------------------------------
     @staticmethod
-    def _coerce_drift(drift) -> DriftState | None:
+    def _coerce_drift(drift: DriftLike) -> DriftState | None:
         """Accept None, a ready DriftState, one DriftModel or an
         iterable of models (wrapped into a fresh state)."""
         if drift is None:
@@ -836,6 +862,8 @@ class PhotonicSession:
         """Stamp one resolved request and add its modelled queue-wait
         and end-to-end latency to the open flush window."""
         tel = self.telemetry
+        if tel is None:
+            return
         future._resolved_at = (
             resolved_at if resolved_at is not None else tel.clock.now
         )
@@ -847,7 +875,7 @@ class PhotonicSession:
 
     # -- flush ---------------------------------------------------------------
     def _after_submit(self) -> None:
-        now = time.monotonic()
+        now = wall_clock()
         if self._oldest_pending is None:
             self._oldest_pending = now
         if self.flush_policy.should_flush(self.pending, now - self._oldest_pending):
@@ -864,7 +892,7 @@ class PhotonicSession:
         """
         if self._oldest_pending is None:
             return 0
-        age = time.monotonic() - self._oldest_pending
+        age = wall_clock() - self._oldest_pending
         if self.flush_policy.should_flush(self.pending, age):
             return self.flush()
         return 0
@@ -1051,6 +1079,8 @@ class PhotonicSession:
         span on the core track, and one lifecycle span per resolved
         request on the requests track."""
         tel = self.telemetry
+        if tel is None:
+            return
         tel.metrics.counter("flushes").inc()
         tel.metrics.gauge("pending").set(self.pending)
         if tel.trace is None:
@@ -1140,7 +1170,7 @@ class PhotonicSession:
             **self._totals(),
         )
 
-    def server_stats(self):
+    def server_stats(self) -> ServerStats:
         """The legacy :class:`~repro.runtime.serving.ServerStats` view
         (scheduler + tiled/conv route counters; model endpoint traffic
         is reported only by :meth:`report`)."""

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import math
 
+from .errors import UnitConversionError
+
 #: Speed of light in vacuum [m/s].
 SPEED_OF_LIGHT = 299_792_458.0
 
@@ -44,11 +46,12 @@ def dbm_to_watts(power_dbm: float) -> float:
 def watts_to_dbm(power_watts: float) -> float:
     """Convert a power level in watts to dBm.
 
-    Raises ``ValueError`` for non-positive powers, which have no dBm
+    Raises :class:`~repro.errors.UnitConversionError` (a
+    ``ValueError``) for non-positive powers, which have no dBm
     representation.
     """
     if power_watts <= 0.0:
-        raise ValueError(f"power must be positive to convert to dBm, got {power_watts}")
+        raise UnitConversionError(f"power must be positive to convert to dBm, got {power_watts}")
     return 10.0 * math.log10(power_watts / 1e-3)
 
 
@@ -60,7 +63,7 @@ def db_to_linear(value_db: float) -> float:
 def linear_to_db(value: float) -> float:
     """Convert a linear power ratio to dB."""
     if value <= 0.0:
-        raise ValueError(f"ratio must be positive to convert to dB, got {value}")
+        raise UnitConversionError(f"ratio must be positive to convert to dB, got {value}")
     return 10.0 * math.log10(value)
 
 
@@ -75,14 +78,14 @@ def db_per_cm_to_alpha(loss_db_per_cm: float) -> float:
 def wavelength_to_frequency(wavelength_m: float) -> float:
     """Optical frequency [Hz] of a vacuum wavelength [m]."""
     if wavelength_m <= 0.0:
-        raise ValueError(f"wavelength must be positive, got {wavelength_m}")
+        raise UnitConversionError(f"wavelength must be positive, got {wavelength_m}")
     return SPEED_OF_LIGHT / wavelength_m
 
 
 def frequency_to_wavelength(frequency_hz: float) -> float:
     """Vacuum wavelength [m] of an optical frequency [Hz]."""
     if frequency_hz <= 0.0:
-        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+        raise UnitConversionError(f"frequency must be positive, got {frequency_hz}")
     return SPEED_OF_LIGHT / frequency_hz
 
 

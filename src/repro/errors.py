@@ -41,6 +41,18 @@ class ClusterSaturatedError(ReproError, RuntimeError):
     """
 
 
+class UnitConversionError(ConfigurationError, ValueError):
+    """A unit-conversion helper was handed a value outside its domain
+    (non-positive power to dBm, zero wavelength, ...).
+
+    Doubles as a :class:`ValueError` (the argument's *value* is the
+    problem, matching what the converters historically raised) while
+    staying inside the :class:`ReproError` hierarchy via
+    :class:`ConfigurationError`, so both ``except ValueError`` and the
+    package-wide handler catch it.
+    """
+
+
 class PhotonicsError(ReproError):
     """A photonic component or network was used incorrectly."""
 

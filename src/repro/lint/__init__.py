@@ -1,0 +1,46 @@
+"""``repro.lint`` — the AST-based contract checker.
+
+The reproduction rests on cross-cutting contracts no single test can
+pin down everywhere: compiled engines bit-for-bit equal to the device
+loop, zero-overhead telemetry when unattached, all randomness on
+seeded generators, all time on the modelled clock, every compiled-state
+mutation invalidating its caches, every report counter surviving the
+fleet roll-up.  This package enforces them *statically*, at every call
+site, on every PR: ``python -m repro lint`` (see
+:mod:`repro.lint.runner`) walks ``src/``, runs the registered rules
+(:data:`repro.lint.registry.RULES`), honours inline
+``repro-lint: disable=<rule> -- <reason>`` suppressions, and fails on
+any finding not in the checked-in baseline.
+
+Self-contained: stdlib ``ast``/``tokenize`` only, no third-party
+dependencies.
+"""
+
+from __future__ import annotations
+
+from .findings import Finding, Severity
+from .registry import RULES, ModuleUnderLint, Rule, all_rules, register
+from .runner import (
+    BASELINE_FILE,
+    LintRun,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from .suppressions import scan_suppressions
+
+__all__ = [
+    "BASELINE_FILE",
+    "Finding",
+    "LintRun",
+    "ModuleUnderLint",
+    "RULES",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "load_baseline",
+    "register",
+    "run_lint",
+    "scan_suppressions",
+    "write_baseline",
+]

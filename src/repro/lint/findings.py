@@ -1,0 +1,59 @@
+"""Findings: what a lint rule reports, and how it renders.
+
+A :class:`Finding` is one contract violation at one source location.
+Findings carry a stable ``key`` (rule + path + message, no line
+numbers) so a baseline survives unrelated edits shifting code up and
+down a file, and render both human-readable
+(``path:line:col: severity [rule] message``) and JSON-ready.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; the runner fails the build on anything at
+    or above :attr:`WARNING` that is neither suppressed nor
+    baselined."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One contract violation at one source location."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    column: int
+    message: str
+
+    @property
+    def key(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.severity} [{self.rule}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }

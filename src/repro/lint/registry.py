@@ -1,0 +1,102 @@
+"""The rule registry: every contract check registers itself here.
+
+A rule is a class with a stable kebab-case ``name``, a default
+:class:`~repro.lint.findings.Severity`, a one-line ``contract`` (what
+it enforces — surfaced by ``lint --catalog`` and the README), and a
+``check(module)`` returning findings.  Registration happens at import
+time via :func:`register`, so adding a rule is one decorated class in
+a rules module — the runner, CLI catalog, fixture tests, and README
+table all pick it up from :data:`RULES`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .findings import Finding, Severity
+
+
+@dataclass(frozen=True)
+class ModuleUnderLint:
+    """One parsed source file handed to every rule.
+
+    ``relpath`` is the repo-relative posix path (what findings and
+    scope prefixes are matched against); ``dotted`` the importable
+    module name (``repro.runtime.scheduler``) when the file sits under
+    a package root, else the bare stem.
+    """
+
+    relpath: str
+    dotted: str
+    source: str
+    tree: ast.Module
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, implement
+    ``check``."""
+
+    #: Stable kebab-case identifier used in findings, suppressions and
+    #: the baseline.
+    name: str = ""
+    severity: Severity = Severity.ERROR
+    #: One line: what the rule enforces.
+    contract: str = ""
+    #: Why the contract exists (one or two lines for the catalog).
+    rationale: str = ""
+    #: Only files whose relpath starts with one of these prefixes are
+    #: checked ('' = everything the runner was pointed at).
+    scope_prefixes: tuple[str, ...] = ("",)
+    #: Files whose relpath starts with one of these are skipped even
+    #: inside the scope (e.g. the sanctioned wall-clock module).
+    exempt_prefixes: tuple[str, ...] = ()
+
+    def applies_to(self, module: ModuleUnderLint) -> bool:
+        path = module.relpath
+        if any(path.startswith(prefix) for prefix in self.exempt_prefixes):
+            return False
+        return any(path.startswith(prefix) for prefix in self.scope_prefixes)
+
+    def check(self, module: ModuleUnderLint) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleUnderLint, node: ast.AST, message: str
+    ) -> Finding:
+        """A finding anchored at ``node`` in ``module``."""
+        return Finding(
+            rule=self.name,
+            severity=self.severity,
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+#: name -> rule instance, in registration order.
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding one rule to :data:`RULES`."""
+    rule = cls()
+    if not rule.name or not rule.contract:
+        raise ConfigurationError(
+            f"lint rule {cls.__name__} needs a name and a contract line"
+        )
+    if rule.name in RULES:
+        raise ConfigurationError(f"duplicate lint rule name {rule.name!r}")
+    RULES[rule.name] = rule
+    return cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, importing the rule modules on first use."""
+    import importlib
+
+    for suffix in ("rules_determinism", "rules_structure", "rules_telemetry"):
+        importlib.import_module(f"{__package__}.{suffix}")
+    return tuple(RULES.values())

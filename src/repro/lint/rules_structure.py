@@ -1,0 +1,299 @@
+"""Structural contracts: report completeness, error taxonomy, imports.
+
+These rules read the *shape* of the code — dataclass field lists
+against roll-up call sites, ``raise`` expressions against the typed
+hierarchy, import tables against name uses — so the contract holds for
+fields and call sites that no test happens to exercise.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .findings import Finding, Severity
+from .registry import ModuleUnderLint, Rule, register
+
+#: Dataclasses whose numeric fields roll up *outside* the class: the
+#: call site constructing the fleet record must pass every field
+#: explicitly.  name -> containing-scope hint for the message.
+_ROLLUP_CALL_SITES = {"ClusterReport": "PhotonicCluster.report"}
+
+_NUMERIC_ANNOTATIONS = {"int", "float"}
+
+
+def _annotation_name(annotation: ast.AST | None) -> str | None:
+    """The simple name of an annotation (``int``, ``float``), looking
+    through ``X | None`` unions; None for anything more structured."""
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        left = _annotation_name(annotation.left)
+        right = _annotation_name(annotation.right)
+        names = {name for name in (left, right) if name not in (None, "None")}
+        return names.pop() if len(names) == 1 else None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            return _annotation_name(ast.parse(annotation.value, mode="eval").body)
+        except SyntaxError:
+            return None
+    return None
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for decorator in cls.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else None
+        )
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _numeric_fields(cls: ast.ClassDef) -> dict[str, ast.AnnAssign]:
+    fields: dict[str, ast.AnnAssign] = {}
+    for item in cls.body:
+        if (
+            isinstance(item, ast.AnnAssign)
+            and isinstance(item.target, ast.Name)
+            and _annotation_name(item.annotation) in _NUMERIC_ANNOTATIONS
+        ):
+            fields[item.target.id] = item
+    return fields
+
+
+@register
+class ReportAccountingCompleteness(Rule):
+    """Every numeric report counter survives the fleet roll-up."""
+
+    name = "report-accounting-completeness"
+    severity = Severity.ERROR
+    contract = (
+        "every numeric field of a report dataclass that defines "
+        "combined() is passed in combined()'s constructor call, and "
+        "every numeric ClusterReport field is passed at its fleet "
+        "roll-up call site"
+    )
+    rationale = (
+        "fleet totals are hand-rolled keyword-by-keyword; when the "
+        "next PR adds a counter, nothing but this check stops it from "
+        "silently vanishing from ClusterReport totals"
+    )
+
+    def check(self, module: ModuleUnderLint) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+                continue
+            fields = _numeric_fields(node)
+            if not fields:
+                continue
+            combined = next(
+                (
+                    item
+                    for item in node.body
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == "combined"
+                ),
+                None,
+            )
+            if combined is not None:
+                passed = self._constructed_keywords(
+                    combined, receivers={"cls", node.name}
+                )
+                for name, field in sorted(
+                    fields.items(), key=lambda kv: kv[1].lineno
+                ):
+                    if name not in passed:
+                        findings.append(
+                            self.finding(
+                                module,
+                                field,
+                                (
+                                    f"numeric field {node.name}.{name} is "
+                                    f"not summed in {node.name}.combined(); "
+                                    "it silently drops out of fleet totals"
+                                ),
+                            )
+                        )
+            if node.name in _ROLLUP_CALL_SITES:
+                passed = self._constructed_keywords(
+                    module.tree, receivers={node.name}, skip=node
+                )
+                rollup = _ROLLUP_CALL_SITES[node.name]
+                for name, field in sorted(
+                    fields.items(), key=lambda kv: kv[1].lineno
+                ):
+                    if name not in passed:
+                        findings.append(
+                            self.finding(
+                                module,
+                                field,
+                                (
+                                    f"numeric field {node.name}.{name} is "
+                                    f"never passed where the fleet record "
+                                    f"is built ({rollup}); the roll-up "
+                                    "must name every counter"
+                                ),
+                            )
+                        )
+        return findings
+
+    @staticmethod
+    def _constructed_keywords(
+        scope: ast.AST, receivers: set[str], skip: ast.AST | None = None
+    ) -> set[str]:
+        """Keyword names passed to any ``<receiver>(...)`` call in
+        ``scope`` (excluding the subtree ``skip`` — the class body
+        itself, so default values don't count as roll-up handling)."""
+        skipped = set()
+        if skip is not None:
+            skipped = {id(sub) for sub in ast.walk(skip)}
+        passed: set[str] = set()
+        for node in ast.walk(scope):
+            if id(node) in skipped or not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name in receivers:
+                passed |= {kw.arg for kw in node.keywords if kw.arg is not None}
+        return passed
+
+
+@register
+class ErrorTaxonomy(Rule):
+    """API surfaces raise the typed hierarchy, not bare builtins."""
+
+    name = "error-taxonomy"
+    severity = Severity.ERROR
+    contract = (
+        "raise sites in src/repro use the repro.errors hierarchy "
+        "(ReproError subclasses); bare ValueError / RuntimeError / "
+        "Exception are forbidden"
+    )
+    rationale = (
+        "callers catch ReproError to separate library failures from "
+        "programming errors; a bare builtin raise silently escapes "
+        "that contract (PendingFlushError/ClusterSaturatedError exist "
+        "precisely to stay inside both hierarchies)"
+    )
+    scope_prefixes = ("src/repro/",)
+
+    _FORBIDDEN = {"ValueError", "RuntimeError", "Exception", "IOError", "OSError"}
+
+    def check(self, module: ModuleUnderLint) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            if isinstance(target, ast.Name) and target.id in self._FORBIDDEN:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        (
+                            f"raise {target.id} escapes the typed error "
+                            "taxonomy; raise a repro.errors.ReproError "
+                            "subclass (or add one) so package-wide "
+                            "handlers still catch it"
+                        ),
+                    )
+                )
+        return findings
+
+
+@register
+class UnusedImport(Rule):
+    """Dead imports are dead code: every import is referenced."""
+
+    name = "unused-import"
+    severity = Severity.WARNING
+    contract = (
+        "every name a module imports is referenced somewhere in the "
+        "module (package __init__ re-export surfaces are exempt)"
+    )
+    rationale = (
+        "unused imports hide real dependencies, slow cold starts, and "
+        "rot into confusion about what a module actually touches"
+    )
+
+    def applies_to(self, module: ModuleUnderLint) -> bool:
+        if module.relpath.endswith("__init__.py"):
+            return False
+        return super().applies_to(module)
+
+    def check(self, module: ModuleUnderLint) -> list[Finding]:
+        imported: dict[str, tuple[ast.AST, str]] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    bound = item.asname or item.name.split(".")[0]
+                    imported.setdefault(bound, (node, item.name))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for item in node.names:
+                    if item.name == "*":
+                        continue
+                    bound = item.asname or item.name
+                    imported.setdefault(bound, (node, item.name))
+        if not imported:
+            return []
+        used: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                root = node
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if isinstance(root, ast.Name):
+                    used.add(root.id)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                # String annotations under `from __future__ import
+                # annotations` arrive pre-parsed as expressions, but
+                # explicit "Quoted[Name]" annotations do not — count
+                # their words as uses rather than false-flagging.
+                if node.value.isidentifier():
+                    used.add(node.value)
+        exported = self._declared_all(module.tree)
+        findings: list[Finding] = []
+        for bound, (node, original) in sorted(
+            imported.items(), key=lambda kv: kv[1][0].lineno
+        ):
+            if bound in used or bound in exported:
+                continue
+            findings.append(
+                self.finding(
+                    module,
+                    node,
+                    (
+                        f"imported name '{bound}' "
+                        f"(from '{original}') is never used in this module"
+                    ),
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _declared_all(tree: ast.Module) -> set[str]:
+        names: set[str] = set()
+        for node in tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "__all__"
+                    for t in node.targets
+                )
+                and isinstance(node.value, (ast.List, ast.Tuple))
+            ):
+                for element in node.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        names.add(element.value)
+        return names

@@ -1,0 +1,193 @@
+"""The lint driver: walk sources, run rules, apply suppressions.
+
+``python -m repro lint`` builds a :class:`LintRun` over ``src/`` (or
+explicit paths), checks every registered rule against every in-scope
+module, drops findings covered by an inline suppression, then splits
+the rest against the checked-in baseline: baselined findings are
+reported but don't fail; anything new does.
+
+Unused suppressions are themselves findings (``unused-suppression``)
+— an exemption that no longer silences anything is stale documentation
+and gets cleaned up rather than accreting.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from .findings import Finding, Severity
+from .registry import ModuleUnderLint, Rule, all_rules
+from .suppressions import scan_suppressions
+
+#: Default baseline location, repo-root-relative.
+BASELINE_FILE = ".repro-lint-baseline.json"
+
+UNUSED_SUPPRESSION = "unused-suppression"
+PARSE_ERROR = "parse-error"
+
+
+@dataclass
+class LintRun:
+    """One lint invocation's outcome."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: Keys of findings matched by (and consumed from) the baseline.
+    baselined: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return any(f.severity >= Severity.WARNING for f in self.findings)
+
+    def to_dict(self) -> dict:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return {
+            "files_checked": self.files_checked,
+            "rules_run": self.rules_run,
+            "failed": self.failed,
+            "counts_by_rule": counts,
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+        }
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        for finding in self.baselined:
+            lines.append(f"{finding.render()} (baselined)")
+        new = len(self.findings)
+        lines.append(
+            f"repro lint: {self.files_checked} files x {self.rules_run} "
+            f"rules -> {new} finding{'s' if new != 1 else ''}"
+            + (f" ({len(self.baselined)} baselined)" if self.baselined else "")
+        )
+        return "\n".join(lines)
+
+
+def discover_files(root: Path, paths: list[str] | None = None) -> list[Path]:
+    """The Python files to lint: ``src/`` under ``root`` by default,
+    or the explicit files/directories in ``paths``."""
+    if paths:
+        files: list[Path] = []
+        for raw in paths:
+            path = (root / raw) if not Path(raw).is_absolute() else Path(raw)
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.suffix == ".py" and path.exists():
+                files.append(path)
+            else:
+                raise ConfigurationError(f"nothing to lint at {raw!r}")
+        return files
+    return sorted((root / "src").rglob("*.py"))
+
+
+def _module_for(root: Path, path: Path) -> ModuleUnderLint | None:
+    """Parse one file; None (plus a finding from the caller) when the
+    source is not valid Python."""
+    relpath = path.relative_to(root).as_posix() if path.is_relative_to(root) else (
+        path.as_posix()
+    )
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    parts = list(path.with_suffix("").parts)
+    dotted = path.stem
+    if "src" in parts:
+        dotted = ".".join(parts[parts.index("src") + 1 :])
+    return ModuleUnderLint(relpath=relpath, dotted=dotted, source=source, tree=tree)
+
+
+def run_lint(
+    root: Path,
+    paths: list[str] | None = None,
+    baseline_path: Path | None = None,
+    rules: tuple[Rule, ...] | None = None,
+) -> LintRun:
+    """Lint ``paths`` (default: ``src/``) under ``root`` against every
+    registered rule, honouring inline suppressions and the baseline."""
+    rules = all_rules() if rules is None else rules
+    run = LintRun(rules_run=len(rules))
+    raw_findings: list[Finding] = []
+    for path in discover_files(root, paths):
+        relpath = (
+            path.relative_to(root).as_posix()
+            if path.is_relative_to(root)
+            else path.as_posix()
+        )
+        try:
+            module = _module_for(root, path)
+        except SyntaxError as error:
+            raw_findings.append(
+                Finding(
+                    rule=PARSE_ERROR,
+                    severity=Severity.ERROR,
+                    path=relpath,
+                    line=error.lineno or 1,
+                    column=(error.offset or 0) + 1,
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            continue
+        run.files_checked += 1
+        suppressions = scan_suppressions(module.relpath, module.source)
+        raw_findings.extend(suppressions.syntax_findings)
+        for rule in rules:
+            if not rule.applies_to(module):
+                continue
+            for finding in rule.check(module):
+                if not suppressions.covers(finding.line, finding.rule):
+                    raw_findings.append(finding)
+        for marker in suppressions.by_line.values():
+            if not marker.used:
+                raw_findings.append(
+                    Finding(
+                        rule=UNUSED_SUPPRESSION,
+                        severity=Severity.WARNING,
+                        path=module.relpath,
+                        line=marker.line,
+                        column=1,
+                        message=(
+                            "suppression of "
+                            f"{', '.join(marker.rules)} matches no finding; "
+                            "remove the stale marker"
+                        ),
+                    )
+                )
+    raw_findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    baseline = load_baseline(baseline_path) if baseline_path else set()
+    for finding in raw_findings:
+        if finding.key in baseline:
+            run.baselined.append(finding)
+        else:
+            run.findings.append(finding)
+    return run
+
+
+def load_baseline(path: Path) -> set[str]:
+    """The grandfathered finding keys, or empty for a missing file."""
+    if not path.exists():
+        return set()
+    try:
+        data = json.loads(path.read_text())
+        keys = data["findings"] if isinstance(data, dict) else data
+        return {str(key) for key in keys}
+    except (json.JSONDecodeError, KeyError, TypeError) as error:
+        raise ConfigurationError(
+            f"baseline {path} is not a JSON list of finding keys: {error}"
+        ) from error
+
+
+def write_baseline(path: Path, run: LintRun) -> int:
+    """Grandfather the run's current findings; returns the count."""
+    keys = sorted(
+        {f.key for f in run.findings} | {f.key for f in run.baselined}
+    )
+    path.write_text(
+        json.dumps({"findings": keys}, indent=2) + "\n"
+    )
+    return len(keys)

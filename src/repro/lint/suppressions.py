@@ -1,0 +1,132 @@
+"""Inline suppressions: ``repro-lint: disable=<rule> -- <reason>``.
+
+A finding is suppressed by a marker comment on the *same line*.  The
+reason after ``--`` is mandatory: a suppression without one is itself
+reported as a ``suppression-syntax`` error, so every exemption in the
+tree documents why the contract does not apply there.  Several rules
+suppress at once with ``disable=rule-a,rule-b``.
+
+Markers are read off the token stream (comment tokens only), so a
+docstring or string literal *describing* the syntax never activates
+it.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .findings import Finding, Severity
+
+#: The marker grammar, matched against comment tokens only (see the
+#: module docstring for the written-out syntax; a literal example here
+#: would register itself as a stale suppression of this very file).
+MARKER = re.compile(
+    r"repro-lint:\s*disable=(?P<rules>[a-z0-9_,\-\s]+?)"
+    r"(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+
+SUPPRESSION_SYNTAX = "suppression-syntax"
+
+
+@dataclass
+class Suppression:
+    """One parsed marker: the rules it silences and where it sits."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class FileSuppressions:
+    """Every marker of one file, plus the malformed ones as findings."""
+
+    path: str
+    by_line: dict[int, Suppression] = field(default_factory=dict)
+    syntax_findings: list[Finding] = field(default_factory=list)
+
+    def covers(self, line: int, rule: str) -> bool:
+        """True (and marks the marker used) when ``rule`` is disabled
+        on ``line``."""
+        marker = self.by_line.get(line)
+        if marker is None or rule not in marker.rules:
+            return False
+        marker.used = True
+        return True
+
+
+def _comment_tokens(source: str) -> list[tuple[int, int, str]]:
+    """Every comment in ``source`` as ``(line, column, text)``.
+
+    Tokenization errors (the runner only feeds sources that already
+    parsed as Python) yield whatever comments were read before the
+    error rather than raising.
+    """
+    comments = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append(
+                    (token.start[0], token.start[1] + 1, token.string)
+                )
+    except (tokenize.TokenizeError, IndentationError):
+        pass
+    return comments
+
+
+def scan_suppressions(path: str, source: str) -> FileSuppressions:
+    """Parse every ``repro-lint: disable`` marker out of ``source``.
+
+    Markers with no reason — or with an empty rule list — become
+    ``suppression-syntax`` findings instead of active suppressions, so
+    a half-written marker fails the run rather than silently silencing
+    nothing (or everything).
+    """
+    result = FileSuppressions(path=path)
+    for lineno, column, text in _comment_tokens(source):
+        if "repro-lint" not in text:
+            continue
+        match = MARKER.search(text)
+        if match is None:
+            result.syntax_findings.append(
+                Finding(
+                    rule=SUPPRESSION_SYNTAX,
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=lineno,
+                    column=column,
+                    message=(
+                        "malformed repro-lint marker; use "
+                        "'repro-lint: disable=<rule>[,<rule>] -- <reason>'"
+                    ),
+                )
+            )
+            continue
+        rules = tuple(
+            rule.strip() for rule in match.group("rules").split(",") if rule.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        if not rules or not reason:
+            what = "a rule name" if not rules else "a reason after '--'"
+            result.syntax_findings.append(
+                Finding(
+                    rule=SUPPRESSION_SYNTAX,
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=lineno,
+                    column=column,
+                    message=(
+                        f"repro-lint suppression needs {what}: every "
+                        "exemption must say which rule it disables and why"
+                    ),
+                )
+            )
+            continue
+        result.by_line[lineno] = Suppression(
+            line=lineno, rules=rules, reason=reason
+        )
+    return result

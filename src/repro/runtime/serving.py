@@ -31,7 +31,6 @@ curves included).
 
 from __future__ import annotations
 
-import time
 import warnings
 from dataclasses import dataclass
 
@@ -39,6 +38,7 @@ import numpy as np
 
 from ..config import Technology
 from ..errors import ConfigurationError
+from ..telemetry.profiling import wall_clock
 from .scheduler import SchedulerStats
 from .tiling import DifferentialProgram
 
@@ -342,13 +342,13 @@ def run_serve_bench(
         label="serve-bench",
     )
     futures = []
-    started = time.perf_counter()
+    started = wall_clock()
     for _, weights, x in synthetic_trace(
         requests=requests, rows=rows, columns=columns, seed=seed
     ):
         futures.append(session.submit(weights, x))
     session.flush()
-    elapsed = time.perf_counter() - started
+    elapsed = wall_clock() - started
 
     if not all(future.done for future in futures):
         raise ConfigurationError("serve bench left unresolved futures")
@@ -454,11 +454,11 @@ def run_cluster_serve_bench(
                 label=f"{cores} cores / {policy_name}",
             )
             futures = []
-            started = time.perf_counter()
+            started = wall_clock()
             for _, weights, x in workload:
                 futures.append(cluster.submit(weights, x))
             cluster.flush()
-            elapsed = time.perf_counter() - started
+            elapsed = wall_clock() - started
             if not all(future.done for future in futures):
                 raise ConfigurationError(
                     "cluster serve bench left unresolved futures"
@@ -637,13 +637,13 @@ def run_drift_serve_bench(
         # like the monitored configs, so every final_code_error_rate
         # in the sweep is measured on the same probe program.
         session.ensure_monitor(HealthPolicy.monitor_only(probes=probes))
-        started = time.perf_counter()
+        started = wall_clock()
         futures = []
         for _, weights, x in workload:
             session.age(arrival_period_s)
             futures.append(session.submit(weights, x))
         session.flush()
-        elapsed = time.perf_counter() - started
+        elapsed = wall_clock() - started
         if not all(future.done for future in futures):
             raise ConfigurationError("drift serve bench left unresolved futures")
         final = session.check_health()
@@ -792,11 +792,11 @@ def run_cnn_serve_bench(
         label="cnn-bench",
     )
     futures = []
-    started = time.perf_counter()
+    started = wall_clock()
     for glyph in glyphs:
         futures.append(session.submit_conv(bank, glyph))
     session.flush()
-    elapsed = time.perf_counter() - started
+    elapsed = wall_clock() - started
 
     if not all(future.done for future in futures):
         raise ConfigurationError("cnn serve bench left unresolved futures")

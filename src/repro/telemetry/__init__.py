@@ -20,6 +20,9 @@ serving benches from point estimates into auditable distributions:
 * :func:`profile_call` / :func:`top_hot_functions` — cProfile hooks
   behind ``serve-bench <scenario> --profile``, ranking the hottest
   Python functions into the scenario's ``BENCH_*.json``.
+* :func:`wall_clock` — the one sanctioned host-clock accessor; the
+  ``modelled-clock-purity`` lint rule forbids ``time.*`` reads
+  anywhere else in the stack.
 * :class:`ReportExport` — the shared ``to_dict()`` / ``to_json()``
   mixin of every report dataclass.
 """
@@ -34,7 +37,12 @@ from .metrics import (
     MetricsRegistry,
     quantiles_from_samples,
 )
-from .profiling import format_profile, profile_call, top_hot_functions
+from .profiling import (
+    format_profile,
+    profile_call,
+    top_hot_functions,
+    wall_clock,
+)
 from .trace import CATEGORIES, TraceEvent, TraceRecorder
 
 __all__ = [
@@ -54,4 +62,6 @@ __all__ = [
     "profile_call",
     "quantiles_from_samples",
     "to_serializable",
+    "top_hot_functions",
+    "wall_clock",
 ]

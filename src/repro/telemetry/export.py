@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import dataclasses
 import json
+from typing import Any
 
 import numpy as np
 
 
-def to_serializable(value):
+def to_serializable(value: Any) -> Any:
     """Recursively convert a report value into JSON-ready primitives."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {

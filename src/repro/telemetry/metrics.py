@@ -16,6 +16,7 @@ per decade — a <= ~7.5 % relative quantile error, constant memory.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -28,7 +29,7 @@ QUANTILE_POINTS = (0.5, 0.95, 0.99, 0.999)
 QUANTILE_KEYS = ("p50", "p95", "p99", "p999")
 
 
-def quantiles_from_samples(samples) -> dict | None:
+def quantiles_from_samples(samples: Sequence[float] | np.ndarray) -> dict | None:
     """Exact quantile summary of a sample list (one flush window).
 
     Returns the same dict shape as :meth:`Histogram.summary` —
@@ -141,7 +142,7 @@ class Histogram:
     def observe(self, value: float) -> None:
         self.observe_many((value,))
 
-    def observe_many(self, values) -> None:
+    def observe_many(self, values: Sequence[float] | np.ndarray) -> None:
         """Absorb a batch of observations in one vectorized pass."""
         values = np.asarray(values, dtype=float)
         if values.size == 0:
@@ -212,7 +213,9 @@ class Histogram:
         self.max = max(self.max, other.max)
 
     @classmethod
-    def merged(cls, histograms, name: str | None = None) -> "Histogram | None":
+    def merged(
+        cls, histograms: Iterable[Histogram | None], name: str | None = None
+    ) -> Histogram | None:
         """One histogram absorbing a sequence of same-layout histograms
         — the per-core → fleet quantile rollup.  An empty sequence
         merges to None (the empty-fleet guard), as does a sequence
@@ -275,7 +278,7 @@ class MetricsRegistry:
             metric = self._gauges[name] = Gauge(name)
         return metric
 
-    def histogram(self, name: str, **layout) -> Histogram:
+    def histogram(self, name: str, **layout: float) -> Histogram:
         metric = self._histograms.get(name)
         if metric is None:
             metric = self._histograms[name] = Histogram(name, **layout)

@@ -13,8 +13,27 @@ from __future__ import annotations
 
 import cProfile
 import pstats
+import time
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from ..errors import ConfigurationError
+
+
+def wall_clock() -> float:
+    """The sanctioned host wall-clock read [s]: a monotonic timestamp
+    for measuring *real* elapsed time (bench throughput, flush-policy
+    deadline ages).
+
+    Everything on the serving stack accounts modelled time through
+    :class:`~repro.telemetry.ModelClock`; the few places that
+    legitimately need the host clock — wall-clock benchmark timing and
+    real-time flush deadlines — read it through this single accessor
+    so the ``modelled-clock-purity`` lint rule can forbid ``time.*``
+    everywhere else.  Only differences are meaningful (the epoch is
+    arbitrary), exactly like :func:`time.perf_counter`.
+    """
+    return time.perf_counter()
 
 
 def top_hot_functions(stats: pstats.Stats, top: int = 20) -> list[dict]:
@@ -45,7 +64,7 @@ def top_hot_functions(stats: pstats.Stats, top: int = 20) -> list[dict]:
     return rows[: int(top)]
 
 
-def profile_call(fn, top: int = 20) -> tuple:
+def profile_call(fn: Callable[[], Any], top: int = 20) -> tuple[Any, list[dict]]:
     """Run ``fn()`` under cProfile; returns ``(result, rows)`` where
     ``rows`` is :func:`top_hot_functions` of the run."""
     profiler = cProfile.Profile()
@@ -53,7 +72,7 @@ def profile_call(fn, top: int = 20) -> tuple:
     return result, top_hot_functions(pstats.Stats(profiler), top=top)
 
 
-def format_profile(rows) -> str:
+def format_profile(rows: Sequence[dict]) -> str:
     """The hot-function ranking as an aligned text table."""
     lines = [
         f"profile (top {len(rows)} by cumulative time):",

@@ -206,7 +206,7 @@ class TraceRecorder:
             "otherData": {"recorder": self.label, "clock": "modelled"},
         }
 
-    def save(self, path) -> Path:
+    def save(self, path: str | Path) -> Path:
         """Write the Chrome trace JSON to ``path``; returns the path."""
         path = Path(path)
         path.write_text(json.dumps(self.to_chrome()) + "\n")

@@ -1,0 +1,9 @@
+"""Fixture: modelled time and the sanctioned accessor (0 findings)."""
+
+from repro.telemetry import ModelClock, wall_clock
+
+
+def measure(clock: ModelClock):
+    started = wall_clock()
+    clock.advance(1.5e-6)
+    return clock.now, wall_clock() - started

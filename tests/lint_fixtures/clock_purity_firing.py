@@ -1,0 +1,13 @@
+"""Fixture: host-clock reads outside the profiling module (4 findings)."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def measure():
+    started = time.time()  # firing
+    tick = time.monotonic()  # firing
+    fine = perf_counter()  # firing: from-imported name
+    stamp = datetime.now()  # firing
+    return started, tick, fine, stamp

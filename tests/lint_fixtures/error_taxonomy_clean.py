@@ -1,0 +1,18 @@
+"""Fixture: sanctioned raise forms (0 findings)."""
+
+from repro.errors import ConfigurationError, MappingError
+
+
+def check_range(value):
+    if value < 0:
+        raise ConfigurationError(f"negative: {value}")
+    if value > 100:
+        raise MappingError("overflow")
+    if value == 7:
+        raise TypeError("programming errors stay builtin")
+    if value == 9:
+        raise NotImplementedError  # abstract-method idiom stays allowed
+    try:
+        return 1 / value
+    except ZeroDivisionError:
+        raise  # re-raise without an exception expression is fine

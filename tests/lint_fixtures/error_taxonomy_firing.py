@@ -1,0 +1,11 @@
+"""Fixture: raises that escape the typed hierarchy (3 findings)."""
+
+
+def check_range(value):
+    if value < 0:
+        raise ValueError(f"negative: {value}")  # firing
+    if value > 100:
+        raise RuntimeError("overflow")  # firing
+    if value == 13:
+        raise Exception("unlucky")  # firing
+    return value

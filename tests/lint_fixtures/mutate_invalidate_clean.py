@@ -1,0 +1,53 @@
+"""Fixture: sanctioned compiled-state mutation patterns (0 findings)."""
+
+import numpy as np
+
+
+class Adc:
+    def __init__(self, trim_errors):
+        self.trim_errors = trim_errors
+        self._boundaries = None
+
+    def invalidate_boundaries(self):
+        self._boundaries = None
+
+    def retrim(self, sigma, rng):
+        self.trim_errors = rng.normal(0.0, sigma, 8)
+        self.invalidate_boundaries()
+
+
+class Core:
+    def __init__(self, adc):
+        self.adc = adc
+        self.runtime_ladder_cache = []
+
+    def invalidate_ladders(self):
+        self.runtime_ladder_cache.clear()
+        self.adc.invalidate_boundaries()
+
+    def reset_memo(self):
+        self.runtime_ladder_cache = []
+        self.invalidate_ladders()
+
+
+class DenseLayer:
+    def __init__(self, weights):
+        self.q_positive = weights
+        self._engine = None
+
+    def invalidate_runtime(self):
+        self._engine = None
+
+    def set_weights(self, weights):
+        self.q_positive = np.asarray(weights)
+        self.invalidate_runtime()
+
+
+class NoHooksNoContract:
+    """A class without invalidate_* hooks is out of contract scope."""
+
+    def __init__(self):
+        self.spec = None
+
+    def replace_spec(self, spec):
+        self.spec = spec

@@ -1,0 +1,30 @@
+"""Fixture: compiled-state mutations that skip the hook (3 findings)."""
+
+import numpy as np
+
+
+class Adc:
+    def __init__(self, trim_errors):
+        self.trim_errors = trim_errors  # clean: __init__ is exempt
+        self._boundaries = None
+
+    def invalidate_boundaries(self):
+        self._boundaries = None
+
+    def retrim(self, sigma, rng):
+        self.trim_errors = rng.normal(0.0, sigma, 8)  # firing: no hook call
+
+    def retrim_in_place(self, rng):
+        self.trim_errors[:] = rng.normal(0.0, 1.0, 8)  # firing: subscript store
+
+
+class DenseLayer:
+    def __init__(self, weights):
+        self.q_positive = weights
+        self._engine = None
+
+    def invalidate_runtime(self):
+        self._engine = None
+
+    def set_weights(self, weights):
+        self.q_positive = np.asarray(weights)  # firing: engine stays stale

@@ -1,0 +1,35 @@
+"""Fixture: complete roll-ups and out-of-scope shapes (0 findings)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunReport:
+    requests: int
+    analog_energy: float
+    latency_quantiles: dict | None = None  # non-numeric: exempt
+
+    @classmethod
+    def combined(cls, reports):
+        reports = list(reports)
+        return cls(
+            requests=sum(r.requests for r in reports),
+            analog_energy=sum(r.analog_energy for r in reports),
+        )
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    cores: int
+    shed: int
+
+
+def build_fleet_record(per_core, shed):
+    return ClusterReport(cores=len(per_core), shed=shed)
+
+
+@dataclass(frozen=True)
+class PlainRecord:
+    """No combined() and not a fleet record: out of contract scope."""
+
+    value: float

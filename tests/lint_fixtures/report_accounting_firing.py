@@ -1,0 +1,28 @@
+"""Fixture: report counters that vanish from roll-ups (2 findings)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunReport:
+    requests: int
+    batches: int
+    analog_energy: float  # firing: not summed in combined()
+
+    @classmethod
+    def combined(cls, reports):
+        reports = list(reports)
+        return cls(
+            requests=sum(r.requests for r in reports),
+            batches=sum(r.batches for r in reports),
+        )
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    cores: int
+    shed: int  # firing: never passed at the fleet roll-up call site
+
+
+def build_fleet_record(per_core):
+    return ClusterReport(cores=len(per_core))

@@ -1,0 +1,42 @@
+"""Fixture: every sanctioned telemetry guard form (0 findings)."""
+
+
+class Scheduler:
+    def __init__(self, telemetry=None):
+        self.telemetry = telemetry
+
+    def flush_local_guard(self):
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter("flushes").inc()
+            tel.clock.advance(1.0)
+
+    def flush_early_return(self):
+        tel = self.telemetry
+        if tel is None:
+            return
+        tel.span("flush", "flush", 0.0, 1.0)
+
+    def flush_direct_guard(self, seconds):
+        if self.telemetry is not None:
+            self.telemetry.clock.advance(seconds)
+
+    def flush_inline_and(self, tel):
+        return tel is not None and tel.clock.now
+
+    def flush_ternary(self, tel):
+        return tel.clock.now if tel is not None else 0.0
+
+    def fleet_now(self, sessions):
+        return max(
+            (
+                session.telemetry.clock.now
+                for session in sessions
+                if session.telemetry is not None
+            ),
+            default=0.0,
+        )
+
+    def comparisons_are_not_uses(self):
+        tel = self.telemetry
+        return tel is not None

@@ -1,0 +1,23 @@
+"""Fixture: telemetry used without a dominating guard (4 findings)."""
+
+
+class Scheduler:
+    def __init__(self, telemetry=None):
+        self.telemetry = telemetry
+
+    def flush_unguarded_local(self):
+        tel = self.telemetry
+        tel.metrics.counter("flushes").inc()  # firing: no guard at all
+
+    def flush_unguarded_direct(self):
+        self.telemetry.clock.advance(1.0)  # firing: direct attribute use
+
+    def flush_guard_wrong_branch(self):
+        tel = self.telemetry
+        if tel is None:
+            tel.instant("oops", "cache")  # firing: guarded the wrong way
+
+    def flush_guard_does_not_dominate(self, tel):
+        if tel is not None:
+            pass
+        tel.span("late", "flush", 0.0, 1.0)  # firing: guard scope ended

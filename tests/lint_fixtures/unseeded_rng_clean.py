@@ -1,0 +1,14 @@
+"""Fixture: every sanctioned randomness form (0 findings)."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw(seed: int, rng: np.random.Generator | None = None):
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    local = default_rng(seed + 1)
+    stream = np.random.default_rng(np.random.SeedSequence(seed))
+    legacy = random.Random(seed)
+    return rng.normal(0.0, 1.0, 8), local.integers(0, 8), stream, legacy.random()

@@ -1,0 +1,14 @@
+"""Fixture: hidden-global-state randomness (4 findings)."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw():
+    noise = np.random.normal(0.0, 1.0, 8)  # firing: global BitGenerator
+    np.random.seed(0)  # firing: mutates hidden global state
+    jitter = random.random()  # firing: stdlib global RNG
+    rng = default_rng()  # firing: entropy-seeded, unrepeatable
+    return noise, jitter, rng

@@ -1,0 +1,17 @@
+"""Fixture: every import referenced, including edge forms (0 findings)."""
+
+from __future__ import annotations
+
+import math
+import os.path
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from collections.abc import Iterable
+
+__all__ = ["area", "Path"]
+
+
+def area(radius: float, points: Iterable[float] = ()) -> float:
+    return math.pi * radius**2 + os.path.getsize(os.curdir) * 0 + len(list(points))

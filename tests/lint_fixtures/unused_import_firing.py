@@ -1,0 +1,10 @@
+"""Fixture: dead imports (3 findings)."""
+
+import json  # firing: never referenced
+import math
+from pathlib import Path  # firing: never referenced
+from typing import Iterable as Seq  # firing: bound alias never referenced
+
+
+def area(radius):
+    return math.pi * radius**2
