@@ -32,6 +32,13 @@ The package rebuilds the paper's full stack in Python:
   tracing (:class:`TraceRecorder`), counters/gauges/latency-quantile
   histograms (:class:`MetricsRegistry`), cProfile hooks behind
   ``serve-bench --profile`` and the shared report export mixin.
+* :mod:`repro.traffic` — modelled-time traffic simulation: seeded
+  arrival processes (:class:`Poisson`, :class:`Diurnal`,
+  :class:`Bursty`, :class:`Replay`), multi-tenant
+  :class:`WorkloadMix` with :class:`TokenBucket` rate limits,
+  per-request deadlines measured against an :class:`SLO`, the
+  open-loop :class:`TrafficEngine` and the :func:`find_capacity`
+  search behind ``serve-bench traffic``.
 * :mod:`repro.analysis` — linearity fits and bench reporting.
 
 Quickstart::
@@ -73,7 +80,12 @@ from .core import (
     TimeInterleavedEoAdc,
     VectorComputeCore,
 )
-from .errors import ClusterSaturatedError, PendingFlushError, ReproError
+from .errors import (
+    ClusterSaturatedError,
+    DeadlineExceededError,
+    PendingFlushError,
+    ReproError,
+)
 from .health import (
     ComparatorOffsetAging,
     DriftModel,
@@ -100,20 +112,35 @@ from .telemetry import (
     Telemetry,
     TraceRecorder,
 )
+from .traffic import (
+    SLO,
+    Bursty,
+    Diurnal,
+    Poisson,
+    Replay,
+    Tenant,
+    TokenBucket,
+    TrafficEngine,
+    WorkloadMix,
+    find_capacity,
+)
 
 __version__ = "1.1.0"
 
 __all__ = [
     "AvgPool",
     "BatchScheduler",
+    "Bursty",
     "ClusterReport",
     "ClusterSaturatedError",
     "ComparatorOffsetAging",
     "CompiledCore",
     "Conv2d",
+    "DeadlineExceededError",
     "default_technology",
     "Dense",
     "DeployedModel",
+    "Diurnal",
     "DriftModel",
     "DriftState",
     "EoAdc",
@@ -135,22 +162,30 @@ __all__ = [
     "PhotonicCluster",
     "PhotonicSession",
     "PhotonicTensorCore",
+    "Poisson",
     "PsramArray",
     "PsramBitcell",
     "ReLU",
+    "Replay",
     "ReplicatedModel",
     "ReproError",
     "RoutingPolicy",
     "RunReport",
     "ShiftAddEoAdc",
+    "SLO",
     "Technology",
     "Telemetry",
+    "Tenant",
     "ThermalDetuning",
     "TiaGainDrift",
     "TiledMatmul",
     "TimeInterleavedEoAdc",
+    "TokenBucket",
     "TraceRecorder",
+    "TrafficEngine",
     "VectorComputeCore",
     "WeightProgramCache",
+    "WorkloadMix",
+    "find_capacity",
     "__version__",
 ]

@@ -177,6 +177,7 @@ def _serve_bench(argv: list[str]) -> int:
         run_cnn_serve_bench,
         run_drift_serve_bench,
         run_serve_bench,
+        run_traffic_serve_bench,
     )
 
     opts, args = _parse_serve_bench_options(argv)
@@ -220,6 +221,34 @@ def _serve_bench(argv: list[str]) -> int:
             opts,
             run_drift_serve_bench,
             json_path=Path.cwd() / "BENCH_drift.json",
+            requests=requests,
+            seed=opts.seed,
+            **sweep_kwargs,
+        )
+    if args and args[0] == "traffic":
+        try:
+            requests = int(args[1]) if len(args) > 1 else (20000 if smoke else 1_000_000)
+        except ValueError:
+            print(f"serve-bench traffic expects a request count, got {args[1]!r}")
+            return 2
+        if requests < 1:
+            print(f"serve-bench traffic request count must be >= 1, got {requests}")
+            return 2
+        sweep_kwargs = {}
+        if smoke:
+            # Single-core curve only, short probe/trial tapes: the CI
+            # smoke proves the plumbing, not the capacity numbers.
+            sweep_kwargs = {
+                "cores_sweep": (1, 2),
+                "probe_requests": 800,
+                "trial_requests": 600,
+                "head_requests": 2000,
+                "max_doublings": 3,
+            }
+        return _run_scenario(
+            opts,
+            run_traffic_serve_bench,
+            json_path=Path.cwd() / "BENCH_traffic.json",
             requests=requests,
             seed=opts.seed,
             **sweep_kwargs,

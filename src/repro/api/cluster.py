@@ -55,7 +55,7 @@ from .futures import Future, RunReport
 from .graph import Model
 from .policy import FlushPolicy
 from .routing import RoutingPolicy
-from .session import DeployedModel, DriftLike, PhotonicSession
+from .session import ClockSource, DeployedModel, DriftLike, PhotonicSession
 
 if TYPE_CHECKING:
     from numpy.typing import ArrayLike
@@ -212,7 +212,13 @@ class ReplicatedModel:
         """Which cluster core each replica endpoint lives on."""
         return self._core_indices
 
-    def submit(self, batch: ArrayLike, priority: int = 0) -> Future:
+    def submit(
+        self,
+        batch: ArrayLike,
+        priority: int = 0,
+        deadline: float | None = None,
+        tenant: str | None = None,
+    ) -> Future:
         """Queue one forward pass on the next replica in rotation.
 
         Replicas on drained cores sit the rotation out — the active
@@ -228,7 +234,9 @@ class ReplicatedModel:
             if self._core_indices[slot] not in drained
         ] or list(range(len(self._endpoints)))
         slot = slots[self._cursor % len(slots)]
-        future = self._endpoints[slot].submit(batch)
+        future = self._endpoints[slot].submit(
+            batch, deadline=deadline, tenant=tenant
+        )
         # Only a successfully queued batch advances the rotation and
         # the cluster bookkeeping — a rejected batch routes nowhere.
         self._cursor += 1
@@ -277,6 +285,7 @@ class PhotonicCluster:
         health_policy: HealthPolicy | None = None,
         trace: TraceRecorder | None = None,
         metrics: MetricsRegistry | None = None,
+        clock: "ClockSource" = None,
         label: str = "cluster",
     ) -> None:
         if not isinstance(cores, (int, np.integer)) or cores < 1:
@@ -367,6 +376,7 @@ class PhotonicCluster:
                 flush_policy=flush_policy,
                 drift=drift,
                 telemetry=core_bindings[index],
+                clock=clock,
                 label=f"{self.label}/core{index}",
             )
             for index in range(int(cores))
@@ -380,6 +390,12 @@ class PhotonicCluster:
         #: Highest priority admitted per core since its last fleet flush
         #: (None = only default traffic); orders flush() across cores.
         self._pending_priority: list[int | None] = [None] * int(cores)
+        #: Fleet-wide submit sequence number of each core's oldest
+        #: pending request (None = nothing pending); breaks priority
+        #: ties in :meth:`_flush_order` deterministically by submit
+        #: order instead of the unstable core index alone.
+        self._pending_since: list[int | None] = [None] * int(cores)
+        self._submit_seq = 0
         self._replicated: list[ReplicatedModel] = []
         self._drained: set[int] = set()
         self._drains = 0
@@ -418,6 +434,17 @@ class PhotonicCluster:
     def pending(self) -> int:
         """Fleet-wide requests submitted but not yet flushed."""
         return sum(session.pending for session in self._sessions)
+
+    @property
+    def next_deadline(self) -> float | None:
+        """Earliest absolute deadline among the fleet's pending
+        requests (None when nothing pending carries one)."""
+        deadlines = [
+            session.next_deadline
+            for session in self._sessions
+            if session.next_deadline is not None
+        ]
+        return min(deadlines) if deadlines else None
 
     @property
     def flushes(self) -> int:
@@ -505,16 +532,20 @@ class PhotonicCluster:
         after the session accepted it, so a rejected submit neither
         counts as routed nor pins a phantom priority)."""
         self._routed[core] += 1
+        self._submit_seq += 1
         if self.telemetry is not None:
             self.telemetry.metrics.counter("routed").inc()
         if self._sessions[core].pending == 0:
             # The submit tripped the core's own flush policy and the
             # request already resolved: nothing pending to prioritize.
             self._pending_priority[core] = None
+            self._pending_since[core] = None
         else:
             current = self._pending_priority[core]
             if current is None or priority > current:
                 self._pending_priority[core] = priority
+            if self._pending_since[core] is None:
+                self._pending_since[core] = self._submit_seq
         self._maybe_run_health()
 
     # -- routed request paths ------------------------------------------------
@@ -545,16 +576,21 @@ class PhotonicCluster:
         x: ArrayLike,
         gain: float | str | None = None,
         priority: int = 0,
+        deadline: float | None = None,
+        tenant: str | None = None,
     ) -> Future:
         """Queue one W @ x request on the core the routing policy
         picks; returns that core's :class:`Future`.  ``gain`` follows
         the session semantics; ``priority`` orders the fleet flush and
-        (if positive) bypasses admission shedding."""
+        (if positive) bypasses admission shedding; ``deadline`` /
+        ``tenant`` follow :meth:`PhotonicSession.submit`."""
         priority = self._admit(priority)
         index = self._route(
             lambda: b"dense-route:" + weight_key(np.asarray(weights))
         )
-        future = self._sessions[index].submit(weights, x, gain=gain)
+        future = self._sessions[index].submit(
+            weights, x, gain=gain, deadline=deadline, tenant=tenant
+        )
         self._note_routed(index, priority)
         return future
 
@@ -581,6 +617,8 @@ class PhotonicCluster:
         stride: int = 1,
         gain: float | None = None,
         priority: int = 0,
+        deadline: float | None = None,
+        tenant: str | None = None,
     ) -> Future:
         """Queue one im2col convolution on the routed core; the routing
         key is the quantized differential program, so one program's
@@ -588,7 +626,8 @@ class PhotonicCluster:
         priority = self._admit(priority)
         index = self._route(lambda: self._conv_route_key(kernels))
         future = self._sessions[index].submit_conv(
-            kernels, image, stride=stride, gain=gain
+            kernels, image, stride=stride, gain=gain,
+            deadline=deadline, tenant=tenant,
         )
         self._note_routed(index, priority)
         return future
@@ -657,6 +696,7 @@ class PhotonicCluster:
             )
         self._sessions[core].flush()
         self._pending_priority[core] = None
+        self._pending_since[core] = None
         self._drained.add(core)
         self._drains += 1
         if self.telemetry is not None:
@@ -726,8 +766,11 @@ class PhotonicCluster:
 
     # -- flush / poll --------------------------------------------------------
     def _flush_order(self) -> list[int]:
-        """Cores ordered for flushing: highest admitted priority first,
-        core index breaking ties (best-effort-only cores last)."""
+        """Cores ordered for flushing: highest admitted priority first;
+        equal priorities break by submit order (the core whose oldest
+        pending request arrived first flushes first), then core index —
+        a fully deterministic key, so traced runs replay identically
+        across platforms (best-effort-only cores still flush last)."""
         return sorted(
             range(self.cores),
             key=lambda index: (
@@ -735,6 +778,11 @@ class PhotonicCluster:
                     self._pending_priority[index]
                     if self._pending_priority[index] is not None
                     else float("-inf")
+                ),
+                (
+                    self._pending_since[index]
+                    if self._pending_since[index] is not None
+                    else float("inf")
                 ),
                 index,
             ),
@@ -746,6 +794,7 @@ class PhotonicCluster:
         for index in self._flush_order():
             resolved += self._sessions[index].flush()
             self._pending_priority[index] = None
+            self._pending_since[index] = None
         self._maybe_run_health()
         return resolved
 
@@ -763,6 +812,7 @@ class PhotonicCluster:
             resolved += self._sessions[index].poll()
             if self._sessions[index].pending == 0:
                 self._pending_priority[index] = None
+                self._pending_since[index] = None
         self._maybe_run_health()
         return resolved
 

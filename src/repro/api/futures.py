@@ -74,6 +74,11 @@ class RunReport(ReportExport):
     #: calibration overhead stays attributable.
     calibration_time: float = 0.0
     calibration_energy: float = 0.0
+    #: Requests shed because their ``deadline=`` expired — at submit
+    #: (already past) or at flush (the coalesced batch's modelled
+    #: completion fell past the deadline); see
+    #: :class:`~repro.errors.DeadlineExceededError`.
+    deadline_misses: int = 0
     #: Modelled per-request latency distributions of the covered
     #: window — ``{"queue_wait": {...}, "end_to_end": {...}}``, each a
     #: ``{"count", "mean", "max", "p50", "p95", "p99", "p999"}``
@@ -113,6 +118,7 @@ class RunReport(ReportExport):
             recalibrations=sum(report.recalibrations for report in reports),
             calibration_time=sum(r.calibration_time for r in reports),
             calibration_energy=sum(r.calibration_energy for r in reports),
+            deadline_misses=sum(report.deadline_misses for report in reports),
         )
 
     @property
@@ -149,6 +155,11 @@ class RunReport(ReportExport):
                 f"{self.recalibrations} recalibrations, "
                 f"{self.calibration_time * 1e6:.3f} us / "
                 f"{self.calibration_energy * 1e9:.2f} nJ calibration overhead"
+            )
+        if self.deadline_misses:
+            lines.append(
+                f"deadlines         : {self.deadline_misses} requests shed "
+                f"past their deadline"
             )
         if self.latency_quantiles is not None:
             e2e = self.latency_quantiles["end_to_end"]
@@ -189,6 +200,9 @@ class Future:
         "_submitted_at",
         "_resolved_at",
         "_route",
+        "_error",
+        "_deadline",
+        "_tenant",
     )
 
     def __init__(
@@ -216,6 +230,14 @@ class Future:
         self._submitted_at: float | None = None
         self._resolved_at: float | None = None
         self._route: str | None = None
+        #: The typed error a shed request raises on every read
+        #: (:class:`~repro.errors.DeadlineExceededError`); None while
+        #: pending or when resolved with a value.
+        self._error: Exception | None = None
+        #: Absolute deadline [s] on the session's clock (None = best
+        #: effort) and the submitting tenant's label (traffic engine).
+        self._deadline: float | None = None
+        self._tenant: str | None = None
 
     # -- resolution (session-internal) ---------------------------------------
     def _resolve(self, value: ArrayLike, codes: ArrayLike | None = None) -> None:
@@ -228,6 +250,12 @@ class Future:
 
     def _attach_report(self, report: RunReport) -> None:
         self._report = report
+
+    def _fail(self, error: Exception) -> None:
+        """Finalize this future as shed: ``done`` turns True (the flush
+        is over for it) but every payload read raises ``error``."""
+        self._error = error
+        self._done = True
 
     def _abandon(self) -> None:
         """Mark this future dropped by a failed flush, so later reads
@@ -244,6 +272,13 @@ class Future:
     def abandoned(self) -> bool:
         """True when a failed flush dropped this request unresolved."""
         return self._abandoned
+
+    @property
+    def expired(self) -> bool:
+        """True when this request was shed past its ``deadline=`` —
+        payload reads then raise
+        :class:`~repro.errors.DeadlineExceededError`."""
+        return self._error is not None
 
     def _pending_error(self, what: str) -> PendingFlushError:
         if self._abandoned:
@@ -266,6 +301,8 @@ class Future:
         """
         if not self._done and flush and not self._abandoned:
             self._session.flush()
+        if self._error is not None:
+            raise self._error
         if not self._done:
             raise self._pending_error("result")
         return self._value
@@ -274,6 +311,8 @@ class Future:
     def value(self) -> np.ndarray:
         """Non-blocking payload read; raises
         :class:`~repro.errors.PendingFlushError` while pending."""
+        if self._error is not None:
+            raise self._error
         if not self._done:
             raise self._pending_error("value")
         return self._value
@@ -281,6 +320,8 @@ class Future:
     @property
     def codes(self) -> np.ndarray | None:
         """Raw ADC codes (native dense route only; None elsewhere)."""
+        if self._error is not None:
+            raise self._error
         if not self._done:
             raise self._pending_error("codes")
         return self._codes
@@ -289,9 +330,16 @@ class Future:
     def report(self) -> RunReport:
         """The :class:`RunReport` of the flush that resolved this future."""
         if self._report is None:
+            if self._error is not None:
+                raise self._error
             raise self._pending_error("report")
         return self._report
 
     def __repr__(self) -> str:
-        state = "done" if self._done else f"pending flush #{self.flush_index}"
+        if self._error is not None:
+            state = "expired"
+        elif self._done:
+            state = "done"
+        else:
+            state = f"pending flush #{self.flush_index}"
         return f"<Future {self.label}: {state}>"

@@ -26,7 +26,7 @@ deprecation shim over this class — the engine room moved here.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -34,7 +34,7 @@ import numpy as np
 
 from ..config import Technology, default_technology
 from ..core.quantization import quantize_weights_differential
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, DeadlineExceededError
 from ..health.drift import DriftModel, DriftState
 from ..health.monitor import HealthMonitor, HealthPolicy, HealthReport
 from ..ml.convolution import (
@@ -50,7 +50,7 @@ from ..ml.layers import PhotonicDense, compile_differential_engines, relu
 from ..runtime.engine import weight_key
 from ..runtime.scheduler import BatchScheduler, WeightProgramCache
 from ..runtime.tiling import DifferentialProgram, TiledMatmul, auto_range_gain
-from ..telemetry import MetricsRegistry, Telemetry, TraceRecorder
+from ..telemetry import MetricsRegistry, ModelClock, Telemetry, TraceRecorder
 from ..telemetry.profiling import wall_clock
 from .futures import Future, RunReport
 from .graph import AvgPool, Conv2d, Dense, Flatten, Model, ReLU
@@ -66,6 +66,11 @@ if TYPE_CHECKING:
 #: Everything the ``drift`` knob accepts: a ready state, one model, an
 #: iterable of models (wrapped into a fresh state), or None.
 DriftLike = DriftState | DriftModel | Iterable[DriftModel] | None
+
+#: Everything the ``clock`` knob accepts: a shared
+#: :class:`~repro.telemetry.ModelClock`, any zero-argument callable
+#: returning seconds, or None (host wall clock, the default).
+ClockSource = ModelClock | Callable[[], float] | None
 
 
 @dataclass
@@ -129,19 +134,34 @@ class DeployedModel:
             )
         return batch
 
-    def submit(self, batch: ArrayLike) -> Future:
+    def submit(
+        self,
+        batch: ArrayLike,
+        deadline: float | None = None,
+        tenant: str | None = None,
+    ) -> Future:
         """Queue one forward pass over ``batch``; resolved at the next
-        flush (or immediately if the session flush policy trips)."""
+        flush (or immediately if the session flush policy trips).
+        ``deadline`` / ``tenant`` follow the
+        :meth:`PhotonicSession.submit` semantics — an endpoint batch
+        whose deadline expires before its drain begins is shed."""
         batch = self._validated_batch(batch)
+        deadline_at = self._session._resolve_deadline(deadline)
         self._submitted += 1
         future = Future(
             self._session,
             f"model '{self.label}' batch #{self._submitted}",
             self._session.flushes + 1,
         )
+        if deadline is not None and deadline <= 0.0:
+            future._deadline = deadline_at
+            future._tenant = tenant
+            self._session._shed_future(future)
+            return future
         self._queue.append((batch, future))
         self._session._model_requests += 1
-        self._session._note_submit(future, "model")
+        self._session._note_submit(future, "model", tenant)
+        self._session._note_deadline(future, deadline_at)
         self._session._after_submit()
         return future
 
@@ -152,10 +172,25 @@ class DeployedModel:
     __call__ = predict
 
     # -- evaluation (session flush internals) --------------------------------
-    def _drain(self, resolved_futures: list[Future]) -> int:
+    def _drain(
+        self, resolved_futures: list[Future], now: float | None = None
+    ) -> int:
         if not self._queue:
             return 0
         queue, self._queue = self._queue, []
+        if now is not None:
+            # Endpoint batches shed on the simple rule: a deadline
+            # already past when the drain begins cannot be met (whole-
+            # network forwards have no cheap completion estimate).
+            live = []
+            for batch, future in queue:
+                if future._deadline is not None and future._deadline < now:
+                    self._session._shed_future(future)
+                else:
+                    live.append((batch, future))
+            queue = live
+            if not queue:
+                return 0
         groups: dict[tuple, list[tuple[np.ndarray, Future]]] = {}
         for batch, future in queue:
             groups.setdefault(batch.shape[1:], []).append((batch, future))
@@ -241,6 +276,7 @@ class PhotonicSession:
         trace: TraceRecorder | None = None,
         metrics: MetricsRegistry | None = None,
         telemetry: Telemetry | None = None,
+        clock: ClockSource = None,
         label: str = "session",
     ) -> None:
         if grid is not None:
@@ -259,6 +295,22 @@ class PhotonicSession:
             flush_policy if flush_policy is not None else FlushPolicy.explicit()
         )
         self.label = str(label)
+        if clock is not None and not (
+            isinstance(clock, ModelClock) or callable(clock)
+        ):
+            raise ConfigurationError(
+                f"clock must be a repro.telemetry.ModelClock, a callable "
+                f"returning seconds, or None (host wall clock), "
+                f"got {type(clock).__name__}"
+            )
+        #: Injectable time source the flush policy and ``deadline=``
+        #: stamps read (:data:`ClockSource`).  None = host wall clock
+        #: via :func:`~repro.telemetry.profiling.wall_clock` (the
+        #: pre-existing behaviour); the open-loop traffic engine
+        #: injects a :class:`~repro.telemetry.ModelClock` it advances
+        #: to each arrival so simulation results never depend on host
+        #: timing (see :mod:`repro.traffic`).
+        self.clock = clock
         # -- telemetry (repro.telemetry) --------------------------------
         #: Optional :class:`~repro.telemetry.Telemetry` binding: the
         #: modelled clock, trace recorder and metrics registry of this
@@ -301,6 +353,13 @@ class PhotonicSession:
         self._conv_pending: dict[tuple[bytes, float], dict] = {}
         self._endpoints: list[DeployedModel] = []
         self._oldest_pending: float | None = None
+        #: Most urgent absolute deadline among pending requests (None =
+        #: no pending request carries one); feeds the SLO-aware policy.
+        self._earliest_deadline: float | None = None
+        #: Deadline misses the session shed itself (submit-time expiry
+        #: plus tiled/conv/model flush sheds); the scheduler counts its
+        #: own in :class:`~repro.runtime.scheduler.SchedulerStats`.
+        self._deadline_misses = 0
         self._flushes = 0
         #: Modelled-clock timestamp the current flush started at
         #: (telemetry only; queue-wait = flush start - submit time).
@@ -405,7 +464,12 @@ class PhotonicSession:
 
     # -- raw dense route -----------------------------------------------------
     def submit(
-        self, weights: ArrayLike, x: ArrayLike, gain: float | str | None = None
+        self,
+        weights: ArrayLike,
+        x: ArrayLike,
+        gain: float | str | None = None,
+        deadline: float | None = None,
+        tenant: str | None = None,
     ) -> Future:
         """Queue one W @ x request; returns its :class:`Future`.
 
@@ -414,6 +478,15 @@ class PhotonicSession:
         calibrates the range from the weights (the same rule on both
         the single-tile and the tiled path), and a positive float is
         applied as-is.
+
+        ``deadline`` (seconds from now on the session's clock, None =
+        best effort) sheds the request with a
+        :class:`~repro.errors.DeadlineExceededError` instead of serving
+        it late: a non-positive deadline sheds at submit, and a flush
+        whose batch cannot complete in time sheds at evaluation —
+        either way the returned future's ``expired`` flag is set and
+        the miss counts on :attr:`RunReport.deadline_misses`.
+        ``tenant`` labels the request for per-tenant telemetry.
         """
         weights = np.asarray(weights, dtype=int)
         if weights.ndim != 2:
@@ -427,8 +500,16 @@ class PhotonicSession:
                 f"input must have shape ({in_features},), got {x.shape}"
             )
         gain = self._validated_gain(gain)
+        deadline_at = self._resolve_deadline(deadline)
         self._submit_count += 1
         label = f"dense {out_features}x{in_features} request #{self._submit_count}"
+        if deadline is not None and deadline <= 0.0:
+            # Already expired at submit: never enters a queue.
+            future = Future(self, label, self._flushes + 1)
+            future._deadline = deadline_at
+            future._tenant = tenant
+            self._shed_future(future)
+            return future
         if out_features <= self.rows and in_features <= self.columns:
             padded_w = np.zeros((self.rows, self.columns), dtype=int)
             padded_w[:out_features, :in_features] = weights
@@ -438,17 +519,25 @@ class PhotonicSession:
                 gain = 1.0
             elif gain == "auto":
                 gain = self._auto_gain(padded_w)
-            ticket = self.scheduler.submit(padded_w, padded_x, gain=gain)
+            ticket = self.scheduler.submit(
+                padded_w, padded_x, gain=gain, deadline=deadline_at
+            )
             future = Future(self, label, self._flushes + 1)
             self._native_pending.append((future, ticket, out_features))
-            self._note_submit(future, "native")
+            self._note_submit(future, "native", tenant)
         else:
-            future = self._submit_tiled(weights, x, gain, label)
+            future = self._submit_tiled(weights, x, gain, label, tenant)
+        self._note_deadline(future, deadline_at)
         self._after_submit()
         return future
 
     def _submit_tiled(
-        self, weights: np.ndarray, x: np.ndarray, gain: float | str, label: str
+        self,
+        weights: np.ndarray,
+        x: np.ndarray,
+        gain: float | str,
+        label: str,
+        tenant: str | None = None,
     ) -> Future:
         max_weight = self.core.max_weight
         if np.any(weights < 0) or np.any(weights > max_weight):
@@ -475,7 +564,7 @@ class PhotonicSession:
         group["inputs"].append(x.copy())
         group["futures"].append(future)
         self._tiled_requests += 1
-        self._note_submit(future, "tiled")
+        self._note_submit(future, "tiled", tenant)
         return future
 
     # -- conv route ----------------------------------------------------------
@@ -485,6 +574,8 @@ class PhotonicSession:
         image: ArrayLike,
         stride: int = 1,
         gain: float | None = None,
+        deadline: float | None = None,
+        tenant: str | None = None,
     ) -> Future:
         """Queue one im2col convolution; returns its :class:`Future`.
 
@@ -496,9 +587,11 @@ class PhotonicSession:
         setting applied to every tile (None = native 1.0); the per-tile
         ``"auto"`` calibration is not offered here because differential
         halves must digitize at one common gain to subtract exactly.
+        ``deadline`` / ``tenant`` follow the :meth:`submit` semantics.
         """
         kernels = normalize_kernel_bank(kernels)
         gain = self._validated_gain(gain)
+        deadline_at = self._resolve_deadline(deadline)
         if gain == "auto":
             raise ConfigurationError(
                 "the conv route takes a numeric gain (or None for native 1.0)"
@@ -534,10 +627,16 @@ class PhotonicSession:
             self._flushes + 1,
             shape=(kernels.shape[0], out_rows, out_cols),
         )
+        if deadline is not None and deadline <= 0.0:
+            future._deadline = deadline_at
+            future._tenant = tenant
+            self._shed_future(future)
+            return future
         group["segments"].append((encoded, scales, weight_scale))
         group["futures"].append(future)
         self._conv_requests += 1
-        self._note_submit(future, "conv")
+        self._note_submit(future, "conv", tenant)
+        self._note_deadline(future, deadline_at)
         self._after_submit()
         return future
 
@@ -848,13 +947,92 @@ class PhotonicSession:
             self._bind_program(stage.layer, prefix=prefix)
         endpoint._needs_rebind = False
 
-    # -- telemetry -----------------------------------------------------------
-    def _note_submit(self, future: Future, route: str) -> None:
-        """Stamp one queued request's modelled submit time (telemetry
-        only; the uninstrumented path never calls into telemetry)."""
+    # -- clocks & deadlines --------------------------------------------------
+    def _now(self) -> float:
+        """The flush policy's 'now' [s]: the injected clock source when
+        one is set, the host wall clock otherwise."""
+        clock = self.clock
+        if clock is None:
+            return wall_clock()
+        if isinstance(clock, ModelClock):
+            return clock.now
+        return float(clock())
+
+    def _stamp_now(self) -> float:
+        """The timestamp base ``deadline=`` offsets add onto: the
+        injected clock first, else the telemetry clock (so deadlines
+        and latency stamps share one timeline), else wall clock."""
+        if self.clock is not None:
+            return self._now()
         tel = self.telemetry
         if tel is not None:
-            future._submitted_at = tel.clock.now
+            return tel.clock.now
+        return wall_clock()
+
+    def _resolve_deadline(self, deadline: float | None) -> float | None:
+        """Turn a relative ``deadline=`` [s] into an absolute timestamp
+        on the session's clock; validates the type here so every submit
+        route shares one error message."""
+        if deadline is None:
+            return None
+        if not isinstance(deadline, (int, float)) or isinstance(deadline, bool):
+            raise ConfigurationError(
+                f"deadline must be seconds from now (a number) or None, "
+                f"got {deadline!r}"
+            )
+        return self._stamp_now() + float(deadline)
+
+    def _note_deadline(self, future: Future, deadline_at: float | None) -> None:
+        """Track the most urgent pending deadline for the SLO-aware
+        flush policy."""
+        future._deadline = deadline_at
+        if deadline_at is not None and (
+            self._earliest_deadline is None
+            or deadline_at < self._earliest_deadline
+        ):
+            self._earliest_deadline = deadline_at
+
+    def _shed_future(self, future: Future) -> None:
+        """Fail one request past its deadline: reads raise the typed
+        error, the miss counts on this session's ledger."""
+        future._fail(
+            DeadlineExceededError(
+                f"{future.label} shed: its deadline expired before its "
+                f"batch could complete (deadline t={future._deadline:.3g} s "
+                "on the session clock); re-submit with a later deadline "
+                "or a deadline-aware flush policy"
+            )
+        )
+        self._deadline_misses += 1
+        tel = self.telemetry
+        if tel is not None:
+            tel.metrics.counter("deadline_misses").inc()
+
+    def _fail_expired_ticket(self, future: Future) -> None:
+        """Mirror a scheduler-shed ticket onto its future (the
+        scheduler already counted the miss in its own stats)."""
+        future._fail(
+            DeadlineExceededError(
+                f"{future.label} shed: its deadline expired before its "
+                f"batch could complete (deadline t={future._deadline:.3g} s "
+                "on the session clock); re-submit with a later deadline "
+                "or a deadline-aware flush policy"
+            )
+        )
+
+    # -- telemetry -----------------------------------------------------------
+    def _note_submit(
+        self, future: Future, route: str, tenant: str | None = None
+    ) -> None:
+        """Stamp one queued request's modelled submit time (telemetry
+        only; the uninstrumented path never calls into telemetry)."""
+        future._tenant = tenant
+        tel = self.telemetry
+        if tel is not None:
+            if self.clock is not None:
+                future._submitted_at = self._now()
+            else:
+                future._submitted_at = tel.clock.now
             future._route = route
             tel.metrics.counter("requests").inc()
 
@@ -871,41 +1049,95 @@ class PhotonicSession:
             tel.record_request(
                 self._flush_started - future._submitted_at,
                 future._resolved_at - future._submitted_at,
+                label=future._tenant,
             )
 
     # -- flush ---------------------------------------------------------------
+    def _deadline_slack(self, now: float) -> float | None:
+        """Seconds until the most urgent pending deadline expires
+        (None = no pending deadline, or the policy ignores them —
+        skipping the arithmetic keeps the common path free)."""
+        if (
+            self.flush_policy.deadline_headroom is None
+            or self._earliest_deadline is None
+        ):
+            return None
+        return self._earliest_deadline - now
+
     def _after_submit(self) -> None:
-        now = wall_clock()
+        now = self._now()
         if self._oldest_pending is None:
             self._oldest_pending = now
-        if self.flush_policy.should_flush(self.pending, now - self._oldest_pending):
+        if self.flush_policy.should_flush(
+            self.pending, now - self._oldest_pending, self._deadline_slack(now)
+        ):
             self.flush()
 
     def poll(self) -> int:
         """Re-check the flush policy's deadline without submitting.
 
-        ``max_delay`` deadlines are otherwise only evaluated inside
-        submit/result calls, so a lone queued request could sit past
-        its deadline until the next API call arrives.  Event loops call
-        this periodically; it flushes if the policy has tripped and
-        returns the resolved count (0 when nothing was due).
+        ``max_delay`` / SLO deadlines are otherwise only evaluated
+        inside submit/result calls, so a lone queued request could sit
+        past its deadline until the next API call arrives.  Event loops
+        call this periodically; it flushes if the policy has tripped
+        and returns the resolved count (0 when nothing was due).  Ages
+        are measured on the session's clock source — the host wall
+        clock by default, the injected ``clock=`` in simulation.
         """
         if self._oldest_pending is None:
             return 0
-        age = wall_clock() - self._oldest_pending
-        if self.flush_policy.should_flush(self.pending, age):
+        now = self._now()
+        if self.flush_policy.should_flush(
+            self.pending, now - self._oldest_pending, self._deadline_slack(now)
+        ):
             return self.flush()
         return 0
 
+    @property
+    def next_deadline(self) -> float | None:
+        """The most urgent pending absolute deadline (None = no pending
+        request carries one); event loops read this to schedule their
+        next :meth:`poll`."""
+        return self._earliest_deadline
+
+    @property
+    def oldest_pending_at(self) -> float | None:
+        """Session-clock timestamp the oldest pending request was
+        submitted at (None = nothing pending); with ``delay_limit`` the
+        flush policy trips at ``oldest_pending_at + delay_limit``, the
+        other timestamp event loops schedule :meth:`poll` around."""
+        return self._oldest_pending
+
     def flush(self) -> int:
-        """Evaluate every pending request; returns resolved count."""
+        """Evaluate every pending request; returns resolved count.
+
+        Requests carrying a ``deadline=`` are shed instead of evaluated
+        when their batch's modelled completion time falls past the
+        deadline (the estimate uses the *pre-shed* batch size, so a
+        shed never resurrects a later request).  The service timeline
+        is the telemetry clock when a binding is attached; otherwise it
+        starts at the session clock's 'now' and accumulates modelled
+        batch/compile times per route.
+        """
         resolved_futures: list[Future] = []
         resolved = 0
+        period = 1.0 / self.performance.sample_rate
         tel = self.telemetry
         if tel is not None:
             self._flush_started = tel.clock.now
+            flush_now = self._flush_started
+        else:
+            flush_now = self._now()
+        service_now = flush_now
         try:
-            resolved += self.scheduler.flush()
+            if tel is None:
+                sched = self.scheduler._stats
+                sched_before = sched.analog_time + sched.weight_time_spent
+            resolved += self.scheduler.flush(now=flush_now)
+            if tel is None:
+                service_now += (
+                    sched.analog_time + sched.weight_time_spent - sched_before
+                )
             for future, ticket, out_features in self._native_pending:
                 if ticket.result is not None:
                     future._resolve(
@@ -915,7 +1147,10 @@ class PhotonicSession:
                     resolved_futures.append(future)
                     if tel is not None:
                         self._note_resolved(future, ticket.resolved_at)
+                elif ticket.expired:
+                    self._fail_expired_ticket(future)
             for (key, _), group in self._tiled_pending.items():
+                weight_before = self._tiled_weight_time
                 engine = self.tiled_cache.get(key)
                 if engine is None:
                     engine = TiledMatmul(
@@ -947,6 +1182,29 @@ class PhotonicSession:
                     if tel is not None:
                         tel.metrics.counter("cache_hits").inc()
                         tel.instant("cache_hit", "cache")
+                if tel is not None:
+                    service_now = tel.clock.now
+                else:
+                    service_now += self._tiled_weight_time - weight_before
+                futures = group["futures"]
+                if any(f._deadline is not None for f in futures):
+                    # Completion estimated from the pre-shed batch size.
+                    completion = service_now + len(group["inputs"]) * period
+                    live = [
+                        index
+                        for index, future in enumerate(futures)
+                        if future._deadline is None
+                        or future._deadline >= completion
+                    ]
+                    if len(live) < len(futures):
+                        survivors = set(live)
+                        for index, future in enumerate(futures):
+                            if index not in survivors:
+                                self._shed_future(future)
+                        group["inputs"] = [group["inputs"][i] for i in live]
+                        group["futures"] = [futures[i] for i in live]
+                        if not group["futures"]:
+                            continue
                 batch = np.stack(group["inputs"], axis=1)
                 gain = None if group["gain"] == "auto" else group["gain"]
                 if tel is not None:
@@ -959,7 +1217,6 @@ class PhotonicSession:
                 # Tiles digitize concurrently: one ADC sample period per
                 # input column, at tile_count times one tile's power.
                 samples = batch.shape[1]
-                period = 1.0 / self.performance.sample_rate
                 power = self.performance.total_power * engine.tile_count
                 self._tiled_batches += 1
                 self._tiled_samples += samples
@@ -977,10 +1234,46 @@ class PhotonicSession:
                         tel.clock.now - batch_start,
                         args={"tiles": engine.tile_count, "columns": samples},
                     )
+                else:
+                    service_now += samples * period
             for (key, gain), group in self._conv_pending.items():
+                if not group["segments"]:
+                    # Every request of this bank was shed at submit.
+                    continue
+                weight_before = self._tiled_weight_time
                 program = self._differential_program(
                     key, group["q_positive"], group["q_negative"]
                 )
+                if tel is not None:
+                    service_now = tel.clock.now
+                else:
+                    service_now += self._tiled_weight_time - weight_before
+                futures = group["futures"]
+                if any(f._deadline is not None for f in futures):
+                    patches_est = sum(
+                        encoded.shape[1]
+                        for encoded, _, _ in group["segments"]
+                    )
+                    completion = (
+                        service_now + patches_est * period * program.passes
+                    )
+                    live = [
+                        index
+                        for index, future in enumerate(futures)
+                        if future._deadline is None
+                        or future._deadline >= completion
+                    ]
+                    if len(live) < len(futures):
+                        survivors = set(live)
+                        for index, future in enumerate(futures):
+                            if index not in survivors:
+                                self._shed_future(future)
+                        group["segments"] = [
+                            group["segments"][i] for i in live
+                        ]
+                        group["futures"] = [futures[i] for i in live]
+                        if not group["futures"]:
+                            continue
                 batch = np.concatenate(
                     [encoded for encoded, _, _ in group["segments"]], axis=1
                 )
@@ -1001,7 +1294,6 @@ class PhotonicSession:
                 # analog pass (two passes for differential banks); the
                 # active grid burns tile_count times one tile's power.
                 patches = batch.shape[1]
-                period = 1.0 / self.performance.sample_rate
                 power = self.performance.total_power
                 self._conv_patches += patches
                 self._tiled_batches += 1
@@ -1022,16 +1314,23 @@ class PhotonicSession:
                         tel.clock.now - batch_start,
                         args={"patches": patches, "passes": program.passes},
                     )
+                else:
+                    service_now += patches * period * program.passes
             for endpoint in self._endpoints:
                 if endpoint._queue and endpoint._needs_rebind:
                     self._rebind_endpoint(endpoint)
                 if tel is not None:
+                    service_now = tel.clock.now
                     drained_from = len(resolved_futures)
-                    resolved += endpoint._drain(resolved_futures)
+                    resolved += endpoint._drain(
+                        resolved_futures, now=service_now
+                    )
                     for future in resolved_futures[drained_from:]:
                         self._note_resolved(future, tel.clock.now)
                 else:
-                    resolved += endpoint._drain(resolved_futures)
+                    resolved += endpoint._drain(
+                        resolved_futures, now=service_now
+                    )
         finally:
             # Never leave a stale group behind: a failed evaluation must
             # not wedge every subsequent flush.  Futures the failure
@@ -1055,6 +1354,7 @@ class PhotonicSession:
             for endpoint in self._endpoints:
                 endpoint._queue.clear()
             self._oldest_pending = None
+            self._earliest_deadline = None
             self._flushes += 1
             report = self._delta_report()
             for future in resolved_futures:
@@ -1135,6 +1435,7 @@ class PhotonicSession:
             "recalibrations": self._recalibrations,
             "calibration_time": self._calibration_time,
             "calibration_energy": self._calibration_energy,
+            "deadline_misses": stats.deadline_misses + self._deadline_misses,
         }
 
     def _delta_report(self) -> RunReport:

@@ -41,6 +41,22 @@ class ClusterSaturatedError(ReproError, RuntimeError):
     """
 
 
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A request was shed because its deadline expired before (or
+    during) the flush that would have resolved it.
+
+    Raised when reading a :class:`~repro.api.Future` submitted with
+    ``deadline=`` that the serving path dropped: either the deadline
+    was already expired at submit time, or the modelled completion time
+    of its coalesced batch fell past the deadline at flush time.  Shed
+    requests are counted as ``deadline_misses`` on
+    :class:`~repro.api.RunReport`.  Doubles as a :class:`TimeoutError`
+    (a deadline miss is a timeout, not a configuration mistake) while
+    staying catchable via the package-wide :class:`ReproError` handler.
+    The message names the request and its deadline.
+    """
+
+
 class UnitConversionError(ConfigurationError, ValueError):
     """A unit-conversion helper was handed a value outside its domain
     (non-positive power to dBm, zero wavelength, ...).

@@ -70,7 +70,8 @@ class HotPathTelemetryGuard(Rule):
     severity = Severity.ERROR
     contract = (
         "every use of a telemetry binding in repro.runtime / repro.api "
-        "is dominated by an 'is not None' guard on that binding"
+        "/ repro.traffic is dominated by an 'is not None' guard on "
+        "that binding"
     )
     rationale = (
         "an uninstrumented session holds telemetry = None; an unguarded "
@@ -78,7 +79,11 @@ class HotPathTelemetryGuard(Rule):
         "binding exists, breaking the zero-overhead / bit-for-bit "
         "promise of PR 6"
     )
-    scope_prefixes = ("src/repro/runtime/", "src/repro/api/")
+    scope_prefixes = (
+        "src/repro/runtime/",
+        "src/repro/api/",
+        "src/repro/traffic/",
+    )
 
     def check(self, module: ModuleUnderLint) -> list[Finding]:
         findings: list[Finding] = []

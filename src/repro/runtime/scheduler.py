@@ -126,13 +126,19 @@ class WeightProgramCache:
 class Ticket:
     """Handle for one submitted request; resolved by the next flush."""
 
-    __slots__ = ("result", "resolved_at")
+    __slots__ = ("result", "resolved_at", "deadline", "expired")
 
-    def __init__(self) -> None:
+    def __init__(self, deadline: float | None = None) -> None:
         self.result: MatvecResult | None = None
         #: Modelled-clock resolution timestamp [s]; stamped only when a
         #: telemetry binding is attached to the scheduler.
         self.resolved_at: float | None = None
+        #: Absolute deadline [s] on the owning session's clock (None =
+        #: best effort, never shed).
+        self.deadline = deadline
+        #: True when the flush shed this request: its batch's modelled
+        #: completion time fell past the deadline.
+        self.expired = False
 
     @property
     def done(self) -> bool:
@@ -166,6 +172,9 @@ class SchedulerStats:
     #: PerformanceModel (one sample period per batched input column).
     analog_time: float = 0.0
     analog_energy: float = 0.0
+    #: Requests shed at flush because their batch's modelled completion
+    #: time fell past their ``deadline=``.
+    deadline_misses: int = 0
 
     @property
     def batch_fill(self) -> float:
@@ -250,8 +259,15 @@ class BatchScheduler:
         return sum(len(group["tickets"]) for group in self._pending.values())
 
     # -- request path --------------------------------------------------------
-    def submit(self, weights, x, gain: float = 1.0) -> Ticket:
-        """Queue one matvec request; resolved by the next :meth:`flush`."""
+    def submit(
+        self, weights, x, gain: float = 1.0, deadline: float | None = None
+    ) -> Ticket:
+        """Queue one matvec request; resolved by the next :meth:`flush`.
+
+        ``deadline`` is an *absolute* timestamp on the owning session's
+        clock: if the request's batch cannot complete by then (see
+        :meth:`flush`), the request is shed instead of evaluated.
+        """
         weights = np.asarray(weights, dtype=int)
         if weights.shape != (self.rows, self.columns):
             raise ConfigurationError(
@@ -283,11 +299,18 @@ class BatchScheduler:
             # in-place mutation between submit and flush would compile
             # the mutated weights under the original key, poisoning the
             # program cache for every future request with that key.
-            group = {"weights": weights.copy(), "inputs": [], "tickets": []}
+            group = {
+                "weights": weights.copy(),
+                "inputs": [],
+                "tickets": [],
+                "has_deadline": False,
+            }
             self._pending[key] = group
-        ticket = Ticket()
+        ticket = Ticket(deadline=deadline)
         group["inputs"].append(x.copy())
         group["tickets"].append(ticket)
+        if deadline is not None:
+            group["has_deadline"] = True
         self._stats.requests += 1
         return ticket
 
@@ -338,36 +361,89 @@ class BatchScheduler:
             )
         return program
 
-    def flush(self) -> int:
-        """Evaluate every pending group; returns resolved request count."""
+    def flush(self, now: float | None = None) -> int:
+        """Evaluate every pending group; returns resolved request count.
+
+        ``now`` is the flush's start timestamp on the owning session's
+        clock.  With it (or a telemetry binding, whose modelled clock
+        then supplies the service timeline), requests carrying a
+        ``deadline=`` are shed when their batch's estimated completion
+        — the running service time plus one ADC sample period per
+        column of the *pre-shed* chunk — falls past the deadline; shed
+        tickets are flagged ``expired`` and counted as
+        ``deadline_misses``.  Without either time source deadlines
+        cannot be evaluated and every request runs.
+        """
         resolved = 0
         sample_period = 1.0 / self.performance.sample_rate
         power = self.performance.total_power
         tel = self.telemetry
+        if tel is not None:
+            service_now = tel.clock.now
+        else:
+            service_now = now
         try:
             for (key, gain), group in self._pending.items():
+                spent_before = self._stats.weight_time_spent
                 program = self._program_for(key, group["weights"])
+                if tel is not None:
+                    service_now = tel.clock.now
+                elif service_now is not None:
+                    # Mirror the load time a telemetry clock would have
+                    # advanced by (zero on a cache hit).
+                    service_now += self._stats.weight_time_spent - spent_before
                 inputs = group["inputs"]
                 tickets = group["tickets"]
+                shed_deadlines = group["has_deadline"] and service_now is not None
                 for start in range(0, len(inputs), self.max_batch):
                     chunk = inputs[start : start + self.max_batch]
+                    chunk_tickets = tickets[start : start + len(chunk)]
+                    if shed_deadlines:
+                        completion = service_now + len(chunk) * sample_period
+                        live = [
+                            index
+                            for index, ticket in enumerate(chunk_tickets)
+                            if ticket.deadline is None
+                            or ticket.deadline >= completion
+                        ]
+                        if len(live) < len(chunk):
+                            misses = len(chunk) - len(live)
+                            survivors = set(live)
+                            for index, ticket in enumerate(chunk_tickets):
+                                if index not in survivors:
+                                    ticket.expired = True
+                            self._stats.deadline_misses += misses
+                            if tel is not None:
+                                tel.metrics.counter("deadline_misses").inc(
+                                    misses
+                                )
+                            chunk = [chunk[index] for index in live]
+                            chunk_tickets = [
+                                chunk_tickets[index] for index in live
+                            ]
+                            if not chunk:
+                                continue
                     batch = np.stack(chunk, axis=1)
                     result = program.engine.matmul(batch, gain=gain)
-                    for offset, ticket in enumerate(tickets[start : start + len(chunk)]):
+                    for offset, ticket in enumerate(chunk_tickets):
                         ticket.result = result.column(offset)
                     self._stats.batches += 1
                     self._stats.samples += len(chunk)
                     self._stats.analog_time += len(chunk) * sample_period
                     self._stats.analog_energy += len(chunk) * sample_period * power
                     resolved += len(chunk)
-                    if tel is not None:
+                    if tel is None:
+                        if service_now is not None:
+                            service_now += len(chunk) * sample_period
+                    else:
                         # One ADC sample period per batched column on
                         # the modelled clock; requests of this batch
                         # resolve when its last conversion lands.
                         batch_start = tel.clock.now
                         batch_time = len(chunk) * sample_period
                         tel.clock.advance(batch_time)
-                        for ticket in tickets[start : start + len(chunk)]:
+                        service_now = tel.clock.now
+                        for ticket in chunk_tickets:
                             ticket.resolved_at = tel.clock.now
                         tel.metrics.counter("batches").inc()
                         tel.metrics.histogram(

@@ -27,6 +27,10 @@ routing policy and emits ``BENCH_cluster.json``.
 under :func:`drift_suite`, sweeping drift severity x probe cadence x
 recalibration threshold, and emits ``BENCH_drift.json`` (recovery
 curves included).
+:func:`run_traffic_serve_bench` drives open-loop :mod:`repro.traffic`
+arrival streams on the modelled clock — a >=1M-request sustained run,
+SLO capacity curves per (core count, routing policy) and a max-batch
+vs deadline-aware head-to-head — and emits ``BENCH_traffic.json``.
 """
 
 from __future__ import annotations
@@ -743,6 +747,269 @@ def run_drift_serve_bench(
         f"{'recals':>6}  {'cal nJ':>10}  {'recovered':>9}",
         *table_rows,
     ]
+    if json_path is not None:
+        lines.append(f"summary written to: {json_path}")
+    print_fn("\n".join(lines))
+    return summary
+
+
+#: Routing policies the traffic capacity curve sweeps, in report order.
+TRAFFIC_BENCH_POLICIES = ("round_robin", "least_loaded", "cache_affinity")
+
+
+def run_traffic_serve_bench(
+    requests: int = 1_000_000,
+    cores_sweep: tuple[int, ...] = (1, 2, 4),
+    rows: int = 8,
+    columns: int = 8,
+    tenants: int = 4,
+    flush_every: int = 64,
+    deadline_s: float = 1e-6,
+    p99_slo_s: float = 2.5e-7,
+    miss_budget: float = 0.01,
+    base_rate: float = 4e9,
+    trial_requests: int | None = None,
+    probe_requests: int = 3000,
+    head_requests: int = 20000,
+    max_doublings: int = 16,
+    seed: int = 2025,
+    trace=None,
+    json_path=None,
+    print_fn=print,
+) -> dict:
+    """Open-loop traffic on the modelled clock: capacity under an SLO.
+
+    Three measurements, all driven by :class:`~repro.traffic.TrafficEngine`
+    (real sessions, modelled arrival + service clocks, zero host-clock
+    dependence):
+
+    1. **Sustained run** — ``requests`` (a million by default) Poisson
+       arrivals at ~60% of the probed single-core capacity through one
+       session under the SLO-derived flush policy; the headline
+       modelled-throughput / p99 / miss-rate numbers.
+    2. **Capacity curve** — for every (core count, routing policy)
+       pair, :func:`~repro.traffic.find_capacity` binary-searches the
+       offered load for the highest sustained req/s still meeting
+       ``SLO(p99_slo_s, miss_budget)``.  Each trial's tape is sized
+       from a per-core-count throughput probe so a queue growing past
+       the p99 bound is actually observable within the tape
+       (max measurable backlog = tape / capacity).
+    3. **Head-to-head** — the same offered load (batch-fill time well
+       past the deadline) under plain ``max_batch`` vs the
+       deadline-aware SLO policy, demonstrating the early flush
+       converting deadline misses into met deadlines.
+
+    ``json_path`` writes the summary (the ``serve-bench traffic`` CLI
+    points it at ``BENCH_traffic.json``).  ``trace`` records the
+    sustained run's span timeline (capacity trials stay untraced —
+    they run dozens of disposable targets).
+    """
+    from ..api.cluster import PhotonicCluster
+    from ..api.policy import FlushPolicy
+    from ..api.routing import RoutingPolicy
+    from ..api.session import PhotonicSession
+    from ..telemetry import MetricsRegistry, ModelClock
+    from ..traffic import SLO, Poisson, TrafficEngine, WorkloadMix, find_capacity
+
+    if flush_every < 1:
+        raise ConfigurationError(f"flush interval must be >= 1, got {flush_every}")
+    if requests < 1:
+        raise ConfigurationError(f"traffic bench needs requests >= 1, got {requests}")
+    if not cores_sweep or any(cores < 1 for cores in cores_sweep):
+        raise ConfigurationError(
+            f"cores_sweep needs positive core counts, got {cores_sweep!r}"
+        )
+    slo = SLO(p99_latency=p99_slo_s, deadline_miss_budget=miss_budget)
+    mix = WorkloadMix.zipf(
+        tenants=tenants, rows=rows, columns=columns, deadline_s=deadline_s
+    )
+    probe_mix = WorkloadMix.zipf(tenants=tenants, rows=rows, columns=columns)
+    policy = slo.flush_policy(batch_limit=flush_every)
+
+    def make_session(bench_trace=None):
+        return PhotonicSession(
+            grid=(rows, columns),
+            max_batch=flush_every,
+            flush_policy=policy,
+            metrics=MetricsRegistry(),
+            trace=bench_trace,
+            clock=ModelClock(),
+            label="traffic-bench",
+        )
+
+    def make_cluster(cores: int, routing: str):
+        def factory():
+            return PhotonicCluster(
+                cores=cores,
+                grid=(rows, columns),
+                max_batch=flush_every,
+                flush_policy=policy,
+                routing=RoutingPolicy(kind=routing),
+                metrics=MetricsRegistry(),
+                clock=ModelClock(),
+                label=f"traffic {cores}c/{routing}",
+            )
+
+        return factory
+
+    def probe_capacity(factory) -> float:
+        """Peak modelled throughput [req/s]: saturate a deadline-free
+        workload (offered far past service) and read the goodput."""
+        engine = TrafficEngine(
+            factory(), probe_mix, Poisson(1e12), slo=None, seed=seed
+        )
+        return engine.run(probe_requests)["throughput_per_s"]
+
+    # -- 1. sustained run ----------------------------------------------------
+    single_capacity = probe_capacity(lambda: make_session())
+    if single_capacity <= 0.0:
+        raise ConfigurationError("capacity probe resolved no traffic")
+    sustained_rate = 0.6 * single_capacity
+    started = wall_clock()
+    sustained = TrafficEngine(
+        make_session(bench_trace=trace),
+        mix,
+        Poisson(sustained_rate),
+        slo=slo,
+        seed=seed,
+    ).run(requests)
+    sustained["wall_elapsed_s"] = wall_clock() - started
+    sustained["wall_requests_per_s"] = (
+        requests / sustained["wall_elapsed_s"]
+        if sustained["wall_elapsed_s"] > 0
+        else float("inf")
+    )
+
+    # -- 2. capacity curve ---------------------------------------------------
+    curve = []
+    for cores in cores_sweep:
+        cores_capacity = probe_capacity(make_cluster(cores, "cache_affinity"))
+        if trial_requests is None:
+            # Tape long enough that backlog can overrun the p99 bound
+            # ~2.5x over before the tape ends.
+            tape = int(
+                min(max(2.5 * cores_capacity * p99_slo_s, 2000), 40000)
+            )
+        else:
+            tape = int(trial_requests)
+        policies = {}
+        for routing in TRAFFIC_BENCH_POLICIES:
+            capacity = find_capacity(
+                make_cluster(cores, routing),
+                mix,
+                Poisson(base_rate),
+                slo,
+                requests=tape,
+                seed=seed,
+                resolution=0.1,
+                max_doublings=max_doublings,
+            )
+            policies[routing] = {
+                "capacity_per_s": capacity["capacity_per_s"],
+                "saturated": capacity["saturated"],
+                "trials": capacity["trials"],
+                "p99_e2e_s": (
+                    capacity["sustained"]["p99_e2e_s"]
+                    if capacity["sustained"] is not None
+                    else None
+                ),
+                "miss_rate": (
+                    capacity["sustained"]["miss_rate"]
+                    if capacity["sustained"] is not None
+                    else None
+                ),
+            }
+        curve.append(
+            {
+                "cores": cores,
+                "probe_capacity_per_s": cores_capacity,
+                "trial_requests": tape,
+                "policies": policies,
+            }
+        )
+
+    # -- 3. head-to-head: max_batch vs deadline-aware ------------------------
+    # Offer a rate whose batch-fill time is ~2x the deadline, so plain
+    # max_batch rides most requests past their deadline while the
+    # SLO-aware policy flushes early.
+    head_rate = flush_every / (2.0 * deadline_s)
+    head_to_head = {}
+    for label, head_policy in (
+        ("max_batch", FlushPolicy.max_batch(flush_every)),
+        ("slo_aware", policy),
+    ):
+        target = PhotonicSession(
+            grid=(rows, columns),
+            max_batch=flush_every,
+            flush_policy=head_policy,
+            metrics=MetricsRegistry(),
+            clock=ModelClock(),
+            label=f"traffic head-to-head/{label}",
+        )
+        engine = TrafficEngine(
+            target, mix, Poisson(head_rate), slo=slo, seed=seed
+        )
+        result = engine.run(head_requests)
+        head_to_head[label] = {
+            "flush_policy": result["flush_policy"],
+            "p99_e2e_s": result["p99_e2e_s"],
+            "deadline_misses": result["deadline_misses"],
+            "miss_rate": result["miss_rate"],
+            "slo_met": result["slo_met"],
+        }
+
+    summary = {
+        "requests": requests,
+        "grid": [rows, columns],
+        "tenants": tenants,
+        "flush_every": flush_every,
+        "seed": seed,
+        "slo": {
+            "p99_latency_s": p99_slo_s,
+            "deadline_miss_budget": miss_budget,
+            "deadline_s": deadline_s,
+        },
+        "cores_sweep": list(cores_sweep),
+        "sustained": sustained,
+        "capacity_curve": curve,
+        "head_to_head": head_to_head,
+    }
+    if json_path is not None:
+        import json
+        from pathlib import Path
+
+        Path(json_path).write_text(json.dumps(summary, indent=2) + "\n")
+    lines = [
+        f"traffic serve-bench: {requests} sustained requests on "
+        f"{rows} x {columns} tiles, SLO {slo.describe()} "
+        f"(deadline {deadline_s:g} s, seed {seed})",
+        f"sustained         : offered {sustained['offered_rate_per_s']:,.3g} req/s "
+        f"modelled, p99 {(sustained['p99_e2e_s'] or 0) * 1e9:,.0f} ns, "
+        f"{sustained['deadline_misses']} misses "
+        f"({sustained['miss_rate']:.2%}), "
+        f"SLO {'met' if sustained.get('slo_met') else 'VIOLATED'}",
+        f"wall-clock        : {sustained['wall_elapsed_s']:.1f} s "
+        f"({sustained['wall_requests_per_s']:,.0f} requests/s simulated)",
+        f"{'cores':>5}  {'routing':<15} {'capacity req/s':>14}  "
+        f"{'p99 ns':>8}  {'miss':>6}",
+    ]
+    for entry in curve:
+        for routing in TRAFFIC_BENCH_POLICIES:
+            record = entry["policies"][routing]
+            p99 = record["p99_e2e_s"]
+            miss = record["miss_rate"]
+            lines.append(
+                f"{entry['cores']:>5}  {routing:<15} "
+                f"{record['capacity_per_s']:>14,.3g}  "
+                f"{(p99 or 0) * 1e9:>8,.0f}  "
+                f"{miss if miss is not None else 0:>6.2%}"
+            )
+    for label, record in head_to_head.items():
+        lines.append(
+            f"head-to-head      : {label:<10} p99 "
+            f"{(record['p99_e2e_s'] or 0) * 1e9:,.0f} ns, "
+            f"{record['deadline_misses']} misses ({record['miss_rate']:.2%})"
+        )
     if json_path is not None:
         lines.append(f"summary written to: {json_path}")
     print_fn("\n".join(lines))

@@ -27,7 +27,13 @@ serving benches from point estimates into auditable distributions:
   mixin of every report dataclass.
 """
 
-from .binding import END_TO_END_HISTOGRAM, QUEUE_WAIT_HISTOGRAM, Telemetry
+from .binding import (
+    END_TO_END_HISTOGRAM,
+    QUEUE_WAIT_HISTOGRAM,
+    SERVICE_TIME_HISTOGRAM,
+    Telemetry,
+    tenant_histogram_name,
+)
 from .clock import ModelClock
 from .export import ReportExport, to_serializable
 from .metrics import (
@@ -55,12 +61,14 @@ __all__ = [
     "ModelClock",
     "QUEUE_WAIT_HISTOGRAM",
     "ReportExport",
+    "SERVICE_TIME_HISTOGRAM",
     "Telemetry",
     "TraceEvent",
     "TraceRecorder",
     "format_profile",
     "profile_call",
     "quantiles_from_samples",
+    "tenant_histogram_name",
     "to_serializable",
     "top_hot_functions",
     "wall_clock",

@@ -23,6 +23,15 @@ from .trace import TraceRecorder
 #: Histogram names of the two per-request latency distributions.
 QUEUE_WAIT_HISTOGRAM = "queue_wait_s"
 END_TO_END_HISTOGRAM = "end_to_end_s"
+#: Histogram name of the per-request service-time distribution
+#: (end-to-end minus queue wait); recorded per tenant label only.
+SERVICE_TIME_HISTOGRAM = "service_s"
+
+
+def tenant_histogram_name(base: str, tenant: str) -> str:
+    """The per-tenant variant of a latency histogram name — one
+    histogram per (distribution, tenant label) in the registry."""
+    return f"{base}/{tenant}"
 
 
 class Telemetry:
@@ -62,6 +71,10 @@ class Telemetry:
         #: and the flush's ``latency_quantiles`` by :meth:`drain_window`.
         self._window_wait: list[float] = []
         self._window_e2e: list[float] = []
+        #: Per-tenant window split: label -> (queue waits, service
+        #: times); drained into per-tenant histograms alongside the
+        #: fleet-wide ones.
+        self._window_tenants: dict[str, tuple[list[float], list[float]]] = {}
 
     # -- span / instant emission (no-ops without a recorder) -----------------
     def span(
@@ -106,12 +119,27 @@ class Telemetry:
             )
 
     # -- per-request latency window ------------------------------------------
-    def record_request(self, queue_wait_s: float, end_to_end_s: float) -> None:
+    def record_request(
+        self,
+        queue_wait_s: float,
+        end_to_end_s: float,
+        label: str | None = None,
+    ) -> None:
         """Add one resolved request's modelled latencies to the current
         flush window (negative-clamped: a request submitted mid-flush
-        never waited)."""
-        self._window_wait.append(max(queue_wait_s, 0.0))
-        self._window_e2e.append(max(end_to_end_s, 0.0))
+        never waited).  ``label`` additionally splits the request into
+        that tenant's queue-wait / service-time histograms."""
+        wait = max(queue_wait_s, 0.0)
+        e2e = max(end_to_end_s, 0.0)
+        self._window_wait.append(wait)
+        self._window_e2e.append(e2e)
+        if label is not None:
+            bucket = self._window_tenants.get(label)
+            if bucket is None:
+                bucket = ([], [])
+                self._window_tenants[label] = bucket
+            bucket[0].append(wait)
+            bucket[1].append(max(e2e - wait, 0.0))
 
     def drain_window(self) -> dict | None:
         """Close the flush window: feed the cumulative histograms and
@@ -123,9 +151,43 @@ class Telemetry:
         self._window_wait, self._window_e2e = [], []
         self.metrics.histogram(QUEUE_WAIT_HISTOGRAM).observe_many(waits)
         self.metrics.histogram(END_TO_END_HISTOGRAM).observe_many(e2es)
+        if self._window_tenants:
+            tenants, self._window_tenants = self._window_tenants, {}
+            for label, (tenant_waits, tenant_services) in tenants.items():
+                self.metrics.histogram(
+                    tenant_histogram_name(QUEUE_WAIT_HISTOGRAM, label)
+                ).observe_many(tenant_waits)
+                self.metrics.histogram(
+                    tenant_histogram_name(SERVICE_TIME_HISTOGRAM, label)
+                ).observe_many(tenant_services)
         return {
             "queue_wait": quantiles_from_samples(waits),
             "end_to_end": quantiles_from_samples(e2es),
+        }
+
+    def tenant_quantiles(self) -> dict | None:
+        """Per-tenant cumulative latency split — ``{tenant:
+        {"queue_wait": summary, "service": summary}}`` from the
+        per-tenant histograms; None before any labelled request
+        resolved."""
+        prefix = QUEUE_WAIT_HISTOGRAM + "/"
+        tenants = sorted(
+            name[len(prefix):]
+            for name in self.metrics.names
+            if name.startswith(prefix)
+        )
+        if not tenants:
+            return None
+        return {
+            tenant: {
+                "queue_wait": self.metrics.histogram(
+                    tenant_histogram_name(QUEUE_WAIT_HISTOGRAM, tenant)
+                ).summary(),
+                "service": self.metrics.histogram(
+                    tenant_histogram_name(SERVICE_TIME_HISTOGRAM, tenant)
+                ).summary(),
+            }
+            for tenant in tenants
         }
 
     def latency_quantiles(self) -> dict | None:

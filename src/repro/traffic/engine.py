@@ -1,0 +1,346 @@
+"""The open-loop traffic engine: a discrete-event driver on the
+modelled clock.
+
+:class:`TrafficEngine` replays an arrival tape
+(:class:`~repro.traffic.arrivals.ArrivalProcess`) of multi-tenant
+requests (:class:`~repro.traffic.workload.WorkloadMix`) through a real
+:class:`~repro.api.PhotonicSession` or
+:class:`~repro.api.PhotonicCluster` — no mocking, the actual submit /
+flush / shed machinery runs — while *all* timing stays on modelled
+clocks:
+
+* the target is constructed with ``clock=ModelClock(...)``; the engine
+  sets that clock to each arrival's timestamp before submitting, so
+  flush-policy ages, ``deadline=`` stamps and queue-wait measurements
+  read simulated time, never host time;
+* each core's telemetry clock is the *service* timeline (it advances
+  by modelled batch/compile durations inside flushes); before every
+  event the engine pre-advances idle service clocks to the event time,
+  so a backlogged core shows queue-wait and an idle one does not;
+* between arrivals the engine fires the target's flush-policy triggers
+  (``delay_limit`` ages, ``deadline_headroom`` slack) at their exact
+  modelled due-times via :meth:`~repro.api.PhotonicSession.poll` —
+  the discrete-event half that makes latency-bounding policies work
+  in an open loop.
+
+Admission runs tenant-by-tenant through token buckets
+(:class:`~repro.traffic.workload.TokenBucket`), cluster admission
+control (:class:`~repro.errors.ClusterSaturatedError`) is counted
+rather than raised, and the run summary folds offered load, goodput,
+deadline-miss rate, latency quantiles, the per-tenant queue-wait /
+service-time split, and the :class:`~repro.traffic.slo.SLO` verdict.
+
+The engine retains no per-request state (futures are dropped once
+submitted; latencies live in the telemetry histograms), so
+million-request runs are memory-flat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..api.cluster import PhotonicCluster
+from ..api.session import PhotonicSession
+from ..errors import ClusterSaturatedError, ConfigurationError
+from ..telemetry import (
+    Histogram,
+    ModelClock,
+    QUEUE_WAIT_HISTOGRAM,
+    SERVICE_TIME_HISTOGRAM,
+    tenant_histogram_name,
+)
+from .arrivals import ArrivalProcess
+from .slo import SLO
+from .workload import WorkloadMix
+
+
+class TrafficEngine:
+    """Drive one session/cluster with an open-loop modelled workload.
+
+    ``target`` must be constructed with an injected
+    :class:`~repro.telemetry.ModelClock` (``clock=``) and metrics
+    attached (``metrics=``/``trace=``) — the engine owns the arrival
+    clock and reads latencies out of the telemetry histograms.
+    ``slo`` (optional) adds a pass/fail verdict to every summary.
+    """
+
+    def __init__(
+        self,
+        target: PhotonicSession | PhotonicCluster,
+        workload: WorkloadMix,
+        arrivals: ArrivalProcess,
+        slo: SLO | None = None,
+        seed: int = 2025,
+    ) -> None:
+        if not isinstance(workload, WorkloadMix):
+            raise ConfigurationError(
+                f"workload must be a repro.traffic.WorkloadMix, "
+                f"got {type(workload).__name__}"
+            )
+        if not isinstance(arrivals, ArrivalProcess):
+            raise ConfigurationError(
+                f"arrivals must be a repro.traffic.ArrivalProcess, "
+                f"got {type(arrivals).__name__}"
+            )
+        if slo is not None and not isinstance(slo, SLO):
+            raise ConfigurationError(
+                f"slo must be a repro.traffic.SLO or None, "
+                f"got {type(slo).__name__}"
+            )
+        if isinstance(target, PhotonicCluster):
+            self._sessions: tuple[PhotonicSession, ...] = target.sessions
+            self._is_cluster = True
+        elif isinstance(target, PhotonicSession):
+            self._sessions = (target,)
+            self._is_cluster = False
+        else:
+            raise ConfigurationError(
+                f"target must be a PhotonicSession or PhotonicCluster, "
+                f"got {type(target).__name__}"
+            )
+        clock = self._sessions[0].clock
+        if not isinstance(clock, ModelClock):
+            raise ConfigurationError(
+                "the traffic engine needs a target constructed with an "
+                "injected modelled clock — pass clock=ModelClock() to "
+                "the session/cluster so arrival time never reads the "
+                "host clock"
+            )
+        if any(session.clock is not clock for session in self._sessions):
+            raise ConfigurationError(
+                "every core must share the engine's arrival clock; "
+                "construct the cluster with a single clock= instance"
+            )
+        self._bindings = []
+        for session in self._sessions:
+            tel = session.telemetry
+            if tel is None:
+                raise ConfigurationError(
+                    "the traffic engine needs telemetry on every core "
+                    "(construct the target with metrics= or trace=) — "
+                    "latency quantiles and service clocks live there"
+                )
+            self._bindings.append(tel)
+        self.target = target
+        self.workload = workload
+        self.arrivals = arrivals
+        self.slo = slo
+        self.seed = int(seed)
+        self.clock = clock
+        self._service_clocks = tuple(
+            binding.clock for binding in self._bindings
+        )
+
+    # -- discrete-event machinery --------------------------------------------
+    def _advance_to(self, t: float) -> None:
+        """Move the arrival clock to ``t`` and pull idle service clocks
+        up to it (a core that sat idle starts serving at the arrival,
+        not in the past; a backlogged core keeps its later time so the
+        gap shows up as queue-wait)."""
+        self.clock.now = t
+        for service in self._service_clocks:
+            if service.now < t:
+                service.now = t
+
+    def _next_trigger(self) -> float | None:
+        """The earliest modelled time any session's flush policy will
+        trip on its own (delay-limit age or deadline-headroom slack);
+        None when no pending traffic carries a trigger."""
+        trigger: float | None = None
+        for session in self._sessions:
+            policy = session.flush_policy
+            oldest = session.oldest_pending_at
+            if policy.delay_limit is not None and oldest is not None:
+                due = oldest + policy.delay_limit
+                if trigger is None or due < trigger:
+                    trigger = due
+            deadline = session.next_deadline
+            if policy.deadline_headroom is not None and deadline is not None:
+                due = deadline - policy.deadline_headroom
+                if trigger is None or due < trigger:
+                    trigger = due
+        return trigger
+
+    def _fire_triggers_until(self, t: float) -> None:
+        """Fire every flush-policy trigger due before modelled time
+        ``t``, each at its exact due-time (the event-queue pop of a
+        classical DES, with the policy as the event source)."""
+        while True:
+            trigger = self._next_trigger()
+            if trigger is None or trigger >= t:
+                return
+            # Land a hair *past* the due-time (1 ppb): at exactly
+            # `deadline - headroom` the slack subtraction can round to
+            # just above the headroom and the policy would not trip.
+            trigger += 1e-9 * (1.0 + abs(trigger))
+            self._advance_to(max(trigger, self.clock.now))
+            if self.target.poll() == 0:
+                # The policy disagreed with our estimate (e.g. slack
+                # recomputed after a shed); nothing resolved, so stop
+                # rather than spin on the same trigger.
+                return
+
+    # -- accounting helpers --------------------------------------------------
+    def _report_totals(self) -> tuple[int, int]:
+        """(requests, deadline_misses) cumulative on the target."""
+        if self._is_cluster:
+            total = self.target.report().total
+        else:
+            total = self.target.report()
+        return total.requests, total.deadline_misses
+
+    def _latency_quantiles(self) -> dict | None:
+        return self.target.report().latency_quantiles
+
+    def _tenant_quantiles(self) -> dict | None:
+        """Per-tenant queue-wait / service-time split, merged
+        bin-for-bin across cores (quantiles are not additive)."""
+        prefix = QUEUE_WAIT_HISTOGRAM + "/"
+        tenants: set[str] = set()
+        for binding in self._bindings:
+            for name in binding.metrics.names:
+                if name.startswith(prefix):
+                    tenants.add(name[len(prefix):])
+        if not tenants:
+            return None
+        merged: dict[str, dict] = {}
+        for tenant in sorted(tenants):
+            wait = Histogram.merged(
+                [
+                    binding.metrics.histogram(
+                        tenant_histogram_name(QUEUE_WAIT_HISTOGRAM, tenant)
+                    )
+                    for binding in self._bindings
+                ],
+                name=tenant_histogram_name(QUEUE_WAIT_HISTOGRAM, tenant),
+            )
+            service = Histogram.merged(
+                [
+                    binding.metrics.histogram(
+                        tenant_histogram_name(SERVICE_TIME_HISTOGRAM, tenant)
+                    )
+                    for binding in self._bindings
+                ],
+                name=tenant_histogram_name(SERVICE_TIME_HISTOGRAM, tenant),
+            )
+            merged[tenant] = {
+                "queue_wait": wait.summary() if wait is not None else None,
+                "service": service.summary() if service is not None else None,
+            }
+        return merged
+
+    # -- the run loop --------------------------------------------------------
+    def run(self, requests: int, input_pool: int = 256) -> dict:
+        """Replay ``requests`` arrivals through the target and return
+        the run summary (see the module docstring for the timeline
+        semantics).  Runs are reproducible: all randomness derives from
+        ``seed``, and nothing reads the host clock."""
+        if not isinstance(requests, (int, np.integer)) or requests < 1:
+            raise ConfigurationError(
+                f"a traffic run needs requests >= 1, got {requests!r}"
+            )
+        rng = np.random.default_rng(self.seed)
+        times = self.arrivals.times(int(requests), rng)
+        tenant_index = self.workload.sample(int(requests), rng)
+        weights = self.workload.materialize(rng)
+        pool = self.workload.input_pool(rng, input_pool)
+        buckets = [tenant.bucket() for tenant in self.workload.tenants]
+        tenants = self.workload.tenants
+        requests_before, misses_before = self._report_totals()
+
+        admitted = 0
+        rate_limited = 0
+        admission_shed = 0
+        target = self.target
+        is_cluster = self._is_cluster
+        for i in range(int(requests)):
+            t = float(times[i])
+            self._fire_triggers_until(t)
+            self._advance_to(t)
+            k = int(tenant_index[i])
+            tenant = tenants[k]
+            bucket = buckets[k]
+            if bucket is not None and not bucket.admit(t):
+                rate_limited += 1
+                continue
+            x = pool[k][i % len(pool[k])]
+            try:
+                if is_cluster:
+                    target.submit(
+                        weights[k],
+                        x,
+                        priority=tenant.priority,
+                        deadline=tenant.deadline_s,
+                        tenant=tenant.name,
+                    )
+                else:
+                    target.submit(
+                        weights[k],
+                        x,
+                        deadline=tenant.deadline_s,
+                        tenant=tenant.name,
+                    )
+            except ClusterSaturatedError:
+                admission_shed += 1
+                continue
+            admitted += 1
+        # Drain immediately at end-of-tape: waiting out the remaining
+        # delay/deadline triggers would bill the trailing partial batch
+        # with policy wait the run is no longer offering traffic for,
+        # inflating every makespan by up to one delay_limit.
+        last_arrival = float(times[-1]) if len(times) else 0.0
+        target.flush()
+        if target.pending != 0:
+            raise ConfigurationError(
+                f"traffic run left {target.pending} requests pending "
+                "after the final flush"
+            )
+
+        requests_after, misses_after = self._report_totals()
+        deadline_misses = misses_after - misses_before
+        resolved = admitted - deadline_misses
+        makespan = max(
+            (service.now for service in self._service_clocks),
+            default=last_arrival,
+        )
+        makespan = max(makespan, last_arrival)
+        offered_rate = requests / last_arrival if last_arrival > 0 else 0.0
+        quantiles = self._latency_quantiles()
+        p99 = None
+        p50 = None
+        if quantiles is not None:
+            p50 = quantiles["end_to_end"]["p50"]
+            p99 = quantiles["end_to_end"]["p99"]
+        miss_rate = deadline_misses / requests if requests else 0.0
+        summary = {
+            "offered": int(requests),
+            "offered_rate_per_s": offered_rate,
+            "admitted": admitted,
+            "rate_limited": rate_limited,
+            "admission_shed": admission_shed,
+            "resolved": resolved,
+            "submitted_delta": requests_after - requests_before,
+            "deadline_misses": deadline_misses,
+            "miss_rate": miss_rate,
+            "makespan_s": makespan,
+            "throughput_per_s": resolved / makespan if makespan > 0 else 0.0,
+            "p50_e2e_s": p50,
+            "p99_e2e_s": p99,
+            "latency_quantiles": quantiles,
+            "tenants": self._tenant_quantiles(),
+            "arrivals": self.arrivals.describe(),
+            "workload": self.workload.describe(),
+            "flush_policy": self._sessions[0].flush_policy.describe(),
+            "seed": self.seed,
+        }
+        if self.slo is not None:
+            summary["slo"] = self.slo.describe()
+            summary["slo_met"] = self.slo.met(p99, miss_rate)
+        return summary
+
+    def __repr__(self) -> str:
+        kind = "cluster" if self._is_cluster else "session"
+        return (
+            f"<TrafficEngine {kind} x{len(self._sessions)} cores, "
+            f"{self.arrivals.describe()}, {self.workload.describe()}>"
+        )

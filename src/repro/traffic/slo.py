@@ -1,0 +1,91 @@
+"""Service-level objectives: the pass/fail contract capacity is measured
+against.
+
+An :class:`SLO` declares the two latency promises a serving deployment
+makes — a p99 end-to-end latency bound and a deadline-miss budget —
+and :meth:`SLO.met` turns one traffic-engine summary into a verdict.
+:meth:`SLO.flush_policy` derives the matching deadline-aware
+:class:`~repro.api.FlushPolicy` (flush early when the most urgent
+pending request's slack drops to the headroom), closing the loop from
+declared objective to scheduler behaviour.  The capacity search
+(:mod:`repro.traffic.capacity`) binary-searches offered load for the
+highest sustained rate whose run still satisfies ``met()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..api.policy import FlushPolicy
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SLO:
+    """A serving contract: p99 latency bound + deadline-miss budget.
+
+    ``p99_latency`` bounds the modelled end-to-end p99 [s];
+    ``deadline_miss_budget`` is the tolerated fraction of offered
+    requests shed past their deadline (0.0 = none).
+    """
+
+    #: Modelled end-to-end p99 bound [s].
+    p99_latency: float
+    #: Tolerated deadline-miss fraction of offered requests.
+    deadline_miss_budget: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.p99_latency <= 0.0:
+            raise ConfigurationError(
+                f"SLO p99_latency must be positive seconds, "
+                f"got {self.p99_latency}"
+            )
+        if not 0.0 <= self.deadline_miss_budget < 1.0:
+            raise ConfigurationError(
+                f"SLO deadline_miss_budget must be a fraction in [0, 1), "
+                f"got {self.deadline_miss_budget}"
+            )
+
+    def met(self, p99: float | None, miss_rate: float) -> bool:
+        """Whether one run satisfies the contract.  ``p99`` is the
+        run's modelled end-to-end p99 (None = nothing resolved, which
+        only passes when nothing was offered either — callers pass
+        ``miss_rate=1.0`` for an all-shed run)."""
+        if miss_rate > self.deadline_miss_budget:
+            return False
+        if p99 is None:
+            return miss_rate <= self.deadline_miss_budget
+        return p99 <= self.p99_latency
+
+    def flush_policy(
+        self,
+        headroom: float | None = None,
+        batch_limit: int | None = None,
+        delay_limit: float | None = None,
+    ) -> FlushPolicy:
+        """The flush policy enforcing this contract, composing both
+        limits: flush once the most urgent pending request is within
+        ``headroom`` seconds of its deadline (default: a tenth of the
+        p99 bound — the miss-budget half) *or* once the oldest pending
+        request has aged ``delay_limit`` seconds (default: half the
+        p99 bound — the latency half, keeping batch-fill wait inside
+        the p99 promise at low offered load), with an optional batch
+        cap."""
+        if headroom is None:
+            headroom = self.p99_latency / 10.0
+        if delay_limit is None:
+            delay_limit = self.p99_latency / 2.0
+        return FlushPolicy(
+            batch_limit=batch_limit,
+            delay_limit=delay_limit,
+            deadline_headroom=headroom,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"p99 <= {self.p99_latency:g} s, "
+            f"miss rate <= {self.deadline_miss_budget:.2%}"
+        )
+
+    def __repr__(self) -> str:
+        return f"<SLO {self.describe()}>"

@@ -313,7 +313,7 @@ class TestDeployedModels:
         future = session.submit(rng.integers(0, 8, (7, 9)),
                                 rng.uniform(0.0, 1.0, 9))
 
-        def boom():
+        def boom(now=None):
             raise ValueError("injected flush failure")
 
         monkeypatch.setattr(session.scheduler, "flush", boom)

@@ -57,6 +57,36 @@ def test_serve_bench_cluster_smoke_writes_json(capsys, tmp_path, monkeypatch):
     assert all(entry["throughput_per_s"] > 0.0 for entry in data["sweep"])
 
 
+def test_serve_bench_traffic_smoke_writes_json(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["serve-bench", "traffic", "2000", "--smoke", "--seed", "3"]) == 0
+    output = capsys.readouterr().out
+    assert "traffic serve-bench" in output
+    assert "head-to-head" in output and "SLO" in output
+    bench_json = tmp_path / "BENCH_traffic.json"
+    assert bench_json.exists()
+    import json
+
+    data = json.loads(bench_json.read_text())
+    assert data["seed"] == 3
+    assert data["sustained"]["offered"] == 2000
+    assert [entry["cores"] for entry in data["capacity_curve"]] == [1, 2]
+    for entry in data["capacity_curve"]:
+        assert set(entry["policies"]) == {
+            "round_robin", "least_loaded", "cache_affinity",
+        }
+    # The acceptance head-to-head: the SLO-aware policy sheds far less.
+    head = data["head_to_head"]
+    assert head["slo_aware"]["deadline_misses"] < head["max_batch"]["deadline_misses"]
+
+
+def test_serve_bench_traffic_rejects_bad_count(capsys):
+    assert main(["serve-bench", "traffic", "zero"]) == 2
+    assert main(["serve-bench", "traffic", "0"]) == 2
+    output = capsys.readouterr().out
+    assert "request count" in output
+
+
 def test_serve_bench_cluster_rejects_bad_count(capsys):
     assert main(["serve-bench", "cluster", "zero"]) == 2
     assert main(["serve-bench", "cluster", "0"]) == 2

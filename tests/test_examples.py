@@ -38,6 +38,7 @@ def test_examples_directory_complete():
         "cnn_inference.py",
         "insitu_training.py",
         "telemetry_tour.py",
+        "traffic_slo.py",
     }
     assert expected <= present
 
@@ -55,6 +56,8 @@ def test_examples_directory_complete():
         ("adc_characterization.py", ["001", "2.32"]),
         ("telemetry_tour.py", ["p999", "end-to-end", "merged bin-for-bin",
                                "trace events", "Perfetto"]),
+        ("traffic_slo.py", ["DeadlineExceededError", "SLO met",
+                            "queue-wait", "capacity", "sustained"]),
     ],
 )
 def test_fast_examples_run(name, markers):

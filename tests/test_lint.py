@@ -132,6 +132,8 @@ def test_rule_scoping():
     all_rules()
     out_of_scope = _module("src/repro/core/tensor_core.py", "x = 1\n")
     assert not RULES["hot-path-telemetry-guard"].applies_to(out_of_scope)
+    traffic = _module("src/repro/traffic/engine.py", "x = 1\n")
+    assert RULES["hot-path-telemetry-guard"].applies_to(traffic)
     profiling = _module("src/repro/telemetry/profiling.py", "x = 1\n")
     assert not RULES["modelled-clock-purity"].applies_to(profiling)
     package_init = _module("src/repro/api/__init__.py", "x = 1\n")
