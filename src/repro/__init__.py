@@ -23,6 +23,13 @@ The package rebuilds the paper's full stack in Python:
   :class:`PhotonicCluster` scales it out over N core slots with routed
   schedulers (:class:`RoutingPolicy`), per-request QoS and replicated
   model endpoints rolled up in a :class:`ClusterReport`.
+* :mod:`repro.elastic` — elastic fleets: content-addressed
+  :class:`ProgramStore` persistence of compiled programs and
+  calibration records for bit-for-bit warm starts, the
+  :class:`Autoscaler` policy growing/parking cluster cores on pending
+  depth, sheds and deadline misses, and per-slot :class:`CoreSpec`
+  capabilities for heterogeneous fleets behind the cluster's
+  capability-aware router (consistent-hash :class:`HashRing` affinity).
 * :mod:`repro.health` — the calibration loop: :class:`DriftModel`
   processes aging a live core (:class:`DriftState`), probe-based
   :class:`HealthMonitor` checks against compile-time golden codes, and
@@ -61,6 +68,7 @@ from .api import (
     Flatten,
     FlushPolicy,
     Future,
+    HashRing,
     Model,
     PhotonicCluster,
     PhotonicSession,
@@ -80,6 +88,7 @@ from .core import (
     TimeInterleavedEoAdc,
     VectorComputeCore,
 )
+from .elastic import Autoscaler, CoreSpec, FleetSnapshot, ProgramStore
 from .errors import (
     ClusterSaturatedError,
     DeadlineExceededError,
@@ -128,6 +137,7 @@ from .traffic import (
 __version__ = "1.1.0"
 
 __all__ = [
+    "Autoscaler",
     "AvgPool",
     "BatchScheduler",
     "Bursty",
@@ -136,6 +146,7 @@ __all__ = [
     "ComparatorOffsetAging",
     "CompiledCore",
     "Conv2d",
+    "CoreSpec",
     "DeadlineExceededError",
     "default_technology",
     "Dense",
@@ -145,8 +156,10 @@ __all__ = [
     "DriftState",
     "EoAdc",
     "Flatten",
+    "FleetSnapshot",
     "FlushPolicy",
     "Future",
+    "HashRing",
     "HealthMonitor",
     "HealthPolicy",
     "HealthReport",
@@ -163,6 +176,7 @@ __all__ = [
     "PhotonicSession",
     "PhotonicTensorCore",
     "Poisson",
+    "ProgramStore",
     "PsramArray",
     "PsramBitcell",
     "ReLU",

@@ -22,6 +22,10 @@ Commands:
   whose analog stack drifts (thermal detuning, laser decay, TIA and
   comparator aging), sweeping drift severity x probe cadence x
   recalibration threshold, and write ``BENCH_drift.json``.
+* ``serve-bench elastic [requests]`` — measure elastic fleets
+  (:mod:`repro.elastic`): cold vs warm scale-up through a persisted
+  program store (bit-for-bit checked) and diurnal/bursty tapes against
+  static vs autoscaled fleets, and write ``BENCH_elastic.json``.
 * ``lint [paths...]`` — run the :mod:`repro.lint` contract checker
   over ``src/`` (or explicit paths); ``--format json`` for the
   machine-readable findings, ``--baseline FILE`` to grandfather,
@@ -176,6 +180,7 @@ def _serve_bench(argv: list[str]) -> int:
         run_cluster_serve_bench,
         run_cnn_serve_bench,
         run_drift_serve_bench,
+        run_elastic_serve_bench,
         run_serve_bench,
         run_traffic_serve_bench,
     )
@@ -249,6 +254,36 @@ def _serve_bench(argv: list[str]) -> int:
             opts,
             run_traffic_serve_bench,
             json_path=Path.cwd() / "BENCH_traffic.json",
+            requests=requests,
+            seed=opts.seed,
+            **sweep_kwargs,
+        )
+    if args and args[0] == "elastic":
+        try:
+            requests = int(args[1]) if len(args) > 1 else (3000 if smoke else 200_000)
+        except ValueError:
+            print(f"serve-bench elastic expects a request count, got {args[1]!r}")
+            return 2
+        if requests < 1:
+            print(f"serve-bench elastic request count must be >= 1, got {requests}")
+            return 2
+        sweep_kwargs = {}
+        if smoke:
+            # Diurnal tape only, short probe, fewer warm programs: the
+            # CI smoke proves the plumbing, not the capacity numbers.
+            # The tighter deadline/SLO keep overload visible on a tape
+            # too short for queueing delay to breach the full-size SLO.
+            sweep_kwargs = {
+                "tapes": ("diurnal",),
+                "probe_requests": 800,
+                "warm_programs": 3,
+                "deadline_s": 1.2e-7,
+                "p99_slo_s": 1.3e-7,
+            }
+        return _run_scenario(
+            opts,
+            run_elastic_serve_bench,
+            json_path=Path.cwd() / "BENCH_elastic.json",
             requests=requests,
             seed=opts.seed,
             **sweep_kwargs,

@@ -51,7 +51,7 @@ from .cluster import ClusterReport, PhotonicCluster, ReplicatedModel
 from .futures import Future, RunReport
 from .graph import AvgPool, Conv2d, Dense, Flatten, Model, ReLU
 from .policy import FlushPolicy
-from .routing import RoutingPolicy
+from .routing import HashRing, RoutingPolicy
 from .session import CompiledStage, DeployedModel, PhotonicSession
 
 __all__ = [
@@ -64,6 +64,7 @@ __all__ = [
     "Flatten",
     "FlushPolicy",
     "Future",
+    "HashRing",
     "HealthPolicy",
     "HealthReport",
     "MetricsRegistry",

@@ -26,18 +26,30 @@ On top of the per-core sessions the cluster adds:
   with each session's per-stage analog accounting intact;
 * :meth:`report` — a :class:`ClusterReport` rolling the per-core
   :class:`~repro.api.futures.RunReport` records into fleet totals plus
-  per-core utilization and imbalance statistics.
+  per-core utilization and imbalance statistics;
+* **elastic fleets** (:mod:`repro.elastic`) — an optional
+  :class:`~repro.elastic.Autoscaler` policy grows
+  (:meth:`add_core` / :meth:`scale_up`, warm-started from an attached
+  :class:`~repro.elastic.ProgramStore`) and shrinks
+  (:meth:`scale_down`, reusing the drain machinery to *park* a core)
+  the fleet between ``min_cores`` and ``max_cores`` on load watermarks;
+  per-slot :class:`~repro.elastic.CoreSpec` overrides build
+  heterogeneous fleets whose capability-aware router places each
+  program shape on the cheapest capable core, and cache-affinity
+  routing runs on an incremental :class:`~repro.api.routing.HashRing`
+  so hot programs keep their homes across membership changes.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..config import Technology
+from ..elastic import Autoscaler, CoreSpec, FleetSnapshot, ProgramStore
 from ..errors import ClusterSaturatedError, ConfigurationError
 from ..health.drift import DriftModel, DriftState
 from ..health.monitor import HealthPolicy, HealthReport
@@ -54,7 +66,7 @@ from ..telemetry import (
 from .futures import Future, RunReport
 from .graph import Model
 from .policy import FlushPolicy
-from .routing import RoutingPolicy
+from .routing import HashRing, RoutingPolicy
 from .session import ClockSource, DeployedModel, DriftLike, PhotonicSession
 
 if TYPE_CHECKING:
@@ -85,6 +97,22 @@ class ClusterReport(ReportExport):
     draining: tuple[int, ...] = ()
     #: Drain cycles performed so far (maintenance drain → restore).
     drains: int = 0
+    #: Autoscaler grow events (unpark or ``add_core``) so far.
+    scale_ups: int = 0
+    #: Autoscaler shrink events (drain → park) so far.
+    scale_downs: int = 0
+    #: Integral of the active-core count over modelled time [core·s]:
+    #: the capacity a fleet actually paid for — an autoscaled fleet
+    #: meeting the same SLO as a static max-size fleet shows the
+    #: savings here.  0.0 without a modelled clock.
+    core_seconds: float = 0.0
+    #: Requests pending per core at report time (the per-core
+    #: :attr:`~repro.runtime.scheduler.SchedulerStats.pending` signal
+    #: the autoscaler and least-loaded routing watch), in core order.
+    pending: tuple[int, ...] = ()
+    #: Deadline-shed requests per core (each core's cumulative
+    #: ``RunReport.deadline_misses``), in core order.
+    deadline_shed: tuple[int, ...] = ()
     #: Fleet-wide modelled latency distributions, merged bin-for-bin
     #: from the per-core telemetry histograms (quantiles are not
     #: additive, so the merge happens at the histogram level — see
@@ -163,6 +191,12 @@ class ClusterReport(ReportExport):
             lines.append(
                 f"maintenance       : {self.drains} drain cycles, "
                 f"currently drained: {drained}"
+            )
+        if self.scale_ups or self.scale_downs or self.core_seconds:
+            lines.append(
+                f"autoscaling       : {self.scale_ups} scale-ups, "
+                f"{self.scale_downs} scale-downs, "
+                f"{self.core_seconds:.3g} core-seconds"
             )
         return lines
 
@@ -264,6 +298,14 @@ class PhotonicCluster:
     knobs: ``cores``, ``routing`` (a
     :class:`~repro.api.routing.RoutingPolicy`; default round-robin) and
     ``max_pending`` (fleet-wide admission cap; None = never shed).
+
+    The elastic knobs (all optional, see :mod:`repro.elastic`):
+    ``core_specs`` gives per-slot :class:`~repro.elastic.CoreSpec`
+    overrides for heterogeneous fleets; ``autoscaler`` attaches an
+    :class:`~repro.elastic.Autoscaler` policy that grows/parks slots
+    on load watermarks; ``program_store`` attaches a
+    :class:`~repro.elastic.ProgramStore` every slot warm-starts its
+    compiled weight programs from (and writes through to).
     """
 
     def __init__(
@@ -283,6 +325,9 @@ class PhotonicCluster:
         max_pending: int | None = None,
         drift: DriftLike = None,
         health_policy: HealthPolicy | None = None,
+        core_specs: Sequence[CoreSpec | None] | None = None,
+        autoscaler: Autoscaler | None = None,
+        program_store: ProgramStore | None = None,
         trace: TraceRecorder | None = None,
         metrics: MetricsRegistry | None = None,
         clock: "ClockSource" = None,
@@ -310,6 +355,45 @@ class PhotonicCluster:
                 f"health_policy must be a repro.health.HealthPolicy, "
                 f"got {type(health_policy).__name__}"
             )
+        if autoscaler is not None and not isinstance(autoscaler, Autoscaler):
+            raise ConfigurationError(
+                f"autoscaler must be a repro.elastic.Autoscaler, "
+                f"got {type(autoscaler).__name__}"
+            )
+        if program_store is not None and not isinstance(program_store, ProgramStore):
+            raise ConfigurationError(
+                f"program_store must be a repro.elastic.ProgramStore, "
+                f"got {type(program_store).__name__}"
+            )
+        if core_specs is not None:
+            specs = tuple(core_specs)
+            if len(specs) != int(cores):
+                raise ConfigurationError(
+                    f"core_specs must give one CoreSpec (or None) per "
+                    f"core slot: got {len(specs)} specs for {cores} cores"
+                )
+            for spec in specs:
+                if spec is not None and not isinstance(spec, CoreSpec):
+                    raise ConfigurationError(
+                        f"core_specs entries must be CoreSpec or None, "
+                        f"got {type(spec).__name__}"
+                    )
+        else:
+            specs = (None,) * int(cores)
+        if grid is not None:
+            # Normalize once so per-slot CoreSpec overrides can replace
+            # rows/columns independently of how the default was spelled.
+            if rows is not None or columns is not None:
+                raise ConfigurationError(
+                    "pass either grid=(rows, columns) or rows=/columns=, "
+                    "not both"
+                )
+            try:
+                rows, columns = (int(dim) for dim in grid)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"grid must be a (rows, columns) pair, got {grid!r}"
+                ) from None
         self.routing = routing if routing is not None else RoutingPolicy.round_robin()
         self.max_pending = max_pending
         #: Fleet maintenance policy; per-core sessions stay policy-free
@@ -341,8 +425,11 @@ class PhotonicCluster:
                 f"got {type(metrics).__name__}"
             )
         self.telemetry: Telemetry | None
+        self._trace = trace
+        self._pid: int | None = None
         if trace is not None or metrics is not None:
             pid = trace.process(self.label) if trace is not None else None
+            self._pid = pid
             self.telemetry = Telemetry(
                 trace=trace,
                 metrics=metrics,
@@ -350,40 +437,50 @@ class PhotonicCluster:
                 track="fleet",
                 pid=pid,
             )
-            core_bindings = tuple(
-                Telemetry(
-                    trace=trace,
-                    process=self.label,
-                    track=f"core {index}",
-                    pid=pid,
-                )
-                for index in range(int(cores))
-            )
         else:
             self.telemetry = None
-            core_bindings = (None,) * int(cores)
-        self._sessions = tuple(
-            PhotonicSession(
-                technology=technology,
-                grid=grid,
-                rows=rows,
-                columns=columns,
-                weight_bits=weight_bits,
-                adc_bits=adc_bits,
-                cache_capacity=cache_capacity,
-                tiled_cache_capacity=tiled_cache_capacity,
-                max_batch=max_batch,
-                flush_policy=flush_policy,
-                drift=drift,
-                telemetry=core_bindings[index],
-                clock=clock,
-                label=f"{self.label}/core{index}",
-            )
-            for index in range(int(cores))
+        #: The elastic policy (None = fixed fleet) and the shared
+        #: compiled-program store (None = every slot cold-compiles).
+        self.autoscaler = autoscaler
+        self.program_store = program_store
+        self._clock = clock
+        # Everything a *new* slot is built from — add_core() replays
+        # these (modulo its CoreSpec overrides) so grown slots match
+        # the founding fleet.
+        self._core_defaults: dict = dict(
+            technology=technology,
+            rows=rows,
+            columns=columns,
+            weight_bits=weight_bits,
+            adc_bits=adc_bits,
+            cache_capacity=cache_capacity,
+            tiled_cache_capacity=tiled_cache_capacity,
+            max_batch=max_batch,
+            flush_policy=flush_policy,
+            drift=drift,
         )
+        # Sessions only ever *grow*: scale-down parks a slot (drain +
+        # out of rotation) rather than deleting it, so core indices —
+        # and every consumer holding them (hash ring members, replica
+        # placements, traffic engines, report deltas) — stay stable.
+        self._sessions: list[PhotonicSession] = [
+            self._build_session(index, specs[index])
+            for index in range(int(cores))
+        ]
         if health_policy is not None:
             for session in self._sessions:
                 session.ensure_monitor(health_policy)
+        self._specs: list[CoreSpec | None] = list(specs)
+        self._core_caps: list[tuple[int, int, int]] = [
+            self._session_caps(session) for session in self._sessions
+        ]
+        self._heterogeneous = len(set(self._core_caps)) > 1
+        self._ring = HashRing(range(int(cores)))
+        #: Bumped on every membership change (add_core); long-lived
+        #: consumers holding a session snapshot (e.g.
+        #: :class:`~repro.traffic.TrafficEngine`) re-snapshot when it
+        #: moves.
+        self.membership_version = 0
         self._cursor = 0
         self._routed = [0] * int(cores)
         self._shed = 0
@@ -402,6 +499,71 @@ class PhotonicCluster:
         #: Total core flush count the last health maintenance ran at.
         self._health_watermark = 0
         self._in_maintenance = False
+        # -- elastic state --------------------------------------------------
+        #: Slots scaled down (subset of _drained): drained AND eligible
+        #: to rejoin warm on the next scale-up, LRU caches intact.
+        self._parked: set[int] = set()
+        self._scale_ups = 0
+        self._scale_downs = 0
+        #: Total core flush count the last autoscale decision ran at,
+        #: and the shed/miss counters it had seen — decisions vote on
+        #: *deltas* per window, not lifetime totals.
+        self._scale_watermark = 0
+        self._scale_shed_seen = 0
+        self._scale_miss_seen = 0
+        self._last_scale_at: float | None = None
+        self._in_scaling = False
+        self._core_seconds = 0.0
+        self._seconds_accrued_at = self._elastic_now()
+
+    # -- slot construction ---------------------------------------------------
+    def _core_binding(self, index: int) -> Telemetry | None:
+        """One core slot's telemetry binding (own modelled clock and
+        registry, shared recorder/process); None without telemetry."""
+        if self.telemetry is None:
+            return None
+        return Telemetry(
+            trace=self._trace,
+            process=self.label,
+            track=f"core {index}",
+            pid=self._pid,
+        )
+
+    def _build_session(self, index: int, spec: CoreSpec | None) -> PhotonicSession:
+        """Build slot ``index`` from the cluster defaults with the
+        spec's per-dimension overrides; the shared program store (when
+        attached) rides in so the slot warm-starts its programs."""
+        defaults = self._core_defaults
+        spec = spec if spec is not None else CoreSpec()
+        return PhotonicSession(
+            technology=defaults["technology"],
+            rows=spec.rows if spec.rows is not None else defaults["rows"],
+            columns=(
+                spec.columns if spec.columns is not None else defaults["columns"]
+            ),
+            weight_bits=(
+                spec.weight_bits
+                if spec.weight_bits is not None
+                else defaults["weight_bits"]
+            ),
+            adc_bits=(
+                spec.adc_bits if spec.adc_bits is not None else defaults["adc_bits"]
+            ),
+            cache_capacity=defaults["cache_capacity"],
+            tiled_cache_capacity=defaults["tiled_cache_capacity"],
+            max_batch=defaults["max_batch"],
+            flush_policy=defaults["flush_policy"],
+            drift=defaults["drift"],
+            telemetry=self._core_binding(index),
+            clock=self._clock,
+            program_store=self.program_store,
+            label=f"{self.label}/core{index}",
+        )
+
+    @staticmethod
+    def _session_caps(session: PhotonicSession) -> tuple[int, int, int]:
+        """(rows, columns, adc_bits) — what capability routing reads."""
+        return (session.rows, session.columns, session.core.row_adcs[0].bits)
 
     # -- fleet geometry ------------------------------------------------------
     @property
@@ -411,7 +573,7 @@ class PhotonicCluster:
     @property
     def sessions(self) -> tuple[PhotonicSession, ...]:
         """The per-core sessions, in core-index order."""
-        return self._sessions
+        return tuple(self._sessions)
 
     @property
     def technology(self) -> Technology:
@@ -468,6 +630,18 @@ class PhotonicCluster:
         """Cores currently drained out of rotation, ascending."""
         return tuple(sorted(self._drained))
 
+    @property
+    def parked(self) -> tuple[int, ...]:
+        """Slots scaled down and waiting warm (subset of
+        :attr:`draining`), ascending."""
+        return tuple(sorted(self._parked))
+
+    @property
+    def core_specs(self) -> tuple[CoreSpec | None, ...]:
+        """The per-slot :class:`~repro.elastic.CoreSpec` overrides
+        (None = cluster default), in core-index order."""
+        return tuple(self._specs)
+
     # -- telemetry -----------------------------------------------------------
     def _fleet_now(self) -> float:
         """The fleet's modelled 'now': cores run concurrently on
@@ -489,6 +663,34 @@ class PhotonicCluster:
         if tel is not None:
             tel.clock.now = self._fleet_now()
             tel.instant(name, "fleet", args)
+
+    # -- elastic bookkeeping -------------------------------------------------
+    def _elastic_now(self) -> float:
+        """Modelled 'now' for scale decisions and core-second
+        accounting: the injected clock when one is shared fleet-wide,
+        else the furthest-along core clock (0.0 without either)."""
+        clock = self._clock
+        if clock is not None:
+            return float(clock() if callable(clock) else clock.now)
+        return self._fleet_now()
+
+    def _accrue_core_seconds(self) -> None:
+        """Advance the core-seconds integral to 'now' at the *current*
+        active-core count; call before any membership change so each
+        interval is billed at the fleet size that actually served it."""
+        now = self._elastic_now()
+        elapsed = now - self._seconds_accrued_at
+        if elapsed > 0.0:
+            self._core_seconds += elapsed * len(self.active_cores)
+            self._seconds_accrued_at = now
+
+    def _fleet_deadline_misses(self) -> int:
+        """Cumulative deadline-shed requests across the fleet (the
+        autoscaler's miss signal; cheap — no report construction)."""
+        return sum(
+            session.scheduler.stats().deadline_misses + session._deadline_misses
+            for session in self._sessions
+        )
 
     # -- QoS -----------------------------------------------------------------
     @staticmethod
@@ -547,28 +749,87 @@ class PhotonicCluster:
             if self._pending_since[core] is None:
                 self._pending_since[core] = self._submit_seq
         self._maybe_run_health()
+        self._maybe_autoscale()
 
     # -- routed request paths ------------------------------------------------
-    def _route(self, key_factory: Callable[[], bytes]) -> int:
+    def _placement_cost(self, core: int, shape: tuple[int, int]) -> tuple[int, int]:
+        """Cost of serving ``shape`` on ``core``: (powered cells, tile
+        passes), compared lexicographically.  Small shapes are cheapest
+        on small grids (no dead cells), large shapes on large grids
+        (fewer tile passes) — exactly the heterogeneous trade-off; on
+        equal cells the fewer-passes core wins (less scheduling and
+        weight-streaming overhead)."""
+        rows, columns, _ = self._core_caps[core]
+        out_features, in_features = shape
+        tiles = -(-out_features // rows) * -(-in_features // columns)
+        return (tiles * rows * columns, tiles)
+
+    def _capable_cores(
+        self,
+        shape: tuple[int, int] | None,
+        min_adc_bits: int | None,
+    ) -> tuple[int, ...]:
+        """The active cores a request may land on.  ADC precision is a
+        hard-ish constraint (graceful fallback: when no active core
+        reaches ``min_adc_bits``, the highest-precision cores stand in
+        rather than refusing traffic); on a heterogeneous fleet the
+        cheapest-capable cores by :meth:`_placement_cost` remain."""
+        candidates = self.active_cores
+        if min_adc_bits is not None and len(candidates) > 1:
+            capable = tuple(
+                index
+                for index in candidates
+                if self._core_caps[index][2] >= min_adc_bits
+            )
+            if not capable:
+                best = max(self._core_caps[index][2] for index in candidates)
+                capable = tuple(
+                    index
+                    for index in candidates
+                    if self._core_caps[index][2] == best
+                )
+            candidates = capable
+        if shape is not None and self._heterogeneous and len(candidates) > 1:
+            costs = {
+                index: self._placement_cost(index, shape)
+                for index in candidates
+            }
+            cheapest = min(costs.values())
+            candidates = tuple(
+                index for index in candidates if costs[index] == cheapest
+            )
+        return candidates
+
+    def _route(
+        self,
+        key_factory: Callable[[], bytes],
+        shape: tuple[int, int] | None = None,
+        min_adc_bits: int | None = None,
+    ) -> int:
         """Pick the core for one request.  ``key_factory`` builds the
         weight-program routing key; it is only invoked when the policy
         actually hashes keys, so round-robin/least-loaded never pay the
-        program serialization.  Drained cores are out of rotation: the
-        policy decides over the active sub-fleet (consistent hashing
-        re-spreads a drained core's programs over the survivors) and
-        the result maps back to the physical core index."""
-        active = self.active_cores
-        if len(active) == 1:
+        program serialization.  Drained/parked cores are out of
+        rotation and capability filtering (``shape``/``min_adc_bits``)
+        narrows the sub-fleet first; cache-affinity then resolves on
+        the membership-stable :class:`~repro.api.routing.HashRing`
+        (restricted to the capable sub-fleet), so a hot program keeps
+        its home core across scale events, while the stateless
+        policies decide over the sub-fleet by index."""
+        candidates = self._capable_cores(shape, min_adc_bits)
+        if len(candidates) == 1:
             self._cursor += 1
-            return active[0]
+            return candidates[0]
+        if self.routing.needs_key:
+            self._cursor += 1
+            return self._ring.lookup(key_factory(), allowed=candidates)
         if self.routing.needs_loads:
-            loads = [self._sessions[index].pending for index in active]
+            loads = [self._sessions[index].pending for index in candidates]
         else:
-            loads = [0] * len(active)         # only the length is read
-        key = key_factory() if self.routing.needs_key else None
-        slot = self.routing.select(key, loads, self._cursor)
+            loads = [0] * len(candidates)     # only the length is read
+        slot = self.routing.select(None, loads, self._cursor)
         self._cursor += 1
-        return active[slot]
+        return candidates[slot]
 
     def submit(
         self,
@@ -578,15 +839,27 @@ class PhotonicCluster:
         priority: int = 0,
         deadline: float | None = None,
         tenant: str | None = None,
+        min_adc_bits: int | None = None,
     ) -> Future:
         """Queue one W @ x request on the core the routing policy
         picks; returns that core's :class:`Future`.  ``gain`` follows
         the session semantics; ``priority`` orders the fleet flush and
         (if positive) bypasses admission shedding; ``deadline`` /
-        ``tenant`` follow :meth:`PhotonicSession.submit`."""
+        ``tenant`` follow :meth:`PhotonicSession.submit`;
+        ``min_adc_bits`` asks for a read-out precision floor on a
+        heterogeneous fleet (graceful fallback to the best available
+        cores when none reaches it)."""
         priority = self._admit(priority)
+        weights = np.asarray(weights)
+        shape = (
+            (int(weights.shape[0]), int(weights.shape[1]))
+            if weights.ndim == 2
+            else None
+        )
         index = self._route(
-            lambda: b"dense-route:" + weight_key(np.asarray(weights))
+            lambda: b"dense-route:" + weight_key(weights),
+            shape=shape,
+            min_adc_bits=min_adc_bits,
         )
         future = self._sessions[index].submit(
             weights, x, gain=gain, deadline=deadline, tenant=tenant
@@ -619,12 +892,24 @@ class PhotonicCluster:
         priority: int = 0,
         deadline: float | None = None,
         tenant: str | None = None,
+        min_adc_bits: int | None = None,
     ) -> Future:
         """Queue one im2col convolution on the routed core; the routing
         key is the quantized differential program, so one program's
-        traffic shares one core's cache under cache-affinity."""
+        traffic shares one core's cache under cache-affinity.
+        ``min_adc_bits`` follows :meth:`submit`."""
         priority = self._admit(priority)
-        index = self._route(lambda: self._conv_route_key(kernels))
+        bank = np.asarray(kernels)
+        shape = (
+            (int(bank.shape[0]), int(np.prod(bank.shape[1:])))
+            if bank.ndim >= 2
+            else None
+        )
+        index = self._route(
+            lambda: self._conv_route_key(kernels),
+            shape=shape,
+            min_adc_bits=min_adc_bits,
+        )
         future = self._sessions[index].submit_conv(
             kernels, image, stride=stride, gain=gain,
             deadline=deadline, tenant=tenant,
@@ -654,6 +939,7 @@ class PhotonicCluster:
         placement = sorted(
             range(self.cores),
             key=lambda index: (
+                index in self._drained,   # active slots first
                 len(self._sessions[index].endpoints),
                 self._sessions[index].pending,
                 index,
@@ -704,11 +990,184 @@ class PhotonicCluster:
             self._fleet_instant(f"drain core {core}", args={"core": core})
 
     def restore(self, core: int) -> None:
-        """Return a drained core to the routing rotation."""
+        """Return a drained (or parked) core to the routing rotation."""
         core = self._validated_core(core)
         if core in self._drained:
             self._fleet_instant(f"restore core {core}", args={"core": core})
         self._drained.discard(core)
+        self._parked.discard(core)
+
+    # -- elastic scaling -----------------------------------------------------
+    def add_core(self, spec: CoreSpec | None = None) -> int:
+        """Grow the fleet by one slot and return its index.
+
+        The new slot is built from the cluster defaults with ``spec``'s
+        overrides, joins the hash ring incrementally (only ~1/(n+1) of
+        affinity keys re-home) and — when a
+        :class:`~repro.elastic.ProgramStore` is attached — warm-starts
+        every program it serves from the store instead of recompiling.
+        Bumps :attr:`membership_version` so long-lived consumers
+        re-snapshot the session list.
+        """
+        if spec is not None and not isinstance(spec, CoreSpec):
+            raise ConfigurationError(
+                f"spec must be a repro.elastic.CoreSpec, "
+                f"got {type(spec).__name__}"
+            )
+        self._accrue_core_seconds()
+        index = len(self._sessions)
+        session = self._build_session(index, spec)
+        if self.health_policy is not None:
+            session.ensure_monitor(self.health_policy)
+        self._sessions.append(session)
+        self._specs.append(spec)
+        self._core_caps.append(self._session_caps(session))
+        self._heterogeneous = len(set(self._core_caps)) > 1
+        self._routed.append(0)
+        self._pending_priority.append(None)
+        self._pending_since.append(None)
+        self._ring.add(index)
+        self.membership_version += 1
+        if self.telemetry is not None:
+            self.telemetry.metrics.gauge("active_cores").set(
+                len(self.active_cores)
+            )
+            self._fleet_instant(
+                f"add core {index}",
+                args={
+                    "core": index,
+                    "spec": spec.describe() if spec is not None else "default",
+                    "warm": self.program_store is not None,
+                    "active": len(self.active_cores),
+                },
+            )
+        return index
+
+    def scale_up(self, spec: CoreSpec | None = None) -> int:
+        """Bring one more core into rotation and return its index.
+
+        A parked slot rejoins first (warmest possible start — its LRU
+        caches survived the park); otherwise a new slot is added via
+        :meth:`add_core` (warm-started from the program store when one
+        is attached, else cold).  ``spec`` defaults to the autoscaler's
+        ``spec`` for grown slots.
+        """
+        self._accrue_core_seconds()
+        if self._parked:
+            core = max(self._parked)          # most recently parked
+            warm_start = "unparked"
+            self.restore(core)
+        else:
+            if spec is None and self.autoscaler is not None:
+                spec = self.autoscaler.spec
+            warm_start = "store" if self.program_store is not None else "cold"
+            core = self.add_core(spec)
+        self._scale_ups += 1
+        self._last_scale_at = self._elastic_now()
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("scale_ups").inc()
+            self.telemetry.metrics.gauge("active_cores").set(
+                len(self.active_cores)
+            )
+            self._fleet_instant(
+                f"scale up core {core}",
+                args={
+                    "core": core,
+                    "warm_start": warm_start,
+                    "active": len(self.active_cores),
+                },
+            )
+        return core
+
+    def scale_down(self, core: int | None = None) -> int | None:
+        """Park one core out of rotation; returns its index.
+
+        Reuses the drain machinery — pending requests flush first, then
+        the slot leaves the rotation and is *parked*, not deleted:
+        indices stay stable and the slot's caches stay warm for the
+        next :meth:`scale_up`.  With ``core=None`` the emptiest
+        endpoint-free core parks (highest index on ties); returns None
+        when no core can leave (only one active core remains, the
+        chosen core is already out, or every active core hosts model
+        endpoints).
+        """
+        active = self.active_cores
+        if len(active) <= 1:
+            return None
+        if core is None:
+            candidates = [
+                index
+                for index in active
+                if not self._sessions[index].endpoints
+            ]
+            if not candidates:
+                return None
+            core = min(
+                candidates,
+                key=lambda index: (self._sessions[index].pending, -index),
+            )
+        else:
+            core = self._validated_core(core)
+            if core not in active:
+                return None
+        self._accrue_core_seconds()
+        self.drain(core)
+        self._parked.add(core)
+        self._scale_downs += 1
+        self._last_scale_at = self._elastic_now()
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter("scale_downs").inc()
+            self.telemetry.metrics.gauge("active_cores").set(
+                len(self.active_cores)
+            )
+            self._fleet_instant(
+                f"scale down core {core}",
+                args={"core": core, "active": len(self.active_cores)},
+            )
+        return core
+
+    def _maybe_autoscale(self) -> None:
+        """Evaluate the autoscaler on its watermark and act on the
+        vote.  The watermark counts submits *and* flushes — overload
+        (queue depth) is only visible between submits, while a fully
+        idle fleet only ticks on flush/poll, so both must advance the
+        cadence.  Piggybacks on the same hooks as health maintenance,
+        so fleets on auto-flush policies still scale."""
+        policy = self.autoscaler
+        if policy is None or self._in_scaling or self._in_maintenance:
+            return
+        total = self._submit_seq + self.flushes
+        if (
+            total - self._scale_watermark < policy.watch_every
+            and len(self.active_cores) >= policy.min_cores
+        ):
+            return
+        self._scale_watermark = total
+        shed = self._shed
+        shed_delta = shed - self._scale_shed_seen
+        self._scale_shed_seen = shed
+        misses = self._fleet_deadline_misses()
+        miss_delta = misses - self._scale_miss_seen
+        self._scale_miss_seen = misses
+        snapshot = FleetSnapshot(
+            active_cores=len(self.active_cores),
+            pending=self.pending,
+            shed_delta=shed_delta,
+            miss_delta=miss_delta,
+            now=self._elastic_now(),
+            last_scale_at=self._last_scale_at,
+        )
+        step = policy.decide(snapshot)
+        if step == 0:
+            return
+        self._in_scaling = True
+        try:
+            if step > 0:
+                self.scale_up()
+            else:
+                self.scale_down()
+        finally:
+            self._in_scaling = False
 
     def check_health(self) -> tuple[HealthReport, ...]:
         """Probe every core (drained ones included) and return the
@@ -796,6 +1255,7 @@ class PhotonicCluster:
             self._pending_priority[index] = None
             self._pending_since[index] = None
         self._maybe_run_health()
+        self._maybe_autoscale()
         return resolved
 
     def age(self, seconds: float) -> None:
@@ -814,6 +1274,7 @@ class PhotonicCluster:
                 self._pending_priority[index] = None
                 self._pending_since[index] = None
         self._maybe_run_health()
+        self._maybe_autoscale()
         return resolved
 
     # -- reporting -----------------------------------------------------------
@@ -848,6 +1309,7 @@ class PhotonicCluster:
         """Cumulative fleet accounting: per-core RunReports plus their
         rolled-up totals, routing spread, shed count and (with
         telemetry) the merged fleet latency distributions."""
+        self._accrue_core_seconds()
         per_core = tuple(session.report() for session in self._sessions)
         return ClusterReport(
             cores=self.cores,
@@ -858,6 +1320,13 @@ class PhotonicCluster:
             shed=self._shed,
             draining=self.draining,
             drains=self._drains,
+            scale_ups=self._scale_ups,
+            scale_downs=self._scale_downs,
+            core_seconds=self._core_seconds,
+            pending=tuple(session.pending for session in self._sessions),
+            deadline_shed=tuple(
+                report.deadline_misses for report in per_core
+            ),
             latency_quantiles=self._merged_latency_quantiles(),
         )
 

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..config import Technology, default_technology
 from ..core.quantization import quantize_weights_differential
+from ..elastic import ProgramStore, core_fingerprint
 from ..errors import ConfigurationError, DeadlineExceededError
 from ..health.drift import DriftModel, DriftState
 from ..health.monitor import HealthMonitor, HealthPolicy, HealthReport
@@ -277,6 +278,7 @@ class PhotonicSession:
         metrics: MetricsRegistry | None = None,
         telemetry: Telemetry | None = None,
         clock: ClockSource = None,
+        program_store: ProgramStore | None = None,
         label: str = "session",
     ) -> None:
         if grid is not None:
@@ -404,6 +406,44 @@ class PhotonicSession:
         self._in_maintenance = False
         if self.health_policy is not None:
             self.ensure_monitor(self.health_policy)
+
+        # -- persisted warm starts (repro.elastic) -----------------------
+        #: Optional :class:`~repro.elastic.ProgramStore` both program
+        #: caches write through to and read back from: compiled
+        #: programs persist across sessions (and processes), so a fresh
+        #: core warm-starts bit-for-bit instead of recompiling.
+        if program_store is not None and not isinstance(program_store, ProgramStore):
+            raise ConfigurationError(
+                f"program_store must be a repro.elastic.ProgramStore, "
+                f"got {type(program_store).__name__}"
+            )
+        self.program_store = program_store
+        if program_store is not None:
+            fingerprint = core_fingerprint(
+                self.technology,
+                self.rows,
+                self.columns,
+                self.core.weight_bits,
+                self.core.row_adcs[0].bits,
+            )
+
+            def _current_epoch() -> int:
+                drift_state = self.core.drift_state
+                if drift_state is not None and drift_state.active:
+                    return drift_state.epoch
+                return 0
+
+            def _current_drift():
+                return self.core.drift_state
+
+            for cache in (self.scheduler.cache, self.tiled_cache):
+                cache.attach_store(
+                    program_store,
+                    fingerprint=fingerprint,
+                    technology=self.technology,
+                    epoch_source=_current_epoch,
+                    drift_source=_current_drift,
+                )
         self._last_totals = self._totals()
 
     # -- geometry ------------------------------------------------------------
@@ -649,6 +689,30 @@ class PhotonicSession:
         tel = self.telemetry
         program = self.tiled_cache.get(key)
         if program is None:
+            # Warm start: restore a persisted compile of this program
+            # before paying the cold differential build.  The modelled
+            # streaming ledger is charged identically either way; only
+            # the host-side compile is skipped.
+            restored = self.tiled_cache.read_back(key)
+            if restored is not None:
+                self._tiled_energy_spent += restored.weight_update_energy
+                self._tiled_weight_time += restored.weight_update_time
+                self.tiled_cache.put(key, restored)
+                if tel is not None:
+                    restore_start = tel.clock.now
+                    tel.clock.advance(restored.weight_update_time)
+                    tel.metrics.counter("warm_starts").inc()
+                    tel.span(
+                        "warm start differential",
+                        "fleet",
+                        restore_start,
+                        restored.weight_update_time,
+                        args={
+                            "program": key[:12].hex(),
+                            "tiles": restored.tile_count,
+                        },
+                    )
+                return restored
             positive, negative = compile_differential_engines(
                 q_positive, q_negative, self.core
             )
@@ -1153,16 +1217,23 @@ class PhotonicSession:
                 weight_before = self._tiled_weight_time
                 engine = self.tiled_cache.get(key)
                 if engine is None:
-                    engine = TiledMatmul(
-                        group["weights"],
-                        tile_rows=self.rows,
-                        tile_columns=self.columns,
-                        weight_bits=self.core.weight_bits,
-                        adc_bits=self.core.row_adcs[0].bits,
-                        technology=self.technology,
-                        ladder_cache=self.core.runtime_ladder_cache,
-                        drift_state=self.core.drift_state,
-                    )
+                    # Warm start before cold compile: a persisted grid
+                    # restores in one read, still charging the modelled
+                    # streaming ledger.
+                    restored = self.tiled_cache.read_back(key)
+                    if restored is not None:
+                        engine = restored
+                    else:
+                        engine = TiledMatmul(
+                            group["weights"],
+                            tile_rows=self.rows,
+                            tile_columns=self.columns,
+                            weight_bits=self.core.weight_bits,
+                            adc_bits=self.core.row_adcs[0].bits,
+                            technology=self.technology,
+                            ladder_cache=self.core.runtime_ladder_cache,
+                            drift_state=self.core.drift_state,
+                        )
                     self._tiled_energy_spent += engine.weight_update_energy
                     self._tiled_weight_time += engine.weight_update_time
                     self.tiled_cache.put(key, engine)
@@ -1170,9 +1241,12 @@ class PhotonicSession:
                         compile_start = tel.clock.now
                         tel.clock.advance(engine.weight_update_time)
                         tel.metrics.counter("cache_misses").inc()
+                        if restored is not None:
+                            tel.metrics.counter("warm_starts").inc()
                         tel.span(
-                            "compile tiled",
-                            "compile",
+                            "warm start tiled" if restored is not None
+                            else "compile tiled",
+                            "fleet" if restored is not None else "compile",
                             compile_start,
                             engine.weight_update_time,
                             args={"tiles": engine.tile_count},

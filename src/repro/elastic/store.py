@@ -1,0 +1,454 @@
+"""Content-addressed persistence of compiled weight programs and
+per-core calibration state.
+
+A compiled program is a pure function of (weights, core geometry, ADC
+precision, technology, calibration epoch): everything
+:class:`~repro.runtime.engine.CompiledCore` snapshots — the dense
+response matrix, the exact bisected code ladders, the drift trims — is
+already detached from the device.  :class:`ProgramStore` writes those
+snapshots to disk as one ``.npz`` (arrays, lossless float64) plus one
+JSON manifest (scalars, epoch, integrity metadata) per entry, keyed by
+a blake2b digest of the cache key and a :func:`core_fingerprint` of
+the compiling core, so a fresh session — or another process — restores
+the program bit-for-bit instead of recompiling.
+
+Integrity is checked on every load: a damaged manifest or array
+payload raises :class:`~repro.errors.CorruptProgramError`, an entry
+compiled under a different calibration epoch raises
+:class:`~repro.errors.StaleProgramError` (its compensation snapshot no
+longer describes the hardware trims).  Serving paths catch
+:class:`~repro.errors.ProgramStoreError` and fall back to a cold
+compile; the fresh program then overwrites the stale entry.
+
+Calibration records travel separately (:meth:`ProgramStore.
+save_calibration`): a small JSON file per core label holding the
+drift epoch, compensation trims, and modelled age, so a replacement
+core can adopt the fleet's calibration state before warm-starting
+programs compiled under it — the persisted ADC register-map idiom of
+deployable in-memory compute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..config import Technology
+from ..errors import ConfigurationError, CorruptProgramError, StaleProgramError
+from ..health.drift import DriftState
+from ..runtime.scheduler import CachedProgram
+from ..runtime.tiling import DifferentialProgram, TiledMatmul
+
+#: Manifest schema version; bumped on any layout change so old entries
+#: are rejected as corrupt instead of misread.
+STORE_FORMAT = 1
+
+_KINDS = ("dense", "tiled", "differential")
+
+
+def core_fingerprint(
+    technology: Technology,
+    rows: int,
+    columns: int,
+    weight_bits: int,
+    adc_bits: int,
+) -> str:
+    """The identity of a compiling core, as a short stable digest.
+
+    Two cores share a fingerprint exactly when a program compiled on
+    one is valid on the other: same grid geometry, same weight/ADC
+    precision, same technology parameters (the dataclass ``repr`` is a
+    deterministic dump of every spec field).
+    """
+    payload = (
+        f"{int(rows)}x{int(columns)}|w{int(weight_bits)}|a{int(adc_bits)}"
+        f"|{technology!r}"
+    )
+    return hashlib.blake2b(payload.encode(), digest_size=8).hexdigest()
+
+
+def _flatten_arrays(state: dict[str, Any], prefix: str = "") -> dict[str, np.ndarray]:
+    """Collect ``state["arrays"]`` under dotted ``prefix`` keys."""
+    return {f"{prefix}{name}": array for name, array in state["arrays"].items()}
+
+
+class ProgramStore:
+    """A directory of persisted compiled programs + calibration records.
+
+    Every public accessor either returns the requested object or
+    raises a typed :class:`~repro.errors.ProgramStoreError` subclass;
+    absence is ``None`` (a miss, not an error).  Counters
+    (``saves``/``save_skips``/``restores``/``misses``/
+    ``stale_rejects``/``corrupt_rejects``) make warm-start behaviour
+    observable in tests and benches.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: Entries written (excluding skipped already-present saves).
+        self.saves = 0
+        #: Saves skipped because a same-epoch entry already exists.
+        self.save_skips = 0
+        #: Programs successfully restored.
+        self.restores = 0
+        #: Lookups that found no entry.
+        self.misses = 0
+        #: Loads rejected for a calibration-epoch mismatch.
+        self.stale_rejects = 0
+        #: Loads rejected for damaged manifests/payloads.
+        self.corrupt_rejects = 0
+
+    # -- addressing ----------------------------------------------------------
+    def digest(self, key: bytes, fingerprint: str) -> str:
+        """Content address of one (cache key, core fingerprint) entry."""
+        return hashlib.blake2b(
+            fingerprint.encode() + b"|" + key, digest_size=16
+        ).hexdigest()
+
+    def _manifest_path(self, digest: str) -> Path:
+        return self.root / f"{digest}.json"
+
+    def _arrays_path(self, digest: str) -> Path:
+        return self.root / f"{digest}.npz"
+
+    def __len__(self) -> int:
+        """Persisted program entries (manifest count)."""
+        return sum(
+            1
+            for path in self.root.glob("*.json")
+            if not path.name.startswith("calibration-")
+        )
+
+    def contains(self, key: bytes, fingerprint: str) -> bool:
+        """Whether an entry exists (without validating it)."""
+        return self._manifest_path(self.digest(key, fingerprint)).exists()
+
+    # -- programs ------------------------------------------------------------
+    def save(
+        self,
+        key: bytes,
+        program: CachedProgram | TiledMatmul | DifferentialProgram,
+        *,
+        fingerprint: str,
+    ) -> str:
+        """Persist one compiled program; returns its digest.
+
+        Content-addressed writes are idempotent: when a valid entry
+        with the same calibration epoch already exists the write is
+        skipped (``save_skips``), while a stale or damaged entry is
+        overwritten atomically.
+        """
+        kind, epoch, state, extra = self._disassemble(program)
+        digest = self.digest(key, fingerprint)
+        existing = self._peek_epoch(digest)
+        if existing is not None and existing == epoch:
+            self.save_skips += 1
+            return digest
+        arrays = self._state_arrays(kind, state)
+        manifest = {
+            "format": STORE_FORMAT,
+            "kind": kind,
+            "digest": digest,
+            "fingerprint": fingerprint,
+            "calibration_epoch": epoch,
+            "meta": self._state_meta(kind, state),
+            "arrays": sorted(arrays),
+            **extra,
+        }
+        arrays_path = self._arrays_path(digest)
+        tmp_arrays = arrays_path.with_suffix(".npz.tmp")
+        with open(tmp_arrays, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp_arrays, arrays_path)
+        manifest_path = self._manifest_path(digest)
+        tmp_manifest = manifest_path.with_suffix(".json.tmp")
+        tmp_manifest.write_text(json.dumps(manifest, indent=2) + "\n")
+        os.replace(tmp_manifest, manifest_path)
+        self.saves += 1
+        return digest
+
+    def load(
+        self,
+        key: bytes,
+        *,
+        fingerprint: str,
+        epoch: int,
+        technology: Technology,
+        drift_state: DriftState | None = None,
+    ) -> CachedProgram | TiledMatmul | DifferentialProgram | None:
+        """Restore one compiled program, or ``None`` when absent.
+
+        ``epoch`` is the requesting core's *current* calibration epoch;
+        an entry persisted under any other epoch raises
+        :class:`~repro.errors.StaleProgramError`.  ``drift_state``
+        rebinds restored engines to the requesting core's live drift
+        trajectory.  Damaged entries raise
+        :class:`~repro.errors.CorruptProgramError`.
+        """
+        digest = self.digest(key, fingerprint)
+        manifest_path = self._manifest_path(digest)
+        if not manifest_path.exists():
+            self.misses += 1
+            return None
+        manifest = self._read_manifest(manifest_path, digest)
+        if int(manifest["calibration_epoch"]) != int(epoch):
+            self.stale_rejects += 1
+            raise StaleProgramError(
+                f"store entry {digest} was compiled under calibration epoch "
+                f"{manifest['calibration_epoch']}, core is at epoch {epoch}; "
+                f"recompile (the fresh program overwrites this entry)"
+            )
+        arrays = self._read_arrays(digest, manifest)
+        program = self._assemble(manifest, arrays, technology, drift_state)
+        self.restores += 1
+        return program
+
+    # -- calibration records -------------------------------------------------
+    def _calibration_path(self, label: str) -> Path:
+        digest = hashlib.blake2b(label.encode(), digest_size=8).hexdigest()
+        return self.root / f"calibration-{digest}.json"
+
+    def save_calibration(self, label: str, state: DriftState) -> Path:
+        """Persist one core's calibration state (epoch, compensation
+        trims, modelled age) under ``label``; returns the record path."""
+        compensation = state.compensation
+        record = {
+            "format": STORE_FORMAT,
+            "label": label,
+            "epoch": int(state.epoch),
+            "elapsed_s": float(state.elapsed_s),
+            "inferences": int(state.inferences),
+            "compensation": [
+                float(compensation.current_scale),
+                float(compensation.gain_scale),
+                float(compensation.voltage_offset),
+            ],
+        }
+        path = self._calibration_path(label)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(record, indent=2) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def load_calibration(self, label: str) -> dict[str, Any] | None:
+        """The persisted calibration record for ``label``, or ``None``."""
+        path = self._calibration_path(label)
+        if not path.exists():
+            return None
+        try:
+            record = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            self.corrupt_rejects += 1
+            raise CorruptProgramError(
+                f"calibration record for {label!r} is unreadable: {error}; "
+                f"delete {path} and re-save"
+            ) from error
+        if (
+            not isinstance(record, dict)
+            or record.get("format") != STORE_FORMAT
+            or not isinstance(record.get("compensation"), list)
+            or len(record["compensation"]) != 3
+        ):
+            self.corrupt_rejects += 1
+            raise CorruptProgramError(
+                f"calibration record for {label!r} has an unexpected layout; "
+                f"delete {path} and re-save"
+            )
+        return record
+
+    def apply_calibration(self, label: str, state: DriftState) -> bool:
+        """Load ``label``'s record into a live
+        :class:`~repro.health.DriftState` (:meth:`~repro.health.
+        DriftState.restore`); returns whether a record was found."""
+        record = self.load_calibration(label)
+        if record is None:
+            return False
+        state.restore(
+            epoch=int(record["epoch"]),
+            compensation=tuple(float(v) for v in record["compensation"]),
+            elapsed_s=float(record["elapsed_s"]),
+            inferences=int(record["inferences"]),
+        )
+        return True
+
+    # -- (dis)assembly -------------------------------------------------------
+    def _disassemble(
+        self, program: CachedProgram | TiledMatmul | DifferentialProgram
+    ) -> tuple[str, int, dict[str, Any], dict[str, Any]]:
+        """``(kind, epoch, state, manifest extras)`` of one program."""
+        if isinstance(program, CachedProgram):
+            return (
+                "dense",
+                int(program.engine.calibration_epoch),
+                program.engine.state_dict(),
+                {
+                    "load_energy": float(program.load_energy),
+                    "load_time": float(program.load_time),
+                },
+            )
+        if isinstance(program, DifferentialProgram):
+            return (
+                "differential",
+                int(program.calibration_epoch),
+                program.state_dict(),
+                {},
+            )
+        if isinstance(program, TiledMatmul):
+            return "tiled", int(program.calibration_epoch), program.state_dict(), {}
+        raise ConfigurationError(
+            f"ProgramStore can persist CachedProgram, TiledMatmul, or "
+            f"DifferentialProgram, got {type(program).__name__}"
+        )
+
+    def _state_arrays(self, kind: str, state: dict[str, Any]) -> dict[str, np.ndarray]:
+        if kind == "differential":
+            arrays = _flatten_arrays(state["positive"], "positive.")
+            if state["negative"] is not None:
+                arrays.update(_flatten_arrays(state["negative"], "negative."))
+            return arrays
+        return _flatten_arrays(state)
+
+    def _state_meta(self, kind: str, state: dict[str, Any]) -> dict[str, Any]:
+        if kind == "differential":
+            return {
+                "positive": state["positive"]["meta"],
+                "negative": None
+                if state["negative"] is None
+                else state["negative"]["meta"],
+            }
+        return dict(state["meta"])
+
+    def _peek_epoch(self, digest: str) -> int | None:
+        """The existing entry's epoch, or None when absent/unreadable."""
+        path = self._manifest_path(digest)
+        if not path.exists():
+            return None
+        try:
+            manifest = json.loads(path.read_text())
+            if manifest.get("format") != STORE_FORMAT:
+                return None
+            return int(manifest["calibration_epoch"])
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError, ValueError):
+            return None
+
+    def _read_manifest(self, path: Path, digest: str) -> dict[str, Any]:
+        try:
+            manifest = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            self.corrupt_rejects += 1
+            raise CorruptProgramError(
+                f"store manifest {path.name} is unreadable: {error}; "
+                f"delete the entry and recompile"
+            ) from error
+        if not isinstance(manifest, dict) or manifest.get("format") != STORE_FORMAT:
+            self.corrupt_rejects += 1
+            raise CorruptProgramError(
+                f"store manifest {path.name} has format "
+                f"{manifest.get('format') if isinstance(manifest, dict) else '?'}, "
+                f"expected {STORE_FORMAT}; delete the entry and recompile"
+            )
+        if manifest.get("kind") not in _KINDS:
+            self.corrupt_rejects += 1
+            raise CorruptProgramError(
+                f"store manifest {path.name} names unknown kind "
+                f"{manifest.get('kind')!r}; delete the entry and recompile"
+            )
+        if manifest.get("digest") != digest or "calibration_epoch" not in manifest:
+            self.corrupt_rejects += 1
+            raise CorruptProgramError(
+                f"store manifest {path.name} does not describe entry {digest} "
+                f"(digest/epoch fields missing or mismatched); delete the "
+                f"entry and recompile"
+            )
+        return manifest
+
+    def _read_arrays(self, digest: str, manifest: dict[str, Any]) -> dict[str, np.ndarray]:
+        path = self._arrays_path(digest)
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                arrays = {name: payload[name] for name in manifest["arrays"]}
+        except FileNotFoundError as error:
+            self.corrupt_rejects += 1
+            raise CorruptProgramError(
+                f"store entry {digest} has a manifest but no array payload "
+                f"({path.name} missing); delete the entry and recompile"
+            ) from error
+        except (OSError, ValueError, KeyError) as error:
+            self.corrupt_rejects += 1
+            raise CorruptProgramError(
+                f"store arrays {path.name} are unreadable or incomplete: "
+                f"{error}; delete the entry and recompile"
+            ) from error
+        return arrays
+
+    def _assemble(
+        self,
+        manifest: dict[str, Any],
+        arrays: dict[str, np.ndarray],
+        technology: Technology,
+        drift_state: DriftState | None,
+    ) -> CachedProgram | TiledMatmul | DifferentialProgram:
+        from ..runtime.engine import CompiledCore
+
+        kind = manifest["kind"]
+        meta = manifest["meta"]
+        try:
+            if kind == "dense":
+                engine = CompiledCore.from_state(
+                    arrays, meta, technology, drift_state=drift_state
+                )
+                return CachedProgram(
+                    engine=engine,
+                    load_energy=float(manifest["load_energy"]),
+                    load_time=float(manifest["load_time"]),
+                )
+            if kind == "tiled":
+                return TiledMatmul.from_state(
+                    arrays, meta, technology, drift_state=drift_state
+                )
+            positive = TiledMatmul.from_state(
+                {
+                    name[len("positive."):]: array
+                    for name, array in arrays.items()
+                    if name.startswith("positive.")
+                },
+                meta["positive"],
+                technology,
+                drift_state=drift_state,
+            )
+            negative = None
+            if meta["negative"] is not None:
+                negative = TiledMatmul.from_state(
+                    {
+                        name[len("negative."):]: array
+                        for name, array in arrays.items()
+                        if name.startswith("negative.")
+                    },
+                    meta["negative"],
+                    technology,
+                    drift_state=drift_state,
+                )
+            return DifferentialProgram(positive=positive, negative=negative)
+        except (KeyError, IndexError, TypeError, ValueError) as error:
+            self.corrupt_rejects += 1
+            raise CorruptProgramError(
+                f"store entry {manifest.get('digest')} ({kind}) could not be "
+                f"reassembled: {error}; delete the entry and recompile"
+            ) from error
+
+    def describe(self) -> str:
+        """One-line summary for logs and benches."""
+        return (
+            f"ProgramStore({self.root}, entries={len(self)}, "
+            f"saves={self.saves}, restores={self.restores}, "
+            f"stale={self.stale_rejects}, corrupt={self.corrupt_rejects})"
+        )
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()}>"

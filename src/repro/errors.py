@@ -69,6 +69,42 @@ class UnitConversionError(ConfigurationError, ValueError):
     """
 
 
+class ProgramStoreError(ReproError):
+    """A persisted compiled-program store entry could not be used.
+
+    Base class for every failure mode of
+    :class:`repro.elastic.ProgramStore`: callers that warm-start
+    opportunistically catch this one type and fall back to a cold
+    compile, while tests can assert the precise subclass.
+    """
+
+
+class CorruptProgramError(ProgramStoreError, ValueError):
+    """A store entry's manifest or array payload is damaged or
+    inconsistent (unparsable JSON, missing arrays, digest mismatch,
+    unknown format version).
+
+    Doubles as a :class:`ValueError` (the persisted *value* is the
+    problem) while staying catchable via the package-wide
+    :class:`ReproError` handler.  The message names the entry and what
+    failed to parse; the fix is to delete the entry and recompile.
+    """
+
+
+class StaleProgramError(ProgramStoreError, RuntimeError):
+    """A store entry was compiled under a different calibration epoch
+    than the core asking for it.
+
+    Raised by :meth:`repro.elastic.ProgramStore.load` when the
+    persisted ``calibration_epoch`` does not match the requesting
+    core's current epoch: the entry's drift-compensation snapshot no
+    longer describes the hardware trims, so restoring it would not be
+    bit-for-bit.  Doubles as a :class:`RuntimeError` (staleness is a
+    lifecycle condition, not a configuration one).  Serving paths catch
+    it and recompile; the fresh program overwrites the stale entry.
+    """
+
+
 class PhotonicsError(ReproError):
     """A photonic component or network was used incorrectly."""
 

@@ -369,6 +369,45 @@ class DriftState:
         self.epoch += 1
         return self.compensation
 
+    def restore(
+        self,
+        epoch: int,
+        compensation,
+        elapsed_s: float | None = None,
+        inferences: int | None = None,
+    ) -> None:
+        """Adopt persisted calibration state (the warm-start path of
+        :class:`repro.elastic.ProgramStore`): a replacement core takes
+        over the fleet's epoch, hardware trims, and — optionally — the
+        modelled age of the core it replaces, so programs compiled
+        under that epoch restore bit-for-bit instead of recompiling.
+
+        ``compensation`` is a :class:`Perturbation` or its persisted
+        ``(current_scale, gain_scale, voltage_offset)`` triple.
+        """
+        epoch = int(epoch)
+        if epoch < 0:
+            raise ConfigurationError(
+                f"calibration epoch must be >= 0, got {epoch}"
+            )
+        if not isinstance(compensation, Perturbation):
+            compensation = Perturbation(*(float(value) for value in compensation))
+        if elapsed_s is not None:
+            if elapsed_s < 0.0:
+                raise ConfigurationError(
+                    f"restored core age must be >= 0 s, got {elapsed_s}"
+                )
+            self.elapsed_s = float(elapsed_s)
+        if inferences is not None:
+            if inferences < 0:
+                raise ConfigurationError(
+                    f"restored inference count must be >= 0, got {inferences}"
+                )
+            self.inferences = int(inferences)
+        self.epoch = epoch
+        self.compensation = compensation
+        self._truth_memo = None
+
     def describe(self) -> str:
         if not self.models:
             return "no drift"

@@ -70,8 +70,8 @@ class HotPathTelemetryGuard(Rule):
     severity = Severity.ERROR
     contract = (
         "every use of a telemetry binding in repro.runtime / repro.api "
-        "/ repro.traffic is dominated by an 'is not None' guard on "
-        "that binding"
+        "/ repro.traffic / repro.elastic is dominated by an "
+        "'is not None' guard on that binding"
     )
     rationale = (
         "an uninstrumented session holds telemetry = None; an unguarded "
@@ -83,6 +83,7 @@ class HotPathTelemetryGuard(Rule):
         "src/repro/runtime/",
         "src/repro/api/",
         "src/repro/traffic/",
+        "src/repro/elastic/",
     )
 
     def check(self, module: ModuleUnderLint) -> list[Finding]:

@@ -29,7 +29,7 @@ import numpy as np
 
 from ..core.tensor_core import MatvecResult, PhotonicTensorCore
 from ..errors import ConfigurationError
-from ..health.drift import apply_read_out
+from ..health.drift import Perturbation, apply_read_out
 
 
 @dataclass
@@ -151,6 +151,93 @@ class CompiledCore:
     def weight_key(self) -> bytes:
         """Canonical cache key of this weight program."""
         return weight_key(self.weight_matrix)
+
+    # -- persistence ---------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The program as plain ``{"arrays", "meta"}`` payloads — dense
+        response matrix, exact ladder tables, and the compile-time
+        drift trims — from which :meth:`from_state` rebuilds a
+        bit-for-bit equal engine (:class:`repro.elastic.ProgramStore`
+        persists exactly this)."""
+        calibration = self._calibration
+        return {
+            "arrays": {
+                "response": self.response,
+                "boundaries": self.boundaries,
+                "weight_matrix": np.ascontiguousarray(
+                    np.asarray(self.weight_matrix, dtype=np.int64)
+                ),
+            },
+            "meta": {
+                "rows": int(self.rows),
+                "columns": int(self.columns),
+                "weight_bits": int(self.weight_bits),
+                "max_weight": int(self.max_weight),
+                "adc_bits": int(self.adc_bits),
+                "adc_levels": int(self.adc_levels),
+                "adc_lsb": float(self._adc_lsb),
+                "full_scale_voltage": float(self._full_scale_voltage),
+                "tia_gain": float(self._tia_gain),
+                "full_scale_current": float(self._full_scale_current),
+                "sample_rate": float(self.sample_rate),
+                "calibration_epoch": int(self.calibration_epoch),
+                "compensation": None
+                if calibration is None
+                else [
+                    float(calibration.current_scale),
+                    float(calibration.gain_scale),
+                    float(calibration.voltage_offset),
+                ],
+            },
+        }
+
+    @classmethod
+    def from_state(cls, arrays, meta, technology, drift_state=None) -> "CompiledCore":
+        """Rebuild a compiled program from :meth:`state_dict` payloads
+        without touching a device core.
+
+        ``drift_state`` rebinds the restored program to the requesting
+        core's *live* :class:`~repro.health.DriftState` (the persisted
+        compensation snapshot stays the program's compile-time trim, so
+        residual arithmetic matches a cold compile under the same
+        epoch).  Validation of the payload happens in the store — this
+        constructor trusts its inputs.
+        """
+        self = cls.__new__(cls)
+        self.rows = int(meta["rows"])
+        self.columns = int(meta["columns"])
+        self.weight_bits = int(meta["weight_bits"])
+        self.max_weight = int(meta["max_weight"])
+        self.technology = technology
+        self.weight_matrix = np.asarray(arrays["weight_matrix"], dtype=np.int64)
+        self.response = np.asarray(arrays["response"], dtype=float)
+        self.boundaries = np.asarray(arrays["boundaries"], dtype=float)
+        shared = all(
+            np.array_equal(self.boundaries[row], self.boundaries[0])
+            for row in range(1, self.rows)
+        )
+        self._shared_ladder = self.boundaries[0] if shared else None
+        self.adc_bits = int(meta["adc_bits"])
+        self.adc_levels = int(meta["adc_levels"])
+        self._adc_lsb = float(meta["adc_lsb"])
+        self._full_scale_voltage = float(meta["full_scale_voltage"])
+        self._tia_gain = float(meta["tia_gain"])
+        self._full_scale_current = float(meta["full_scale_current"])
+        self.sample_rate = float(meta["sample_rate"])
+        compensation = meta.get("compensation")
+        if drift_state is not None and drift_state.active:
+            self._drift = drift_state
+            self._calibration = (
+                Perturbation()
+                if compensation is None
+                else Perturbation(*(float(value) for value in compensation))
+            )
+            self.calibration_epoch = int(meta["calibration_epoch"])
+        else:
+            self._drift = None
+            self._calibration = None
+            self.calibration_epoch = 0
+        return self
 
     # -- evaluation ----------------------------------------------------------
     def _validated_batch(self, batch) -> np.ndarray:

@@ -34,7 +34,7 @@ import numpy as np
 from ..config import Technology, default_technology
 from ..core.performance import PerformanceModel
 from ..core.tensor_core import MatvecResult, PhotonicTensorCore
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ProgramStoreError
 from .engine import CompiledCore, weight_key
 
 
@@ -67,6 +67,17 @@ class WeightProgramCache:
         #: Programs dropped by :meth:`evict_where` (recalibration),
         #: not by LRU capacity pressure.
         self.invalidations = 0
+        #: Programs restored from the attached program store instead of
+        #: recompiled (:meth:`read_back`).
+        self.restores = 0
+        #: Store entries rejected on read-back (stale epoch, corrupt
+        #: payload) — each one fell back to a cold compile.
+        self.store_rejects = 0
+        self._store = None
+        self._store_fingerprint: str | None = None
+        self._store_technology = None
+        self._store_epoch = None
+        self._store_drift = None
 
     def __len__(self) -> int:
         return len(self._programs)
@@ -108,19 +119,108 @@ class WeightProgramCache:
 
     def put(self, key: bytes, program) -> object | None:
         """Insert a program, evicting the least recently used entry
-        beyond capacity.  Returns the evicted program (or None)."""
+        beyond capacity.  Returns the evicted program (or None).
+
+        With a program store attached (:meth:`attach_store`) the insert
+        writes through: the compiled program is persisted so another
+        core — or another process — can warm-start it.  Capacity
+        evictions do *not* remove store entries (the store is the
+        durable tier; the LRU is the hot tier).
+        """
         self._programs[key] = program
         self._programs.move_to_end(key)
+        if self._store is not None:
+            try:
+                self._store.save(
+                    _store_key(key), program, fingerprint=self._store_fingerprint
+                )
+            except ConfigurationError:
+                # A value kind the store does not persist (the cache is
+                # generic); keep it hot-tier only.
+                pass
         if len(self._programs) > self.capacity:
             _, evicted = self._programs.popitem(last=False)
             self.evictions += 1
             return evicted
         return None
 
+    # -- persistence tier ----------------------------------------------------
+    def attach_store(
+        self,
+        store,
+        *,
+        fingerprint: str,
+        technology,
+        epoch_source,
+        drift_source=None,
+    ) -> None:
+        """Back this cache with a :class:`repro.elastic.ProgramStore`.
+
+        ``fingerprint`` identifies the compiling core (:func:`repro.
+        elastic.core_fingerprint`); ``epoch_source`` is a zero-argument
+        callable yielding the core's *current* calibration epoch at
+        read-back time (entries from other epochs are rejected and
+        recompiled); ``drift_source`` likewise yields the live
+        :class:`~repro.health.DriftState` restored engines rebind to.
+        Once attached, :meth:`put` writes through and
+        :meth:`read_back` restores misses.
+        """
+        self._store = store
+        self._store_fingerprint = fingerprint
+        self._store_technology = technology
+        self._store_epoch = epoch_source
+        self._store_drift = drift_source
+
+    @property
+    def store(self):
+        """The attached :class:`repro.elastic.ProgramStore` (or None)."""
+        return self._store
+
+    def read_back(self, key):
+        """Restore ``key`` from the attached store, or None.
+
+        Counts ``restores`` / ``store_rejects`` (a reject — stale
+        calibration epoch or corrupt entry — means the caller should
+        compile cold; the fresh :meth:`put` overwrites the bad entry).
+        Does *not* insert: callers insert via :meth:`put` after
+        charging the load ledgers, exactly like a cold compile.
+        """
+        if self._store is None:
+            return None
+        drift = self._store_drift() if self._store_drift is not None else None
+        try:
+            program = self._store.load(
+                _store_key(key),
+                fingerprint=self._store_fingerprint,
+                epoch=self._store_epoch() if self._store_epoch is not None else 0,
+                technology=self._store_technology,
+                drift_state=drift,
+            )
+        except ProgramStoreError:
+            self.store_rejects += 1
+            return None
+        if program is not None:
+            self.restores += 1
+        return program
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+def _store_key(key) -> bytes:
+    """Canonical byte form of a cache key for the program store (the
+    tiled cache keys on ``(weight_key, gain)`` tuples; the store is
+    content-addressed on bytes)."""
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, tuple):
+        return b"|".join(
+            part if isinstance(part, bytes) else repr(part).encode()
+            for part in key
+        )
+    return repr(key).encode()
 
 
 class Ticket:
@@ -330,15 +430,30 @@ class BatchScheduler:
                 )
             return program
         self._stats.cache_misses += 1
-        energy_before = self.core.weight_update_energy()
-        self.core.load_weight_matrix(weights)
-        load_energy = self.core.weight_update_energy() - energy_before
-        load_time = self.core.weight_update_time()
-        program = CachedProgram(
-            engine=CompiledCore(self.core, ladder_cache=self.core.runtime_ladder_cache),
-            load_energy=load_energy,
-            load_time=load_time,
-        )
+        # Warm start: a persisted compile of this exact program (same
+        # weights, geometry, technology, calibration epoch) skips the
+        # host-side recompile entirely.  The *modelled* pSRAM streaming
+        # cost is still charged — the weights must physically stream
+        # into this core's arrays either way — so energy/latency
+        # accounting is identical to a cold compile; only wall-clock
+        # compile work is avoided.
+        program = self.cache.read_back(key)
+        restored = program is not None
+        if restored:
+            load_energy = program.load_energy
+            load_time = program.load_time
+        else:
+            energy_before = self.core.weight_update_energy()
+            self.core.load_weight_matrix(weights)
+            load_energy = self.core.weight_update_energy() - energy_before
+            load_time = self.core.weight_update_time()
+            program = CachedProgram(
+                engine=CompiledCore(
+                    self.core, ladder_cache=self.core.runtime_ladder_cache
+                ),
+                load_energy=load_energy,
+                load_time=load_time,
+            )
         self._stats.weight_energy_spent += load_energy
         self._stats.weight_time_spent += load_time
         if self.cache.put(key, program) is not None:
@@ -349,9 +464,11 @@ class BatchScheduler:
             start = tel.clock.now
             tel.clock.advance(load_time)
             tel.metrics.counter("cache_misses").inc()
+            if restored:
+                tel.metrics.counter("warm_starts").inc()
             tel.span(
-                "compile",
-                "compile",
+                "warm start" if restored else "compile",
+                "fleet" if restored else "compile",
                 start,
                 load_time,
                 args={

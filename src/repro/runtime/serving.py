@@ -31,6 +31,11 @@ curves included).
 arrival streams on the modelled clock — a >=1M-request sustained run,
 SLO capacity curves per (core count, routing policy) and a max-batch
 vs deadline-aware head-to-head — and emits ``BENCH_traffic.json``.
+:func:`run_elastic_serve_bench` measures elastic fleets
+(:mod:`repro.elastic`): cold vs warm scale-up through a persisted
+:class:`~repro.elastic.ProgramStore` (bit-for-bit check included) and
+diurnal/bursty tapes against static vs autoscaled fleets — and emits
+``BENCH_elastic.json``.
 """
 
 from __future__ import annotations
@@ -1104,5 +1109,297 @@ def run_cnn_serve_bench(
         f"analog latency    : {summary['analog_latency_us']:.3f} us modelled "
         f"({summary['analog_energy_nj']:.2f} nJ)",
     ]
+    print_fn("\n".join(lines))
+    return summary
+
+
+#: The elastic bench's arrival tapes, in report order.
+ELASTIC_BENCH_TAPES = ("diurnal", "bursty")
+
+
+def run_elastic_serve_bench(
+    requests: int = 200_000,
+    rows: int = 8,
+    columns: int = 8,
+    tenants: int = 4,
+    flush_every: int = 64,
+    deadline_s: float = 1e-6,
+    p99_slo_s: float = 1e-6,
+    miss_budget: float = 0.02,
+    min_cores: int = 1,
+    max_cores: int = 4,
+    warm_programs: int = 6,
+    conv_kernels: int = 8,
+    kernel_size: int = 3,
+    probe_requests: int = 3000,
+    tapes: tuple[str, ...] = ELASTIC_BENCH_TAPES,
+    seed: int = 2025,
+    trace=None,
+    json_path=None,
+    print_fn=print,
+) -> dict:
+    """Elastic fleets: warm scale-up from the program store, and
+    autoscaled vs static capacity at equal SLO.
+
+    Two measurements (see :mod:`repro.elastic`):
+
+    1. **Cold vs warm scale-up** — ``warm_programs`` distinct CNN
+       kernel banks served through a fresh
+       :class:`~repro.api.PhotonicSession`, first against an empty
+       :class:`~repro.elastic.ProgramStore` (cold compiles, written
+       through) and then through a second fresh session against the
+       populated store (warm read-back).  Records the host wall-clock
+       for each, their ratio (the scale-up latency win a grown core
+       sees), and verifies the restored programs reproduce the cold
+       feature maps **bit for bit**.
+    2. **Autoscaled vs static fleets** — each arrival tape in ``tapes``
+       (a compressed diurnal day, an MMPP-2 flash crowd) replayed by
+       :class:`~repro.traffic.TrafficEngine` through three fleets under
+       the same SLO-derived flush policy: a static ``min_cores`` fleet,
+       a static ``max_cores`` fleet, and a fleet that starts at
+       ``min_cores`` with an :class:`~repro.elastic.Autoscaler` and a
+       shared program store.  Records per-fleet SLO verdicts and
+       ``core_seconds`` (the capacity integral actually paid), plus the
+       core-seconds the autoscaled fleet saves against the static
+       max-size fleet when both meet the SLO.
+
+    ``p99_slo_s`` defaults to ``deadline_s``: with deadline shedding,
+    the survivors' p99 caps just under the deadline once any shedding
+    occurs, so a p99 bound below the deadline is unmeetable under
+    overload — the ``miss_budget`` is the binding criterion.
+
+    ``json_path`` writes the summary (the ``serve-bench elastic`` CLI
+    points it at ``BENCH_elastic.json``).
+    """
+    import tempfile
+
+    from ..api.cluster import PhotonicCluster
+    from ..api.policy import FlushPolicy
+    from ..api.session import PhotonicSession
+    from ..elastic import Autoscaler, ProgramStore
+    from ..ml.datasets import procedural_digits
+    from ..telemetry import MetricsRegistry, ModelClock
+    from ..traffic import SLO, Poisson, TrafficEngine, WorkloadMix
+    from ..traffic.arrivals import Bursty, Diurnal
+
+    if requests < 1:
+        raise ConfigurationError(f"elastic bench needs requests >= 1, got {requests}")
+    if not 1 <= min_cores <= max_cores:
+        raise ConfigurationError(
+            f"elastic bench needs 1 <= min_cores <= max_cores, "
+            f"got {min_cores}..{max_cores}"
+        )
+    if warm_programs < 1:
+        raise ConfigurationError(
+            f"elastic bench needs warm_programs >= 1, got {warm_programs}"
+        )
+    unknown_tapes = [tape for tape in tapes if tape not in ELASTIC_BENCH_TAPES]
+    if unknown_tapes:
+        raise ConfigurationError(
+            f"unknown elastic bench tape(s) {unknown_tapes}; "
+            f"choose from {list(ELASTIC_BENCH_TAPES)}"
+        )
+    rng = np.random.default_rng(seed)
+    slo = SLO(p99_latency=p99_slo_s, deadline_miss_budget=miss_budget)
+    policy = slo.flush_policy(batch_limit=flush_every)
+    mix = WorkloadMix.zipf(
+        tenants=tenants, rows=rows, columns=columns, deadline_s=deadline_s
+    )
+    probe_mix = WorkloadMix.zipf(tenants=tenants, rows=rows, columns=columns)
+
+    # -- 1. cold vs warm scale-up through the program store ------------------
+    banks = rng.normal(0.0, 1.0, (warm_programs, conv_kernels, kernel_size, kernel_size))
+    data, _ = procedural_digits(samples_per_class=1, noise=0.1, seed=seed, pooled=False)
+    glyph = data[0].reshape(8, 8)
+
+    def serve_programs(store: ProgramStore, label: str):
+        """One fresh session serving every bank once; returns (host
+        wall-clock of submit+flush, the resolved feature maps)."""
+        session = PhotonicSession(
+            grid=(rows, columns),
+            flush_policy=FlushPolicy.explicit(),
+            program_store=store,
+            label=f"elastic-bench/{label}",
+        )
+        started = wall_clock()
+        futures = [session.submit_conv(bank, glyph) for bank in banks]
+        session.flush()
+        elapsed = wall_clock() - started
+        return elapsed, [future.result() for future in futures]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ProgramStore(tmp)
+        cold_elapsed, cold_maps = serve_programs(store, "cold")
+        warm_elapsed, warm_maps = serve_programs(store, "warm")
+        bit_for_bit = all(
+            np.array_equal(cold, warm)
+            for cold, warm in zip(cold_maps, warm_maps)
+        )
+        warm_start = {
+            "programs": int(warm_programs),
+            "cold_s": cold_elapsed,
+            "warm_s": warm_elapsed,
+            "speedup": cold_elapsed / warm_elapsed if warm_elapsed > 0 else float("inf"),
+            "bit_for_bit": bool(bit_for_bit),
+            "store": store.describe(),
+        }
+
+    # -- 2. autoscaled vs static fleets under diurnal/bursty tapes -----------
+    def probe_capacity() -> float:
+        session = PhotonicSession(
+            grid=(rows, columns),
+            max_batch=flush_every,
+            flush_policy=policy,
+            metrics=MetricsRegistry(),
+            clock=ModelClock(),
+            label="elastic-probe",
+        )
+        engine = TrafficEngine(session, probe_mix, Poisson(1e12), slo=None, seed=seed)
+        return engine.run(probe_requests)["throughput_per_s"]
+
+    single_capacity = probe_capacity()
+    if single_capacity <= 0.0:
+        raise ConfigurationError("elastic capacity probe resolved no traffic")
+    trough = 0.3 * single_capacity
+    peak = 0.6 * max_cores * single_capacity
+    mean_rate = (trough + peak) / 2.0
+    tape_s = requests / mean_rate
+    arrival_tapes = {
+        "diurnal": Diurnal(trough, peak, period=tape_s / 2.0),
+        "bursty": Bursty(
+            quiet=trough,
+            burst=peak,
+            quiet_dwell=tape_s / 6.0,
+            burst_dwell=tape_s / 12.0,
+        ),
+    }
+    autoscaler = Autoscaler(
+        min_cores=min_cores,
+        max_cores=max_cores,
+        watch_every=flush_every,
+        scale_up_pending=float(flush_every),
+        scale_down_pending=float(max(flush_every // 8, 1)),
+        cooldown_s=tape_s / 50.0,
+    )
+
+    def run_fleet(
+        arrivals, cores: int, fleet_autoscaler, store, label: str,
+        fleet_trace=None,
+    ) -> dict:
+        cluster = PhotonicCluster(
+            cores=cores,
+            grid=(rows, columns),
+            max_batch=flush_every,
+            flush_policy=policy,
+            autoscaler=fleet_autoscaler,
+            program_store=store,
+            trace=fleet_trace,
+            metrics=MetricsRegistry(),
+            clock=ModelClock(),
+            label=f"elastic/{label}",
+        )
+        engine = TrafficEngine(cluster, mix, arrivals, slo=slo, seed=seed)
+        result = engine.run(requests)
+        report = cluster.report()
+        return {
+            "cores_start": cores,
+            "cores_final": cluster.cores,
+            "active_final": len(cluster.active_cores),
+            "scale_ups": report.scale_ups,
+            "scale_downs": report.scale_downs,
+            "core_seconds": report.core_seconds,
+            "warm_restores": store.restores if store is not None else 0,
+            "p99_e2e_s": result["p99_e2e_s"],
+            "miss_rate": result["miss_rate"],
+            "slo_met": result["slo_met"],
+            "throughput_per_s": result["throughput_per_s"],
+            "makespan_s": result["makespan_s"],
+        }
+
+    tape_results = {}
+    for tape in tapes:
+        arrivals = arrival_tapes[tape]
+        with tempfile.TemporaryDirectory() as tmp:
+            fleets = {
+                "static_min": run_fleet(
+                    arrivals, min_cores, None, None, f"{tape}/static_min"
+                ),
+                "static_max": run_fleet(
+                    arrivals, max_cores, None, None, f"{tape}/static_max"
+                ),
+                "autoscaled": run_fleet(
+                    arrivals,
+                    min_cores,
+                    autoscaler,
+                    ProgramStore(tmp),
+                    f"{tape}/autoscaled",
+                    # The scale-up / warm-start instants land on the
+                    # --trace timeline for the autoscaled arm only.
+                    fleet_trace=trace,
+                ),
+            }
+        saved = fleets["static_max"]["core_seconds"] - fleets["autoscaled"]["core_seconds"]
+        tape_results[tape] = {
+            "arrivals": arrivals.describe(),
+            "fleets": fleets,
+            "core_seconds_saved": saved,
+            "equal_slo": bool(
+                fleets["autoscaled"]["slo_met"] == fleets["static_max"]["slo_met"]
+            ),
+        }
+
+    summary = {
+        "requests": int(requests),
+        "grid": [rows, columns],
+        "tenants": tenants,
+        "flush_every": flush_every,
+        "seed": seed,
+        "slo": {
+            "p99_latency_s": p99_slo_s,
+            "deadline_miss_budget": miss_budget,
+            "deadline_s": deadline_s,
+        },
+        "min_cores": min_cores,
+        "max_cores": max_cores,
+        "single_core_capacity_per_s": single_capacity,
+        "autoscaler": autoscaler.describe(),
+        "warm_start": warm_start,
+        "tapes": tape_results,
+    }
+    if json_path is not None:
+        import json
+        from pathlib import Path
+
+        Path(json_path).write_text(json.dumps(summary, indent=2) + "\n")
+    lines = [
+        f"elastic serve-bench: {requests} requests per tape on "
+        f"{rows} x {columns} tiles, fleets {min_cores}..{max_cores} cores, "
+        f"SLO {slo.describe()} (seed {seed})",
+        f"warm scale-up     : {warm_start['programs']} programs, cold "
+        f"{warm_start['cold_s'] * 1e3:.1f} ms vs warm "
+        f"{warm_start['warm_s'] * 1e3:.1f} ms "
+        f"({warm_start['speedup']:.1f}x), bit-for-bit "
+        f"{'OK' if warm_start['bit_for_bit'] else 'MISMATCH'}",
+        f"{'tape':>8}  {'fleet':<11} {'cores':>5}  {'ups/downs':>9}  "
+        f"{'core-s':>9}  {'p99 ns':>8}  {'miss':>6}  SLO",
+    ]
+    for tape, record in tape_results.items():
+        for name, fleet in record["fleets"].items():
+            lines.append(
+                f"{tape:>8}  {name:<11} "
+                f"{fleet['active_final']:>5}  "
+                f"{fleet['scale_ups']}/{fleet['scale_downs']:<7}  "
+                f"{fleet['core_seconds']:>9.3g}  "
+                f"{(fleet['p99_e2e_s'] or 0) * 1e9:>8,.0f}  "
+                f"{fleet['miss_rate']:>6.2%}  "
+                f"{'met' if fleet['slo_met'] else 'VIOLATED'}"
+            )
+        lines.append(
+            f"{tape:>8}  core-seconds saved vs static max: "
+            f"{record['core_seconds_saved']:.3g} "
+            f"({'equal SLO' if record['equal_slo'] else 'SLO DIFFERS'})"
+        )
+    if json_path is not None:
+        lines.append(f"summary written to: {json_path}")
     print_fn("\n".join(lines))
     return summary

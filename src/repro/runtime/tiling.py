@@ -95,6 +95,36 @@ class DifferentialProgram:
             raw = raw - self.negative.matmul(batch, gain=gain)
         return raw
 
+    # -- persistence ---------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Both grids' :meth:`TiledMatmul.state_dict` payloads (the
+        negative half ``None`` for a single-pass program)."""
+        return {
+            "positive": self.positive.state_dict(),
+            "negative": None if self.negative is None else self.negative.state_dict(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, technology, drift_state=None) -> "DifferentialProgram":
+        """Rebuild the differential pair from :meth:`state_dict`."""
+        negative = state.get("negative")
+        return cls(
+            positive=TiledMatmul.from_state(
+                state["positive"]["arrays"],
+                state["positive"]["meta"],
+                technology,
+                drift_state=drift_state,
+            ),
+            negative=None
+            if negative is None
+            else TiledMatmul.from_state(
+                negative["arrays"],
+                negative["meta"],
+                technology,
+                drift_state=drift_state,
+            ),
+        )
+
 
 def auto_range_gain(block: np.ndarray, full_scale_dot: int) -> float:
     """The 'auto' TIA range-calibration rule shared by every request
@@ -220,6 +250,102 @@ class TiledMatmul:
             self.tiles[row_tile].append(CompiledCore(probe, ladder_cache=ladder_cache))
         self.weight_update_energy = load_energy
         self.weight_update_time = self.column_tiles * probe.weight_update_time()
+
+    # -- persistence ---------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The compiled grid as plain ``{"arrays", "meta"}`` payloads:
+        per-tile response matrices / ladder tables / weight blocks
+        stacked along a leading tile axis (row-major over the grid),
+        the per-tile TIA gains, and one shared tile meta (every tile of
+        a grid compiles off the same probe core, so the ADC scalars and
+        drift trims are common).  :meth:`from_state` rebuilds a
+        bit-for-bit equal grid without compiling."""
+        flat = [
+            self.tiles[row_tile][col_tile]
+            for row_tile in range(self.row_tiles)
+            for col_tile in range(self.column_tiles)
+        ]
+        tile_meta = flat[0].state_dict()["meta"]
+        return {
+            "arrays": {
+                "weight_matrix": np.ascontiguousarray(
+                    np.asarray(self.weight_matrix, dtype=np.int64)
+                ),
+                "gains": np.asarray(self.gains, dtype=float),
+                "tile_responses": np.stack([tile.response for tile in flat]),
+                "tile_boundaries": np.stack([tile.boundaries for tile in flat]),
+                "tile_weights": np.stack(
+                    [np.asarray(tile.weight_matrix, dtype=np.int64) for tile in flat]
+                ),
+            },
+            "meta": {
+                "tile_rows": int(self.tile_rows),
+                "tile_columns": int(self.tile_columns),
+                "out_features": int(self.out_features),
+                "in_features": int(self.in_features),
+                "row_tiles": int(self.row_tiles),
+                "column_tiles": int(self.column_tiles),
+                "weight_bits": int(self.weight_bits),
+                "max_weight": int(self.max_weight),
+                "adc_levels": int(self.adc_levels),
+                "weight_update_energy": float(self.weight_update_energy),
+                "weight_update_time": float(self.weight_update_time),
+                "calibration_epoch": int(self.calibration_epoch),
+                "tile": tile_meta,
+            },
+        }
+
+    @classmethod
+    def from_state(cls, arrays, meta, technology, drift_state=None) -> "TiledMatmul":
+        """Rebuild a compiled grid from :meth:`state_dict` payloads
+        without touching a probe core (no ladder bisection, no response
+        rebuild).  ``drift_state`` rebinds every restored tile to the
+        requesting core's live :class:`~repro.health.DriftState`, same
+        stamping rule as construction."""
+        self = cls.__new__(cls)
+        self.technology = technology if technology is not None else default_technology()
+        self.tile_rows = int(meta["tile_rows"])
+        self.tile_columns = int(meta["tile_columns"])
+        self.weight_matrix = np.asarray(arrays["weight_matrix"], dtype=int)
+        self.out_features = int(meta["out_features"])
+        self.in_features = int(meta["in_features"])
+        self.weight_bits = int(meta["weight_bits"])
+        self.max_weight = int(meta["max_weight"])
+        self.adc_levels = int(meta["adc_levels"])
+        self.row_tiles = int(meta["row_tiles"])
+        self.column_tiles = int(meta["column_tiles"])
+        self.gains = np.asarray(arrays["gains"], dtype=float)
+        self.calibration_epoch = (
+            int(meta["calibration_epoch"])
+            if drift_state is not None and drift_state.active
+            else 0
+        )
+        tile_meta = meta["tile"]
+        responses = arrays["tile_responses"]
+        boundaries = arrays["tile_boundaries"]
+        weights = arrays["tile_weights"]
+        self.tiles = []
+        flat_index = 0
+        for _ in range(self.row_tiles):
+            band: list[CompiledCore] = []
+            for _ in range(self.column_tiles):
+                band.append(
+                    CompiledCore.from_state(
+                        {
+                            "response": responses[flat_index],
+                            "boundaries": boundaries[flat_index],
+                            "weight_matrix": weights[flat_index],
+                        },
+                        tile_meta,
+                        self.technology,
+                        drift_state=drift_state,
+                    )
+                )
+                flat_index += 1
+            self.tiles.append(band)
+        self.weight_update_energy = float(meta["weight_update_energy"])
+        self.weight_update_time = float(meta["weight_update_time"])
+        return self
 
     # -- planning ------------------------------------------------------------
     @property

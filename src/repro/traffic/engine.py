@@ -130,6 +130,42 @@ class TrafficEngine:
         self._service_clocks = tuple(
             binding.clock for binding in self._bindings
         )
+        #: The cluster membership version this engine's session
+        #: snapshot was taken at (None for plain sessions, which never
+        #: change membership).
+        self._membership_seen = (
+            target.membership_version if self._is_cluster else None
+        )
+
+    def _refresh_membership(self) -> None:
+        """Re-snapshot the target's sessions after an elastic
+        membership change (``add_core`` / autoscaler grow) so new cores
+        get their service clocks driven too.  A cheap integer compare
+        per event: the cluster bumps ``membership_version`` only when
+        the fleet actually grows."""
+        if not self._is_cluster:
+            return
+        version = self.target.membership_version
+        if version == self._membership_seen:
+            return
+        sessions = self.target.sessions
+        for session in sessions[len(self._sessions):]:
+            if session.clock is not self.clock:
+                raise ConfigurationError(
+                    "a core added mid-run must share the engine's "
+                    "arrival clock"
+                )
+            if session.telemetry is None:
+                raise ConfigurationError(
+                    "a core added mid-run must carry telemetry "
+                    "(the cluster builds it when the fleet has any)"
+                )
+        self._sessions = sessions
+        self._bindings = [session.telemetry for session in sessions]
+        self._service_clocks = tuple(
+            binding.clock for binding in self._bindings
+        )
+        self._membership_seen = version
 
     # -- discrete-event machinery --------------------------------------------
     def _advance_to(self, t: float) -> None:
@@ -256,6 +292,10 @@ class TrafficEngine:
         for i in range(int(requests)):
             t = float(times[i])
             self._fire_triggers_until(t)
+            # Pick up cores the autoscaler added during the previous
+            # event *before* advancing clocks, so a fresh core's idle
+            # service clock starts at this arrival rather than at 0.
+            self._refresh_membership()
             self._advance_to(t)
             k = int(tenant_index[i])
             tenant = tenants[k]
@@ -290,6 +330,7 @@ class TrafficEngine:
         # inflating every makespan by up to one delay_limit.
         last_arrival = float(times[-1]) if len(times) else 0.0
         target.flush()
+        self._refresh_membership()
         if target.pending != 0:
             raise ConfigurationError(
                 f"traffic run left {target.pending} requests pending "

@@ -1,0 +1,470 @@
+"""Tests for the elastic fleet subsystem (repro.elastic): the
+content-addressed ProgramStore and its warm-start round trips, the
+incremental consistent-hash ring, the Autoscaler policy, and the
+cluster integration (scale up/down, heterogeneous capability routing,
+fleet telemetry, traffic-engine membership refresh)."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    FlushPolicy,
+    HashRing,
+    PhotonicCluster,
+    PhotonicSession,
+    RoutingPolicy,
+)
+from repro.elastic import (
+    Autoscaler,
+    CoreSpec,
+    FleetSnapshot,
+    ProgramStore,
+    core_fingerprint,
+)
+from repro.errors import (
+    ConfigurationError,
+    CorruptProgramError,
+    StaleProgramError,
+)
+from repro.health import DriftState, LaserPowerDecay, TiaGainDrift
+from repro.telemetry import MetricsRegistry, ModelClock, TraceRecorder
+from repro.traffic import Poisson, TrafficEngine, WorkloadMix
+
+GRID = (4, 6)
+
+
+def fresh_session(tech, store, **kwargs):
+    return PhotonicSession(grid=GRID, technology=tech, program_store=store,
+                           **kwargs)
+
+
+def session_fingerprint(session):
+    return core_fingerprint(
+        session.technology,
+        session.rows,
+        session.columns,
+        session.core.weight_bits,
+        session.core.row_adcs[0].bits,
+    )
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ProgramStore(tmp_path / "programs")
+
+
+class TestProgramStoreRoundTrip:
+    def test_dense_round_trip_bit_for_bit(self, tech, store):
+        rng = np.random.default_rng(7)
+        weights = rng.integers(0, 8, GRID)
+        x = rng.random(GRID[1])
+        cold = fresh_session(tech, store)
+        expected = cold.submit(weights, x).result()
+        assert store.saves == 1 and store.restores == 0
+
+        warm = fresh_session(tech, store)
+        restored = warm.submit(weights, x).result()
+        assert np.array_equal(expected, restored)
+        assert store.restores == 1
+        # Re-serving the restored program skips the (same-epoch) save.
+        assert store.save_skips >= 1 or store.saves == 1
+
+    def test_conv_round_trip_bit_for_bit(self, tech, store):
+        rng = np.random.default_rng(11)
+        kernels = rng.random((2, 3, 3))
+        image = rng.random((6, 6))
+        cold = fresh_session(tech, store)
+        expected = cold.submit_conv(kernels, image).result()
+        assert store.saves >= 1
+
+        warm = fresh_session(tech, store)
+        restored = warm.submit_conv(kernels, image).result()
+        assert np.array_equal(expected, restored)
+        assert store.restores >= 1
+
+    def test_drift_compensated_round_trip(self, tech, store):
+        rng = np.random.default_rng(3)
+        weights = rng.integers(0, 8, GRID)
+        x = rng.random(GRID[1])
+        models = lambda: (LaserPowerDecay(rate_per_s=1e-2),
+                          TiaGainDrift(drift_per_s=-8e-4))
+        drift_a = DriftState(models())
+        aged = fresh_session(tech, store, drift=drift_a)
+        aged.age(30.0)
+        aged.recalibrate()
+        assert drift_a.epoch == 1
+        store.save_calibration("slot", drift_a)
+        expected = aged.submit(weights, x).result()
+
+        # A replacement core adopts the persisted calibration record,
+        # then restores the epoch-1 program bit-for-bit.
+        drift_b = DriftState(models())
+        assert store.apply_calibration("slot", drift_b)
+        assert drift_b.epoch == drift_a.epoch
+        assert drift_b.elapsed_s == pytest.approx(30.0)
+        assert drift_b.compensation.current_scale == pytest.approx(
+            drift_a.compensation.current_scale
+        )
+        replacement = fresh_session(tech, store, drift=drift_b)
+        restored = replacement.submit(weights, x).result()
+        assert np.array_equal(expected, restored)
+        assert store.restores >= 1 and store.stale_rejects == 0
+
+    def test_calibration_record_absent_and_corrupt(self, tech, store):
+        assert store.load_calibration("ghost") is None
+        assert not store.apply_calibration("ghost", DriftState())
+        store.save_calibration("slot", DriftState())
+        store._calibration_path("slot").write_text("not json")
+        with pytest.raises(CorruptProgramError, match="unreadable"):
+            store.load_calibration("slot")
+        assert store.corrupt_rejects == 1
+
+
+class TestProgramStoreRejections:
+    def populate(self, tech, store):
+        rng = np.random.default_rng(5)
+        weights = rng.integers(0, 8, GRID)
+        session = fresh_session(tech, store)
+        session.submit(weights, rng.random(GRID[1])).result()
+        key = session.scheduler.cache.keys()[0]
+        return session, key, session_fingerprint(session)
+
+    def test_stale_epoch_is_typed(self, tech, store):
+        session, key, fingerprint = self.populate(tech, store)
+        assert store.load(key, fingerprint=fingerprint, epoch=0,
+                          technology=tech) is not None
+        with pytest.raises(StaleProgramError, match="epoch"):
+            store.load(key, fingerprint=fingerprint, epoch=2, technology=tech)
+        assert store.stale_rejects == 1
+
+    def test_corrupt_manifest_is_typed(self, tech, store):
+        session, key, fingerprint = self.populate(tech, store)
+        digest = store.digest(key, fingerprint)
+        store._manifest_path(digest).write_text("{ not json")
+        with pytest.raises(CorruptProgramError, match="unreadable"):
+            store.load(key, fingerprint=fingerprint, epoch=0, technology=tech)
+        assert store.corrupt_rejects == 1
+
+    def test_missing_arrays_are_corrupt(self, tech, store):
+        session, key, fingerprint = self.populate(tech, store)
+        store._arrays_path(store.digest(key, fingerprint)).unlink()
+        with pytest.raises(CorruptProgramError, match="payload"):
+            store.load(key, fingerprint=fingerprint, epoch=0, technology=tech)
+
+    def test_serving_falls_back_to_recompile(self, tech, store):
+        rng = np.random.default_rng(5)
+        weights = rng.integers(0, 8, GRID)
+        x = rng.random(GRID[1])
+        session, key, fingerprint = self.populate(tech, store)
+        expected = session.submit(weights, x).result()
+        store._manifest_path(store.digest(key, fingerprint)).write_text("junk")
+
+        fallback = fresh_session(tech, store)
+        assert np.array_equal(expected, fallback.submit(weights, x).result())
+        assert store.corrupt_rejects >= 1
+        # The recompiled program overwrote the damaged entry.
+        assert store.load(key, fingerprint=fingerprint, epoch=0,
+                          technology=tech) is not None
+
+    def test_unknown_program_type_rejected(self, store):
+        with pytest.raises(ConfigurationError, match="persist"):
+            store.save(b"key", object(), fingerprint="abc")
+
+    def test_miss_is_none_not_error(self, tech, store):
+        assert store.load(b"never-saved", fingerprint="abc", epoch=0,
+                          technology=tech) is None
+        assert store.misses == 1
+
+
+class TestHashRing:
+    KEYS = [f"program-{i}".encode() for i in range(400)]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="replica"):
+            HashRing(replicas=0)
+        with pytest.raises(ConfigurationError, match="no members"):
+            HashRing().lookup(b"key")
+
+    def test_lookup_is_deterministic_and_spreads(self):
+        ring = HashRing(range(8))
+        first = [ring.lookup(key) for key in self.KEYS]
+        assert first == [ring.lookup(key) for key in self.KEYS]
+        assert len(set(first)) == 8  # every member takes a share
+
+    def test_incremental_add_matches_rebuild(self):
+        grown = HashRing(range(5))
+        grown.add(5)
+        rebuilt = HashRing(range(6))
+        assert grown.members == rebuilt.members == tuple(range(6))
+        assert [grown.lookup(k) for k in self.KEYS] == \
+               [rebuilt.lookup(k) for k in self.KEYS]
+        grown.add(5)  # idempotent
+        assert len(grown) == 6
+
+    def test_incremental_remove_matches_rebuild(self):
+        shrunk = HashRing(range(6))
+        shrunk.remove(3)
+        rebuilt = HashRing([0, 1, 2, 4, 5])
+        assert shrunk.members == rebuilt.members
+        assert [shrunk.lookup(k) for k in self.KEYS] == \
+               [rebuilt.lookup(k) for k in self.KEYS]
+
+    def test_allowed_filters_members(self):
+        ring = HashRing(range(6))
+        assert all(ring.lookup(k, allowed={2}) == 2 for k in self.KEYS[:20])
+        with pytest.raises(ConfigurationError, match="no allowed member"):
+            ring.lookup(b"key", allowed={99})
+
+    def test_scale_up_keeps_at_least_90_percent(self):
+        """The affinity regression: adding one member to a 16-core ring
+        re-homes at most ~1/17 of keys (consistent hashing), far from
+        the ~16/17 a modulo router would re-home."""
+        ring = HashRing(range(16))
+        before = {key: ring.lookup(key) for key in self.KEYS}
+        ring.add(16)
+        kept = sum(ring.lookup(key) == home for key, home in before.items())
+        assert kept / len(self.KEYS) >= 0.90
+
+
+class TestCoreSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="rows"):
+            CoreSpec(rows=0)
+        with pytest.raises(ConfigurationError, match="adc_bits"):
+            CoreSpec(adc_bits=-1)
+
+    def test_describe(self):
+        assert CoreSpec().describe() == "default"
+        assert CoreSpec(rows=16, columns=16, adc_bits=5).describe() == "16x16/a5"
+        assert CoreSpec(adc_bits=7, weight_bits=4).describe() == "a7/w4"
+
+
+class TestAutoscalerPolicy:
+    def snapshot(self, **kwargs):
+        base = dict(active_cores=2, pending=0, shed_delta=0, miss_delta=0,
+                    now=10.0, last_scale_at=None)
+        base.update(kwargs)
+        return FleetSnapshot(**base)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="min_cores"):
+            Autoscaler(min_cores=0)
+        with pytest.raises(ConfigurationError, match="max_cores"):
+            Autoscaler(min_cores=3, max_cores=2)
+        with pytest.raises(ConfigurationError, match="watch_every"):
+            Autoscaler(watch_every=0)
+        with pytest.raises(ConfigurationError, match="hysteresis"):
+            Autoscaler(scale_up_pending=1.0, scale_down_pending=1.0)
+        with pytest.raises(ConfigurationError, match="tolerances"):
+            Autoscaler(shed_tolerance=-1)
+        with pytest.raises(ConfigurationError, match="cooldown"):
+            Autoscaler(cooldown_s=-0.1)
+
+    def test_overload_grows_until_max(self):
+        policy = Autoscaler(min_cores=1, max_cores=3, scale_up_pending=8.0)
+        assert policy.decide(self.snapshot(pending=16)) == 1
+        assert policy.decide(self.snapshot(active_cores=3, pending=99)) == 0
+
+    def test_shed_and_miss_deltas_force_growth(self):
+        policy = Autoscaler(min_cores=1, max_cores=4)
+        assert policy.decide(self.snapshot(shed_delta=1)) == 1
+        assert policy.decide(self.snapshot(miss_delta=1)) == 1
+
+    def test_quiet_shrinks_until_min(self):
+        policy = Autoscaler(min_cores=1, max_cores=4, scale_down_pending=1.0)
+        assert policy.decide(self.snapshot(pending=0)) == -1
+        assert policy.decide(self.snapshot(active_cores=1, pending=0)) == 0
+
+    def test_hysteresis_band_holds(self):
+        policy = Autoscaler(scale_up_pending=8.0, scale_down_pending=1.0)
+        assert policy.decide(self.snapshot(pending=8)) == 0  # 4/core
+
+    def test_sheds_block_shrink(self):
+        policy = Autoscaler(min_cores=1, max_cores=4, shed_tolerance=2)
+        assert policy.decide(self.snapshot(pending=0, shed_delta=1)) == 0
+
+    def test_cooldown_holds_but_floor_overrides(self):
+        policy = Autoscaler(min_cores=2, max_cores=4, cooldown_s=5.0)
+        cooling = self.snapshot(pending=99, now=12.0, last_scale_at=10.0)
+        assert policy.decide(cooling) == 0
+        assert policy.decide(self.snapshot(active_cores=1, now=12.0,
+                                           last_scale_at=10.0)) == 1
+        settled = self.snapshot(pending=99, now=16.0, last_scale_at=10.0)
+        assert policy.decide(settled) == 1
+
+    def test_describe(self):
+        text = Autoscaler(min_cores=1, max_cores=4,
+                          spec=CoreSpec(adc_bits=7)).describe()
+        assert "autoscale[1..4]" in text and "a7" in text
+
+
+class TestElasticCluster:
+    def backlog(self, cluster, count, rng):
+        weights = rng.integers(0, 8, GRID)
+        for _ in range(count):
+            cluster.submit(weights, rng.random(GRID[1]))
+
+    def test_construction_validation(self, tech):
+        with pytest.raises(ConfigurationError, match="autoscaler"):
+            PhotonicCluster(cores=1, technology=tech, grid=GRID,
+                            autoscaler="grow")
+        with pytest.raises(ConfigurationError, match="program_store"):
+            PhotonicCluster(cores=1, technology=tech, grid=GRID,
+                            program_store="/tmp/store")
+        with pytest.raises(ConfigurationError, match="core_specs"):
+            PhotonicCluster(cores=2, technology=tech, grid=GRID,
+                            core_specs=[CoreSpec()])
+
+    def test_manual_scale_cycle_parks_and_unparks(self, tech):
+        cluster = PhotonicCluster(cores=1, technology=tech, grid=GRID,
+                                  flush_policy=FlushPolicy.explicit())
+        # No recorder/registry attached: every scale event below must
+        # run without touching telemetry (zero-overhead contract).
+        assert cluster.telemetry is None
+        grown = cluster.scale_up()
+        assert grown == 1 and cluster.active_cores == (0, 1)
+        assert cluster.membership_version == 1
+
+        parked = cluster.scale_down()
+        assert parked in (0, 1)
+        assert cluster.parked == (parked,)
+        assert len(cluster.active_cores) == 1
+        # Parked slots are parked, not deleted: indices stay stable.
+        assert cluster.cores == 2
+
+        # Growth prefers unparking (warmest start) over adding a slot.
+        assert cluster.scale_up() == parked
+        assert cluster.parked == () and cluster.cores == 2
+        report = cluster.report()
+        assert report.scale_ups == 2 and report.scale_downs == 1
+
+    def test_scale_down_refuses_last_active_core(self, tech):
+        cluster = PhotonicCluster(cores=1, technology=tech, grid=GRID)
+        assert cluster.scale_down() is None
+
+    def test_autoscaler_grows_under_backlog_then_parks(self, tech):
+        rng = np.random.default_rng(9)
+        clock = ModelClock()
+        cluster = PhotonicCluster(
+            cores=1, technology=tech, grid=GRID,
+            flush_policy=FlushPolicy.explicit(), clock=clock,
+            autoscaler=Autoscaler(min_cores=1, max_cores=3, watch_every=2,
+                                  scale_up_pending=4.0,
+                                  scale_down_pending=1.0),
+        )
+        self.backlog(cluster, 12, rng)
+        assert len(cluster.active_cores) == 3  # grew to max under backlog
+        cluster.flush()
+        clock.advance(1.0)
+
+        # Light traffic with empty queues reads as quiet: park back down.
+        for _ in range(8):
+            self.backlog(cluster, 1, rng)
+            cluster.flush()
+        assert len(cluster.active_cores) == 1
+        assert len(cluster.parked) == 2
+
+        report = cluster.report()
+        assert report.scale_ups >= 2 and report.scale_downs >= 2
+        assert report.core_seconds > 0.0
+        assert len(report.pending) == cluster.cores
+        assert len(report.deadline_shed) == cluster.cores
+        assert any("autoscaling" in line for line in report.lines())
+
+    def test_scale_up_warm_starts_from_store(self, tech, tmp_path):
+        rng = np.random.default_rng(13)
+        store = ProgramStore(tmp_path / "fleet")
+        cluster = PhotonicCluster(cores=1, technology=tech, grid=GRID,
+                                  flush_policy=FlushPolicy.explicit(),
+                                  program_store=store)
+        weights = rng.integers(0, 8, GRID)
+        expected = cluster.submit(weights, rng.random(GRID[1])).result()
+        assert store.saves >= 1
+
+        cluster.scale_up()
+        # The grown core serves the hot program from the store instead
+        # of recompiling (round-robin lands half the replays on it).
+        x = rng.random(GRID[1])
+        futures = [cluster.submit(weights, x) for _ in range(4)]
+        cluster.flush()
+        assert store.restores >= 1
+        assert all(np.array_equal(futures[0].result(), f.result())
+                   for f in futures[1:])
+        assert expected.shape == futures[0].result().shape
+
+    def test_heterogeneous_capability_routing(self, tech):
+        rng = np.random.default_rng(17)
+        cluster = PhotonicCluster(
+            cores=2, technology=tech, grid=GRID,
+            flush_policy=FlushPolicy.explicit(),
+            core_specs=[None, CoreSpec(rows=8, columns=8, adc_bits=7)],
+        )
+        assert cluster.core_specs[0] is None
+        assert cluster.core_specs[1].adc_bits == 7
+
+        # Small programs go to the cheaper small core...
+        cluster.submit(rng.integers(0, 8, GRID), rng.random(GRID[1]))
+        assert cluster.sessions[0].pending == 1
+        # ...big programs to the only core that fits them in one pass...
+        cluster.submit(rng.integers(0, 8, (8, 8)), rng.random(8))
+        assert cluster.sessions[1].pending == 1
+        # ...and precision-pinned programs to a capable ADC.
+        cluster.submit(rng.integers(0, 8, GRID), rng.random(GRID[1]),
+                       min_adc_bits=7)
+        assert cluster.sessions[1].pending == 2
+        # An unsatisfiable floor degrades to the highest-precision core.
+        cluster.submit(rng.integers(0, 8, GRID), rng.random(GRID[1]),
+                       min_adc_bits=12)
+        assert cluster.sessions[1].pending == 3
+        cluster.flush()
+
+    def test_affinity_placements_survive_scale_up(self, tech):
+        rng = np.random.default_rng(21)
+        cluster = PhotonicCluster(cores=4, technology=tech, grid=GRID,
+                                  flush_policy=FlushPolicy.explicit(),
+                                  routing=RoutingPolicy.cache_affinity())
+        programs = [rng.integers(0, 8, GRID) for _ in range(12)]
+        for weights in programs:
+            cluster.submit(weights, rng.random(GRID[1]))
+        cluster.flush()
+        cached = sum(len(s.scheduler.cache) for s in cluster.sessions)
+        assert cached == len(programs)
+
+        cluster.add_core()
+        for weights in programs:
+            cluster.submit(weights, rng.random(GRID[1]))
+        cluster.flush()
+        # Consistent hashing re-homes ~1/5 of programs; most hit the
+        # warm cache on their old core instead of recompiling.
+        recompiled = sum(len(s.scheduler.cache)
+                         for s in cluster.sessions) - cached
+        assert recompiled <= len(programs) // 2
+
+    def test_fleet_telemetry_spans_scale_events(self, tech):
+        trace = TraceRecorder("elastic")
+        cluster = PhotonicCluster(cores=1, technology=tech, grid=GRID,
+                                  trace=trace, metrics=MetricsRegistry())
+        cluster.scale_up()
+        cluster.scale_down()
+        names = [event.name for event in trace.events_in("fleet")]
+        assert any(name.startswith("scale up core") for name in names)
+        assert any(name.startswith("scale down core") for name in names)
+        assert cluster.telemetry.metrics.counter("scale_ups").value == 1
+        assert cluster.telemetry.metrics.counter("scale_downs").value == 1
+
+    def test_traffic_engine_follows_membership_changes(self, tech):
+        cluster = PhotonicCluster(
+            cores=1, technology=tech, grid=GRID,
+            metrics=MetricsRegistry(), clock=ModelClock(),
+            autoscaler=Autoscaler(min_cores=1, max_cores=3, watch_every=4,
+                                  scale_up_pending=8.0,
+                                  scale_down_pending=1.0),
+        )
+        mix = WorkloadMix.zipf(tenants=2, rows=GRID[0], columns=GRID[1])
+        engine = TrafficEngine(cluster, mix, Poisson(5e4), seed=1)
+        result = engine.run(400)
+        assert result["resolved"] == 400
+        report = cluster.report()
+        assert report.scale_ups >= 1  # the tape overloads one core
+        assert cluster.cores > 1
+        assert report.core_seconds > 0.0

@@ -39,6 +39,7 @@ def test_examples_directory_complete():
         "insitu_training.py",
         "telemetry_tour.py",
         "traffic_slo.py",
+        "elastic_fleet.py",
     }
     assert expected <= present
 
@@ -58,6 +59,8 @@ def test_examples_directory_complete():
                                "trace events", "Perfetto"]),
         ("traffic_slo.py", ["DeadlineExceededError", "SLO met",
                             "queue-wait", "capacity", "sustained"]),
+        ("elastic_fleet.py", ["bit-for-bit: True", "scale-ups",
+                              "parked [1, 2]", "16x16/a7"]),
     ],
 )
 def test_fast_examples_run(name, markers):
