@@ -39,6 +39,13 @@ The package rebuilds the paper's full stack in Python:
   tracing (:class:`TraceRecorder`), counters/gauges/latency-quantile
   histograms (:class:`MetricsRegistry`), cProfile hooks behind
   ``serve-bench --profile`` and the shared report export mixin.
+* :mod:`repro.obs` — active observability on top of the telemetry
+  streams: sliding-window :class:`AlertRule` evaluation on the
+  modelled clock (multi-window SLO burn rates, latency-shift /
+  cache-collapse / shed-spike / probe-error detectors), the
+  :class:`FlightRecorder` ring dumping self-contained incident
+  bundles, Prometheus text exposition and the single-file HTML
+  dashboard behind ``serve-bench --dashboard`` / ``repro obs``.
 * :mod:`repro.traffic` — modelled-time traffic simulation: seeded
   arrival processes (:class:`Poisson`, :class:`Diurnal`,
   :class:`Bursty`, :class:`Replay`), multi-tenant

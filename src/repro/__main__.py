@@ -31,14 +31,23 @@ Commands:
   machine-readable findings, ``--baseline FILE`` to grandfather,
   ``--write-baseline`` to regenerate it, ``--catalog`` to print the
   rule catalog.  Exits 1 on any new finding.
+* ``obs --trace T.json [--metrics M.json] [--alerts A.json]
+  [--out out.html]`` — render the :mod:`repro.obs` dashboard from
+  saved artifacts: a ``--trace`` dump, an optional metrics JSON and an
+  optional alerts file (either a JSON list of alert dicts or a
+  ``BENCH_drift.json`` whose ``incident`` section carries them).
 
 Every serve-bench scenario shares one option parser
 (:func:`_parse_serve_bench_options`): ``--seed N`` for a reproducible
 trace, ``--smoke`` for a fast CI-sized run, ``--profile`` to wrap the
 run in cProfile and print the hottest functions (also merged into the
-scenario's ``BENCH_*.json`` where one is written), and
+scenario's ``BENCH_*.json`` where one is written),
 ``--trace out.json`` to dump the modelled-clock span timeline as
-Chrome trace-event JSON (open it in Perfetto or ``chrome://tracing``).
+Chrome trace-event JSON (open it in Perfetto or ``chrome://tracing``),
+and ``--dashboard out.html`` to render the run as a self-contained
+HTML dashboard (latency quantile timelines, per-core utilization,
+pending depth, cache hit rate, alert/incident markers; the drift
+scenario also writes its incident bundle to ``INCIDENT_drift.json``).
 
 Also installed as the ``repro`` console script (``repro serve-bench``).
 """
@@ -94,11 +103,13 @@ class _ServeBenchOptions:
     seed: int = 2025
     profile: bool = False
     trace_path: Path | None = None
+    dashboard_path: Path | None = None
 
 
 def _parse_serve_bench_options(argv: list[str]):
     """Parse the shared ``--seed`` / ``--smoke`` / ``--profile`` /
-    ``--trace`` options out of a serve-bench argument list.
+    ``--trace`` / ``--dashboard`` options out of a serve-bench
+    argument list.
 
     One parser for every scenario, so a new shared option lands once
     instead of once per scenario.  Returns ``(options, remaining)``
@@ -135,17 +146,27 @@ def _parse_serve_bench_options(argv: list[str]):
             return None, args
         opts.trace_path = Path(args[at + 1])
         del args[at : at + 2]
+    if "--dashboard" in args:
+        at = args.index("--dashboard")
+        if at + 1 >= len(args) or args[at + 1].startswith("--"):
+            print("serve-bench --dashboard expects an output path")
+            return None, args
+        opts.dashboard_path = Path(args[at + 1])
+        del args[at : at + 2]
     return opts, args
 
 
 def _run_scenario(opts: _ServeBenchOptions, runner, json_path=None, **kwargs) -> int:
     """Run one serve-bench scenario under the shared observability
     options: attach a :class:`~repro.telemetry.TraceRecorder` for
-    ``--trace``, wrap the run in cProfile for ``--profile`` (printing
-    the hot-function ranking and merging it into the scenario's
-    ``BENCH_*.json`` when one is written)."""
+    ``--trace`` / ``--dashboard``, wrap the run in cProfile for
+    ``--profile`` (printing the hot-function ranking and merging it
+    into the scenario's ``BENCH_*.json`` when one is written), and
+    render the :mod:`repro.obs` dashboard for ``--dashboard`` (with
+    alert/incident markers when the runner's summary carries an
+    ``"incident"`` section, as the drift scenario's does)."""
     recorder = None
-    if opts.trace_path is not None:
+    if opts.trace_path is not None or opts.dashboard_path is not None:
         from .telemetry import TraceRecorder
 
         recorder = TraceRecorder(label="serve-bench")
@@ -158,7 +179,7 @@ def _run_scenario(opts: _ServeBenchOptions, runner, json_path=None, **kwargs) ->
     if opts.profile:
         from .telemetry import format_profile, profile_call
 
-        _, hot = profile_call(call)
+        result, hot = profile_call(call)
         print(format_profile(hot))
         if json_path is not None:
             import json
@@ -168,10 +189,21 @@ def _run_scenario(opts: _ServeBenchOptions, runner, json_path=None, **kwargs) ->
             Path(json_path).write_text(json.dumps(data, indent=2) + "\n")
             print(f"profile merged into: {json_path}")
     else:
-        call()
-    if recorder is not None:
+        result = call()
+    if recorder is not None and opts.trace_path is not None:
         recorder.save(opts.trace_path)
         print(f"trace written to: {opts.trace_path}")
+    if opts.dashboard_path is not None:
+        from .obs import save_dashboard
+
+        incident = result.get("incident", {}) if isinstance(result, dict) else {}
+        save_dashboard(
+            opts.dashboard_path,
+            trace=recorder,
+            alerts=incident.get("alerts", ()),
+            incidents=incident.get("incident_markers", ()),
+        )
+        print(f"dashboard written to: {opts.dashboard_path}")
     return 0
 
 
@@ -222,6 +254,10 @@ def _serve_bench(argv: list[str]) -> int:
                 "thresholds": (0.05,),
                 "arrival_period_s": 60.0 / requests,
             }
+        if opts.dashboard_path is not None:
+            # The CI artifact: the induced incident's bundle lands next
+            # to BENCH_drift.json whenever a dashboard is rendered.
+            sweep_kwargs["incident_path"] = Path.cwd() / "INCIDENT_drift.json"
         return _run_scenario(
             opts,
             run_drift_serve_bench,
@@ -315,6 +351,82 @@ def _serve_bench(argv: list[str]) -> int:
     return _run_scenario(opts, run_serve_bench, requests=requests, seed=opts.seed)
 
 
+def _obs(argv: list[str]) -> int:
+    """Render the observability dashboard from saved artifacts."""
+    import json
+
+    from .errors import ConfigurationError
+    from .obs import save_dashboard
+
+    args = list(argv)
+
+    def take_path(flag: str):
+        if flag not in args:
+            return None, False
+        at = args.index(flag)
+        if at + 1 >= len(args) or args[at + 1].startswith("--"):
+            print(f"obs {flag} expects a file path")
+            return None, True
+        value = Path(args[at + 1])
+        del args[at : at + 2]
+        return value, False
+
+    trace_path, bad = take_path("--trace")
+    if bad:
+        return 2
+    metrics_path, bad = take_path("--metrics")
+    if bad:
+        return 2
+    alerts_path, bad = take_path("--alerts")
+    if bad:
+        return 2
+    out_path, bad = take_path("--out")
+    if bad:
+        return 2
+    if args:
+        print(f"obs: unknown argument(s) {args}")
+        return 2
+    if trace_path is None:
+        print("obs expects --trace TRACE.json (a saved serve-bench --trace dump)")
+        return 2
+    if not trace_path.exists():
+        print(f"obs: trace file not found: {trace_path}")
+        return 2
+    alerts: list = []
+    incidents: list = []
+    if alerts_path is not None:
+        if not alerts_path.exists():
+            print(f"obs: alerts file not found: {alerts_path}")
+            return 2
+        payload = json.loads(alerts_path.read_text())
+        if isinstance(payload, dict) and "incident" in payload:
+            payload = payload["incident"]
+        if isinstance(payload, dict):
+            alerts = list(payload.get("alerts", ()))
+            incidents = list(payload.get("incident_markers", ()))
+        else:
+            alerts = list(payload)
+    metrics = None
+    if metrics_path is not None:
+        if not metrics_path.exists():
+            print(f"obs: metrics file not found: {metrics_path}")
+            return 2
+        metrics = json.loads(metrics_path.read_text())
+    try:
+        target = save_dashboard(
+            out_path if out_path is not None else Path("DASHBOARD.html"),
+            trace=trace_path,
+            metrics=metrics,
+            alerts=alerts,
+            incidents=incidents,
+        )
+    except ConfigurationError as error:
+        print(f"obs: {error}")
+        return 2
+    print(f"dashboard written to: {target}")
+    return 0
+
+
 def _lint(argv: list[str]) -> int:
     from .errors import ConfigurationError
     from .lint import BASELINE_FILE, all_rules, run_lint, write_baseline
@@ -377,6 +489,7 @@ def main(argv: list[str] | None = None) -> int:
         "adc": _adc,
         "serve-bench": _serve_bench,
         "lint": _lint,
+        "obs": _obs,
     }
     if command not in commands:
         print(f"unknown command {command!r}; choose from {sorted(commands)}")

@@ -62,6 +62,7 @@ from ..telemetry import (
     ReportExport,
     Telemetry,
     TraceRecorder,
+    merged_tenant_quantiles,
 )
 from .futures import Future, RunReport
 from .graph import Model
@@ -71,6 +72,8 @@ from .session import ClockSource, DeployedModel, DriftLike, PhotonicSession
 
 if TYPE_CHECKING:
     from numpy.typing import ArrayLike
+
+    from ..obs import Observer
 
 
 @dataclass(frozen=True)
@@ -119,6 +122,11 @@ class ClusterReport(ReportExport):
     #: :meth:`repro.telemetry.Histogram.merged`).  None on a cluster
     #: without telemetry or before any request resolved.
     latency_quantiles: dict | None = None
+    #: Fleet-wide per-tenant queue-wait / service-time split, merged
+    #: bin-for-bin from the per-core per-tenant histograms (see
+    #: :func:`repro.telemetry.merged_tenant_quantiles`).  None without
+    #: telemetry or before any labelled request resolved.
+    tenant_quantiles: dict | None = None
 
     @property
     def cache_hit_rate(self) -> float:
@@ -331,6 +339,7 @@ class PhotonicCluster:
         trace: TraceRecorder | None = None,
         metrics: MetricsRegistry | None = None,
         clock: "ClockSource" = None,
+        obs: Observer | None = None,
         label: str = "cluster",
     ) -> None:
         if not isinstance(cores, (int, np.integer)) or cores < 1:
@@ -439,6 +448,24 @@ class PhotonicCluster:
             )
         else:
             self.telemetry = None
+        # -- active observability (repro.obs) ---------------------------
+        #: Optional :class:`~repro.obs.Observer` shared by the fleet:
+        #: every core session feeds it flush/health samples, and the
+        #: cluster feeds it shed / drain / restore / scale events.
+        #: None (the default) = the serving path makes zero obs calls.
+        if obs is not None:
+            from ..obs import Observer as _Observer
+
+            if not isinstance(obs, _Observer):
+                raise ConfigurationError(
+                    f"obs must be a repro.obs.Observer, "
+                    f"got {type(obs).__name__}"
+                )
+        self.obs = obs
+        #: Suppresses the inner drain/restore/add_core observer events
+        #: while a scale_up/scale_down reuses that machinery (the scale
+        #: event covers the transition).
+        self._in_scale_change = False
         #: The elastic policy (None = fixed fleet) and the shared
         #: compiled-program store (None = every slot cold-compiles).
         self.autoscaler = autoscaler
@@ -515,6 +542,9 @@ class PhotonicCluster:
         self._in_scaling = False
         self._core_seconds = 0.0
         self._seconds_accrued_at = self._elastic_now()
+        obs_binding = self.obs
+        if obs_binding is not None:
+            obs_binding.attach_fleet(self._obs_fleet_snapshot)
 
     # -- slot construction ---------------------------------------------------
     def _core_binding(self, index: int) -> Telemetry | None:
@@ -557,6 +587,7 @@ class PhotonicCluster:
             telemetry=self._core_binding(index),
             clock=self._clock,
             program_store=self.program_store,
+            obs=self.obs,
             label=f"{self.label}/core{index}",
         )
 
@@ -664,6 +695,33 @@ class PhotonicCluster:
             tel.clock.now = self._fleet_now()
             tel.instant(name, "fleet", args)
 
+    def _obs_fleet_snapshot(self) -> dict:
+        """The fleet's state at an incident dump (see
+        :meth:`repro.obs.Observer.attach_fleet`): membership, backlog
+        and routing/scale counters — enough to reconstruct what the
+        fleet looked like when an alert fired."""
+        return {
+            "label": self.label,
+            "cores": self.cores,
+            "active_cores": list(self.active_cores),
+            "draining": sorted(self._drained),
+            "parked": sorted(self._parked),
+            "pending": self.pending,
+            "routed": list(self._routed),
+            "shed": self._shed,
+            "drains": self._drains,
+            "scale_ups": self._scale_ups,
+            "scale_downs": self._scale_downs,
+            "at": self._fleet_now(),
+        }
+
+    def _obs_event(self, kind: str, args: dict | None = None) -> None:
+        """Feed one fleet transition to the observer (no-op without
+        one), stamped at the fleet's modelled now."""
+        obs = self.obs
+        if obs is not None:
+            obs.note_event(self._fleet_now(), kind, args)
+
     # -- elastic bookkeeping -------------------------------------------------
     def _elastic_now(self) -> float:
         """Modelled 'now' for scale decisions and core-second
@@ -722,6 +780,10 @@ class PhotonicCluster:
                         "max_pending": self.max_pending,
                     },
                 )
+            self._obs_event(
+                "shed",
+                {"pending": self.pending, "max_pending": self.max_pending},
+            )
             raise ClusterSaturatedError(
                 f"cluster saturated: {self.pending} requests pending >= "
                 f"max_pending={self.max_pending}; flush()/poll() to drain, "
@@ -988,12 +1050,16 @@ class PhotonicCluster:
         if self.telemetry is not None:
             self.telemetry.metrics.counter("drains").inc()
             self._fleet_instant(f"drain core {core}", args={"core": core})
+        if not self._in_scale_change:
+            self._obs_event("drain", {"core": core})
 
     def restore(self, core: int) -> None:
         """Return a drained (or parked) core to the routing rotation."""
         core = self._validated_core(core)
         if core in self._drained:
             self._fleet_instant(f"restore core {core}", args={"core": core})
+            if not self._in_scale_change:
+                self._obs_event("restore", {"core": core})
         self._drained.discard(core)
         self._parked.discard(core)
 
@@ -1041,6 +1107,11 @@ class PhotonicCluster:
                     "active": len(self.active_cores),
                 },
             )
+        if not self._in_scale_change:
+            self._obs_event(
+                "add_core",
+                {"core": index, "active": len(self.active_cores)},
+            )
         return index
 
     def scale_up(self, spec: CoreSpec | None = None) -> int:
@@ -1053,15 +1124,21 @@ class PhotonicCluster:
         ``spec`` for grown slots.
         """
         self._accrue_core_seconds()
-        if self._parked:
-            core = max(self._parked)          # most recently parked
-            warm_start = "unparked"
-            self.restore(core)
-        else:
-            if spec is None and self.autoscaler is not None:
-                spec = self.autoscaler.spec
-            warm_start = "store" if self.program_store is not None else "cold"
-            core = self.add_core(spec)
+        self._in_scale_change = True
+        try:
+            if self._parked:
+                core = max(self._parked)          # most recently parked
+                warm_start = "unparked"
+                self.restore(core)
+            else:
+                if spec is None and self.autoscaler is not None:
+                    spec = self.autoscaler.spec
+                warm_start = (
+                    "store" if self.program_store is not None else "cold"
+                )
+                core = self.add_core(spec)
+        finally:
+            self._in_scale_change = False
         self._scale_ups += 1
         self._last_scale_at = self._elastic_now()
         if self.telemetry is not None:
@@ -1077,6 +1154,14 @@ class PhotonicCluster:
                     "active": len(self.active_cores),
                 },
             )
+        self._obs_event(
+            "scale_up",
+            {
+                "core": core,
+                "warm_start": warm_start,
+                "active": len(self.active_cores),
+            },
+        )
         return core
 
     def scale_down(self, core: int | None = None) -> int | None:
@@ -1111,7 +1196,11 @@ class PhotonicCluster:
             if core not in active:
                 return None
         self._accrue_core_seconds()
-        self.drain(core)
+        self._in_scale_change = True
+        try:
+            self.drain(core)
+        finally:
+            self._in_scale_change = False
         self._parked.add(core)
         self._scale_downs += 1
         self._last_scale_at = self._elastic_now()
@@ -1124,6 +1213,10 @@ class PhotonicCluster:
                 f"scale down core {core}",
                 args={"core": core, "active": len(self.active_cores)},
             )
+        self._obs_event(
+            "scale_down",
+            {"core": core, "active": len(self.active_cores)},
+        )
         return core
 
     def _maybe_autoscale(self) -> None:
@@ -1305,6 +1398,18 @@ class PhotonicCluster:
         )
         return {"queue_wait": wait.summary(), "end_to_end": summary}
 
+    def _merged_tenant_quantiles(self) -> dict | None:
+        """Fleet per-tenant latency split, merged bin-for-bin across
+        the per-core telemetry histograms (see
+        :func:`repro.telemetry.merged_tenant_quantiles`)."""
+        return merged_tenant_quantiles(
+            [
+                session.telemetry
+                for session in self._sessions
+                if session.telemetry is not None
+            ]
+        )
+
     def report(self) -> ClusterReport:
         """Cumulative fleet accounting: per-core RunReports plus their
         rolled-up totals, routing spread, shed count and (with
@@ -1328,6 +1433,7 @@ class PhotonicCluster:
                 report.deadline_misses for report in per_core
             ),
             latency_quantiles=self._merged_latency_quantiles(),
+            tenant_quantiles=self._merged_tenant_quantiles(),
         )
 
     def __repr__(self) -> str:

@@ -86,6 +86,13 @@ class RunReport(ReportExport):
     #: :class:`repro.telemetry.Telemetry` binding (None otherwise, so
     #: uninstrumented reports stay bit-for-bit identical).
     latency_quantiles: dict | None = None
+    #: The same latency split per request label —
+    #: ``{tenant: {"queue_wait": {...}, "service": {...}}}`` — again
+    #: only with a telemetry binding attached (None otherwise).  Like
+    #: ``latency_quantiles``, quantile summaries are not additive, so
+    #: :meth:`combined` leaves it None; the fleet view merges at the
+    #: histogram level (:attr:`repro.api.ClusterReport.tenant_quantiles`).
+    tenant_quantiles: dict | None = None
 
     @classmethod
     def combined(cls, reports: Iterable[RunReport]) -> "RunReport":

@@ -62,6 +62,7 @@ if TYPE_CHECKING:
 
     from ..core.performance import PerformanceModel
     from ..core.tensor_core import PhotonicTensorCore
+    from ..obs import Observer
     from ..runtime.serving import ServerStats
 
 #: Everything the ``drift`` knob accepts: a ready state, one model, an
@@ -279,6 +280,7 @@ class PhotonicSession:
         telemetry: Telemetry | None = None,
         clock: ClockSource = None,
         program_store: ProgramStore | None = None,
+        obs: Observer | None = None,
         label: str = "session",
     ) -> None:
         if grid is not None:
@@ -337,6 +339,24 @@ class PhotonicSession:
             )
         else:
             self.telemetry = None
+        # -- active observability (repro.obs) ---------------------------
+        #: Optional :class:`~repro.obs.Observer`: the alerting monitor
+        #: this session feeds its flush/health/event stream.  None (the
+        #: default) = the serving path makes zero obs calls.  An
+        #: attached observer needs the modelled clock and per-flush
+        #: latency windows, so it implies a metrics-only telemetry
+        #: binding when none was passed.
+        if obs is not None:
+            from ..obs import Observer as _Observer
+
+            if not isinstance(obs, _Observer):
+                raise ConfigurationError(
+                    f"obs must be a repro.obs.Observer, "
+                    f"got {type(obs).__name__}"
+                )
+            if self.telemetry is None:
+                self.telemetry = Telemetry(process=self.label)
+        self.obs = obs
         self.scheduler = BatchScheduler(
             rows=rows,
             columns=columns,
@@ -903,6 +923,10 @@ class PhotonicSession:
         the code walk against the compile-time golden codes."""
         report = self.ensure_monitor().check(recalibrated=recalibrated)
         self._health_history.append(report)
+        obs = self.obs
+        tel = self.telemetry
+        if obs is not None and tel is not None:
+            obs.observe_health(tel.clock.now, self.label, report)
         return report
 
     def age(self, seconds: float) -> None:
@@ -965,6 +989,13 @@ class PhotonicSession:
                     "ladder_conversions": conversions,
                 },
             )
+            obs = self.obs
+            if obs is not None:
+                obs.note_event(
+                    tel.clock.now,
+                    "recalibrate",
+                    {"source": self.label, "epoch": self.drift.epoch + 1},
+                )
         self.drift.recalibrate()
         self.core.invalidate_ladders()
         epoch = self.drift.epoch
@@ -1444,6 +1475,11 @@ class PhotonicSession:
                 seconds=report.total_latency, inferences=report.samples
             )
         self._maybe_run_health()
+        obs = self.obs
+        if obs is not None and tel is not None:
+            obs.observe_flush(
+                tel.clock.now, self.label, report, pending=self.pending
+            )
         return resolved
 
     def _emit_flush_telemetry(
@@ -1470,6 +1506,7 @@ class PhotonicSession:
                 "cache_hits": report.cache_hits,
                 "cache_misses": report.cache_misses,
                 "latency_us": report.total_latency * 1e6,
+                "pending": self.pending,
             },
         )
         for future in resolved_futures:
@@ -1530,18 +1567,18 @@ class PhotonicSession:
 
         With a telemetry binding attached, ``latency_quantiles``
         carries the cumulative per-request queue-wait and end-to-end
-        modelled latency distributions (histogram-derived quantiles);
-        without one it is None and every other field is bit-for-bit
+        modelled latency distributions (histogram-derived quantiles)
+        and ``tenant_quantiles`` the same split per request label;
+        without one both are None and every other field is bit-for-bit
         what the uninstrumented session reports.
         """
-        quantiles = (
-            self.telemetry.latency_quantiles()
-            if self.telemetry is not None
-            else None
-        )
+        tel = self.telemetry
+        quantiles = tel.latency_quantiles() if tel is not None else None
+        tenants = tel.tenant_quantiles() if tel is not None else None
         return RunReport(
             flush_index=self._flushes,
             latency_quantiles=quantiles,
+            tenant_quantiles=tenants,
             **self._totals(),
         )
 

@@ -15,9 +15,14 @@ from .registry import ModuleUnderLint, Rule, register
 
 
 def _is_telemetry_source(node: ast.AST) -> bool:
-    """True for expressions that read a telemetry binding off an
-    object: ``self.telemetry``, ``session.telemetry``, ..."""
-    return isinstance(node, ast.Attribute) and node.attr == "telemetry"
+    """True for expressions that read a telemetry or observability
+    binding off an object: ``self.telemetry``, ``session.telemetry``,
+    ``self.obs``, ``target.obs``, ... — both follow the same nullable
+    guard contract."""
+    return isinstance(node, ast.Attribute) and node.attr in (
+        "telemetry",
+        "obs",
+    )
 
 
 def _guard_key(node: ast.AST) -> str | None:
@@ -69,21 +74,22 @@ class HotPathTelemetryGuard(Rule):
     name = "hot-path-telemetry-guard"
     severity = Severity.ERROR
     contract = (
-        "every use of a telemetry binding in repro.runtime / repro.api "
-        "/ repro.traffic / repro.elastic is dominated by an "
-        "'is not None' guard on that binding"
+        "every use of a telemetry or obs binding in repro.runtime / "
+        "repro.api / repro.traffic / repro.elastic / repro.obs is "
+        "dominated by an 'is not None' guard on that binding"
     )
     rationale = (
-        "an uninstrumented session holds telemetry = None; an unguarded "
-        "tel.* access either crashes the hot path or quietly assumes a "
-        "binding exists, breaking the zero-overhead / bit-for-bit "
-        "promise of PR 6"
+        "an uninstrumented session holds telemetry = None and obs = "
+        "None; an unguarded tel.* / obs.* access either crashes the "
+        "hot path or quietly assumes a binding exists, breaking the "
+        "zero-overhead / bit-for-bit promise of PRs 6 and 10"
     )
     scope_prefixes = (
         "src/repro/runtime/",
         "src/repro/api/",
         "src/repro/traffic/",
         "src/repro/elastic/",
+        "src/repro/obs/",
     )
 
     def check(self, module: ModuleUnderLint) -> list[Finding]:
@@ -104,10 +110,10 @@ class HotPathTelemetryGuard(Rule):
         findings: list[Finding],
     ) -> None:
         aliases: set[str] = set()
-        # Parameters named like telemetry bindings count as bindings —
-        # they may be None exactly like self.telemetry.
+        # Parameters named like telemetry/obs bindings count as
+        # bindings — they may be None exactly like self.telemetry.
         for arg in list(func.args.args) + list(func.args.kwonlyargs):
-            if arg.arg in ("tel", "telemetry"):
+            if arg.arg in ("tel", "telemetry", "obs"):
                 aliases.add(arg.arg)
         self._walk_block(module, func.body, aliases, set(), findings)
 

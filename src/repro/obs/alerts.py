@@ -1,0 +1,598 @@
+"""Typed alerts and the sliding-window rule engine.
+
+The passive telemetry layer (:mod:`repro.telemetry`) records what a
+serving run did; this module decides when what it did is *wrong*.  An
+:class:`AlertRule` evaluates a measurement over a sliding modelled-time
+window of :class:`MetricSample` / :class:`HealthSample` /
+:class:`EventSample` records (one per flush, probe check and fleet
+event) and the :class:`~repro.obs.Observer` turns breach transitions
+into typed :class:`Alert` records — ``firing`` when a rule first
+breaches, ``resolved`` when it stops, both stamped on the modelled
+clock.
+
+Two rule families ship built in:
+
+* **SLO burn-rate rules** (:func:`slo_burn_rules`) derived directly
+  from a :class:`repro.traffic.SLO`: the burn rate is the observed
+  deadline-miss rate over the error budget (or the observed p99 over
+  the latency target), and the multi-window fast-burn / slow-burn pair
+  follows the SRE-workbook shape — a high threshold over a short
+  window pages on sharp burns, a lower threshold over a long window
+  catches slow leaks, and each rule only fires when *both* its long
+  and its short window breach (the short window un-fires the alert
+  promptly once the burn stops).
+* **Anomaly detectors**: latency-quantile shift against the trailing
+  baseline (:class:`LatencyShiftRule`), cache-hit-rate collapse
+  (:class:`CacheHitCollapseRule`), shed / deadline-miss spikes
+  (:class:`ShedSpikeRule`) and health-probe code-error growth as a
+  budget burn (:class:`ProbeErrorBurnRule`).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigurationError
+from ..telemetry.export import ReportExport
+
+if TYPE_CHECKING:
+    from ..traffic.slo import SLO
+
+#: Alert severities, mildest first.
+SEVERITIES = ("info", "warn", "page")
+
+
+@dataclass(frozen=True)
+class Alert(ReportExport):
+    """One alert transition on the modelled clock.
+
+    ``state`` is ``"firing"`` or ``"resolved"``; ``at`` stamps this
+    transition and ``fired_at`` the start of the episode (equal on the
+    firing record), so a resolved alert carries its whole span.
+    ``value`` is the rule's measurement at the transition and
+    ``threshold`` the breach level it was compared against.
+    """
+
+    rule: str
+    severity: str
+    state: str
+    at: float
+    fired_at: float
+    window_s: float
+    value: float
+    threshold: float
+    message: str
+
+    def resolved(self, at: float, value: float | None) -> "Alert":
+        """The matching ``resolved`` record of this firing alert."""
+        return replace(
+            self,
+            state="resolved",
+            at=at,
+            value=self.value if value is None else value,
+        )
+
+
+@dataclass(frozen=True)
+class MetricSample(ReportExport):
+    """One flush's delta counters, stamped on the modelled clock."""
+
+    at: float
+    source: str
+    requests: int = 0
+    deadline_misses: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    recalibrations: int = 0
+    #: The flush window's exact end-to-end p99 [s] (None when the
+    #: flush resolved nothing).
+    p99_latency: float | None = None
+    #: Requests behind that p99 (its weight in window aggregates).
+    latency_count: int = 0
+    pending: int = 0
+
+
+@dataclass(frozen=True)
+class HealthSample(ReportExport):
+    """One probe check's code-error rate on the modelled clock."""
+
+    at: float
+    source: str
+    code_error_rate: float
+    recalibrated: bool = False
+
+
+@dataclass(frozen=True)
+class EventSample(ReportExport):
+    """One fleet/session event (shed, drain, scale, recalibrate)."""
+
+    at: float
+    kind: str
+    args: dict = field(default_factory=dict)
+
+
+class WindowView:
+    """The monitor's sample streams restricted to ``(now - window_s,
+    now]`` — what one rule evaluation sees."""
+
+    def __init__(
+        self,
+        samples: Sequence[MetricSample],
+        health: Sequence[HealthSample],
+        events: Sequence[EventSample],
+        now: float,
+        window_s: float,
+    ) -> None:
+        cutoff = now - window_s
+        self.now = now
+        self.window_s = window_s
+        self.samples = tuple(s for s in samples if s.at > cutoff)
+        self.health = tuple(h for h in health if h.at > cutoff)
+        self.events = tuple(e for e in events if e.at > cutoff)
+
+    @property
+    def requests(self) -> int:
+        return sum(s.requests for s in self.samples)
+
+    @property
+    def deadline_misses(self) -> int:
+        return sum(s.deadline_misses for s in self.samples)
+
+    @property
+    def cache_lookups(self) -> int:
+        return sum(s.cache_hits + s.cache_misses for s in self.samples)
+
+    @property
+    def shed_events(self) -> int:
+        return sum(1 for e in self.events if e.kind == "shed")
+
+    def miss_rate(self) -> float | None:
+        """Deadline misses over requests in the window (None when no
+        request resolved — a silent window is not a healthy one)."""
+        requests = self.requests
+        if requests == 0:
+            return None
+        return self.deadline_misses / requests
+
+    def hit_rate(self) -> float | None:
+        """Program-cache hit rate over the window's lookups."""
+        lookups = self.cache_lookups
+        if lookups == 0:
+            return None
+        return sum(s.cache_hits for s in self.samples) / lookups
+
+    def p99(self) -> float | None:
+        """The window's worst per-flush end-to-end p99 [s] — the
+        conservative aggregate (per-flush quantiles are exact, and the
+        max never under-reports a breach)."""
+        values = [
+            s.p99_latency for s in self.samples if s.p99_latency is not None
+        ]
+        return max(values) if values else None
+
+    def probe_error_rate(self) -> float | None:
+        """Mean probe code-error rate over the window's checks."""
+        if not self.health:
+            return None
+        return sum(h.code_error_rate for h in self.health) / len(self.health)
+
+
+#: A rule evaluation pulls views at its window lengths from this.
+ViewAt = Callable[[float], WindowView]
+
+
+@dataclass(frozen=True)
+class RuleEvaluation:
+    """One rule's verdict at one instant."""
+
+    firing: bool
+    value: float | None
+
+
+class AlertRule:
+    """One watched condition: a measurement over a sliding window
+    compared against a threshold.
+
+    Subclasses implement :meth:`measure`; ``direction`` picks the
+    breach side (``"above"`` fires on ``measure >= threshold``,
+    ``"below"`` on ``measure <= threshold``).  A None measurement
+    (empty window) never fires and resolves a firing alert.
+    """
+
+    #: Breach side: "above" or "below".
+    direction = "above"
+
+    def __init__(
+        self,
+        name: str,
+        severity: str = "warn",
+        window_s: float = 60.0,
+        threshold: float = 1.0,
+        description: str = "",
+    ) -> None:
+        if severity not in SEVERITIES:
+            raise ConfigurationError(
+                f"alert severity must be one of {SEVERITIES}, got {severity!r}"
+            )
+        if not (window_s > 0.0):
+            raise ConfigurationError(
+                f"rule '{name}' needs a positive window, got {window_s}"
+            )
+        self.name = str(name)
+        self.severity = severity
+        self.window_s = float(window_s)
+        self.threshold = float(threshold)
+        self.description = description
+
+    def windows(self) -> tuple[float, ...]:
+        """Every window length this rule reads (the monitor keeps
+        samples for the longest one across all rules)."""
+        return (self.window_s,)
+
+    def measure(self, view: WindowView) -> float | None:
+        raise NotImplementedError
+
+    def _breaches(self, value: float | None) -> bool:
+        if value is None:
+            return False
+        if self.direction == "above":
+            return value >= self.threshold
+        return value <= self.threshold
+
+    def evaluate(self, view_at: ViewAt) -> RuleEvaluation:
+        value = self.measure(view_at(self.window_s))
+        return RuleEvaluation(firing=self._breaches(value), value=value)
+
+    def describe(self, value: float | None) -> str:
+        side = ">=" if self.direction == "above" else "<="
+        shown = "n/a" if value is None else f"{value:.3g}"
+        return (
+            f"{self.name}: {shown} {side} {self.threshold:g} "
+            f"over {self.window_s:g} s"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name} ({self.severity}), "
+            f"window {self.window_s:g} s, threshold {self.threshold:g}>"
+        )
+
+
+class BurnRateRule(AlertRule):
+    """Multi-window burn-rate rule: fires only when the measurement
+    breaches over *both* the long window and the short one.
+
+    The long window keeps blips from paging; the short window both
+    confirms the burn is current and un-fires the alert promptly once
+    it stops (the SRE-workbook multi-window shape).  The reported
+    ``value`` is the short-window burn — the current rate.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        severity: str = "page",
+        window_s: float = 60.0,
+        short_window_s: float | None = None,
+        threshold: float = 1.0,
+        description: str = "",
+    ) -> None:
+        super().__init__(
+            name,
+            severity=severity,
+            window_s=window_s,
+            threshold=threshold,
+            description=description,
+        )
+        short = window_s / 12.0 if short_window_s is None else short_window_s
+        if not (0.0 < short <= window_s):
+            raise ConfigurationError(
+                f"rule '{name}' needs 0 < short_window_s <= window_s, "
+                f"got {short} vs {window_s}"
+            )
+        self.short_window_s = float(short)
+
+    def windows(self) -> tuple[float, ...]:
+        return (self.window_s, self.short_window_s)
+
+    def evaluate(self, view_at: ViewAt) -> RuleEvaluation:
+        short_value = self.measure(view_at(self.short_window_s))
+        long_value = self.measure(view_at(self.window_s))
+        firing = self._breaches(short_value) and self._breaches(long_value)
+        return RuleEvaluation(firing=firing, value=short_value)
+
+
+class DeadlineMissBurnRule(BurnRateRule):
+    """SLO deadline-miss budget burn: window miss rate over the
+    budget.  A zero budget treats any miss as an infinite burn."""
+
+    def __init__(
+        self,
+        budget: float,
+        name: str = "slo-miss-burn",
+        severity: str = "page",
+        window_s: float = 60.0,
+        short_window_s: float | None = None,
+        threshold: float = 1.0,
+    ) -> None:
+        if budget < 0.0:
+            raise ConfigurationError(
+                f"miss budget must be non-negative, got {budget}"
+            )
+        super().__init__(
+            name,
+            severity=severity,
+            window_s=window_s,
+            short_window_s=short_window_s,
+            threshold=threshold,
+            description="deadline-miss rate over the SLO miss budget",
+        )
+        self.budget = float(budget)
+
+    def measure(self, view: WindowView) -> float | None:
+        rate = view.miss_rate()
+        if rate is None:
+            return None
+        if self.budget <= 0.0:
+            return math.inf if rate > 0.0 else 0.0
+        return rate / self.budget
+
+
+class LatencyBurnRule(BurnRateRule):
+    """SLO latency burn: the window's end-to-end p99 over the SLO
+    target (1.0 = serving exactly at the objective)."""
+
+    def __init__(
+        self,
+        p99_target_s: float,
+        name: str = "slo-latency-burn",
+        severity: str = "page",
+        window_s: float = 60.0,
+        short_window_s: float | None = None,
+        threshold: float = 1.0,
+    ) -> None:
+        if not (p99_target_s > 0.0):
+            raise ConfigurationError(
+                f"the p99 target must be positive, got {p99_target_s}"
+            )
+        super().__init__(
+            name,
+            severity=severity,
+            window_s=window_s,
+            short_window_s=short_window_s,
+            threshold=threshold,
+            description="window p99 latency over the SLO p99 target",
+        )
+        self.p99_target_s = float(p99_target_s)
+
+    def measure(self, view: WindowView) -> float | None:
+        p99 = view.p99()
+        if p99 is None:
+            return None
+        return p99 / self.p99_target_s
+
+
+class ProbeErrorBurnRule(BurnRateRule):
+    """Health-probe code-error growth as a budget burn: the window's
+    mean probe code-error rate over the tolerated budget — the rule
+    that pages when a drifting core goes unrecalibrated."""
+
+    def __init__(
+        self,
+        budget: float = 0.05,
+        name: str = "probe-error-burn",
+        severity: str = "page",
+        window_s: float = 60.0,
+        short_window_s: float | None = None,
+        threshold: float = 1.0,
+    ) -> None:
+        if not (0.0 < budget < 1.0):
+            raise ConfigurationError(
+                f"the probe error budget must be in (0, 1), got {budget}"
+            )
+        super().__init__(
+            name,
+            severity=severity,
+            window_s=window_s,
+            short_window_s=short_window_s,
+            threshold=threshold,
+            description="probe code-error rate over the tolerated budget",
+        )
+        self.budget = float(budget)
+
+    def measure(self, view: WindowView) -> float | None:
+        rate = view.probe_error_rate()
+        if rate is None:
+            return None
+        return rate / self.budget
+
+
+class LatencyShiftRule(AlertRule):
+    """Latency-quantile shift: the short window's p99 over the
+    trailing baseline's p99 (2.0 = latencies doubled).
+
+    The baseline is the part of ``baseline_window_s`` *before* the
+    short window — the windows must not overlap, or the current spike
+    would inflate its own reference and the ratio could never breach.
+    """
+
+    def __init__(
+        self,
+        name: str = "latency-shift",
+        severity: str = "warn",
+        window_s: float = 10.0,
+        baseline_window_s: float = 120.0,
+        threshold: float = 2.0,
+        min_count: int = 8,
+    ) -> None:
+        super().__init__(
+            name,
+            severity=severity,
+            window_s=window_s,
+            threshold=threshold,
+            description="short-window p99 over the trailing baseline p99",
+        )
+        if not (baseline_window_s > window_s):
+            raise ConfigurationError(
+                f"the baseline window must exceed the short window, "
+                f"got {baseline_window_s} vs {window_s}"
+            )
+        self.baseline_window_s = float(baseline_window_s)
+        self.min_count = int(min_count)
+
+    def windows(self) -> tuple[float, ...]:
+        return (self.baseline_window_s, self.window_s)
+
+    def evaluate(self, view_at: ViewAt) -> RuleEvaluation:
+        recent = view_at(self.window_s)
+        baseline = view_at(self.baseline_window_s)
+        current = recent.p99()
+        # The reference reads only the baseline samples *older* than
+        # the short window (p99 aggregates by max, so a shared sample
+        # would cap the ratio at 1.0 and the rule could never fire).
+        cutoff = recent.now - recent.window_s
+        older = [s for s in baseline.samples if s.at <= cutoff]
+        references = [
+            s.p99_latency for s in older if s.p99_latency is not None
+        ]
+        reference = max(references) if references else None
+        mass = sum(s.requests for s in older)
+        if (
+            current is None
+            or reference is None
+            or reference <= 0.0
+            or mass < self.min_count
+        ):
+            return RuleEvaluation(firing=False, value=None)
+        ratio = current / reference
+        return RuleEvaluation(firing=self._breaches(ratio), value=ratio)
+
+
+class CacheHitCollapseRule(AlertRule):
+    """Cache-hit-rate collapse: the window's program-cache hit rate
+    falls to or below the floor (with enough lookups to mean it)."""
+
+    direction = "below"
+
+    def __init__(
+        self,
+        name: str = "cache-hit-collapse",
+        severity: str = "warn",
+        window_s: float = 60.0,
+        threshold: float = 0.25,
+        min_lookups: int = 8,
+    ) -> None:
+        super().__init__(
+            name,
+            severity=severity,
+            window_s=window_s,
+            threshold=threshold,
+            description="program-cache hit rate under the collapse floor",
+        )
+        self.min_lookups = int(min_lookups)
+
+    def measure(self, view: WindowView) -> float | None:
+        if view.cache_lookups < self.min_lookups:
+            return None
+        return view.hit_rate()
+
+
+class ShedSpikeRule(AlertRule):
+    """Shed / deadline-miss spike: admission sheds plus deadline
+    misses in the window reach the spike count."""
+
+    def __init__(
+        self,
+        name: str = "shed-spike",
+        severity: str = "warn",
+        window_s: float = 60.0,
+        threshold: float = 8.0,
+    ) -> None:
+        super().__init__(
+            name,
+            severity=severity,
+            window_s=window_s,
+            threshold=threshold,
+            description="admission sheds + deadline misses in the window",
+        )
+
+    def measure(self, view: WindowView) -> float | None:
+        return float(view.shed_events + view.deadline_misses)
+
+
+def slo_burn_rules(
+    slo: SLO,
+    window_s: float = 60.0,
+    slow_window_s: float | None = None,
+    fast_threshold: float = 14.4,
+    slow_threshold: float = 6.0,
+) -> tuple[AlertRule, ...]:
+    """The multi-window burn-rate rule set of one
+    :class:`repro.traffic.SLO`.
+
+    Four rules: fast-burn (``page``, ``window_s`` long / ``window_s``/12
+    short, high threshold) and slow-burn (``warn``, 6x longer windows,
+    lower threshold) pairs against both the deadline-miss budget and
+    the p99 latency target — the SRE-workbook shape scaled to whatever
+    modelled horizon ``window_s`` names.  Latency burns threshold at
+    1.0 (the objective itself is the budget).
+    """
+    from ..traffic.slo import SLO as _SLO
+
+    if not isinstance(slo, _SLO):
+        raise ConfigurationError(
+            f"slo must be a repro.traffic.SLO, got {type(slo).__name__}"
+        )
+    slow = window_s * 6.0 if slow_window_s is None else float(slow_window_s)
+    return (
+        DeadlineMissBurnRule(
+            slo.deadline_miss_budget,
+            name="slo-miss-burn-fast",
+            severity="page",
+            window_s=window_s,
+            threshold=fast_threshold,
+        ),
+        DeadlineMissBurnRule(
+            slo.deadline_miss_budget,
+            name="slo-miss-burn-slow",
+            severity="warn",
+            window_s=slow,
+            threshold=slow_threshold,
+        ),
+        LatencyBurnRule(
+            slo.p99_latency,
+            name="slo-latency-burn-fast",
+            severity="page",
+            window_s=window_s,
+            threshold=1.0,
+        ),
+        LatencyBurnRule(
+            slo.p99_latency,
+            name="slo-latency-burn-slow",
+            severity="warn",
+            window_s=slow,
+            threshold=1.0,
+        ),
+    )
+
+
+def default_rules(
+    slo: SLO | None = None, window_s: float = 60.0
+) -> tuple[AlertRule, ...]:
+    """The built-in anomaly detectors (latency shift, cache-hit
+    collapse, shed spike, probe-error burn), plus the SLO burn-rate
+    rules when an SLO is given, all scaled to ``window_s``."""
+    rules: list[AlertRule] = [
+        LatencyShiftRule(
+            window_s=window_s / 6.0, baseline_window_s=window_s * 2.0
+        ),
+        CacheHitCollapseRule(window_s=window_s),
+        ShedSpikeRule(window_s=window_s),
+        ProbeErrorBurnRule(window_s=window_s),
+    ]
+    if slo is not None:
+        rules.extend(slo_burn_rules(slo, window_s=window_s))
+    return tuple(rules)

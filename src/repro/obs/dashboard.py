@@ -1,0 +1,553 @@
+"""Self-contained single-file HTML dashboard (inline SVG, no deps).
+
+:func:`render_dashboard` turns a trace + metrics capture into one HTML
+string a browser opens directly: latency-quantile timelines (per-bucket
+p50/p99 of the request lifecycle spans), per-core utilization and
+pending depth (from the flush spans on each core track), program-cache
+hit rate (cache instants vs compile spans), with alert firings drawn
+as dashed vertical markers and incident bundles as annotations — all
+on the modelled-time axis the trace was recorded on.  No JavaScript,
+no external assets, no CDN: the file is the artifact.
+
+Inputs are deliberately loose: ``trace`` accepts a live
+:class:`~repro.telemetry.TraceRecorder`, an already-exported Chrome
+dict, or a path to a saved trace JSON; ``alerts`` / ``incidents``
+accept the typed objects or their dict forms, so the CLI can render
+from saved files and tests from live runs through one code path.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.trace import TraceRecorder
+
+#: Chart palette (colorblind-safe, Observable-10 derived).
+PALETTE = (
+    "#4269d0",
+    "#efb118",
+    "#ff725c",
+    "#6cc5b0",
+    "#3ca951",
+    "#ff8ab7",
+    "#a463f2",
+    "#97bbf5",
+    "#9c6b4e",
+    "#9498a0",
+)
+
+_SEVERITY_COLORS = {"info": "#97bbf5", "warn": "#efb118", "page": "#ff725c"}
+
+_WIDTH = 720
+_HEIGHT = 150
+_PAD_LEFT = 64
+_PAD_RIGHT = 16
+_PAD_TOP = 14
+_PAD_BOTTOM = 26
+
+
+def _chrome_events(trace: object) -> list[dict]:
+    """Normalize any accepted trace form into Chrome event dicts."""
+    if trace is None:
+        return []
+    if isinstance(trace, TraceRecorder):
+        return list(trace.to_chrome()["traceEvents"])
+    if isinstance(trace, dict):
+        return list(trace.get("traceEvents", []))
+    if isinstance(trace, (str, Path)):
+        payload = json.loads(Path(trace).read_text(encoding="utf-8"))
+        return list(payload.get("traceEvents", []))
+    raise ConfigurationError(
+        f"trace must be a TraceRecorder, Chrome dict or path, "
+        f"got {type(trace).__name__}"
+    )
+
+
+def _as_dicts(items: Iterable[object]) -> list[dict]:
+    """Alert/IncidentBundle objects or dicts → dicts."""
+    out: list[dict] = []
+    for item in items:
+        if isinstance(item, dict):
+            out.append(item)
+        else:
+            to_dict = getattr(item, "to_dict", None)
+            if to_dict is None:
+                raise ConfigurationError(
+                    f"expected dicts or objects with to_dict(), "
+                    f"got {type(item).__name__}"
+                )
+            out.append(to_dict())
+    return out
+
+
+def _metrics_dict(metrics: object) -> dict | None:
+    if metrics is None:
+        return None
+    if isinstance(metrics, MetricsRegistry):
+        return metrics.to_dict()
+    if isinstance(metrics, dict):
+        return metrics
+    if isinstance(metrics, (str, Path)):
+        return dict(json.loads(Path(metrics).read_text(encoding="utf-8")))
+    raise ConfigurationError(
+        f"metrics must be a MetricsRegistry, dict or path, "
+        f"got {type(metrics).__name__}"
+    )
+
+
+def _fmt_seconds(value: float) -> str:
+    """A modelled duration with an SI prefix (1.2 ms, 3.4 µs, ...)."""
+    magnitude = abs(value)
+    for scale, suffix in ((1.0, "s"), (1e-3, "ms"), (1e-6, "µs")):
+        if magnitude >= scale:
+            return f"{value / scale:.3g} {suffix}"
+    return f"{value * 1e9:.3g} ns"
+
+
+def _fmt_value(value: float, unit: str) -> str:
+    if unit == "s":
+        return _fmt_seconds(value)
+    if unit == "%":
+        return f"{value * 100.0:.0f}%"
+    return f"{value:.3g}"
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank quantile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = min(
+        len(sorted_values) - 1, max(0, math.ceil(q * len(sorted_values)) - 1)
+    )
+    return sorted_values[rank]
+
+
+class _Chart:
+    """One inline-SVG timeline chart over the shared modelled axis."""
+
+    def __init__(
+        self, title: str, t0: float, t1: float, unit: str = ""
+    ) -> None:
+        self.title = title
+        self.t0 = t0
+        self.t1 = max(t1, t0 + 1e-12)
+        self.unit = unit
+        self.series: list[tuple[str, str, list[tuple[float, float]]]] = []
+        self.markers: list[tuple[float, str, str, str]] = []
+
+    def add_series(
+        self, label: str, color: str, points: list[tuple[float, float]]
+    ) -> None:
+        if points:
+            self.series.append((label, color, points))
+
+    def add_marker(
+        self, at: float, color: str, label: str, css_class: str
+    ) -> None:
+        self.markers.append((at, color, label, css_class))
+
+    def _x(self, t: float) -> float:
+        span = self.t1 - self.t0
+        frac = (t - self.t0) / span
+        return _PAD_LEFT + frac * (_WIDTH - _PAD_LEFT - _PAD_RIGHT)
+
+    def _y(self, value: float, vmax: float) -> float:
+        frac = 0.0 if vmax <= 0.0 else min(1.0, value / vmax)
+        return _HEIGHT - _PAD_BOTTOM - frac * (
+            _HEIGHT - _PAD_TOP - _PAD_BOTTOM
+        )
+
+    def render(self) -> str:
+        vmax = max(
+            (v for _, _, pts in self.series for _, v in pts), default=0.0
+        )
+        if vmax <= 0.0:
+            vmax = 1.0
+        parts = [
+            f'<svg viewBox="0 0 {_WIDTH} {_HEIGHT}" role="img" '
+            f'aria-label="{html.escape(self.title)}">'
+        ]
+        # Gridlines + y labels at 0 / half / max.
+        for frac in (0.0, 0.5, 1.0):
+            y = self._y(frac * vmax, vmax)
+            parts.append(
+                f'<line class="grid" x1="{_PAD_LEFT}" y1="{y:.1f}" '
+                f'x2="{_WIDTH - _PAD_RIGHT}" y2="{y:.1f}"/>'
+            )
+            parts.append(
+                f'<text class="axis" x="{_PAD_LEFT - 6}" y="{y + 3:.1f}" '
+                f'text-anchor="end">'
+                f"{html.escape(_fmt_value(frac * vmax, self.unit))}</text>"
+            )
+        # x labels: modelled start/end of the capture.
+        y_axis = _HEIGHT - _PAD_BOTTOM + 14
+        parts.append(
+            f'<text class="axis" x="{_PAD_LEFT}" y="{y_axis}">'
+            f"{html.escape(_fmt_seconds(self.t0))}</text>"
+        )
+        parts.append(
+            f'<text class="axis" x="{_WIDTH - _PAD_RIGHT}" y="{y_axis}" '
+            f'text-anchor="end">{html.escape(_fmt_seconds(self.t1))}</text>'
+        )
+        for label, color, points in self.series:
+            coords = " ".join(
+                f"{self._x(t):.1f},{self._y(v, vmax):.1f}" for t, v in points
+            )
+            parts.append(
+                f'<polyline class="series" points="{coords}" '
+                f'stroke="{color}"><title>{html.escape(label)}</title>'
+                f"</polyline>"
+            )
+            if len(points) == 1:
+                t, v = points[0]
+                parts.append(
+                    f'<circle cx="{self._x(t):.1f}" '
+                    f'cy="{self._y(v, vmax):.1f}" r="2.5" fill="{color}"/>'
+                )
+        for at, color, label, css_class in self.markers:
+            if not (self.t0 <= at <= self.t1):
+                continue
+            x = self._x(at)
+            parts.append(
+                f'<line class="{css_class}" x1="{x:.1f}" y1="{_PAD_TOP}" '
+                f'x2="{x:.1f}" y2="{_HEIGHT - _PAD_BOTTOM}" '
+                f'stroke="{color}"><title>{html.escape(label)}</title></line>'
+            )
+        parts.append("</svg>")
+        legend = "".join(
+            f'<span class="key"><span class="swatch" '
+            f'style="background:{color}"></span>{html.escape(label)}</span>'
+            for label, color, _ in self.series
+        )
+        return (
+            f'<figure><figcaption>{html.escape(self.title)}'
+            f"{legend}</figcaption>{''.join(parts)}</figure>"
+        )
+
+
+def _bucketize(
+    points: list[tuple[float, float]],
+    t0: float,
+    t1: float,
+    buckets: int,
+    reduce: str,
+) -> list[tuple[float, float]]:
+    """Reduce (t, value) points into per-bucket series points."""
+    if not points:
+        return []
+    width = max((t1 - t0) / buckets, 1e-12)
+    bins: dict[int, list[float]] = {}
+    for t, value in points:
+        index = min(buckets - 1, max(0, int((t - t0) / width)))
+        bins.setdefault(index, []).append(value)
+    out: list[tuple[float, float]] = []
+    for index in sorted(bins):
+        values = sorted(bins[index])
+        center = t0 + (index + 0.5) * width
+        if reduce == "p50":
+            out.append((center, _quantile(values, 0.5)))
+        elif reduce == "p99":
+            out.append((center, _quantile(values, 0.99)))
+        elif reduce == "sum":
+            out.append((center, sum(values)))
+        else:
+            out.append((center, sum(values) / len(values)))
+    return out
+
+
+def _track_names(events: list[dict]) -> tuple[dict, dict]:
+    """(pid → process name, (pid, tid) → thread name) from metadata."""
+    processes: dict[int, str] = {}
+    threads: dict[tuple[int, int], str] = {}
+    for event in events:
+        if event.get("ph") != "M":
+            continue
+        args = event.get("args", {})
+        if event.get("name") == "process_name":
+            processes[event["pid"]] = str(args.get("name", event["pid"]))
+        elif event.get("name") == "thread_name":
+            threads[(event["pid"], event["tid"])] = str(
+                args.get("name", event["tid"])
+            )
+    return processes, threads
+
+
+def _time_domain(events: list[dict]) -> tuple[float, float]:
+    starts: list[float] = []
+    ends: list[float] = []
+    for event in events:
+        if event.get("ph") == "M":
+            continue
+        ts = event.get("ts", 0.0) / 1e6
+        starts.append(ts)
+        ends.append(ts + event.get("dur", 0.0) / 1e6)
+    if not starts:
+        return 0.0, 1.0
+    return min(starts), max(ends)
+
+
+def _core_label(
+    processes: dict, threads: dict, pid: int, tid: int
+) -> str:
+    process = processes.get(pid, str(pid))
+    thread = threads.get((pid, tid), str(tid))
+    return f"{process} · {thread}"
+
+
+def _build_charts(
+    events: list[dict],
+    alerts: list[dict],
+    incidents: list[dict],
+    buckets: int,
+) -> list[_Chart]:
+    processes, threads = _track_names(events)
+    t0, t1 = _time_domain(events)
+    for alert in alerts:
+        t1 = max(t1, float(alert.get("at", t0)))
+    spans = [e for e in events if e.get("ph") == "X"]
+
+    latency = _Chart("End-to-end latency quantiles", t0, t1, unit="s")
+    request_points = [
+        ((e["ts"] + e.get("dur", 0.0)) / 1e6, e.get("dur", 0.0) / 1e6)
+        for e in spans
+        if e.get("cat") == "request"
+    ]
+    latency.add_series(
+        "p99",
+        PALETTE[2],
+        _bucketize(request_points, t0, t1, buckets, "p99"),
+    )
+    latency.add_series(
+        "p50",
+        PALETTE[0],
+        _bucketize(request_points, t0, t1, buckets, "p50"),
+    )
+
+    utilization = _Chart("Per-core utilization (busy fraction)", t0, t1, unit="%")
+    pending = _Chart("Per-core pending depth at flush", t0, t1)
+    flush_tracks: dict[tuple[int, int], list[dict]] = {}
+    for event in spans:
+        if event.get("cat") == "flush":
+            flush_tracks.setdefault(
+                (event["pid"], event["tid"]), []
+            ).append(event)
+    width = max((t1 - t0) / buckets, 1e-12)
+    for index, (key, flushes) in enumerate(sorted(flush_tracks.items())):
+        color = PALETTE[index % len(PALETTE)]
+        label = _core_label(processes, threads, *key)
+        busy = [
+            (e["ts"] / 1e6 + e.get("dur", 0.0) / 2e6, e.get("dur", 0.0) / 1e6)
+            for e in flushes
+        ]
+        utilization.add_series(
+            label,
+            color,
+            [
+                (center, min(1.0, total / width))
+                for center, total in _bucketize(busy, t0, t1, buckets, "sum")
+            ],
+        )
+        depth = [
+            (
+                (e["ts"] + e.get("dur", 0.0)) / 1e6,
+                float(e.get("args", {}).get("pending", 0)),
+            )
+            for e in flushes
+        ]
+        pending.add_series(
+            label, color, _bucketize(depth, t0, t1, buckets, "mean")
+        )
+
+    cache = _Chart("Program-cache hit rate", t0, t1, unit="%")
+    cache_points = [
+        (e["ts"] / 1e6, 1.0) for e in events if e.get("cat") == "cache"
+    ]
+    cache_points += [
+        (e["ts"] / 1e6, 0.0) for e in spans if e.get("cat") == "compile"
+    ]
+    cache.add_series(
+        "hit rate", PALETTE[3], _bucketize(cache_points, t0, t1, buckets, "mean")
+    )
+
+    charts = [latency, utilization, pending, cache]
+    for alert in alerts:
+        if alert.get("state") != "firing":
+            continue
+        color = _SEVERITY_COLORS.get(alert.get("severity", "warn"), "#efb118")
+        label = (
+            f"alert {alert.get('rule', '?')} "
+            f"({alert.get('severity', '?')}) at "
+            f"{_fmt_seconds(float(alert.get('at', 0.0)))}"
+        )
+        for chart in charts:
+            chart.add_marker(
+                float(alert.get("at", 0.0)), color, label, "alert-marker"
+            )
+    for incident in incidents:
+        trigger = incident.get("trigger", {})
+        label = (
+            f"incident ({trigger.get('kind', '?')}) at "
+            f"{_fmt_seconds(float(incident.get('at', 0.0)))}"
+        )
+        for chart in charts:
+            chart.add_marker(
+                float(incident.get("at", 0.0)),
+                "#9498a0",
+                label,
+                "incident-marker",
+            )
+    return charts
+
+
+def _alert_table(alerts: list[dict]) -> str:
+    if not alerts:
+        return "<p>No alert transitions in this capture.</p>"
+    rows = []
+    for alert in alerts:
+        rows.append(
+            "<tr>"
+            f"<td><code>{html.escape(str(alert.get('rule', '?')))}</code></td>"
+            f"<td class=\"sev-{html.escape(str(alert.get('severity', '?')))}\">"
+            f"{html.escape(str(alert.get('severity', '?')))}</td>"
+            f"<td>{html.escape(str(alert.get('state', '?')))}</td>"
+            f"<td>{html.escape(_fmt_seconds(float(alert.get('at', 0.0))))}</td>"
+            f"<td>{float(alert.get('value', 0.0)):.3g} vs "
+            f"{float(alert.get('threshold', 0.0)):.3g}</td>"
+            f"<td>{html.escape(str(alert.get('message', '')))}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>rule</th><th>severity</th><th>state</th>"
+        "<th>modelled time</th><th>value</th><th>message</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+def _metrics_table(metrics: dict | None) -> str:
+    if not metrics:
+        return ""
+    rows = []
+    for family in ("counters", "gauges"):
+        for name, value in sorted(metrics.get(family, {}).items()):
+            shown = f"{value:g}" if isinstance(value, float) else str(value)
+            rows.append(
+                f"<tr><td><code>{html.escape(name)}</code></td>"
+                f"<td>{family[:-1]}</td><td>{shown}</td></tr>"
+            )
+    for name, summary in sorted(metrics.get("histograms", {}).items()):
+        if summary is None:
+            continue
+        shown = (
+            f"count {summary.get('count', 0)}, "
+            f"p50 {_fmt_seconds(summary.get('p50', 0.0))}, "
+            f"p99 {_fmt_seconds(summary.get('p99', 0.0))}"
+        )
+        rows.append(
+            f"<tr><td><code>{html.escape(name)}</code></td>"
+            f"<td>histogram</td><td>{shown}</td></tr>"
+        )
+    if not rows:
+        return ""
+    return (
+        "<h2>Final metrics</h2>"
+        "<table><thead><tr><th>metric</th><th>kind</th><th>value</th>"
+        f"</tr></thead><tbody>{''.join(rows)}</tbody></table>"
+    )
+
+
+_STYLE = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto;
+       max-width: 820px; color: #1a1a2e; background: #fcfcfd; }
+h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
+figure { margin: 1.2rem 0; }
+figcaption { font-weight: 600; margin-bottom: .3rem; }
+svg { width: 100%; height: auto; background: #fff;
+      border: 1px solid #e3e3ea; border-radius: 6px; }
+.grid { stroke: #ececf2; stroke-width: 1; }
+.axis { font: 10px system-ui, sans-serif; fill: #6b6b7b; }
+.series { fill: none; stroke-width: 1.6; }
+.alert-marker { stroke-width: 1.6; stroke-dasharray: 5 3; }
+.incident-marker { stroke-width: 1.2; stroke-dasharray: 2 3; }
+.key { margin-left: .8rem; font-weight: 400; font-size: .85rem; }
+.swatch { display: inline-block; width: .7em; height: .7em;
+          border-radius: 2px; margin-right: .3em; }
+table { border-collapse: collapse; width: 100%; font-size: .9rem; }
+th, td { border: 1px solid #e3e3ea; padding: .3rem .5rem;
+         text-align: left; }
+th { background: #f4f4f8; }
+.sev-page { color: #c22f1e; font-weight: 700; }
+.sev-warn { color: #9a6b00; font-weight: 600; }
+code { background: #f1f1f6; padding: 0 .25em; border-radius: 3px; }
+.meta { color: #6b6b7b; font-size: .85rem; }
+"""
+
+
+def render_dashboard(
+    trace: object = None,
+    metrics: object = None,
+    alerts: Sequence[object] = (),
+    incidents: Sequence[object] = (),
+    title: str = "repro serving dashboard",
+    buckets: int = 48,
+) -> str:
+    """One self-contained HTML page for a trace + metrics capture."""
+    if buckets < 1:
+        raise ConfigurationError(
+            f"buckets must be at least 1, got {buckets}"
+        )
+    events = _chrome_events(trace)
+    alert_dicts = _as_dicts(alerts)
+    incident_dicts = _as_dicts(incidents)
+    charts = _build_charts(events, alert_dicts, incident_dicts, buckets)
+    firing = sum(1 for a in alert_dicts if a.get("state") == "firing")
+    body = [
+        f"<h1>{html.escape(title)}</h1>",
+        (
+            f'<p class="meta">{len(events)} trace events · '
+            f"{firing} alert firing(s) · "
+            f"{len(incident_dicts)} incident bundle(s) · "
+            f"modelled clock throughout</p>"
+        ),
+    ]
+    body.extend(chart.render() for chart in charts)
+    body.append("<h2>Alert transitions</h2>")
+    body.append(_alert_table(alert_dicts))
+    body.append(_metrics_table(_metrics_dict(metrics)))
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{html.escape(title)}</title>\n"
+        f"<style>{_STYLE}</style></head>\n"
+        f"<body>{''.join(body)}</body></html>\n"
+    )
+
+
+def save_dashboard(
+    path: str | Path,
+    trace: object = None,
+    metrics: object = None,
+    alerts: Sequence[object] = (),
+    incidents: Sequence[object] = (),
+    title: str = "repro serving dashboard",
+    buckets: int = 48,
+) -> Path:
+    """Render and write the dashboard; returns the written path."""
+    target = Path(path)
+    target.write_text(
+        render_dashboard(
+            trace=trace,
+            metrics=metrics,
+            alerts=alerts,
+            incidents=incidents,
+            title=title,
+            buckets=buckets,
+        ),
+        encoding="utf-8",
+    )
+    return target

@@ -1,0 +1,120 @@
+"""Prometheus-style text exposition of a :class:`MetricsRegistry`.
+
+:func:`prometheus_text` renders the registry in the classic
+`text exposition format <https://prometheus.io/docs/instrumenting/exposition_formats/>`_:
+counters as ``<ns>_<name>_total``, gauges plain, histograms as
+cumulative ``_bucket{le="..."}`` series plus ``_sum``/``_count`` —
+built from the same log-spaced bins :class:`~repro.telemetry.Histogram`
+keeps internally (underflow folds into the first finite bucket's
+cumulative count, overflow into ``le="+Inf"``).  Per-tenant histogram
+names (``queue_wait_s/tenant``) become a ``tenant`` label rather than
+a mangled metric name, matching how a real scrape would model them.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from ..telemetry.binding import (
+    END_TO_END_HISTOGRAM,
+    QUEUE_WAIT_HISTOGRAM,
+    SERVICE_TIME_HISTOGRAM,
+)
+from ..telemetry.metrics import Histogram, MetricsRegistry
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+_TENANT_BASES = (
+    QUEUE_WAIT_HISTOGRAM,
+    END_TO_END_HISTOGRAM,
+    SERVICE_TIME_HISTOGRAM,
+)
+
+
+def _sanitize(name: str) -> str:
+    """A Prometheus-legal metric name component."""
+    clean = _NAME_SANITIZER.sub("_", name)
+    if clean and clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def _split_tenant(name: str) -> tuple[str, str | None]:
+    """Split a per-tenant histogram name into (base, tenant label)."""
+    for base in _TENANT_BASES:
+        prefix = base + "/"
+        if name.startswith(prefix):
+            return base, name[len(prefix) :]
+    return name, None
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _labels(pairs: dict) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in pairs.items())
+    return "{" + inner + "}"
+
+
+def _histogram_lines(
+    full_name: str, labels: dict, hist: Histogram
+) -> list[str]:
+    data = hist.to_dict()
+    edges = data["edges"]
+    counts = data["counts"]
+    lines: list[str] = []
+    # counts[0] is underflow (< lo): it folds into every finite
+    # bucket's cumulative count; counts[-1] is overflow (>= hi): only
+    # the +Inf bucket sees it.
+    cumulative = counts[0]
+    for edge, count in zip(edges[1:], counts[1:-1]):
+        cumulative += count
+        bucket = dict(labels)
+        bucket["le"] = _format_value(edge)
+        lines.append(f"{full_name}_bucket{_labels(bucket)} {cumulative}")
+    bucket = dict(labels)
+    bucket["le"] = "+Inf"
+    lines.append(f"{full_name}_bucket{_labels(bucket)} {hist.count}")
+    lines.append(f"{full_name}_sum{_labels(labels)} {_format_value(hist.total)}")
+    lines.append(f"{full_name}_count{_labels(labels)} {hist.count}")
+    return lines
+
+
+def prometheus_text(
+    metrics: MetricsRegistry, namespace: str = "repro"
+) -> str:
+    """The registry in Prometheus text exposition format.
+
+    Deterministic: families render name-sorted, so the same run always
+    produces the same text (the property tests diff it).
+    """
+    if not isinstance(metrics, MetricsRegistry):
+        raise TypeError(
+            f"metrics must be a MetricsRegistry, "
+            f"got {type(metrics).__name__}"
+        )
+    ns = _sanitize(namespace)
+    lines: list[str] = []
+    for counter in metrics.counters:
+        full = f"{ns}_{_sanitize(counter.name)}_total"
+        lines.append(f"# TYPE {full} counter")
+        lines.append(f"{full} {counter.value}")
+    for gauge in metrics.gauges:
+        full = f"{ns}_{_sanitize(gauge.name)}"
+        lines.append(f"# TYPE {full} gauge")
+        lines.append(f"{full} {_format_value(gauge.value)}")
+    seen_types: set[str] = set()
+    for hist in metrics.histograms:
+        base, tenant = _split_tenant(hist.name)
+        full = f"{ns}_{_sanitize(base)}"
+        if full not in seen_types:
+            seen_types.add(full)
+            lines.append(f"# TYPE {full} histogram")
+        labels = {} if tenant is None else {"tenant": tenant}
+        lines.extend(_histogram_lines(full, labels, hist))
+    return "\n".join(lines) + "\n" if lines else ""

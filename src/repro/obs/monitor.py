@@ -1,0 +1,298 @@
+"""The :class:`Observer`: sliding windows, rule evaluation and alert
+lifecycle on the modelled clock.
+
+An Observer is the single object a serving surface binds (``obs=`` on
+:class:`~repro.api.PhotonicSession` / :class:`~repro.api.PhotonicCluster`).
+The surfaces feed it three streams — per-flush
+:class:`~repro.obs.MetricSample` deltas, per-probe
+:class:`~repro.obs.HealthSample` checks and fleet
+:class:`~repro.obs.EventSample` transitions — each stamped with the
+surface's modelled clock, never the host's.  After every feed it
+re-evaluates its :class:`~repro.obs.AlertRule` set against sliding
+windows over those streams and records firing/resolved transitions as
+typed :class:`~repro.obs.Alert` records.  A firing transition (and the
+:data:`~repro.obs.INCIDENT_EVENTS` fleet transitions) also dump the
+attached :class:`~repro.obs.FlightRecorder` into an incident bundle.
+
+The guard contract mirrors the telemetry one: serving surfaces hold
+``self.obs = None`` when unattached and every hot-path use sits behind
+an ``is not None`` guard (the ``hot-path-telemetry-guard`` lint walks
+those paths), so an unattached run makes zero obs calls and is
+bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigurationError
+from .alerts import (
+    Alert,
+    AlertRule,
+    EventSample,
+    HealthSample,
+    MetricSample,
+    WindowView,
+    default_rules,
+)
+from .recorder import INCIDENT_EVENTS, FlightRecorder, IncidentBundle
+
+if TYPE_CHECKING:
+    from ..api.futures import RunReport
+    from ..health.monitor import HealthReport
+    from ..traffic.slo import SLO
+
+
+def _report_p99(report: RunReport) -> tuple[float | None, int]:
+    """One flush report's exact end-to-end p99 [s] and its weight."""
+    quantiles = report.latency_quantiles
+    if quantiles is None:
+        return None, 0
+    summary = quantiles.get("end_to_end")
+    if not summary:
+        return None, 0
+    p99 = summary.get("p99")
+    count = int(summary.get("count", 0))
+    if p99 is None:
+        return None, count
+    return float(p99), count
+
+
+class Observer:
+    """Sliding-window monitor + alert engine + incident dumper.
+
+    ``rules`` defaults to :func:`~repro.obs.default_rules` (built-in
+    anomaly detectors, plus SLO burn-rate rules when ``slo`` is
+    given), all scaled to ``window_s``.  ``recorder`` is an optional
+    :class:`~repro.obs.FlightRecorder`; without one, alerts still fire
+    but incidents dump nothing.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[AlertRule] | None = None,
+        recorder: FlightRecorder | None = None,
+        slo: SLO | None = None,
+        window_s: float = 60.0,
+    ) -> None:
+        if rules is not None and slo is not None:
+            raise ConfigurationError(
+                "pass either explicit rules or an slo to derive them "
+                "from, not both (compose slo_burn_rules(...) yourself)"
+            )
+        if recorder is not None and not isinstance(recorder, FlightRecorder):
+            raise ConfigurationError(
+                f"recorder must be a FlightRecorder, "
+                f"got {type(recorder).__name__}"
+            )
+        if not (window_s > 0.0):
+            raise ConfigurationError(
+                f"window_s must be positive modelled seconds, got {window_s}"
+            )
+        resolved = (
+            default_rules(slo=slo, window_s=window_s)
+            if rules is None
+            else tuple(rules)
+        )
+        for rule in resolved:
+            if not isinstance(rule, AlertRule):
+                raise ConfigurationError(
+                    f"rules must be AlertRule instances, "
+                    f"got {type(rule).__name__}"
+                )
+        names = [rule.name for rule in resolved]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"rule names must be unique, got {sorted(names)}"
+            )
+        self.rules = resolved
+        self.recorder = recorder
+        self.window_s = float(window_s)
+        self._horizon = max(
+            (w for rule in resolved for w in rule.windows()),
+            default=self.window_s,
+        )
+        self._samples: deque = deque()
+        self._health: deque = deque()
+        self._events: deque = deque()
+        self._firing: dict[str, Alert] = {}
+        self._transitions: list[Alert] = []
+        self._fleet_snapshot: Callable[[], dict] | None = None
+        self._now = 0.0
+
+    # -- wiring ---------------------------------------------------------
+
+    def attach_fleet(self, snapshot: Callable[[], dict]) -> None:
+        """Register the cluster's fleet-snapshot callable; incident
+        bundles call it at dump time."""
+        self._fleet_snapshot = snapshot
+
+    # -- feed hooks (called by guarded serving surfaces) ----------------
+
+    def observe_flush(
+        self,
+        now: float,
+        source: str,
+        report: RunReport,
+        pending: int = 0,
+    ) -> None:
+        """Feed one flush's delta report, stamped at modelled ``now``."""
+        p99, count = _report_p99(report)
+        sample = MetricSample(
+            at=float(now),
+            source=source,
+            requests=report.requests,
+            deadline_misses=report.deadline_misses,
+            cache_hits=report.cache_hits,
+            cache_misses=report.cache_misses,
+            recalibrations=report.recalibrations,
+            p99_latency=p99,
+            latency_count=count,
+            pending=int(pending),
+        )
+        self._samples.append(sample)
+        self._record(sample)
+        self._evaluate(float(now))
+
+    def observe_health(
+        self, now: float, source: str, report: HealthReport
+    ) -> None:
+        """Feed one probe check's code-error rate at modelled ``now``."""
+        sample = HealthSample(
+            at=float(now),
+            source=source,
+            code_error_rate=float(report.code_error_rate),
+            recalibrated=bool(report.recalibrated),
+        )
+        self._health.append(sample)
+        self._record(sample)
+        self._evaluate(float(now))
+
+    def note_event(
+        self, now: float, kind: str, args: dict | None = None
+    ) -> None:
+        """Feed one fleet/session transition at modelled ``now``.
+
+        The :data:`~repro.obs.INCIDENT_EVENTS` kinds also dump an
+        incident bundle on their own.
+        """
+        sample = EventSample(
+            at=float(now), kind=str(kind), args=dict(args or {})
+        )
+        self._events.append(sample)
+        self._record(sample)
+        if sample.kind in INCIDENT_EVENTS:
+            self._dump_incident(
+                float(now), {"kind": "event", "event": sample.to_dict()}
+            )
+        self._evaluate(float(now))
+
+    # -- evaluation -----------------------------------------------------
+
+    def _record(self, sample: object) -> None:
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.observe(sample)
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self._horizon
+        for stream in (self._samples, self._health, self._events):
+            while stream and stream[0].at <= cutoff:
+                stream.popleft()
+
+    def _evaluate(self, now: float) -> None:
+        self._now = max(self._now, now)
+        self._evict(self._now)
+        views: dict[float, WindowView] = {}
+
+        def view_at(window_s: float) -> WindowView:
+            view = views.get(window_s)
+            if view is None:
+                view = WindowView(
+                    self._samples,
+                    self._health,
+                    self._events,
+                    now=self._now,
+                    window_s=window_s,
+                )
+                views[window_s] = view
+            return view
+
+        for rule in self.rules:
+            verdict = rule.evaluate(view_at)
+            active = self._firing.get(rule.name)
+            if verdict.firing and active is None:
+                alert = Alert(
+                    rule=rule.name,
+                    severity=rule.severity,
+                    state="firing",
+                    at=self._now,
+                    fired_at=self._now,
+                    window_s=rule.window_s,
+                    value=float(verdict.value)
+                    if verdict.value is not None
+                    else 0.0,
+                    threshold=rule.threshold,
+                    message=rule.describe(verdict.value),
+                )
+                self._firing[rule.name] = alert
+                self._transitions.append(alert)
+                self._dump_incident(
+                    self._now, {"kind": "alert", "alert": alert.to_dict()}
+                )
+            elif not verdict.firing and active is not None:
+                resolved = active.resolved(self._now, verdict.value)
+                del self._firing[rule.name]
+                self._transitions.append(resolved)
+
+    def _dump_incident(self, now: float, trigger: dict) -> None:
+        recorder = self.recorder
+        if recorder is None:
+            return
+        fleet = (
+            None if self._fleet_snapshot is None else self._fleet_snapshot()
+        )
+        recorder.dump(
+            now, trigger, fleet=fleet, active_alerts=tuple(self._firing.values())
+        )
+
+    # -- results --------------------------------------------------------
+
+    @property
+    def alerts(self) -> tuple[Alert, ...]:
+        """Every firing/resolved transition so far, in order."""
+        return tuple(self._transitions)
+
+    @property
+    def active(self) -> tuple[Alert, ...]:
+        """Alerts currently firing."""
+        return tuple(self._firing.values())
+
+    @property
+    def incidents(self) -> tuple[IncidentBundle, ...]:
+        """Incident bundles dumped by the attached recorder."""
+        if self.recorder is None:
+            return ()
+        return self.recorder.incidents
+
+    def to_dict(self) -> dict:
+        """The monitor's serialized summary: rules, transitions,
+        currently-firing alerts and incident count."""
+        return {
+            "window_s": self.window_s,
+            "rules": [
+                {
+                    "name": rule.name,
+                    "severity": rule.severity,
+                    "window_s": rule.window_s,
+                    "threshold": rule.threshold,
+                    "description": rule.description,
+                }
+                for rule in self.rules
+            ],
+            "alerts": [alert.to_dict() for alert in self._transitions],
+            "active": [alert.to_dict() for alert in self._firing.values()],
+            "incidents": len(self.incidents),
+        }

@@ -1,0 +1,134 @@
+"""The flight recorder: a bounded ring of recent observations that
+costs nothing until an incident dumps it.
+
+:class:`FlightRecorder` keeps the last ``capacity`` monitor records
+(flush samples, health checks, fleet events) in a ``deque(maxlen=...)``
+ring — appends are O(1), old records fall off the far end, and no JSON
+is built, no file touched, until :meth:`dump` is called.  On an
+incident (an alert firing, or one of the :data:`INCIDENT_EVENTS` fleet
+transitions) the :class:`~repro.obs.Observer` calls :meth:`dump` and
+gets back a self-contained :class:`IncidentBundle`: the triggering
+rule/event, the ring's records, the trailing spans of the attached
+:class:`~repro.telemetry.TraceRecorder` (the offending flushes), the
+fleet snapshot and the set of alerts active at the instant — everything
+post-hoc debugging needs, stamped on the modelled clock.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..errors import ConfigurationError
+from ..telemetry.export import ReportExport, to_serializable
+
+if TYPE_CHECKING:
+    from ..telemetry.trace import TraceRecorder
+
+#: Fleet transitions that dump an incident bundle on their own (shed
+#: bursts reach the recorder through the shed-spike alert instead —
+#: a single shed under load is routine, a burst is not).
+INCIDENT_EVENTS = ("drain", "recalibrate", "scale_up", "scale_down")
+
+
+@dataclass(frozen=True)
+class IncidentBundle(ReportExport):
+    """One incident's self-contained dump.
+
+    ``trigger`` names what tripped the dump (a serialized alert or
+    fleet event), ``window`` holds the recorder ring's records oldest
+    first, ``spans`` the trailing trace events (plain Chrome-dict
+    form), ``fleet`` the fleet snapshot at dump time and
+    ``active_alerts`` every alert firing at the instant.
+    """
+
+    at: float
+    trigger: dict
+    window: tuple = ()
+    spans: tuple = ()
+    fleet: dict | None = None
+    active_alerts: tuple = ()
+
+    def save(self, path: str | Path) -> Path:
+        """Write the bundle as standalone JSON and return the path."""
+        target = Path(path)
+        target.write_text(self.to_json(indent=2), encoding="utf-8")
+        return target
+
+
+@dataclass
+class FlightRecorder:
+    """Bounded ring buffer of recent observations.
+
+    ``capacity`` bounds the record ring, ``span_tail`` how many
+    trailing trace events a dump copies out of ``trace``, and
+    ``max_incidents`` caps how many bundles one run may accumulate
+    (past the cap :meth:`dump` returns None instead of growing without
+    bound under a flapping alert).
+    """
+
+    capacity: int = 256
+    trace: TraceRecorder | None = None
+    span_tail: int = 64
+    max_incidents: int = 16
+    _ring: deque = field(init=False, repr=False)
+    _incidents: list = field(init=False, default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigurationError(
+                f"recorder capacity must be positive, got {self.capacity}"
+            )
+        if self.span_tail < 0:
+            raise ConfigurationError(
+                f"span_tail must be non-negative, got {self.span_tail}"
+            )
+        if self.max_incidents <= 0:
+            raise ConfigurationError(
+                f"max_incidents must be positive, got {self.max_incidents}"
+            )
+        self._ring = deque(maxlen=int(self.capacity))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def observe(self, record: object) -> None:
+        """Append one monitor record to the ring (O(1), no copying)."""
+        self._ring.append(record)
+
+    @property
+    def incidents(self) -> tuple:
+        """Every bundle dumped so far, oldest first."""
+        return tuple(self._incidents)
+
+    def _trailing_spans(self) -> tuple:
+        if self.trace is None or self.span_tail == 0:
+            return ()
+        events = self.trace.events[-self.span_tail :]
+        return tuple(event.to_chrome() for event in events)
+
+    def dump(
+        self,
+        now: float,
+        trigger: dict,
+        fleet: dict | None = None,
+        active_alerts: tuple = (),
+    ) -> IncidentBundle | None:
+        """Freeze the ring into an :class:`IncidentBundle` (None once
+        ``max_incidents`` bundles exist)."""
+        if len(self._incidents) >= self.max_incidents:
+            return None
+        bundle = IncidentBundle(
+            at=float(now),
+            trigger=dict(trigger),
+            window=tuple(to_serializable(record) for record in self._ring),
+            spans=self._trailing_spans(),
+            fleet=None if fleet is None else dict(fleet),
+            active_alerts=tuple(
+                to_serializable(alert) for alert in active_alerts
+            ),
+        )
+        self._incidents.append(bundle)
+        return bundle

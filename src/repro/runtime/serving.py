@@ -591,6 +591,7 @@ def run_drift_serve_bench(
     probes: int = 8,
     trace=None,
     json_path=None,
+    incident_path=None,
     print_fn=print,
 ) -> dict:
     """Sweep drift severity x probe cadence x recalibration threshold.
@@ -608,6 +609,16 @@ def run_drift_serve_bench(
     the per-probe recovery curve; ``json_path`` writes the summary
     (the CLI and ``benchmarks/bench_drift_recovery.py`` point it at
     ``BENCH_drift.json``).
+
+    After the sweep, one extra *incident replay* runs the worst
+    severity under a monitor-only policy with a
+    :class:`~repro.obs.Observer` attached: the probe code-error rate
+    climbs unchecked until the burn-rate rule pages, and the flight
+    recorder dumps a bundle whose trailing spans are the offending
+    flushes.  The replay's alerts and incident count land under
+    ``summary["incident"]``; ``incident_path`` additionally writes the
+    first bundle as standalone JSON (the CLI points it at
+    ``INCIDENT_drift.json`` when ``--dashboard`` is on).
     """
     from ..api.policy import FlushPolicy
     from ..api.session import PhotonicSession
@@ -728,6 +739,71 @@ def run_drift_serve_bench(
                     f"{'yes' if result['recovered_bit_for_bit'] else 'no':>9}"
                 )
         sweep.append({"severity": severity, "configs": configs})
+
+    # -- induced incident replay (the repro.obs path, end to end) --------
+    # One config past the sweep: the worst severity, probes on every
+    # flush, no auto-recalibration — the probe code-error rate climbs
+    # unchecked until the burn-rate rule pages on the modelled clock
+    # and the flight recorder dumps the offending flush spans.
+    from ..obs import FlightRecorder, Observer, ProbeErrorBurnRule
+    from ..telemetry import TraceRecorder
+
+    incident_trace = (
+        trace if trace is not None else TraceRecorder(label="drift-incident")
+    )
+    incident_flush = max(2, min(flush_every, max(1, requests // 8)))
+    incident_budget = min(thresholds) if thresholds else 0.05
+    incident_severity = max(severities)
+    flush_window_s = max(incident_flush * arrival_period_s, 1e-6)
+    observer = Observer(
+        rules=[
+            ProbeErrorBurnRule(
+                budget=incident_budget,
+                window_s=6.0 * flush_window_s,
+                short_window_s=2.0 * flush_window_s,
+                threshold=1.0,
+                severity="page",
+            )
+        ],
+        recorder=FlightRecorder(trace=incident_trace, capacity=128),
+    )
+    incident_session = PhotonicSession(
+        grid=(rows, columns),
+        cache_capacity=cache_capacity,
+        max_batch=incident_flush,
+        flush_policy=FlushPolicy.max_batch(incident_flush),
+        drift=drift_suite(incident_severity),
+        health_policy=HealthPolicy.monitor_only(probe_every=1, probes=probes),
+        trace=incident_trace,
+        obs=observer,
+        label=f"severity {incident_severity:g} / incident replay",
+    )
+    for _, weights, x in workload:
+        incident_session.age(arrival_period_s)
+        incident_session.submit(weights, x)
+    incident_session.flush()
+    fired = [alert for alert in observer.alerts if alert.state == "firing"]
+    incident = {
+        "severity": incident_severity,
+        "flush_every": incident_flush,
+        "budget": incident_budget,
+        "window_s": 6.0 * flush_window_s,
+        "short_window_s": 2.0 * flush_window_s,
+        "fired_at": fired[0].fired_at if fired else None,
+        "alerts": [alert.to_dict() for alert in observer.alerts],
+        "incidents": len(observer.incidents),
+        "incident_markers": [
+            {"at": bundle.at, "trigger": {"kind": bundle.trigger.get("kind")}}
+            for bundle in observer.incidents
+        ],
+    }
+    if incident_path is not None and observer.incidents:
+        from pathlib import Path
+
+        incident["bundle_path"] = str(
+            observer.incidents[0].save(Path(incident_path))
+        )
+
     summary = {
         "requests": requests,
         "grid": [rows, columns],
@@ -739,6 +815,7 @@ def run_drift_serve_bench(
         "cadences": list(cadences),
         "thresholds": list(thresholds),
         "sweep": sweep,
+        "incident": incident,
     }
     if json_path is not None:
         import json
@@ -751,7 +828,17 @@ def run_drift_serve_bench(
         f"{'severity':>8}  {'health policy':<28} {'final err':>9}  "
         f"{'recals':>6}  {'cal nJ':>10}  {'recovered':>9}",
         *table_rows,
+        (
+            f"incident replay: probe-error burn alert fired at modelled "
+            f"t={incident['fired_at']:.2f} s "
+            f"({incident['incidents']} incident bundle(s))"
+            if incident["fired_at"] is not None
+            else "incident replay: no alert fired (drift too mild for the "
+            "burn-rate rule)"
+        ),
     ]
+    if incident.get("bundle_path"):
+        lines.append(f"incident bundle written to: {incident['bundle_path']}")
     if json_path is not None:
         lines.append(f"summary written to: {json_path}")
     print_fn("\n".join(lines))

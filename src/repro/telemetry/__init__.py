@@ -32,6 +32,7 @@ from .binding import (
     QUEUE_WAIT_HISTOGRAM,
     SERVICE_TIME_HISTOGRAM,
     Telemetry,
+    merged_tenant_quantiles,
     tenant_histogram_name,
 )
 from .clock import ModelClock
@@ -66,6 +67,7 @@ __all__ = [
     "TraceEvent",
     "TraceRecorder",
     "format_profile",
+    "merged_tenant_quantiles",
     "profile_call",
     "quantiles_from_samples",
     "tenant_histogram_name",

@@ -16,8 +16,10 @@ identical to the pre-telemetry stack.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from .clock import ModelClock
-from .metrics import MetricsRegistry, quantiles_from_samples
+from .metrics import Histogram, MetricsRegistry, quantiles_from_samples
 from .trace import TraceRecorder
 
 #: Histogram names of the two per-request latency distributions.
@@ -32,6 +34,56 @@ def tenant_histogram_name(base: str, tenant: str) -> str:
     """The per-tenant variant of a latency histogram name — one
     histogram per (distribution, tenant label) in the registry."""
     return f"{base}/{tenant}"
+
+
+def merged_tenant_quantiles(
+    bindings: Sequence[Telemetry],
+) -> dict | None:
+    """Per-tenant latency split merged bin-for-bin across bindings.
+
+    Quantiles are not additive, so the per-core → fleet rollup happens
+    at the histogram level: every binding's per-tenant queue-wait /
+    service-time histograms merge (:meth:`Histogram.merged`) before
+    summarizing.  Returns ``{tenant: {"queue_wait": summary,
+    "service": summary}}``, or None when no labelled request resolved
+    anywhere — the shape behind
+    :attr:`repro.api.RunReport.tenant_quantiles`,
+    :attr:`repro.api.ClusterReport.tenant_quantiles` and the traffic
+    engine's ``"tenants"`` summary entry.
+    """
+    prefix = QUEUE_WAIT_HISTOGRAM + "/"
+    tenants: set[str] = set()
+    for binding in bindings:
+        for name in binding.metrics.names:
+            if name.startswith(prefix):
+                tenants.add(name[len(prefix):])
+    if not tenants:
+        return None
+    merged: dict[str, dict] = {}
+    for tenant in sorted(tenants):
+        wait = Histogram.merged(
+            [
+                binding.metrics.histogram(
+                    tenant_histogram_name(QUEUE_WAIT_HISTOGRAM, tenant)
+                )
+                for binding in bindings
+            ],
+            name=tenant_histogram_name(QUEUE_WAIT_HISTOGRAM, tenant),
+        )
+        service = Histogram.merged(
+            [
+                binding.metrics.histogram(
+                    tenant_histogram_name(SERVICE_TIME_HISTOGRAM, tenant)
+                )
+                for binding in bindings
+            ],
+            name=tenant_histogram_name(SERVICE_TIME_HISTOGRAM, tenant),
+        )
+        merged[tenant] = {
+            "queue_wait": wait.summary() if wait is not None else None,
+            "service": service.summary() if service is not None else None,
+        }
+    return merged
 
 
 class Telemetry:
@@ -170,25 +222,7 @@ class Telemetry:
         {"queue_wait": summary, "service": summary}}`` from the
         per-tenant histograms; None before any labelled request
         resolved."""
-        prefix = QUEUE_WAIT_HISTOGRAM + "/"
-        tenants = sorted(
-            name[len(prefix):]
-            for name in self.metrics.names
-            if name.startswith(prefix)
-        )
-        if not tenants:
-            return None
-        return {
-            tenant: {
-                "queue_wait": self.metrics.histogram(
-                    tenant_histogram_name(QUEUE_WAIT_HISTOGRAM, tenant)
-                ).summary(),
-                "service": self.metrics.histogram(
-                    tenant_histogram_name(SERVICE_TIME_HISTOGRAM, tenant)
-                ).summary(),
-            }
-            for tenant in tenants
-        }
+        return merged_tenant_quantiles([self])
 
     def latency_quantiles(self) -> dict | None:
         """The cumulative latency quantile summary (histogram-derived),

@@ -170,6 +170,13 @@ class Histogram:
             raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return 0.0
+        # The bounds are exact (min/max ride alongside the bins) — and
+        # rank arithmetic gets them wrong when every observation sits
+        # in one overflow bucket, so short-circuit before it.
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
         rank = q * self.count
         cumulative = np.cumsum(self._counts)
         index = int(np.searchsorted(cumulative, rank, side="left"))
@@ -288,6 +295,25 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         return sorted(
             [*self._counters, *self._gauges, *self._histograms]
+        )
+
+    @property
+    def counters(self) -> tuple[Counter, ...]:
+        """Every counter, name-sorted (the exporters' iteration order)."""
+        return tuple(
+            metric for _, metric in sorted(self._counters.items())
+        )
+
+    @property
+    def gauges(self) -> tuple[Gauge, ...]:
+        """Every gauge, name-sorted."""
+        return tuple(metric for _, metric in sorted(self._gauges.items()))
+
+    @property
+    def histograms(self) -> tuple[Histogram, ...]:
+        """Every histogram, name-sorted."""
+        return tuple(
+            metric for _, metric in sorted(self._histograms.items())
         )
 
     def to_dict(self) -> dict:

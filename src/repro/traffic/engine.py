@@ -42,13 +42,7 @@ import numpy as np
 from ..api.cluster import PhotonicCluster
 from ..api.session import PhotonicSession
 from ..errors import ClusterSaturatedError, ConfigurationError
-from ..telemetry import (
-    Histogram,
-    ModelClock,
-    QUEUE_WAIT_HISTOGRAM,
-    SERVICE_TIME_HISTOGRAM,
-    tenant_histogram_name,
-)
+from ..telemetry import ModelClock, merged_tenant_quantiles
 from .arrivals import ArrivalProcess
 from .slo import SLO
 from .workload import WorkloadMix
@@ -230,40 +224,9 @@ class TrafficEngine:
 
     def _tenant_quantiles(self) -> dict | None:
         """Per-tenant queue-wait / service-time split, merged
-        bin-for-bin across cores (quantiles are not additive)."""
-        prefix = QUEUE_WAIT_HISTOGRAM + "/"
-        tenants: set[str] = set()
-        for binding in self._bindings:
-            for name in binding.metrics.names:
-                if name.startswith(prefix):
-                    tenants.add(name[len(prefix):])
-        if not tenants:
-            return None
-        merged: dict[str, dict] = {}
-        for tenant in sorted(tenants):
-            wait = Histogram.merged(
-                [
-                    binding.metrics.histogram(
-                        tenant_histogram_name(QUEUE_WAIT_HISTOGRAM, tenant)
-                    )
-                    for binding in self._bindings
-                ],
-                name=tenant_histogram_name(QUEUE_WAIT_HISTOGRAM, tenant),
-            )
-            service = Histogram.merged(
-                [
-                    binding.metrics.histogram(
-                        tenant_histogram_name(SERVICE_TIME_HISTOGRAM, tenant)
-                    )
-                    for binding in self._bindings
-                ],
-                name=tenant_histogram_name(SERVICE_TIME_HISTOGRAM, tenant),
-            )
-            merged[tenant] = {
-                "queue_wait": wait.summary() if wait is not None else None,
-                "service": service.summary() if service is not None else None,
-            }
-        return merged
+        bin-for-bin across cores (quantiles are not additive); see
+        :func:`repro.telemetry.merged_tenant_quantiles`."""
+        return merged_tenant_quantiles(self._bindings)
 
     # -- the run loop --------------------------------------------------------
     def run(self, requests: int, input_pool: int = 256) -> dict:
@@ -283,6 +246,18 @@ class TrafficEngine:
         buckets = [tenant.bucket() for tenant in self.workload.tenants]
         tenants = self.workload.tenants
         requests_before, misses_before = self._report_totals()
+        obs = self.target.obs
+        if obs is not None:
+            obs.note_event(
+                self.clock.now,
+                "traffic_run_started",
+                {
+                    "offered": int(requests),
+                    "arrivals": self.arrivals.describe(),
+                    "workload": self.workload.describe(),
+                    "seed": self.seed,
+                },
+            )
 
         admitted = 0
         rate_limited = 0
@@ -377,6 +352,19 @@ class TrafficEngine:
         if self.slo is not None:
             summary["slo"] = self.slo.describe()
             summary["slo_met"] = self.slo.met(p99, miss_rate)
+        if obs is not None:
+            obs.note_event(
+                makespan,
+                "traffic_run_finished",
+                {
+                    "admitted": admitted,
+                    "rate_limited": rate_limited,
+                    "admission_shed": admission_shed,
+                    "deadline_misses": deadline_misses,
+                    "miss_rate": miss_rate,
+                    "slo_met": summary.get("slo_met"),
+                },
+            )
         return summary
 
     def __repr__(self) -> str:

@@ -198,3 +198,73 @@ def test_serve_bench_trace_flag_validation(capsys):
     assert main(["serve-bench", "--trace", "--smoke"]) == 2
     output = capsys.readouterr().out
     assert "expects an output path" in output
+
+
+def test_serve_bench_drift_dashboard_writes_artifacts(
+    capsys, tmp_path, monkeypatch
+):
+    monkeypatch.chdir(tmp_path)
+    assert main(
+        ["serve-bench", "drift", "--smoke", "--seed", "2025",
+         "--dashboard", "DASHBOARD_drift.html"]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "incident replay" in output
+    assert "dashboard written to: DASHBOARD_drift.html" in output
+    dashboard = (tmp_path / "DASHBOARD_drift.html").read_text()
+    assert dashboard.startswith("<!DOCTYPE html>")
+    assert "<svg" in dashboard
+    import json
+
+    data = json.loads((tmp_path / "BENCH_drift.json").read_text())
+    incident = data["incident"]
+    assert incident["severity"] == 1.5
+    # The induced drift pages on the modelled clock...
+    assert incident["fired_at"] is not None and incident["fired_at"] > 0.0
+    assert any(
+        alert["state"] == "firing" and alert["rule"] == "probe-error-burn"
+        for alert in incident["alerts"]
+    )
+    # ...and the alert marker lands in the rendered dashboard.
+    assert "alert-marker" in dashboard
+    # The bundle artifact is standalone JSON next to the bench JSON.
+    bundle = json.loads((tmp_path / "INCIDENT_drift.json").read_text())
+    assert bundle["trigger"]["kind"] == "alert"
+    assert any(span.get("cat") == "flush" for span in bundle["spans"])
+
+
+def test_serve_bench_dashboard_flag_validation(capsys):
+    assert main(["serve-bench", "--dashboard"]) == 2
+    assert main(["serve-bench", "--dashboard", "--smoke"]) == 2
+    output = capsys.readouterr().out
+    assert "expects an output path" in output
+
+
+def test_obs_command_renders_from_saved_artifacts(
+    capsys, tmp_path, monkeypatch
+):
+    monkeypatch.chdir(tmp_path)
+    assert main(
+        ["serve-bench", "drift", "--smoke", "--trace", "trace.json",
+         "--dashboard", "live.html"]
+    ) == 0
+    capsys.readouterr()
+    assert main(
+        ["obs", "--trace", "trace.json", "--alerts", "BENCH_drift.json",
+         "--out", "replay.html"]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "dashboard written to: replay.html" in output
+    replay = (tmp_path / "replay.html").read_text()
+    assert "alert-marker" in replay and "<svg" in replay
+
+
+def test_obs_command_validation(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["obs"]) == 2
+    assert main(["obs", "--trace"]) == 2
+    assert main(["obs", "--trace", "missing.json"]) == 2
+    assert main(["obs", "--bogus"]) == 2
+    output = capsys.readouterr().out
+    assert "expects --trace" in output
+    assert "not found" in output

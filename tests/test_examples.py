@@ -40,6 +40,7 @@ def test_examples_directory_complete():
         "telemetry_tour.py",
         "traffic_slo.py",
         "elastic_fleet.py",
+        "observability_incident.py",
     }
     assert expected <= present
 
@@ -61,6 +62,10 @@ def test_examples_directory_complete():
                             "queue-wait", "capacity", "sustained"]),
         ("elastic_fleet.py", ["bit-for-bit: True", "scale-ups",
                               "parked [1, 2]", "16x16/a7"]),
+        ("observability_incident.py", ["paged on the modelled clock",
+                                       "severity page", "incident bundle",
+                                       "trailing spans",
+                                       "alert marked: True"]),
     ],
 )
 def test_fast_examples_run(name, markers):

@@ -151,6 +151,68 @@ def _observed(value):
     return hist
 
 
+def test_histogram_quantile_bounds_are_observed_min_max():
+    # q=0 / q=1 pin to the exact observed extremes, not bin edges.
+    hist = Histogram("latency")
+    hist.observe_many([1.3e-6, 4.7e-6, 9.1e-6])
+    assert hist.quantile(0.0) == 1.3e-6
+    assert hist.quantile(1.0) == 9.1e-6
+
+
+def test_histogram_single_sample_every_quantile_is_the_sample():
+    hist = Histogram("latency")
+    hist.observe(3.7e-5)
+    for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+        assert hist.quantile(q) == pytest.approx(3.7e-5)
+
+
+def test_histogram_all_underflow_clamps_to_observed_range():
+    # Every observation lands in the underflow bucket: quantiles must
+    # report the observed values, never invent the `lo` edge.
+    hist = Histogram("latency", lo=1e-6, hi=1e-3)
+    hist.observe_many([1e-9, 2e-9, 3e-9])
+    summary = hist.summary()
+    assert summary["count"] == 3
+    assert summary["max"] == 3e-9
+    assert hist.quantile(0.0) == 1e-9
+    assert summary["p50"] == 1e-9
+    assert hist.quantile(1.0) == 3e-9
+
+
+def test_histogram_all_overflow_clamps_to_observed_range():
+    hist = Histogram("latency", lo=1e-6, hi=1e-3)
+    hist.observe_many([1.0, 2.0, 4.0])
+    summary = hist.summary()
+    assert summary["count"] == 3
+    assert hist.quantile(0.0) == 1.0
+    assert summary["p50"] == 4.0  # the overflow bucket reports max
+    assert hist.quantile(1.0) == 4.0
+
+
+def test_histogram_merge_disjoint_bins_keeps_both_populations():
+    # Two histograms whose occupied bins never overlap (decades apart)
+    # merge into a bimodal distribution with both modes intact.
+    low, high = Histogram("low"), Histogram("high")
+    low.observe_many([1.0e-8, 1.2e-8, 1.4e-8])
+    high.observe_many([1.0e-2, 1.2e-2, 1.4e-2])
+    merged = Histogram.merged([low, high], name="both")
+    assert merged.count == 6
+    assert merged.min == 1.0e-8
+    assert merged.max == 1.4e-2
+    assert merged.quantile(0.0) == 1.0e-8
+    assert merged.quantile(1.0) == 1.4e-2
+    # Quantiles on either side of the gap land in the right mode.
+    assert merged.quantile(0.25) < 1e-7
+    assert merged.quantile(0.75) > 1e-3
+
+
+def test_quantiles_from_samples_single_sample_and_bounds():
+    summary = quantiles_from_samples([0.125])
+    assert summary["count"] == 1
+    for key in ("mean", "max", "p50", "p95", "p99", "p999"):
+        assert summary[key] == 0.125
+
+
 # -- MetricsRegistry ---------------------------------------------------------
 def test_registry_get_or_create_identity():
     registry = MetricsRegistry()
